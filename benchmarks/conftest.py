@@ -1,0 +1,42 @@
+"""Shared benchmark plumbing.
+
+Every benchmark regenerates one paper table/figure, asserts the headline
+*shape* (who wins, by roughly what factor) and writes the reproduced
+rows/series to ``benchmarks/results/<name>.txt`` so the paper-vs-measured
+comparison is inspectable after a run.
+
+Scale: benchmark defaults are CI-sized; set ``REPRO_FULL=1`` for
+paper-scale parameters (20 topologies, longer simulations).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def full_scale() -> bool:
+    """Whether REPRO_FULL=1 requests paper-scale runs."""
+    return os.environ.get("REPRO_FULL", "0") == "1"
+
+
+@pytest.fixture
+def report():
+    """Write a named result artefact and echo it to stdout."""
+
+    def _write(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n=== {name} ===\n{text}")
+
+    return _write
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,48 @@
+"""Theorem 1: convergence of the distributed hopping algorithm.
+
+Validates the O(M log n / ((1-p) gamma)) bound empirically: convergence is
+certain, rounds stay under the bound, and the measured scaling follows the
+bound's direction in n and p.
+"""
+
+import numpy as np
+from conftest import full_scale, once
+
+from repro.experiments.convergence import run_convergence_sweep
+from repro.utils.render import format_table
+
+
+def test_theorem1_convergence(benchmark, report):
+    if full_scale():
+        sizes, reps = (8, 16, 32, 64, 128), 20
+    else:
+        sizes, reps = (8, 16, 32, 64), 8
+    points = once(
+        benchmark,
+        run_convergence_sweep,
+        n_nodes_list=sizes,
+        fading_list=(0.0, 0.3),
+        replications=reps,
+    )
+
+    assert all(p.converged_all for p in points), "Theorem 1: converges w.p. 1"
+    for point in points:
+        assert point.mean_rounds <= point.bound_rounds, "within the bound"
+
+    by_key = {(p.n_nodes, p.fading_p): p.mean_rounds for p in points}
+    # Scaling direction: larger n and larger p need more rounds.
+    assert by_key[(sizes[-1], 0.0)] >= by_key[(sizes[0], 0.0)]
+    assert by_key[(sizes[-1], 0.3)] >= by_key[(sizes[-1], 0.0)]
+
+    rows = [
+        [p.n_nodes, p.fading_p, f"{p.mean_rounds:.1f}", f"{p.bound_rounds:.0f}"]
+        for p in points
+    ]
+    report(
+        "theorem1",
+        format_table(
+            ["n nodes", "fading p", "mean rounds", "bound (c=1)"],
+            rows,
+            title="Theorem 1 convergence",
+        ),
+    )

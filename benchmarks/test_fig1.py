@@ -1,0 +1,47 @@
+"""Figure 1: throughput vs distance, coding-rate CDFs, channel occupancy.
+
+Paper findings reproduced in shape:
+  (a) >= 1 Mb/s at >= 85% of locations, usable range beyond 1.3 km;
+  (b) median downlink coding rate ~ 1/2 with a tail well below Wi-Fi's floor;
+  (c) uplink (TCP ACKs) occupies a single RB; ~25% HARQ beyond 500 m.
+"""
+
+import numpy as np
+from conftest import full_scale, once
+
+from repro.experiments.coverage import run_drive_test
+from repro.utils.render import ascii_plot, format_table
+from repro.utils.stats import Cdf
+
+
+def test_fig1_drive_test(benchmark, report):
+    samples = 120 if full_scale() else 50
+    result = once(benchmark, run_drive_test, samples_per_point=samples)
+
+    coverage = result.coverage_fraction(1.0)
+    max_range = result.max_range_m(1.0)
+    dl_rates = result.all_code_rates("downlink")
+    ul_rates = result.all_code_rates("uplink")
+    harq = result.harq_usage_beyond(500.0)
+
+    # Paper-shape assertions.
+    assert coverage >= 0.85, "paper: 1 Mb/s at >= 85% of locations"
+    assert max_range >= 1300.0, "paper: range reaches 1.3 km"
+    assert 0.35 <= float(np.median(dl_rates)) <= 0.65, "paper: median rate ~ 1/2"
+    assert min(dl_rates) < 0.2, "paper: LTE uses rates far below Wi-Fi's 1/2"
+    assert 0.05 <= harq <= 0.45, "paper: ~25% HARQ beyond 500 m"
+    assert max(result.channel_fractions("uplink")) <= 0.1, "UL rides one RB"
+
+    rows = [
+        ["coverage >= 1 Mb/s", ">= 85%", f"{coverage * 100:.1f}%"],
+        ["range at 1 Mb/s", "~1.3 km", f"{max_range / 1000:.2f} km"],
+        ["median DL code rate", "~0.5", f"{np.median(dl_rates):.2f}"],
+        ["median UL code rate", "~0.5", f"{np.median(ul_rates):.2f}"],
+        ["HARQ use beyond 500 m", "~25%", f"{harq * 100:.1f}%"],
+        ["UL channel fraction", "1 RB (~0.04)", f"{np.median(result.channel_fractions('uplink')):.3f}"],
+    ]
+    table = format_table(["metric", "paper", "measured"], rows, title="Figure 1")
+    plot = ascii_plot(
+        result.throughput_curve(), x_label="distance [m]", y_label="TCP [Mb/s]"
+    )
+    report("fig1", table + "\n\n" + plot)

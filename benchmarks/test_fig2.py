@@ -1,0 +1,53 @@
+"""Figure 2: Wi-Fi MAC inefficiency -- 802.11af vs 802.11ac client CDFs.
+
+Same AP layout, same mean client SNR, 20 MHz channels, RTS/CTS on; the
+long-range 802.11af network collapses under hidden/exposed terminals while
+the short-range 802.11ac one shares cleanly.
+"""
+
+import numpy as np
+from conftest import full_scale, once
+
+from repro.experiments.wifi_macs import run_fig2
+from repro.utils.render import format_table
+from repro.utils.stats import Cdf
+
+
+def test_fig2_af_vs_ac(benchmark, report):
+    duration = 6.0 if full_scale() else 2.5
+    result = once(benchmark, run_fig2, duration_s=duration)
+
+    af = np.array(result.throughput_bps["802.11af"])
+    ac = np.array(result.throughput_bps["802.11ac"])
+
+    # Calibration: the scenarios really do have matched mean SNR.
+    snr_gap = abs(result.mean_snr_db["802.11af"] - result.mean_snr_db["802.11ac"])
+    assert snr_gap <= 1.5, "scenarios must have the same average SNR"
+
+    # Paper shape: the af CDF sits far left of the ac CDF.
+    assert np.median(ac) > 2 * max(np.median(af), 1e3)
+    assert (af < 50e3).mean() > (ac < 50e3).mean()
+
+    def quartiles(x):
+        return [f"{np.percentile(x, q) / 1e6:.2f}" for q in (25, 50, 75)]
+
+    rows = [
+        ["802.11af Mb/s (25/50/75%)"] + quartiles(af),
+        ["802.11ac Mb/s (25/50/75%)"] + quartiles(ac),
+        [
+            "starved (<50 kb/s)",
+            f"af {100 * (af < 50e3).mean():.0f}%",
+            f"ac {100 * (ac < 50e3).mean():.0f}%",
+            "",
+        ],
+        [
+            "mean SNR (calibration)",
+            f"af {result.mean_snr_db['802.11af']:.1f} dB",
+            f"ac {result.mean_snr_db['802.11ac']:.1f} dB",
+            "",
+        ],
+    ]
+    report(
+        "fig2",
+        format_table(["metric", "q25", "q50", "q75"], rows, title="Figure 2"),
+    )

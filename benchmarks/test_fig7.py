@@ -1,0 +1,42 @@
+"""Figure 7: two-cell interference walk.
+
+(b) signalling-only interference costs at most ~20% goodput;
+(c) full data interference can halve goodput at SINR < 10 dB and causes
+    disconnections, which signalling interference never does.
+"""
+
+import numpy as np
+from conftest import full_scale, once
+
+from repro.experiments.interference_exp import run_two_cell_walk
+from repro.utils.render import ascii_plot, format_table
+
+
+def test_fig7_interference_walk(benchmark, report):
+    n_points = 240 if full_scale() else 120
+    result = once(benchmark, run_two_cell_walk, n_points=n_points)
+
+    max_gap = result.signalling_vs_none_max_gap()
+    median_loss = result.full_interference_median_loss()
+    disconnections = result.disconnection_count()
+
+    assert max_gap <= 0.20 + 1e-9, "paper: signalling interference <= 20%"
+    assert median_loss >= 0.25, "paper: data interference up to ~50% loss"
+    assert disconnections > 0, "paper: frequent disconnects under data interference"
+    low = [s for s in result.samples if s.sinr_db < -5.0]
+    assert any(s.disconnected_full for s in low), "disconnects at the path's bad end"
+
+    sinrs = [s.sinr_db for s in result.samples]
+    rows = [
+        ["SINR range on walk", "-15..+30 dB", f"{min(sinrs):.0f}..{max(sinrs):.0f} dB"],
+        ["max signalling-only loss", "<= 20%", f"{max_gap * 100:.0f}%"],
+        ["median data-interference loss (SINR<10)", "up to ~50%", f"{median_loss * 100:.0f}%"],
+        ["disconnections (full interference)", "frequent, one end", f"{disconnections}/{len(result.samples)} points"],
+    ]
+    table = format_table(["metric", "paper", "measured"], rows, title="Figure 7")
+    scatter = ascii_plot(
+        [(s.rssi_dbm, s.goodput_signalling) for s in result.samples],
+        x_label="RSSI [dBm]",
+        y_label="goodput [bit/sym]",
+    )
+    report("fig7", table + "\n\nFig 7(b) signalling-interference goodput:\n" + scatter)

@@ -1,0 +1,65 @@
+"""Figure 9(a): coverage (connected users) versus AP density.
+
+Paper: CellFi improves coverage over both Wi-Fi and LTE at every density;
+at 14 APs x 6 clients, +37% vs Wi-Fi and +16% vs LTE, with CellFi staying
+above 90% connected.
+"""
+
+from conftest import full_scale, once
+
+from repro.experiments.large_scale import (
+    TECH_CELLFI,
+    TECH_LTE,
+    TECH_WIFI,
+    run_coverage_vs_density,
+)
+from repro.utils.render import format_table
+
+
+def test_fig9a_coverage_vs_density(benchmark, report):
+    if full_scale():
+        densities, seeds, epochs, wifi_s = (6, 8, 10, 12, 14), range(1, 11), 15, 6.0
+    else:
+        densities, seeds, epochs, wifi_s = (6, 10, 14), (1, 2), 10, 3.0
+    result = once(
+        benchmark,
+        run_coverage_vs_density,
+        densities,
+        list(seeds),
+        epochs=epochs,
+        wifi_duration_s=wifi_s,
+    )
+
+    cellfi = result.series(TECH_CELLFI)
+    lte = result.series(TECH_LTE)
+    wifi = result.series(TECH_WIFI)
+
+    # Shape assertions at the densest point (the paper's quoted numbers).
+    dense = -1
+    assert cellfi[dense] >= lte[dense], "CellFi beats plain LTE"
+    assert cellfi[dense] >= wifi[dense] + 0.10, "CellFi well above 802.11af"
+    assert cellfi[dense] >= 0.90, "paper: CellFi keeps > 90% connected"
+    # Every density: CellFi >= both baselines.
+    for i in range(len(densities)):
+        assert cellfi[i] >= lte[i] - 0.02
+        assert cellfi[i] >= wifi[i] - 0.02
+
+    rows = []
+    for i, density in enumerate(densities):
+        rows.append(
+            [
+                density,
+                f"{wifi[i] * 100:.0f}%",
+                f"{lte[i] * 100:.0f}%",
+                f"{cellfi[i] * 100:.0f}%",
+            ]
+        )
+    gain_wifi = (cellfi[dense] - wifi[dense]) / max(wifi[dense], 1e-9)
+    gain_lte = (cellfi[dense] - lte[dense]) / max(lte[dense], 1e-9)
+    rows.append(["gain@dense", f"+{gain_wifi * 100:.0f}% vs af", f"+{gain_lte * 100:.0f}% vs LTE", "paper: +37%/+16%"])
+    report(
+        "fig9a",
+        format_table(
+            ["APs", "802.11af", "LTE", "CellFi"], rows, title="Figure 9(a) coverage"
+        ),
+    )

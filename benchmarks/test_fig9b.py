@@ -1,0 +1,71 @@
+"""Figure 9(b): client-throughput CDFs at the densest setting.
+
+Paper: CellFi reduces starved clients by ~70-90% vs Wi-Fi and LTE without
+sacrificing network throughput, roughly doubles Wi-Fi's median, and sits
+near the centralized oracle.
+"""
+
+import numpy as np
+from conftest import full_scale, once
+
+from repro.experiments.large_scale import (
+    TECH_CELLFI,
+    TECH_LTE,
+    TECH_ORACLE,
+    TECH_WIFI,
+    run_throughput_cdfs,
+)
+from repro.utils.render import format_table
+from repro.utils.stats import Cdf
+
+
+def test_fig9b_throughput_cdfs(benchmark, report):
+    if full_scale():
+        seeds, n_aps, epochs, wifi_s = list(range(1, 11)), 14, 15, 6.0
+    else:
+        seeds, n_aps, epochs, wifi_s = [1, 2], 10, 10, 3.0
+    result = once(
+        benchmark,
+        run_throughput_cdfs,
+        seeds,
+        n_aps=n_aps,
+        epochs=epochs,
+        wifi_duration_s=wifi_s,
+    )
+
+    starved = {t: result.starved_fraction(t) for t in result.samples_bps}
+    medians = {t: result.median_bps(t) for t in result.samples_bps}
+
+    # Paper-shape assertions.
+    assert starved[TECH_CELLFI] <= 0.4 * max(starved[TECH_LTE], 0.01), \
+        "paper: ~70-90% fewer starved than LTE"
+    assert starved[TECH_CELLFI] <= 0.4 * max(starved[TECH_WIFI], 0.01), \
+        "paper: ~70-90% fewer starved than Wi-Fi"
+    assert medians[TECH_CELLFI] >= 1.5 * medians[TECH_WIFI], \
+        "paper: ~2x Wi-Fi's median"
+    assert medians[TECH_CELLFI] >= 0.8 * medians[TECH_LTE], \
+        "paper: total throughput not sacrificed"
+    assert starved[TECH_ORACLE] <= starved[TECH_LTE]
+    # Near-oracle: CellFi starvation within a few points of the oracle.
+    assert starved[TECH_CELLFI] <= starved[TECH_ORACLE] + 0.05
+
+    rows = []
+    for tech in (TECH_WIFI, TECH_LTE, TECH_CELLFI, TECH_ORACLE):
+        cdf = Cdf(result.samples_bps[tech])
+        rows.append(
+            [
+                tech,
+                f"{medians[tech] / 1e3:.0f} kb/s",
+                f"{cdf.quantile(0.25) / 1e3:.0f} kb/s",
+                f"{cdf.quantile(0.75) / 1e3:.0f} kb/s",
+                f"{starved[tech] * 100:.1f}%",
+            ]
+        )
+    report(
+        "fig9b",
+        format_table(
+            ["tech", "median", "q25", "q75", "starved"],
+            rows,
+            title=f"Figure 9(b) client throughput ({n_aps} APs x 6 clients)",
+        ),
+    )

@@ -1,0 +1,44 @@
+"""Section 6.3.4 "Overheads of signaling": CQI reporting cost.
+
+Paper: mode 3-0 reports every 2 ms cost ~10 kb/s of uplink (the paper
+counts 20 bits/report; a strict field count of 4 + 13 x 2 = 30 bits gives
+15 kb/s -- both are negligible against the ~2.4 Mb/s uplink).
+"""
+
+from conftest import once
+
+from repro.lte.cqi import CqiReportingConfig
+from repro.phy.resource_grid import ResourceGrid
+from repro.utils.render import format_table
+
+
+def _measure():
+    config = CqiReportingConfig()
+    grid = ResourceGrid(5e6)
+    uplink_capacity = grid.uplink_rate_bps(2.0, grid.n_rbs)  # Mid-CQI uplink.
+    return config, uplink_capacity
+
+
+def test_signalling_overhead(benchmark, report):
+    config, uplink_capacity = once(benchmark, _measure)
+
+    paper_bits, paper_rate = 20, 10e3
+    measured_rate = config.uplink_overhead_bps
+
+    assert config.n_subbands == 13
+    assert config.period_s == 2e-3
+    # Same order of magnitude as the paper's figure.
+    assert 0.5 * paper_rate <= measured_rate <= 2.0 * paper_rate
+    # And negligible against uplink capacity (< 2%).
+    assert measured_rate / uplink_capacity < 0.02
+
+    rows = [
+        ["report payload", f"{paper_bits} bits (paper)", f"{config.payload_bits} bits (4 + 13x2)"],
+        ["reporting period", "2 ms", f"{config.period_s * 1e3:.0f} ms"],
+        ["uplink overhead", "10 kb/s", f"{measured_rate / 1e3:.0f} kb/s"],
+        ["fraction of uplink", "-", f"{100 * measured_rate / uplink_capacity:.2f}%"],
+    ]
+    report(
+        "overhead",
+        format_table(["metric", "paper", "measured"], rows, title="CQI signalling overhead"),
+    )

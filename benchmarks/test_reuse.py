@@ -1,0 +1,33 @@
+"""Section 5.3: the channel re-use (packing) heuristic.
+
+Paper: clients close to their APs can safely share subchannels across
+networks; packing interference-free holdings onto low indices yields "fast
+convergence and upto 2x gain in throughput for exposed clients".
+"""
+
+from conftest import full_scale, once
+
+from repro.experiments.convergence import run_reuse_experiment
+from repro.utils.render import format_table
+
+
+def test_channel_reuse_gain(benchmark, report):
+    epochs = 40 if full_scale() else 25
+    result = once(benchmark, run_reuse_experiment, epochs=epochs)
+
+    assert result.reuse_moves > 0, "packing must actually happen"
+    assert result.exposed_gain > 1.05, "exposed clients gain from packing"
+    assert result.gain > 0.9, "overall median must not regress materially"
+
+    rows = [
+        ["exposed-client median (with reuse)", f"{result.exposed_with_reuse_bps / 1e6:.2f} Mb/s"],
+        ["exposed-client median (without)", f"{result.exposed_without_reuse_bps / 1e6:.2f} Mb/s"],
+        ["exposed-client gain", f"{result.exposed_gain:.2f}x (paper: up to 2x)"],
+        ["overall median gain", f"{result.gain:.2f}x"],
+        ["packing moves", str(result.reuse_moves)],
+        ["subchannel overlap with/without", f"{result.overlap_with} / {result.overlap_without}"],
+    ]
+    report(
+        "reuse",
+        format_table(["metric", "value"], rows, title="Channel re-use ablation"),
+    )

@@ -1,0 +1,65 @@
+"""Table 1: summary of differences between 802.11af and LTE.
+
+Regenerates the table from the repo's own model constants, proving the
+implementation embodies the design facts the paper tabulates.
+"""
+
+from conftest import once
+
+from repro.phy.mcs import LTE_MIN_CODE_RATE, WIFI_MIN_CODE_RATE
+from repro.phy.resource_grid import RB_BANDWIDTH_HZ, TDD_CONFIG_4, TTI_S, ResourceGrid
+from repro.utils.render import format_table
+from repro.wifi.frames import TXOP_LIMIT_S
+from repro.wifi.rates import WIFI_MCS_TABLE
+
+
+def _build_table1():
+    grid = ResourceGrid(5e6)
+    rows = [
+        [
+            "802.11af",
+            "OFDM",
+            "6-8 MHz",
+            f">= {WIFI_MIN_CODE_RATE:.2f}",
+            "no",
+            "CSMA",
+            f"up to {TXOP_LIMIT_S * 1e3:.0f} ms",
+            "uncoordinated",
+        ],
+        [
+            "LTE",
+            "OFDMA",
+            f"{RB_BANDWIDTH_HZ / 1e3:.0f} kHz",
+            f">= {LTE_MIN_CODE_RATE:.2f}",
+            "yes",
+            "Static",
+            f"{TTI_S * 1e3:.0f} ms subframes",
+            "coordinated",
+        ],
+    ]
+    headers = [
+        "Design",
+        "Mux",
+        "Freq. chunks",
+        "Coding rate",
+        "Hybrid ARQ",
+        "Access",
+        "TX duration",
+        "Mode",
+    ]
+    return headers, rows, grid
+
+
+def test_table1(benchmark, report):
+    headers, rows, grid = once(benchmark, _build_table1)
+
+    # Assertions: the constants behind each cell.
+    assert RB_BANDWIDTH_HZ == 180e3              # LTE frequency chunk.
+    assert LTE_MIN_CODE_RATE < 0.1               # "Coding rate >= 0.1".
+    assert WIFI_MIN_CODE_RATE == 0.5             # "Coding rate >= 0.5".
+    assert min(m.code_rate for m in WIFI_MCS_TABLE) == 0.5
+    assert TXOP_LIMIT_S == 4e-3                  # "up to 4ms".
+    assert TTI_S == 1e-3                         # "1ms subframes".
+    assert TDD_CONFIG_4.downlink_subframes == 7
+
+    report("table1", format_table(headers, rows, title="Table 1 (reproduced)"))

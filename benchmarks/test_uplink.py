@@ -1,0 +1,48 @@
+"""Uplink protection: CellFi's TDD allocations shield the uplink too.
+
+Extension of paper Section 5 ("the uplink can be managed similarly"):
+after the downlink algorithms converge, the uplink is evaluated under the
+same allocations.  CellFi's disentangled holdings must give the uplink a
+better SINR distribution than plain LTE's everyone-everywhere.
+"""
+
+import numpy as np
+from conftest import full_scale, once
+
+from repro.experiments.uplink_exp import run_uplink_comparison
+from repro.utils.render import format_table
+
+
+def test_uplink_protection(benchmark, report):
+    n_aps = 10 if full_scale() else 8
+    epochs = 14 if full_scale() else 10
+    result = once(benchmark, run_uplink_comparison, n_aps=n_aps, epochs=epochs)
+
+    lte_sinr = result.median_sinr_db("LTE")
+    cellfi_sinr = result.median_sinr_db("CellFi")
+    assert cellfi_sinr >= lte_sinr, "CellFi's allocations must protect UL"
+
+    # The low tail is where uncoordinated uplink hurts most.
+    lte_p10 = float(np.percentile(result.sinr_db["LTE"], 10))
+    cellfi_p10 = float(np.percentile(result.sinr_db["CellFi"], 10))
+    assert cellfi_p10 >= lte_p10
+
+    rows = []
+    for tech in ("LTE", "CellFi"):
+        sinr = result.sinr_db[tech]
+        rows.append(
+            [
+                tech,
+                f"{np.percentile(sinr, 10):.1f} dB",
+                f"{np.median(sinr):.1f} dB",
+                f"{result.median_bps(tech) / 1e3:.0f} kb/s",
+            ]
+        )
+    report(
+        "uplink",
+        format_table(
+            ["tech", "UL SINR p10", "UL SINR median", "UL median rate"],
+            rows,
+            title="Uplink protection under converged DL allocations",
+        ),
+    )

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Watch CellFi's interference management converge, epoch by epoch.
+
+Prints a per-epoch trace of the distributed algorithm on a three-cell
+chain: the PRACH-based contention estimates (NP_i), the computed shares
+(S_i = N_i * S / NP_i), each AP's subchannel holdings as a bitmap, the
+hops triggered by drained buckets, and coverage.  The chain topology
+(A -- B -- C, where A and C do not interfere) also shows spatial reuse:
+A and C converge onto overlapping subchannels while B stays disjoint
+from both.
+
+Run:  python examples/algorithm_trace.py
+"""
+
+import numpy as np
+
+from repro.core.interference.manager import CellFiInterferenceManager
+from repro.lte.network import LteNetworkSimulator
+from repro.phy.propagation import CompositeChannel, UrbanHataPathLoss
+from repro.phy.resource_grid import ResourceGrid
+from repro.sim.rng import RngStreams
+from repro.sim.topology import AccessPointSite, ClientSite, Topology
+
+N_SUBCHANNELS = 13
+EPOCHS = 12
+
+
+def chain_topology() -> Topology:
+    """Three cells in a line; only adjacent cells interfere.
+
+    Each cell keeps one close client and puts the rest toward its
+    neighbours, so adjacent cells overhear each other's PRACH (shares
+    split) and cell-edge clients genuinely suffer from overlap (buckets
+    drain, hops happen).
+    """
+    spacing = 450.0
+    aps = [AccessPointSite(i, i * spacing, 0.0) for i in range(3)]
+    clients = []
+    cid = 0
+    for ap in aps:
+        offsets = [(60.0, 40.0)]
+        if ap.ap_id > 0:
+            offsets.append((-0.44 * spacing, 20.0))   # Toward the left cell.
+        if ap.ap_id < 2:
+            offsets.append((0.44 * spacing, -20.0))   # Toward the right cell.
+        for dx, dy in offsets:
+            clients.append(ClientSite(cid, ap.x + dx, ap.y + dy, ap_id=ap.ap_id))
+            cid += 1
+    return Topology(area_m=2 * spacing + 400.0, aps=aps, clients=clients)
+
+
+def bitmap(holdings) -> str:
+    """Render a subchannel set as '#.#..' over the carrier."""
+    return "".join("#" if k in holdings else "." for k in range(N_SUBCHANNELS))
+
+
+def main() -> None:
+    rngs = RngStreams(31)
+    topology = chain_topology()
+    net = LteNetworkSimulator(
+        topology, ResourceGrid(5e6), CompositeChannel(UrbanHataPathLoss()),
+        rngs.fork("net"),
+    )
+    manager = CellFiInterferenceManager(
+        [0, 1, 2], N_SUBCHANNELS, rngs.fork("mgr")
+    )
+    demands = {c.client_id: float("inf") for c in topology.clients}
+
+    print("epoch | AP0 holdings  | AP1 holdings  | AP2 holdings  | "
+          "shares    | NP est    | hops | connected")
+    print("-" * 110)
+    observations = None
+    previous_hops = 0
+    for epoch in range(EPOCHS):
+        allowed = manager.decide(epoch, observations)
+        result = net.run_epoch(epoch, allowed, demands)
+        observations = result.observations
+
+        shares = [manager.stats.last_shares.get(ap, "-") for ap in (0, 1, 2)]
+        contention = [observations[ap].estimated_contenders for ap in (0, 1, 2)]
+        hops = manager.stats.total_hops - previous_hops
+        previous_hops = manager.stats.total_hops
+        connected = np.mean(list(result.connected.values()))
+        print(
+            f"{epoch:5d} | {bitmap(allowed[0])} | {bitmap(allowed[1])} | "
+            f"{bitmap(allowed[2])} | {str(shares):9s} | {str(contention):9s} | "
+            f"{hops:4d} | {connected * 100:5.1f}%"
+        )
+
+    holdings = manager.holdings()
+    reuse_ac = len(holdings[0] & holdings[2])
+    overlap_ab = len(holdings[0] & holdings[1])
+    overlap_bc = len(holdings[1] & holdings[2])
+    print(f"\nSpatial reuse A&C (non-interfering): {reuse_ac} shared subchannels")
+    print(f"Conflict overlap A&B: {overlap_ab}, B&C: {overlap_bc}")
+    print(f"Total hops: {manager.stats.total_hops}, "
+          f"packing moves: {manager.stats.total_reuse_moves}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Incumbent protection: a wireless microphone interrupts a CellFi cell.
+
+A CellFi AP is serving clients when a wireless microphone (a primary user,
+e.g. for a stadium event) registers on the AP's channel.  The AP must
+vacate within the ETSI 60-second deadline, move to another channel if one
+exists, and return when the event ends.  The ETSI compliance monitor
+audits the whole episode.
+
+Run:  python examples/incumbent_protection.py
+"""
+
+from repro.core.cellfi import CellFiAccessPoint
+from repro.lte.rrc import ReacquisitionTiming
+from repro.lte.ue import ConnectionState, UserEquipment
+from repro.sim.engine import Simulator
+from repro.tvws.channels import US_CHANNEL_PLAN
+from repro.tvws.database import Incumbent, SpectrumDatabase
+from repro.tvws.paws import PawsServer
+from repro.tvws.regulatory import EtsiComplianceRules
+
+
+class _Node:
+    def __init__(self, x, y):
+        self.x, self.y = x, y
+
+
+def main() -> None:
+    sim = Simulator()
+    database = SpectrumDatabase(US_CHANNEL_PLAN, lease_duration_s=600.0)
+    paws = PawsServer(database)
+    compliance = EtsiComplianceRules()
+
+    # Keep only two channels in this region so the story is visible.
+    for tv in US_CHANNEL_PLAN.channels:
+        if tv.number not in (20, 21):
+            database.withdraw_channel(tv.number)
+
+    ap = CellFiAccessPoint(
+        sim=sim, paws=paws, x=500.0, y=500.0, serial="stadium-ap",
+        compliance=compliance,
+        timing=ReacquisitionTiming(ap_reboot_s=96.0, cell_search_s=56.0),
+    )
+    client = UserEquipment(ue_id=0, node=_Node(700.0, 500.0))
+    ap.register_client(client)
+    ap.start()
+    sim.run(until=200.0)
+    first_channel = ap.selector.current_channel
+    print(f"t={sim.now:5.0f}s  AP on channel {first_channel}, "
+          f"client {'connected' if client.state is ConnectionState.CONNECTED else 'searching'}")
+
+    # The microphone registers for a 10-minute event on the AP's channel,
+    # starting 60 seconds from now.
+    event_start = sim.now + 60.0
+    database.register_incumbent(
+        Incumbent(
+            name="wireless-mic-17",
+            channel=first_channel,
+            x=600.0, y=500.0,
+            protection_radius_m=2000.0,
+            active_from=event_start,
+            active_until=event_start + 600.0,
+        )
+    )
+    print(f"t={sim.now:5.0f}s  microphone registered for t={event_start:.0f}s")
+
+    sim.run(until=event_start + 10.0)
+    print(f"t={sim.now:5.0f}s  event started; AP now on channel "
+          f"{ap.selector.current_channel} (radio {'ON' if ap.radio_on else 'off'})")
+    assert ap.selector.current_channel != first_channel or not ap.radio_on
+
+    sim.run(until=event_start + 600.0 + 300.0)
+    print(f"t={sim.now:5.0f}s  event over; AP on channel "
+          f"{ap.selector.current_channel}, "
+          f"{ap.connected_clients} client(s) connected")
+
+    print("\nTimeline:")
+    for t, kind, detail in ap.selector.timeline():
+        print(f"  t={t:7.1f}s  {kind:12s} {detail}")
+    print(f"\nETSI compliant throughout: {compliance.compliant}")
+    assert compliance.compliant
+
+
+if __name__ == "__main__":
+    main()

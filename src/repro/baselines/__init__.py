@@ -1,0 +1,15 @@
+"""Baselines the paper compares CellFi against.
+
+* :mod:`repro.baselines.plain_lte` -- uncoordinated LTE: every cell uses
+  the full carrier (the paper's "LTE" curves).
+* :mod:`repro.baselines.oracle` -- a centralized, perfect-information
+  subchannel allocator standing in for FERMI [20]: it sees the true
+  interference graph and client counts and computes a fair conflict-free
+  allocation, providing the upper bound of Figure 9(b).
+* 802.11af / 802.11ac come from :mod:`repro.wifi`.
+"""
+
+from repro.baselines.oracle import OracleAllocator, build_conflict_graph
+from repro.baselines.plain_lte import PlainLtePolicy
+
+__all__ = ["OracleAllocator", "PlainLtePolicy", "build_conflict_graph"]

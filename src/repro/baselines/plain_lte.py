@@ -1,0 +1,38 @@
+"""Plain LTE baseline: uncoordinated full-carrier transmission.
+
+"LTE offers no mechanisms to mitigate interference in uncoordinated
+deployments" (paper Section 3.2) -- so the baseline policy is simply every
+AP scheduling over every subchannel, colliding freely.  All the degradation
+(SINR collapse, starvation, radio link failures) then emerges from the
+system simulator's physics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Set
+
+from repro.lte.network import ApObservation
+
+
+class PlainLtePolicy:
+    """SubchannelPolicy: the full carrier for every AP, every epoch.
+
+    Functionally identical to
+    :class:`repro.lte.network.AllSubchannelsPolicy`; kept as a named
+    baseline so experiment code reads ``PlainLtePolicy`` next to
+    ``CellFiInterferenceManager`` and ``OracleAllocator``.
+    """
+
+    def __init__(self, ap_ids: Sequence[int], n_subchannels: int) -> None:
+        if n_subchannels <= 0:
+            raise ValueError(f"need subchannels, got {n_subchannels}")
+        self._all = set(range(n_subchannels))
+        self._ap_ids = list(ap_ids)
+
+    def decide(
+        self,
+        epoch_index: int,
+        observations: Optional[Dict[int, ApObservation]],
+    ) -> Dict[int, Set[int]]:
+        """Every AP gets every subchannel, unconditionally."""
+        return {ap_id: set(self._all) for ap_id in self._ap_ids}

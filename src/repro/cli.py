@@ -1,0 +1,213 @@
+"""Command-line interface: run any paper experiment from the shell.
+
+Examples::
+
+    python -m repro.cli fig1
+    python -m repro.cli fig9a --densities 6 10 14 --seeds 1 2
+    python -m repro.cli shootout --aps 10
+    python -m repro.cli fig6
+
+Each subcommand prints the same paper-vs-measured rows the benchmark
+harness records, at a scale controlled by its flags.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.utils.render import ascii_plot, format_table
+
+
+def _cmd_fig1(args: argparse.Namespace) -> int:
+    from repro.experiments.coverage import run_drive_test
+
+    result = run_drive_test(seed=args.seed, samples_per_point=args.samples)
+    rows = [
+        ["coverage >= 1 Mb/s", f"{result.coverage_fraction(1.0) * 100:.1f}%"],
+        ["range at 1 Mb/s", f"{result.max_range_m(1.0) / 1000:.2f} km"],
+        ["median DL code rate", f"{np.median(result.all_code_rates('downlink')):.2f}"],
+        ["HARQ beyond 500 m", f"{result.harq_usage_beyond(500.0) * 100:.1f}%"],
+    ]
+    print(format_table(["metric", "measured"], rows, title="Figure 1 drive test"))
+    print()
+    print(ascii_plot(result.throughput_curve(), x_label="distance [m]",
+                     y_label="TCP [Mb/s]"))
+    return 0
+
+
+def _cmd_fig2(args: argparse.Namespace) -> int:
+    from repro.experiments.wifi_macs import run_fig2
+
+    result = run_fig2(seed=args.seed, duration_s=args.duration)
+    rows = []
+    for standard, samples in result.throughput_bps.items():
+        arr = np.array(samples)
+        rows.append([
+            standard,
+            f"{np.median(arr) / 1e6:.2f} Mb/s",
+            f"{100 * (arr < 50e3).mean():.0f}%",
+            f"{result.mean_snr_db[standard]:.1f} dB",
+        ])
+    print(format_table(["standard", "median", "starved", "mean SNR"], rows,
+                       title="Figure 2: af vs ac"))
+    return 0
+
+
+def _cmd_fig6(args: argparse.Namespace) -> int:
+    from repro.experiments.db_timeline import run_db_timeline
+
+    result = run_db_timeline()
+    print(f"vacate latency: {result.vacate_latency_s:.0f} s (ETSI limit: 60 s)")
+    print(f"resume latency: {result.resume_latency_s:.0f} s "
+          f"(paper: 96 s reboot + 56 s search)")
+    print(f"ETSI compliant: {result.compliant}")
+    for t, event in result.timeline:
+        print(f"  t={t:8.1f}s  {event}")
+    return 0
+
+
+def _cmd_fig9a(args: argparse.Namespace) -> int:
+    from repro.experiments.large_scale import run_coverage_vs_density
+
+    result = run_coverage_vs_density(
+        args.densities, args.seeds, epochs=args.epochs,
+        wifi_duration_s=args.wifi_duration,
+    )
+    rows = []
+    for i, density in enumerate(result.densities):
+        rows.append([
+            density,
+            f"{result.coverage['802.11af'][i] * 100:.0f}%",
+            f"{result.coverage['LTE'][i] * 100:.0f}%",
+            f"{result.coverage['CellFi'][i] * 100:.0f}%",
+        ])
+    print(format_table(["APs", "802.11af", "LTE", "CellFi"], rows,
+                       title="Figure 9(a) coverage vs density"))
+    return 0
+
+
+def _cmd_fig9b(args: argparse.Namespace) -> int:
+    from repro.experiments.large_scale import run_throughput_cdfs
+
+    result = run_throughput_cdfs(
+        args.seeds, n_aps=args.aps, epochs=args.epochs,
+        wifi_duration_s=args.wifi_duration,
+    )
+    rows = []
+    for tech in result.samples_bps:
+        rows.append([
+            tech,
+            f"{result.median_bps(tech) / 1e3:.0f} kb/s",
+            f"{result.starved_fraction(tech) * 100:.1f}%",
+        ])
+    print(format_table(["tech", "median", "starved"], rows,
+                       title=f"Figure 9(b), {args.aps} APs"))
+    return 0
+
+
+def _cmd_prach(args: argparse.Namespace) -> int:
+    from repro.experiments.prach_eval import run_prach_eval
+
+    result = run_prach_eval(trials=args.trials)
+    for snr, p in sorted(result.detection_by_snr.items()):
+        print(f"  detect @ {snr:+.0f} dB : {p * 100:.0f}%")
+    print(f"  false alarms       : {result.false_alarm * 100:.2f}%")
+    print(f"  complexity ratio   : {result.complexity_ratio:.1f}x vs naive")
+    print(f"  vs line rate       : {result.speed_factor_vs_line_rate:.2f}x")
+    print(f"  vs occasion rate   : {result.speed_factor_vs_occasion_rate:.0f}x")
+    return 0
+
+
+def _cmd_convergence(args: argparse.Namespace) -> int:
+    from repro.experiments.convergence import run_convergence_sweep
+
+    points = run_convergence_sweep(
+        n_nodes_list=args.sizes, replications=args.replications
+    )
+    rows = [
+        [p.n_nodes, p.fading_p, f"{p.mean_rounds:.1f}", f"{p.bound_rounds:.0f}"]
+        for p in points
+    ]
+    print(format_table(["n", "p", "rounds", "bound"], rows,
+                       title="Theorem 1 convergence"))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from repro.utils.reportgen import write_report
+
+    results = pathlib.Path(args.results_dir)
+    try:
+        output = write_report(results)
+    except FileNotFoundError as error:
+        print(error, file=sys.stderr)
+        return 1
+    print(f"wrote {output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="CellFi (CoNEXT'17) reproduction experiments"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("fig1", help="single-cell drive test")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--samples", type=int, default=60)
+    p.set_defaults(fn=_cmd_fig1)
+
+    p = sub.add_parser("fig2", help="802.11af vs 802.11ac")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--duration", type=float, default=3.0)
+    p.set_defaults(fn=_cmd_fig2)
+
+    p = sub.add_parser("fig6", help="database vacate/reacquire timeline")
+    p.set_defaults(fn=_cmd_fig6)
+
+    p = sub.add_parser("fig9a", help="coverage vs density")
+    p.add_argument("--densities", type=int, nargs="+", default=[6, 10, 14])
+    p.add_argument("--seeds", type=int, nargs="+", default=[1, 2])
+    p.add_argument("--epochs", type=int, default=10)
+    p.add_argument("--wifi-duration", type=float, default=3.0)
+    p.set_defaults(fn=_cmd_fig9a)
+
+    p = sub.add_parser("fig9b", help="throughput CDFs with oracle")
+    p.add_argument("--seeds", type=int, nargs="+", default=[1])
+    p.add_argument("--aps", type=int, default=10)
+    p.add_argument("--epochs", type=int, default=10)
+    p.add_argument("--wifi-duration", type=float, default=3.0)
+    p.set_defaults(fn=_cmd_fig9b)
+
+    p = sub.add_parser("prach", help="PRACH detector evaluation")
+    p.add_argument("--trials", type=int, default=40)
+    p.set_defaults(fn=_cmd_prach)
+
+    p = sub.add_parser("convergence", help="Theorem 1 validation")
+    p.add_argument("--sizes", type=int, nargs="+", default=[8, 16, 32])
+    p.add_argument("--replications", type=int, default=8)
+    p.set_defaults(fn=_cmd_convergence)
+
+    p = sub.add_parser("report", help="compile benchmarks/results into REPORT.md")
+    p.add_argument("--results-dir", default="benchmarks/results")
+    p.set_defaults(fn=_cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,115 @@
+"""Channel aggregation: bonding contiguous TV channels (paper Section 7).
+
+"CellFi currently only uses a single TV channel for its operations.  One
+can think of a more flexible channel allocation that will allow channel
+aggregation" -- this module implements that extension: given a database
+response, find the best contiguous run of available TV channels that can
+host a wider LTE carrier (10/15/20 MHz), preferring runs whose occupancy
+(network listen) is most favourable, and fall back to narrower carriers
+when the spectrum is fragmented.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.channel_selection import OccupancyProbe, _PREFERENCE
+from repro.tvws.channels import ChannelPlan
+from repro.tvws.paws import AvailableSpectrumResponse
+
+#: LTE carrier bandwidths in descending preference order (Hz).
+CARRIER_LADDER_HZ = (20e6, 15e6, 10e6, 5e6)
+
+
+@dataclass(frozen=True)
+class BondedCarrier:
+    """A carrier placement across one or more TV channels.
+
+    Attributes:
+        channels: the TV channel numbers occupied (contiguous).
+        bandwidth_hz: the LTE carrier bandwidth placed in them.
+        center_hz: carrier centre frequency.
+        max_eirp_dbm: the tightest EIRP cap across the bonded channels.
+        worst_occupancy: the least favourable occupancy class in the run.
+    """
+
+    channels: Sequence[int]
+    bandwidth_hz: float
+    center_hz: float
+    max_eirp_dbm: float
+    worst_occupancy: str
+
+
+def select_bonded_carrier(
+    response: AvailableSpectrumResponse,
+    plan: ChannelPlan,
+    probe: OccupancyProbe,
+    preferred_bandwidth_hz: float = 20e6,
+    allow_fallback: bool = True,
+) -> Optional[BondedCarrier]:
+    """Choose the widest feasible carrier placement from a DB response.
+
+    Tries the preferred bandwidth first; when no contiguous run is wide
+    enough (and ``allow_fallback``), walks down the carrier ladder.  Among
+    candidate runs of equal width, prefers the one whose *worst* occupancy
+    class is most favourable (an entirely idle run beats one that overlaps
+    another technology), then the lowest frequency.
+
+    Returns ``None`` if even 5 MHz does not fit anywhere.
+    """
+    if not response.ok or not response.spectra:
+        return None
+    available = response.channel_numbers()
+    by_number = {spec.channel: spec for spec in response.spectra}
+
+    ladder = [bw for bw in CARRIER_LADDER_HZ if bw <= preferred_bandwidth_hz]
+    if not ladder:
+        ladder = [preferred_bandwidth_hz]
+    if not allow_fallback:
+        ladder = ladder[:1]
+
+    for bandwidth in ladder:
+        candidates: List[BondedCarrier] = []
+        needed = -(-int(bandwidth) // int(plan.channel_width_hz))
+        for run in plan.contiguous_runs(available):
+            for start in range(0, len(run) - needed + 1):
+                chosen = run[start : start + needed]
+                low = plan.channel(chosen[0]).low_hz
+                high = plan.channel(chosen[-1]).high_hz
+                if high - low < bandwidth:
+                    continue
+                occupancies = [probe.probe(ch) for ch in chosen]
+                worst = max(occupancies, key=lambda o: _PREFERENCE[o])
+                candidates.append(
+                    BondedCarrier(
+                        channels=tuple(chosen),
+                        bandwidth_hz=bandwidth,
+                        center_hz=(low + high) / 2.0,
+                        max_eirp_dbm=min(
+                            by_number[ch].max_eirp_dbm for ch in chosen
+                        ),
+                        worst_occupancy=worst,
+                    )
+                )
+        if candidates:
+            candidates.sort(
+                key=lambda c: (_PREFERENCE[c.worst_occupancy], c.channels[0])
+            )
+            return candidates[0]
+    return None
+
+
+def lease_expiry(response: AvailableSpectrumResponse, carrier: BondedCarrier) -> float:
+    """The bonded carrier's effective lease expiry: the earliest member's.
+
+    A bonded carrier must be vacated when *any* of its TV channels loses
+    availability, so the expiry is the minimum across members.
+    """
+    expiries = []
+    for channel in carrier.channels:
+        spec = response.spec_for(channel)
+        if spec is None:
+            raise ValueError(f"channel {channel} missing from the response")
+        expiries.append(spec.expires_at)
+    return min(expiries)

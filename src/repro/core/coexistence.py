@@ -1,0 +1,101 @@
+"""LTE-U-style duty cycling for coexistence with 802.11af (paper Section 7).
+
+"There are several other efforts (LTE-U, LAA, LWA) that look into
+coexistence between LTE and WiFi.  These are orthogonal solutions that
+could be deployed along CellFi to enable coexistence with 802.11af."
+
+This module demonstrates that orthogonality: :class:`DutyCyclePolicy`
+wraps *any* subchannel policy (CellFi's manager included) and inserts
+silent epochs following an adaptive ON/OFF schedule -- during OFF epochs
+the LTE network stays off the air so a co-located Wi-Fi network can use
+the channel, exactly the LTE-U mechanism.  The duty cycle adapts to an
+externally sensed Wi-Fi activity level (energy detection during OFF
+periods, supplied by a callback).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Set
+
+from repro.lte.network import ApObservation, SubchannelPolicy
+
+#: Bounds on the adaptive duty cycle: never hog more than 95%, never fall
+#: below 30% (an LTE network that barely transmits cannot serve anyone).
+MIN_DUTY_CYCLE = 0.30
+MAX_DUTY_CYCLE = 0.95
+
+
+class DutyCyclePolicy:
+    """Wrap a subchannel policy with adaptive ON/OFF duty cycling.
+
+    The schedule is a repeating window of ``period_epochs`` epochs, of
+    which the first ``round(duty_cycle * period)`` are ON.  Before each
+    window the duty cycle adapts: high sensed Wi-Fi activity shrinks it
+    toward :data:`MIN_DUTY_CYCLE`, no activity grows it toward
+    :data:`MAX_DUTY_CYCLE`.
+
+    Args:
+        inner: the wrapped policy (e.g. ``CellFiInterferenceManager``).
+        period_epochs: ON/OFF window length.
+        initial_duty_cycle: starting ON fraction.
+        wifi_activity: optional callback ``epoch -> activity in [0, 1]``
+            reporting energy sensed from the foreign technology; ``None``
+            fixes the duty cycle.
+    """
+
+    def __init__(
+        self,
+        inner: SubchannelPolicy,
+        period_epochs: int = 10,
+        initial_duty_cycle: float = 0.8,
+        wifi_activity: Optional[Callable[[int], float]] = None,
+    ) -> None:
+        if period_epochs < 2:
+            raise ValueError(f"period must be >= 2 epochs, got {period_epochs}")
+        if not MIN_DUTY_CYCLE <= initial_duty_cycle <= MAX_DUTY_CYCLE:
+            raise ValueError(
+                f"duty cycle must be in [{MIN_DUTY_CYCLE}, {MAX_DUTY_CYCLE}]"
+            )
+        self.inner = inner
+        self.period_epochs = period_epochs
+        self.duty_cycle = initial_duty_cycle
+        self.wifi_activity = wifi_activity
+        self.off_epochs = 0
+        self.on_epochs = 0
+
+    def _adapt(self, epoch_index: int) -> None:
+        if self.wifi_activity is None:
+            return
+        activity = self.wifi_activity(epoch_index)
+        if not 0.0 <= activity <= 1.0:
+            raise ValueError(f"activity must be in [0, 1], got {activity!r}")
+        # Proportional controller: split the channel with the neighbour in
+        # proportion to how busy it is.
+        target = MAX_DUTY_CYCLE - activity * (MAX_DUTY_CYCLE - MIN_DUTY_CYCLE)
+        self.duty_cycle = 0.5 * self.duty_cycle + 0.5 * target
+
+    def is_on(self, epoch_index: int) -> bool:
+        """Whether the LTE network transmits in this epoch."""
+        on_count = max(1, round(self.duty_cycle * self.period_epochs))
+        return (epoch_index % self.period_epochs) < on_count
+
+    def decide(
+        self,
+        epoch_index: int,
+        observations: Optional[Dict[int, ApObservation]],
+    ) -> Dict[int, Set[int]]:
+        """SubchannelPolicy hook: the inner decision, or silence."""
+        if epoch_index % self.period_epochs == 0:
+            self._adapt(epoch_index)
+        if not self.is_on(epoch_index):
+            self.off_epochs += 1
+            decisions = self.inner.decide(epoch_index, observations)
+            return {ap: set() for ap in decisions}
+        self.on_epochs += 1
+        return self.inner.decide(epoch_index, observations)
+
+    @property
+    def realised_duty_cycle(self) -> float:
+        """Fraction of decided epochs that were ON."""
+        total = self.on_epochs + self.off_epochs
+        return self.on_epochs / total if total else 1.0

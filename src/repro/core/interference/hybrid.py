@@ -1,0 +1,175 @@
+"""Hybrid control plane: centralized per provider, distributed across.
+
+Paper Section 7: "CellFi can be extended to include centralized
+coordination among nodes from one provider, and distributed coordination
+across multiple providers, which could further improve performance."
+
+:class:`HybridInterferenceManager` implements that extension on top of the
+stock machinery: each *provider* runs one hopper representing its pooled
+spectrum claim (contending with other providers exactly like a single
+CellFi AP would), and a per-provider coordinator splits the provider's
+holdings among its member APs -- disjointly where members interfere with
+each other, utility-greedily where they do not.  Across providers nothing
+changes: no communication, pure sensing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Set
+
+from repro.core.interference.hopping import ClientSense, HopperConfig, SubchannelHopper
+from repro.core.interference.share import compute_share
+from repro.lte.network import ApObservation
+from repro.phy.mcs import efficiency_from_cqi
+from repro.sim.rng import RngStreams
+
+
+class HybridInterferenceManager:
+    """Per-provider centralized + cross-provider distributed allocation.
+
+    Args:
+        providers: provider name -> member AP ids (disjoint).
+        n_subchannels: carrier size.
+        rngs: named random streams.
+        bucket_mean: hopper bucket mean (as in plain CellFi).
+
+    Raises:
+        ValueError: if an AP belongs to multiple providers.
+    """
+
+    def __init__(
+        self,
+        providers: Mapping[str, Sequence[int]],
+        n_subchannels: int,
+        rngs: RngStreams,
+        bucket_mean: float = 10.0,
+    ) -> None:
+        seen: Set[int] = set()
+        for members in providers.values():
+            overlap = seen & set(members)
+            if overlap:
+                raise ValueError(f"APs {sorted(overlap)} in multiple providers")
+            seen |= set(members)
+        self.providers = {name: list(members) for name, members in providers.items()}
+        self.n_subchannels = n_subchannels
+        config = HopperConfig(n_subchannels=n_subchannels, bucket_mean=bucket_mean)
+        self.hoppers: Dict[str, SubchannelHopper] = {
+            name: SubchannelHopper(config, rngs.stream(f"provider-{name}"))
+            for name in self.providers
+        }
+        self._last_split: Dict[int, Set[int]] = {}
+
+    # -- SubchannelPolicy interface -------------------------------------------
+
+    def decide(
+        self,
+        epoch_index: int,
+        observations: Optional[Dict[int, ApObservation]],
+    ) -> Dict[int, Set[int]]:
+        """Allowed subchannels per AP for the coming epoch."""
+        if observations is None:
+            return {
+                ap: set(range(self.n_subchannels))
+                for members in self.providers.values()
+                for ap in members
+            }
+
+        decisions: Dict[int, Set[int]] = {}
+        for name, members in self.providers.items():
+            member_obs = {
+                ap: observations[ap] for ap in members if ap in observations
+            }
+            share = self._provider_share(member_obs)
+            senses = self._pooled_senses(member_obs)
+            holdings = self.hoppers[name].step(share, senses)
+            split = self._split_holdings(holdings, member_obs)
+            decisions.update(split)
+            self._last_split.update(split)
+        return decisions
+
+    # -- Provider-level aggregation ----------------------------------------------
+
+    def _provider_share(self, member_obs: Dict[int, ApObservation]) -> int:
+        """Pooled share: provider clients vs. the neighbourhood estimate.
+
+        Centralization means members share their sensing: the provider
+        claims spectrum for the *sum* of its active clients against the
+        *largest* contention estimate any member sees (conservative).
+        """
+        own = sum(obs.n_active_clients for obs in member_obs.values())
+        contenders = max(
+            (obs.estimated_contenders for obs in member_obs.values()), default=own
+        )
+        # Members hear their own provider's clients too; the pooled count
+        # must dominate the per-member estimates.
+        contenders = max(contenders, own)
+        return compute_share(self.n_subchannels, own, contenders)
+
+    def _pooled_senses(
+        self, member_obs: Dict[int, ApObservation]
+    ) -> Dict[int, ClientSense]:
+        """All member clients' senses, keyed by client id."""
+        senses: Dict[int, ClientSense] = {}
+        for obs in member_obs.values():
+            for client_id, c in obs.clients.items():
+                senses[client_id] = ClientSense(
+                    subband_cqi=c.subband_cqi,
+                    max_subband_cqi=c.max_subband_cqi,
+                    interference_detected=c.interference_detected,
+                    scheduled_fraction=c.scheduled_fraction,
+                )
+        return senses
+
+    # -- Intra-provider split -----------------------------------------------------
+
+    def _split_holdings(
+        self,
+        holdings: Set[int],
+        member_obs: Dict[int, ApObservation],
+    ) -> Dict[int, Set[int]]:
+        """Divide the provider's subchannels among member APs.
+
+        Greedy utility assignment: each subchannel goes to the member whose
+        clients report the best CQI on it, subject to keeping the member
+        allocations balanced by client count.  Members that interfere with
+        each other therefore never share a subchannel (centralized
+        coordination); a member with no clients gets nothing.
+        """
+        members = [ap for ap in member_obs if member_obs[ap].clients]
+        if not members:
+            return {ap: set() for ap in member_obs}
+        weights = {
+            ap: max(1, member_obs[ap].n_active_clients) for ap in members
+        }
+        total_weight = sum(weights.values())
+        quota = {
+            ap: max(1, round(len(holdings) * weights[ap] / total_weight))
+            for ap in members
+        }
+        split: Dict[int, Set[int]] = {ap: set() for ap in member_obs}
+
+        def utility(ap: int, sub: int) -> float:
+            total = 0.0
+            for c in member_obs[ap].clients.values():
+                rate = efficiency_from_cqi(c.subband_cqi[sub])
+                if c.interference_detected[sub]:
+                    rate *= 0.1
+                total += rate
+            return total
+
+        for sub in sorted(holdings):
+            eligible = [ap for ap in members if len(split[ap]) < quota[ap]]
+            if not eligible:
+                eligible = members
+            best = max(eligible, key=lambda ap: (utility(ap, sub), -len(split[ap])))
+            split[best].add(sub)
+        return split
+
+    def holdings(self) -> Dict[int, Set[int]]:
+        """Latest per-AP allocation (diagnostics)."""
+        return {ap: set(subs) for ap, subs in self._last_split.items()}
+
+    def provider_holdings(self) -> Dict[str, Set[int]]:
+        """Latest per-provider hopper holdings."""
+        return {name: hopper.holdings for name, hopper in self.hoppers.items()}

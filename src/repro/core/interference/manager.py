@@ -1,0 +1,119 @@
+"""The CellFi interference manager: a SubchannelPolicy for the LTE simulator.
+
+Combines the share calculation and the hopper into the epoch interface of
+:class:`repro.lte.network.LteNetworkSimulator`.  On the first epoch -- with
+nothing sensed yet -- every AP behaves like plain LTE (all subchannels);
+from the second epoch on, each AP independently computes its share from the
+PRACH estimate and steps its hopper with the CQI-based sensing input.
+No state is shared between the per-AP components: coordination is entirely
+emergent, as the paper requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence, Set
+
+from repro.core.interference.hopping import ClientSense, HopperConfig, SubchannelHopper
+from repro.core.interference.share import compute_share
+from repro.lte.network import ApObservation
+from repro.sim.rng import RngStreams
+
+
+@dataclass
+class ManagerStats:
+    """Aggregate algorithm telemetry for convergence analysis."""
+
+    epochs: int = 0
+    total_hops: int = 0
+    total_reuse_moves: int = 0
+    last_shares: Dict[int, int] = None
+
+    def __post_init__(self) -> None:
+        if self.last_shares is None:
+            self.last_shares = {}
+
+
+class CellFiInterferenceManager:
+    """Decentralized subchannel allocation across CellFi APs.
+
+    Args:
+        ap_ids: the access points under management (each gets an
+            independent hopper with its own random stream).
+        n_subchannels: carrier size (13 on 5 MHz).
+        rngs: named random streams.
+        bucket_mean: exponential bucket mean (paper: 10).
+        reuse_enabled: channel re-use packing on/off (ablation switch).
+        share_override: optional fixed share per AP (ablation: perfect
+            sensing experiments feed ground-truth shares here).
+    """
+
+    def __init__(
+        self,
+        ap_ids: Sequence[int],
+        n_subchannels: int,
+        rngs: RngStreams,
+        bucket_mean: float = 10.0,
+        reuse_enabled: bool = True,
+        share_override: Optional[Mapping[int, int]] = None,
+    ) -> None:
+        self.n_subchannels = n_subchannels
+        self.share_override = dict(share_override) if share_override else None
+        config = HopperConfig(
+            n_subchannels=n_subchannels,
+            bucket_mean=bucket_mean,
+            reuse_enabled=reuse_enabled,
+        )
+        self.hoppers: Dict[int, SubchannelHopper] = {
+            ap_id: SubchannelHopper(config, rngs.stream(f"hopper-{ap_id}"))
+            for ap_id in ap_ids
+        }
+        self.stats = ManagerStats()
+
+    def decide(
+        self,
+        epoch_index: int,
+        observations: Optional[Dict[int, ApObservation]],
+    ) -> Dict[int, Set[int]]:
+        """SubchannelPolicy hook: allowed subchannels per AP for this epoch."""
+        if observations is None:
+            # Nothing sensed yet: transmit like plain LTE and listen.
+            return {
+                ap_id: set(range(self.n_subchannels)) for ap_id in self.hoppers
+            }
+
+        decisions: Dict[int, Set[int]] = {}
+        self.stats.epochs += 1
+        for ap_id, hopper in self.hoppers.items():
+            obs = observations.get(ap_id)
+            if obs is None:
+                decisions[ap_id] = hopper.holdings or set(range(self.n_subchannels))
+                continue
+            share = self._share_for(ap_id, obs)
+            senses = {
+                client_id: ClientSense(
+                    subband_cqi=c.subband_cqi,
+                    max_subband_cqi=c.max_subband_cqi,
+                    interference_detected=c.interference_detected,
+                    scheduled_fraction=c.scheduled_fraction,
+                )
+                for client_id, c in obs.clients.items()
+            }
+            hops_before = hopper.hop_count
+            reuse_before = hopper.reuse_moves
+            decisions[ap_id] = set(hopper.step(share, senses))
+            self.stats.total_hops += hopper.hop_count - hops_before
+            self.stats.total_reuse_moves += hopper.reuse_moves - reuse_before
+            self.stats.last_shares[ap_id] = share
+        return decisions
+
+    def _share_for(self, ap_id: int, obs: ApObservation) -> int:
+        if self.share_override is not None and ap_id in self.share_override:
+            return min(self.share_override[ap_id], self.n_subchannels)
+        return compute_share(
+            self.n_subchannels, obs.n_active_clients, obs.estimated_contenders
+        )
+
+    def holdings(self) -> Dict[int, Set[int]]:
+        """Current subchannel holdings per AP (diagnostics)."""
+        return {ap_id: hopper.holdings for ap_id, hopper in self.hoppers.items()}

@@ -1,0 +1,18 @@
+"""Experiment reproductions, one module per paper table/figure.
+
+=============================  ==========================================
+Module                         Reproduces
+=============================  ==========================================
+:mod:`~repro.experiments.coverage`          Figure 1 (a)(b)(c): drive test
+:mod:`~repro.experiments.wifi_macs`         Figure 2: af vs ac MAC gap
+:mod:`~repro.experiments.db_timeline`       Figure 6: vacate/reacquire
+:mod:`~repro.experiments.interference_exp`  Figure 7 (b)(c): two-cell walk
+:mod:`~repro.experiments.cqi_detector`      Figure 8: CQI detector trace
+:mod:`~repro.experiments.prach_eval`        Section 6.3.3: PRACH detector
+:mod:`~repro.experiments.large_scale`       Figure 9 (a)(b)(c)
+:mod:`~repro.experiments.convergence`       Theorem 1 + Section 5.3 re-use
+=============================  ==========================================
+
+Each module exposes ``run_*`` functions returning plain result dataclasses;
+the benchmark harness formats them into the paper's tables/series.
+"""

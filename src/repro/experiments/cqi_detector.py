@@ -1,0 +1,167 @@
+"""Figure 8 / Section 6.3.2: CQI as an interference estimator.
+
+Reproduces the testbed trace: PHY throughput and reported CQI over ~5 s
+while an interfering radio toggles OFF / ON / OFF / ON, where the final ON
+period is *faded* -- interference present but too weak to hurt throughput,
+which the detector must not flag.
+
+The estimator under test is the paper's rule (implemented in
+:class:`repro.lte.cqi.SubbandCqiReporter`): track the max CQI in a window
+as the interference-free estimate; declare interference after 10
+consecutive samples below 60% of that max.  Measured on the testbed this
+gave "less than 2% false positives" and 80% true detection under strong
+interference -- this experiment measures the same two numbers on the
+synthetic trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.lte.cqi import CqiReport, SubbandCqiReporter, measure_report
+from repro.phy.mcs import CQI_OUT_OF_RANGE, cqi_from_sinr, efficiency_from_cqi
+from repro.phy.resource_grid import ResourceGrid
+from repro.sim.rng import RngStreams
+from repro.utils.dbmath import db_to_linear, linear_to_db
+
+#: CQI reporting period (paper: every 2 ms).
+SAMPLE_PERIOD_S = 2e-3
+
+
+@dataclass(frozen=True)
+class InterferencePhase:
+    """One segment of the interferer's schedule.
+
+    Attributes:
+        duration_s: segment length.
+        interferer_on: whether the interferer transmits.
+        faded: when on, whether fading weakens it below significance.
+    """
+
+    duration_s: float
+    interferer_on: bool
+    faded: bool = False
+
+
+#: The Figure 8 schedule: OFF, ON, OFF, ON(faded).
+FIG8_SCHEDULE: Tuple[InterferencePhase, ...] = (
+    InterferencePhase(1.25, interferer_on=False),
+    InterferencePhase(1.25, interferer_on=True),
+    InterferencePhase(1.25, interferer_on=False),
+    InterferencePhase(1.25, interferer_on=True, faded=True),
+)
+
+
+@dataclass
+class Fig8Result:
+    """The detector-evaluation trace and scores.
+
+    Attributes:
+        times_s: sample timestamps.
+        throughput_mbps: instantaneous PHY throughput.
+        cqi: reported wideband CQI.
+        detector_state: whether interference was being declared.
+        interferer_on: ground-truth strong interference per sample.
+        false_positive_rate: detector on clean samples.
+        true_positive_rate: detector on strong-interference samples.
+        faded_flag_rate: detector on faded-interference samples (should be
+            low: weak interference must not trigger reallocation).
+    """
+
+    times_s: List[float] = field(default_factory=list)
+    throughput_mbps: List[float] = field(default_factory=list)
+    cqi: List[int] = field(default_factory=list)
+    detector_state: List[bool] = field(default_factory=list)
+    interferer_on: List[bool] = field(default_factory=list)
+    false_positive_rate: float = 0.0
+    true_positive_rate: float = 0.0
+    faded_flag_rate: float = 0.0
+
+
+def run_fig8(
+    seed: int = 5,
+    mean_snr_db: float = 22.0,
+    interference_drop_db: float = 16.0,
+    faded_drop_db: float = 1.5,
+    channel_sigma_db: float = 2.5,
+    schedule: Tuple[InterferencePhase, ...] = FIG8_SCHEDULE,
+) -> Fig8Result:
+    """Synthesize the Figure 8 trace and score the detector.
+
+    Args:
+        seed: randomness seed.
+        mean_snr_db: interference-free operating point.
+        interference_drop_db: SINR loss when the interferer is on & strong.
+        faded_drop_db: SINR loss when the interferer is on but faded.
+        channel_sigma_db: AR(1) channel fluctuation deviation ("throughput
+            varies significantly ... even when no interference is present").
+    """
+    rngs = RngStreams(seed)
+    rng = rngs.stream("trace")
+    grid = ResourceGrid(5e6)
+    reporter = SubbandCqiReporter(n_subbands=1)
+
+    result = Fig8Result()
+    t = 0.0
+    # AR(1) fluctuation with ~50-sample correlation time.
+    rho = 0.98
+    fluctuation = 0.0
+    for phase in schedule:
+        n = int(round(phase.duration_s / SAMPLE_PERIOD_S))
+        for _ in range(n):
+            fluctuation = rho * fluctuation + rng.normal(
+                0.0, channel_sigma_db * np.sqrt(1 - rho * rho)
+            )
+            sinr = mean_snr_db + fluctuation
+            strong = phase.interferer_on and not phase.faded
+            if strong:
+                sinr -= interference_drop_db
+            elif phase.interferer_on:
+                sinr -= faded_drop_db
+            report = measure_report([sinr], time=t, measurement_noise_db=0.5, rng=rng)
+            reporter.ingest(report)
+            detected = reporter.interference_detected(0)
+
+            cqi = report.subband_cqi[0]
+            eff = efficiency_from_cqi(cqi)
+            throughput = grid.downlink_rate_bps(eff, grid.n_rbs) / 1e6
+
+            result.times_s.append(t)
+            result.throughput_mbps.append(throughput)
+            result.cqi.append(cqi)
+            result.detector_state.append(detected)
+            result.interferer_on.append(strong)
+            t += SAMPLE_PERIOD_S
+
+    clean = [
+        d
+        for d, phase_on, faded_on in zip(
+            result.detector_state,
+            result.interferer_on,
+            _faded_mask(schedule),
+        )
+        if not phase_on and not faded_on
+    ]
+    strong = [
+        d for d, on in zip(result.detector_state, result.interferer_on) if on
+    ]
+    faded = [
+        d
+        for d, m in zip(result.detector_state, _faded_mask(schedule))
+        if m
+    ]
+    result.false_positive_rate = float(np.mean(clean)) if clean else 0.0
+    result.true_positive_rate = float(np.mean(strong)) if strong else 0.0
+    result.faded_flag_rate = float(np.mean(faded)) if faded else 0.0
+    return result
+
+
+def _faded_mask(schedule: Tuple[InterferencePhase, ...]) -> List[bool]:
+    mask: List[bool] = []
+    for phase in schedule:
+        n = int(round(phase.duration_s / SAMPLE_PERIOD_S))
+        mask.extend([phase.interferer_on and phase.faded] * n)
+    return mask

@@ -1,0 +1,345 @@
+"""Figure 9: the large-scale comparison of CellFi, plain LTE, Wi-Fi, Oracle.
+
+Three experiments on shared random deployments in a 2 km x 2 km area:
+
+* 9(a) coverage (fraction of connected users) versus AP density;
+* 9(b) per-client throughput CDFs at the densest setting, including the
+  centralized oracle upper bound;
+* 9(c) page-load-time CDFs under the dynamic web workload.
+
+"Connected" follows the simulator's starvation threshold (a client whose
+unmet demand leaves it below ~50 kb/s is starved).  Every scenario is
+repeated over multiple seeds, as in the paper ("every scenario is repeated
+20 times on a new topology") -- the repetition count scales down for CI via
+``REPRO_FULL``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.baselines.oracle import OracleAllocator
+from repro.baselines.plain_lte import PlainLtePolicy
+from repro.core.interference.manager import CellFiInterferenceManager
+from repro.experiments.common import Scenario, build_scenario
+from repro.lte.network import LteNetworkSimulator
+from repro.traffic.backlogged import saturated_demand_fn
+from repro.traffic.flows import Flow, FlowTracker
+from repro.traffic.web import WebPage, WebWorkloadConfig, generate_web_sessions
+from repro.wifi.network import (
+    STANDARD_80211AF,
+    WifiNetworkSimulator,
+)
+
+#: Epochs to settle before measuring (CellFi converges in a few epochs).
+WARMUP_EPOCHS = 5
+
+TECH_CELLFI = "CellFi"
+TECH_LTE = "LTE"
+TECH_WIFI = "802.11af"
+TECH_ORACLE = "Oracle"
+
+
+def _make_lte_net(scenario: Scenario, stream_label: str) -> LteNetworkSimulator:
+    return LteNetworkSimulator(
+        topology=scenario.topology,
+        grid=scenario.grid(),
+        channel=scenario.channel,
+        rngs=scenario.rngs.fork(stream_label),
+    )
+
+
+def _make_policy(tech: str, scenario: Scenario, net: LteNetworkSimulator):
+    grid = net.grid
+    if tech == TECH_CELLFI:
+        return CellFiInterferenceManager(
+            scenario.ap_ids, grid.n_subchannels, scenario.rngs.fork("manager")
+        )
+    if tech == TECH_LTE:
+        return PlainLtePolicy(scenario.ap_ids, grid.n_subchannels)
+    if tech == TECH_ORACLE:
+        return OracleAllocator(net, grid.n_subchannels)
+    raise ValueError(f"unknown LTE-family technology {tech!r}")
+
+
+# -- Saturated experiments (Figures 9(a) and 9(b)) ---------------------------
+
+
+@dataclass
+class SaturatedRun:
+    """Per-client saturated-throughput outcome for one technology/topology.
+
+    Attributes:
+        throughput_bps: mean per-client throughput over measured epochs.
+        connected_fraction: mean fraction of connected clients.
+    """
+
+    tech: str
+    throughput_bps: List[float]
+    connected_fraction: float
+
+
+def run_lte_family_saturated(
+    tech: str, scenario: Scenario, epochs: int = 15
+) -> SaturatedRun:
+    """Run CellFi / plain LTE / Oracle with backlogged traffic."""
+    net = _make_lte_net(scenario, f"net-{tech}")
+    policy = _make_policy(tech, scenario, net)
+    results = net.run(epochs, policy, saturated_demand_fn(scenario.topology))
+    measured = results[min(WARMUP_EPOCHS, epochs - 1):]
+    clients = [c.client_id for c in scenario.topology.clients]
+    throughput = [
+        float(np.mean([r.throughput_bps[cid] for r in measured])) for cid in clients
+    ]
+    connected = float(
+        np.mean([np.mean([r.connected[cid] for cid in clients]) for r in measured])
+    )
+    return SaturatedRun(
+        tech=tech, throughput_bps=throughput, connected_fraction=connected
+    )
+
+
+def run_wifi_saturated(
+    scenario: Scenario, duration_s: float = 6.0, standard=STANDARD_80211AF
+) -> SaturatedRun:
+    """Run 802.11af with backlogged traffic on the same topology."""
+    net = WifiNetworkSimulator(
+        topology=scenario.topology,
+        channel=scenario.channel,
+        standard=standard,
+        rngs=scenario.rngs.fork(f"wifi-{standard.name}"),
+    )
+    result = net.run_saturated(duration_s)
+    clients = [c.client_id for c in scenario.topology.clients]
+    throughput = [result.throughput_bps[cid] for cid in clients]
+    from repro.lte.network import STARVATION_THRESHOLD_BPS
+
+    connected = float(
+        np.mean([t >= STARVATION_THRESHOLD_BPS for t in throughput])
+    )
+    return SaturatedRun(
+        tech=standard.name, throughput_bps=throughput, connected_fraction=connected
+    )
+
+
+@dataclass
+class CoverageVsDensity:
+    """Figure 9(a): connected-user fraction per technology and density."""
+
+    densities: List[int]
+    coverage: Dict[str, List[float]] = field(default_factory=dict)
+
+    def series(self, tech: str) -> List[float]:
+        """Coverage fractions for one technology, ordered by density."""
+        return self.coverage[tech]
+
+
+def run_coverage_vs_density(
+    densities: Sequence[int],
+    seeds: Sequence[int],
+    clients_per_ap: int = 6,
+    epochs: int = 12,
+    wifi_duration_s: float = 5.0,
+    include_wifi: bool = True,
+) -> CoverageVsDensity:
+    """Sweep AP density and measure coverage for each technology."""
+    result = CoverageVsDensity(densities=list(densities))
+    techs = [TECH_WIFI, TECH_LTE, TECH_CELLFI] if include_wifi else [TECH_LTE, TECH_CELLFI]
+    acc: Dict[str, List[float]] = {t: [] for t in techs}
+    for density in densities:
+        per_tech: Dict[str, List[float]] = {t: [] for t in techs}
+        for seed in seeds:
+            scenario = build_scenario(seed, density, clients_per_ap)
+            for tech in techs:
+                if tech == TECH_WIFI:
+                    run = run_wifi_saturated(scenario, duration_s=wifi_duration_s)
+                else:
+                    run = run_lte_family_saturated(tech, scenario, epochs=epochs)
+                per_tech[tech].append(run.connected_fraction)
+        for tech in techs:
+            acc[tech].append(float(np.mean(per_tech[tech])))
+    result.coverage = acc
+    return result
+
+
+@dataclass
+class ThroughputCdfs:
+    """Figure 9(b): pooled per-client throughput samples per technology."""
+
+    samples_bps: Dict[str, List[float]] = field(default_factory=dict)
+
+    def starved_fraction(self, tech: str, threshold_bps: float = 50e3) -> float:
+        """Fraction of clients below the starvation threshold."""
+        samples = self.samples_bps[tech]
+        return float(np.mean([s < threshold_bps for s in samples]))
+
+    def median_bps(self, tech: str) -> float:
+        """Median client throughput."""
+        return float(np.median(self.samples_bps[tech]))
+
+
+def run_throughput_cdfs(
+    seeds: Sequence[int],
+    n_aps: int = 14,
+    clients_per_ap: int = 6,
+    epochs: int = 15,
+    wifi_duration_s: float = 6.0,
+    include_oracle: bool = True,
+) -> ThroughputCdfs:
+    """The densest-scenario throughput comparison, pooled over seeds."""
+    techs = [TECH_WIFI, TECH_LTE, TECH_CELLFI] + (
+        [TECH_ORACLE] if include_oracle else []
+    )
+    pooled: Dict[str, List[float]] = {t: [] for t in techs}
+    for seed in seeds:
+        scenario = build_scenario(seed, n_aps, clients_per_ap)
+        pooled[TECH_WIFI].extend(
+            run_wifi_saturated(scenario, duration_s=wifi_duration_s).throughput_bps
+        )
+        for tech in techs:
+            if tech == TECH_WIFI:
+                continue
+            pooled[tech].extend(
+                run_lte_family_saturated(tech, scenario, epochs=epochs).throughput_bps
+            )
+    return ThroughputCdfs(samples_bps=pooled)
+
+
+# -- Dynamic web workload (Figure 9(c)) ------------------------------------------
+
+
+@dataclass
+class PageLoadResult:
+    """Figure 9(c): page-load-time samples per technology.
+
+    Pages still unfinished when the simulation ends are *censored*: a
+    technology that starves clients would otherwise look fast because only
+    its easy pages complete.  Medians therefore treat each unfinished page
+    as an infinite load time, exactly once per unfinished page.
+    """
+
+    load_times_s: Dict[str, List[float]] = field(default_factory=dict)
+    unfinished: Dict[str, int] = field(default_factory=dict)
+
+    def median_s(self, tech: str) -> float:
+        """Censored median page load time."""
+        samples = list(self.load_times_s[tech])
+        samples += [float("inf")] * self.unfinished.get(tech, 0)
+        if not samples:
+            raise ValueError(f"no pages recorded for {tech!r}")
+        return float(np.median(samples))
+
+    def completed_median_s(self, tech: str) -> float:
+        """Median over completed pages only (the optimistic view)."""
+        return float(np.median(self.load_times_s[tech]))
+
+    def completion_fraction(self, tech: str) -> float:
+        """Fraction of offered pages that completed."""
+        done = len(self.load_times_s[tech])
+        total = done + self.unfinished.get(tech, 0)
+        return done / total if total else 0.0
+
+
+def _run_lte_family_web(
+    tech: str,
+    scenario: Scenario,
+    pages: List[WebPage],
+    duration_s: float,
+) -> tuple:
+    """Epoch-driven web workload for an LTE-family technology."""
+    net = _make_lte_net(scenario, f"web-{tech}")
+    policy = _make_policy(tech, scenario, net)
+    tracker = FlowTracker()
+    pending = sorted(pages, key=lambda p: p.arrival_s)
+    cursor = 0
+    observations = None
+    epochs = int(np.ceil(duration_s))
+    for epoch in range(epochs):
+        t0, t1 = float(epoch), float(epoch + 1)
+        while cursor < len(pending) and pending[cursor].arrival_s < t1:
+            page = pending[cursor]
+            tracker.arrive(
+                Flow(
+                    client_id=page.client_id,
+                    arrival_s=page.arrival_s,
+                    size_bits=page.total_bytes * 8.0,
+                )
+            )
+            cursor += 1
+        demands = {
+            c.client_id: tracker.queued_bits(c.client_id)
+            for c in scenario.topology.clients
+        }
+        allowed = policy.decide(epoch, observations)
+        result = net.run_epoch(epoch, allowed, demands)
+        observations = result.observations
+        for cid, bits in result.served_bits.items():
+            if bits > 0.0:
+                tracker.serve(cid, bits, t0, t1)
+    return tracker.completion_times(), tracker.in_flight()
+
+
+def _run_wifi_web(
+    scenario: Scenario, pages: List[WebPage], duration_s: float
+) -> tuple:
+    """Event-driven web workload for 802.11af."""
+    net = WifiNetworkSimulator(
+        topology=scenario.topology,
+        channel=scenario.channel,
+        standard=STANDARD_80211AF,
+        rngs=scenario.rngs.fork("wifi-web"),
+    )
+    tracker = FlowTracker()
+
+    def on_delivery(client_id: int, bits: float) -> None:
+        tracker.serve(client_id, bits, net.sim.now, net.sim.now)
+
+    net.set_delivery_callback(on_delivery)
+    arrivals = []
+    for page in pages:
+        tracker.arrive(
+            Flow(
+                client_id=page.client_id,
+                arrival_s=page.arrival_s,
+                size_bits=page.total_bytes * 8.0,
+            )
+        )
+        arrivals.append((page.arrival_s, page.client_id, page.total_bytes * 8.0))
+    net.run_dynamic(duration_s, arrivals)
+    return tracker.completion_times(), tracker.in_flight()
+
+
+def run_page_load_times(
+    seeds: Sequence[int],
+    n_aps: int = 10,
+    clients_per_ap: int = 6,
+    duration_s: float = 30.0,
+    workload: WebWorkloadConfig = WebWorkloadConfig(),
+    include_wifi: bool = True,
+) -> PageLoadResult:
+    """Figure 9(c): page-load-time comparison under web traffic."""
+    techs = ([TECH_WIFI] if include_wifi else []) + [TECH_LTE, TECH_CELLFI]
+    result = PageLoadResult(
+        load_times_s={t: [] for t in techs}, unfinished={t: 0 for t in techs}
+    )
+    for seed in seeds:
+        scenario = build_scenario(seed, n_aps, clients_per_ap)
+        pages = generate_web_sessions(
+            [c.client_id for c in scenario.topology.clients],
+            duration_s,
+            scenario.rngs.stream("web-arrivals"),
+            config=workload,
+        )
+        for tech in techs:
+            if tech == TECH_WIFI:
+                times, unfinished = _run_wifi_web(scenario, pages, duration_s)
+            else:
+                times, unfinished = _run_lte_family_web(
+                    tech, scenario, pages, duration_s
+                )
+            result.load_times_s[tech].extend(times)
+            result.unfinished[tech] += unfinished
+    return result

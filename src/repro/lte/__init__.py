@@ -1,0 +1,43 @@
+"""LTE stack: a system-level simulator of eNodeBs, UEs and scheduling.
+
+This package rebuilds the LTE substrate the paper's testbed (IP Access E40
+small cells + Qualcomm UEs) and ns-3 simulations provided:
+
+* :mod:`repro.lte.cqi` -- CQI measurement and reporting, including the
+  higher-layer-configured aperiodic mode 3-0 subband reports CellFi relies
+  on (paper Section 5.1).
+* :mod:`repro.lte.ue` -- user equipment: attach state machine, PRACH, CQI.
+* :mod:`repro.lte.enb` -- the eNodeB: admission, SIB broadcast, scheduling,
+  PDCCH-order RACH solicitation.
+* :mod:`repro.lte.scheduler` -- proportional-fair and round-robin resource
+  allocation over an allowed subchannel set.
+* :mod:`repro.lte.rrc` -- EARFCN arithmetic, SIB messages, cell-search and
+  reboot timing models (Figure 6).
+* :mod:`repro.lte.network` -- the epoch-driven system simulator gluing
+  topology, PHY and MAC together, with a pluggable interference manager.
+"""
+
+from repro.lte.cqi import CqiReport, CqiReportingConfig, SubbandCqiReporter
+from repro.lte.enb import EnodeB
+from repro.lte.rrc import SibMessage, earfcn_from_frequency, frequency_from_earfcn
+from repro.lte.scheduler import (
+    Allocation,
+    ProportionalFairScheduler,
+    RoundRobinScheduler,
+)
+from repro.lte.ue import ConnectionState, UserEquipment
+
+__all__ = [
+    "Allocation",
+    "ConnectionState",
+    "CqiReport",
+    "CqiReportingConfig",
+    "EnodeB",
+    "ProportionalFairScheduler",
+    "RoundRobinScheduler",
+    "SibMessage",
+    "SubbandCqiReporter",
+    "UserEquipment",
+    "earfcn_from_frequency",
+    "frequency_from_earfcn",
+]

@@ -1,0 +1,578 @@
+"""Epoch-driven system-level LTE network simulator.
+
+This module glues topology, PHY and MAC into the simulator used for the
+paper's large-scale evaluation (Section 6.3.4).  It follows the standard
+system-level methodology (the same one ns-3's LTE module uses): radio
+quantities are evaluated analytically per *epoch* -- the 1-second
+interference-management period -- while everything the paper's claims hinge
+on is modelled explicitly:
+
+* per-subchannel SINR including co-channel interference from other cells,
+* control-channel (CRS/PDCCH) interference calibrated to Figure 7(b):
+  a strong co-channel cell costs up to ~20% goodput even with no data,
+* HARQ goodput scaling, CQI quantisation, PF scheduling,
+* PRACH audibility at the -10 dB detector operating point,
+* imperfect interference detection (2% false positives, 80% true
+  positives -- the constants the paper measured and fed to its simulator).
+
+A *subchannel policy* decides each AP's allowed subchannels every epoch.
+Plain LTE uses :class:`AllSubchannelsPolicy`; CellFi plugs in its
+interference manager (:mod:`repro.core`); the centralized oracle plugs in a
+graph-coloring allocator (:mod:`repro.baselines.oracle`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Protocol, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.lte.scheduler import Allocation, ProportionalFairScheduler, Scheduler
+from repro.phy.harq import harq_goodput_scale
+from repro.phy.mcs import CQI_OUT_OF_RANGE, cqi_from_sinr, efficiency_from_cqi
+from repro.phy.propagation import CompositeChannel
+from repro.phy.resource_grid import RB_BANDWIDTH_HZ, ResourceGrid
+from repro.sim.rng import RngStreams
+from repro.sim.topology import Topology
+from repro.utils.dbmath import dbm_to_watt, linear_to_db, thermal_noise_dbm
+
+#: PRACH occupies 6 RBs (1.08 MHz); audibility is evaluated over this band.
+PRACH_BANDWIDTH_HZ = 6 * RB_BANDWIDTH_HZ
+
+#: The PRACH detector's reliable operating point (paper Section 6.3.3):
+#: preambles below -10 dB SNR are not counted.
+PRACH_DETECTION_SNR_DB = -10.0
+
+#: PRACH open-loop power control target (TS 36.213
+#: preambleInitialReceivedTargetPower): a UE transmits just enough for its
+#: serving cell to receive the preamble at this level, so nearby clients
+#: radiate far less than the 20 dBm cap.  This is what localises the
+#: paper's contention estimate: an AP overhears exactly the clients whose
+#: path loss to it is within ~a dozen dB of their serving-cell path loss --
+#: the clients its downlink would actually disturb.
+PRACH_TARGET_RX_DBM = -104.0
+
+#: Interference-detection quality measured on the testbed (Section 6.3.2)
+#: and injected into the large-scale simulation, as the paper did.
+CQI_DETECTOR_TRUE_POSITIVE = 0.80
+CQI_DETECTOR_FALSE_POSITIVE = 0.02
+
+#: Interference ground truth follows the paper's estimator semantics: a
+#: subchannel is "bad" when its CQI falls below this fraction of the
+#: interference-free CQI.  Crucially this is *rate-relative*: a client next
+#: to its AP keeps CQI 15 despite a weak interferer and is NOT considered
+#: interfered -- the property the channel re-use heuristic exploits.
+INTERFERENCE_CQI_DROP_FRACTION = 0.6
+
+#: Control-channel interference ceiling calibrated to Figure 7(b): "the two
+#: vary by at most 20% and in most cases much less than that".
+CONTROL_INTERFERENCE_MAX_LOSS = 0.20
+
+#: Throughput below which a client counts as starved / not connected in the
+#: coverage metrics (Figure 9).  50 kb/s is ~5% of the 1 Mb/s target rate.
+STARVATION_THRESHOLD_BPS = 50e3
+
+#: Radio-link-failure model, calibrated to the Section 6.3.1 observation
+#: that data interference at low SINR causes "frequent disconnections"
+#: (which control-channel interference alone does not).  Below
+#: ``RLF_SAFE_SINR_DB`` the per-epoch disconnection probability ramps up
+#: linearly, saturating at ``RLF_MAX_PROBABILITY``.
+RLF_SAFE_SINR_DB = 5.0
+RLF_SLOPE_PER_DB = 0.08
+RLF_MAX_PROBABILITY = 0.9
+
+
+def rlf_probability(data_sinr_db: float) -> float:
+    """Per-epoch probability of radio link failure at a given data SINR."""
+    if data_sinr_db >= RLF_SAFE_SINR_DB:
+        return 0.0
+    return min(
+        RLF_MAX_PROBABILITY, RLF_SLOPE_PER_DB * (RLF_SAFE_SINR_DB - data_sinr_db)
+    )
+
+
+@dataclass
+class ClientObservation:
+    """Per-client sensing state an AP can legitimately learn in one epoch.
+
+    Attributes:
+        subband_cqi: latest reported CQI per subchannel (post-quantisation).
+        max_subband_cqi: per-subchannel max-tracked CQI -- the estimate of
+            interference-free quality the utility function uses.
+        interference_detected: noisy detector verdict per subchannel.
+        scheduled_fraction: airtime fraction per subchannel last epoch.
+    """
+
+    subband_cqi: List[int]
+    max_subband_cqi: List[int]
+    interference_detected: List[bool]
+    scheduled_fraction: Dict[int, float] = field(default_factory=dict)
+
+
+@dataclass
+class ApObservation:
+    """Everything one AP senses during an epoch (no explicit coordination).
+
+    Attributes:
+        ap_id: the observing access point.
+        n_active_clients: its own active client count (N_i).
+        estimated_contenders: PRACH-estimated active clients in the
+            neighbourhood, including its own (NP_i).
+        clients: per-client sensing detail.
+    """
+
+    ap_id: int
+    n_active_clients: int
+    estimated_contenders: int
+    clients: Dict[int, ClientObservation] = field(default_factory=dict)
+
+
+@dataclass
+class EpochResult:
+    """Outcome of one simulated epoch.
+
+    Attributes:
+        epoch_index: zero-based epoch number.
+        served_bits: bits delivered per client.
+        throughput_bps: epoch-average throughput per client.
+        allocations: scheduler outcome per AP.
+        observations: sensing snapshot per AP (input for the next decision).
+        connected: whether each client cleared the starvation threshold.
+    """
+
+    epoch_index: int
+    served_bits: Dict[int, float]
+    throughput_bps: Dict[int, float]
+    allocations: Dict[int, Allocation]
+    observations: Dict[int, ApObservation]
+    connected: Dict[int, bool]
+
+
+class SubchannelPolicy(Protocol):
+    """Decides each AP's allowed subchannels at the start of every epoch."""
+
+    def decide(
+        self,
+        epoch_index: int,
+        observations: Optional[Dict[int, ApObservation]],
+    ) -> Dict[int, Set[int]]:
+        """Return allowed subchannels per AP for the coming epoch.
+
+        ``observations`` is ``None`` on the first epoch (nothing sensed yet).
+        """
+
+
+class AllSubchannelsPolicy:
+    """Plain LTE: every AP transmits on the full carrier, uncoordinated."""
+
+    def __init__(self, ap_ids: Sequence[int], n_subchannels: int) -> None:
+        self._decision = {
+            ap_id: set(range(n_subchannels)) for ap_id in ap_ids
+        }
+
+    def decide(self, epoch_index, observations):
+        """All subchannels for everyone, always."""
+        return {ap: set(subs) for ap, subs in self._decision.items()}
+
+
+class LteNetworkSimulator:
+    """System-level simulator of co-channel LTE cells on a shared carrier.
+
+    Args:
+        topology: node placement (shared across compared technologies).
+        grid: the LTE carrier all cells share (paper: 5 MHz, TDD config 4).
+        channel: propagation model.
+        rngs: named random streams (detector noise, scheduling tie-breaks).
+        ap_tx_power_dbm: per-cell conducted power (paper sims: 30 dBm).
+        ue_tx_power_dbm: client power (TVWS cap: 20 dBm).
+        noise_figure_db: client receiver noise figure.
+        scheduler_factory: constructs one scheduler per AP.
+        control_interference: apply the Figure 7(b) control-channel loss.
+        epoch_s: epoch duration (the 1 s allocation interval).
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        grid: ResourceGrid,
+        channel: CompositeChannel,
+        rngs: RngStreams,
+        ap_tx_power_dbm: float = 30.0,
+        ue_tx_power_dbm: float = 20.0,
+        noise_figure_db: float = 7.0,
+        scheduler_factory: Callable[[], Scheduler] = ProportionalFairScheduler,
+        control_interference: bool = True,
+        epoch_s: float = 1.0,
+        detector_true_positive: float = CQI_DETECTOR_TRUE_POSITIVE,
+        detector_false_positive: float = CQI_DETECTOR_FALSE_POSITIVE,
+    ) -> None:
+        self.topology = topology
+        self.grid = grid
+        self.channel = channel
+        self.rngs = rngs
+        self.ap_tx_power_dbm = ap_tx_power_dbm
+        self.ue_tx_power_dbm = ue_tx_power_dbm
+        self.noise_figure_db = noise_figure_db
+        self.control_interference = control_interference
+        self.epoch_s = epoch_s
+        if not 0.0 <= detector_false_positive <= detector_true_positive <= 1.0:
+            raise ValueError(
+                "require 0 <= detector_false_positive <= detector_true_positive <= 1"
+            )
+        self.detector_true_positive = detector_true_positive
+        self.detector_false_positive = detector_false_positive
+        self.schedulers: Dict[int, Scheduler] = {
+            ap.ap_id: scheduler_factory() for ap in topology.aps
+        }
+        self._precompute_link_powers()
+        self._max_cqi_state: Dict[Tuple[int, int], int] = {}
+
+    # -- Precomputation -------------------------------------------------------
+
+    def _precompute_link_powers(self) -> None:
+        """Cache per-RB received powers for every (client, AP) pair."""
+        # Power spectral density: total power spread across all RBs.
+        psd_offset_db = 10.0 * math.log10(self.grid.n_rbs)
+        per_rb_tx_dbm = self.ap_tx_power_dbm - psd_offset_db
+
+        self._rx_rb_dbm: Dict[Tuple[int, int], float] = {}
+        for client in self.topology.clients:
+            for ap in self.topology.aps:
+                loss = self.channel.loss_db(ap, client)
+                self._rx_rb_dbm[(client.client_id, ap.ap_id)] = per_rb_tx_dbm - loss
+
+        # Uplink PRACH audibility: UE -> AP over the PRACH band, with
+        # open-loop power control toward the client's *serving* cell.
+        prach_noise_dbm = thermal_noise_dbm(PRACH_BANDWIDTH_HZ, self.noise_figure_db)
+        self._prach_audible: Dict[Tuple[int, int], bool] = {}
+        for client in self.topology.clients:
+            serving = self.topology.ap(client.ap_id)
+            serving_loss = self.channel.loss_db(client, serving)
+            prach_tx_dbm = min(
+                self.ue_tx_power_dbm, PRACH_TARGET_RX_DBM + serving_loss
+            )
+            for ap in self.topology.aps:
+                loss = self.channel.loss_db(client, ap)
+                snr = prach_tx_dbm - loss - prach_noise_dbm
+                self._prach_audible[(client.client_id, ap.ap_id)] = (
+                    snr >= PRACH_DETECTION_SNR_DB
+                )
+        # Noise over one subchannel (use the nominal subband width).
+        self._subchannel_noise_dbm = thermal_noise_dbm(
+            self.grid.subband_rbs * RB_BANDWIDTH_HZ, self.noise_figure_db
+        )
+        self._rb_noise_dbm = thermal_noise_dbm(RB_BANDWIDTH_HZ, self.noise_figure_db)
+
+    # -- Radio queries ----------------------------------------------------------
+
+    def rx_rb_power_dbm(self, client_id: int, ap_id: int) -> float:
+        """Per-RB received power at a client from an AP."""
+        return self._rx_rb_dbm[(client_id, ap_id)]
+
+    def prach_audible(self, client_id: int, ap_id: int) -> bool:
+        """Whether ``ap_id`` can detect PRACH preambles of ``client_id``."""
+        return self._prach_audible[(client_id, ap_id)]
+
+    def sinr_db(
+        self,
+        client_id: int,
+        serving_ap: int,
+        interfering_aps: Sequence[int],
+    ) -> float:
+        """Per-RB SINR at a client for a given co-RB interferer set."""
+        signal_w = dbm_to_watt(self._rx_rb_dbm[(client_id, serving_ap)])
+        noise_w = dbm_to_watt(self._rb_noise_dbm)
+        interference_w = sum(
+            dbm_to_watt(self._rx_rb_dbm[(client_id, ap)]) for ap in interfering_aps
+        )
+        return linear_to_db(signal_w / (noise_w + interference_w))
+
+    def clean_sinr_db(self, client_id: int, serving_ap: int) -> float:
+        """SINR with no secondary-user interference (SNR)."""
+        return self.sinr_db(client_id, serving_ap, ())
+
+    def _weighted_sinr_db(
+        self,
+        client_id: int,
+        serving_ap: int,
+        interfering_aps: Sequence[int],
+        weights: Sequence[float],
+    ) -> float:
+        """SINR with per-interferer duty-cycle weights in [0, 1]."""
+        signal_w = dbm_to_watt(self._rx_rb_dbm[(client_id, serving_ap)])
+        noise_w = dbm_to_watt(self._rb_noise_dbm)
+        interference_w = sum(
+            w * dbm_to_watt(self._rx_rb_dbm[(client_id, ap)])
+            for ap, w in zip(interfering_aps, weights)
+        )
+        return linear_to_db(signal_w / (noise_w + interference_w))
+
+    def control_interference_scale(
+        self, client_id: int, serving_ap: int, co_channel_aps: Sequence[int]
+    ) -> float:
+        """Goodput multiplier for CRS/PDCCH interference (Figure 7(b)).
+
+        The loss decays with the signal-to-strongest-interferer ratio: ~20%
+        when the interferer is as strong as the serving cell, negligible
+        beyond ~+20 dB.
+        """
+        if not self.control_interference or not co_channel_aps:
+            return 1.0
+        signal = self._rx_rb_dbm[(client_id, serving_ap)]
+        strongest = max(
+            self._rx_rb_dbm[(client_id, ap)] for ap in co_channel_aps
+        )
+        sir_db = signal - strongest
+        loss = CONTROL_INTERFERENCE_MAX_LOSS * math.exp(-max(sir_db, 0.0) / 10.0)
+        return 1.0 - min(loss, CONTROL_INTERFERENCE_MAX_LOSS)
+
+    # -- Epoch execution -----------------------------------------------------------
+
+    def run_epoch(
+        self,
+        epoch_index: int,
+        allowed: Dict[int, Set[int]],
+        demands_bits: Dict[int, float],
+    ) -> EpochResult:
+        """Simulate one epoch under the given subchannel assignment.
+
+        Args:
+            epoch_index: epoch number (for bookkeeping only).
+            allowed: allowed subchannels per AP.
+            demands_bits: downlink demand per client for this epoch
+                (``inf`` = saturated).
+
+        Returns:
+            The epoch outcome including the sensing observations a policy
+            needs for the next decision.
+        """
+        active_aps = {
+            ap.ap_id
+            for ap in self.topology.aps
+            if any(
+                demands_bits.get(c.client_id, 0.0) > 0.0
+                for c in self.topology.clients_of(ap.ap_id)
+            )
+        }
+
+        # Per-subchannel interferer sets (only active cells interfere).
+        interferers_on: Dict[int, List[int]] = {
+            sub: [
+                ap_id
+                for ap_id, subs in allowed.items()
+                if sub in subs and ap_id in active_aps
+            ]
+            for sub in range(self.grid.n_subchannels)
+        }
+
+        served_bits: Dict[int, float] = {}
+        throughput: Dict[int, float] = {}
+        allocations: Dict[int, Allocation] = {}
+        observations: Dict[int, ApObservation] = {}
+        connected: Dict[int, bool] = {}
+
+        detector_rng = self.rngs.stream("cqi-detector")
+
+        for ap in self.topology.aps:
+            clients = self.topology.clients_of(ap.ap_id)
+            ap_demands = {
+                c.client_id: demands_bits.get(c.client_id, 0.0) for c in clients
+            }
+            ap_active_demands = {
+                cid: d for cid, d in ap_demands.items() if d > 0.0
+            }
+            co_channel = [a.ap_id for a in self.topology.aps
+                          if a.ap_id != ap.ap_id and a.ap_id in active_aps]
+
+            # SINR per (client, subchannel), with and without interference.
+            sinr_map: Dict[Tuple[int, int], float] = {}
+            clean_map: Dict[int, float] = {}
+            for client in clients:
+                clean_map[client.client_id] = self.clean_sinr_db(
+                    client.client_id, ap.ap_id
+                )
+                for sub in range(self.grid.n_subchannels):
+                    others = [
+                        a for a in interferers_on[sub] if a != ap.ap_id
+                    ]
+                    sinr_map[(client.client_id, sub)] = self.sinr_db(
+                        client.client_id, ap.ap_id, others
+                    )
+
+            # Radio link failure: a client whose *data* SINR (interference
+            # weighted by allocation overlap with the serving cell) is deep
+            # in the mud may drop its connection for the epoch -- the
+            # "frequent disconnections" of Section 6.3.1.
+            rlf_rng = self.rngs.stream("rlf")
+            my_subs = allowed.get(ap.ap_id, set())
+            disconnected: Set[int] = set()
+            for client in clients:
+                cid = client.client_id
+                if ap_demands[cid] <= 0.0 or not my_subs:
+                    continue
+                weights = []
+                sources = []
+                for other in co_channel:
+                    overlap = len(my_subs & allowed.get(other, set()))
+                    if overlap:
+                        sources.append(other)
+                        weights.append(overlap / len(my_subs))
+                if not sources:
+                    # Noise-limited links do not drop: the paper observed
+                    # disconnections only under *data* interference
+                    # (Section 6.3.1), never on the clean long links of
+                    # the Figure 1 drive test.
+                    continue
+                data_sinr = self._weighted_sinr_db(cid, ap.ap_id, sources, weights)
+                if rlf_rng.random() < rlf_probability(data_sinr):
+                    disconnected.add(cid)
+            for cid in disconnected:
+                ap_active_demands.pop(cid, None)
+
+            def rate_fn(client_id: int, sub: int, _ap=ap, _sinr=sinr_map,
+                        _co=co_channel) -> float:
+                sinr = _sinr[(client_id, sub)]
+                cqi = cqi_from_sinr(sinr)
+                if cqi == CQI_OUT_OF_RANGE:
+                    return 0.0
+                eff = efficiency_from_cqi(cqi)
+                rate = self.grid.subchannel_downlink_rate_bps(eff, sub)
+                rate *= harq_goodput_scale(sinr, cqi)
+                rate *= self.control_interference_scale(client_id, _ap.ap_id, _co)
+                return rate
+
+            if ap_active_demands and ap.ap_id in active_aps:
+                allocation = self.schedulers[ap.ap_id].allocate(
+                    sorted(allowed.get(ap.ap_id, set())),
+                    ap_active_demands,
+                    rate_fn,
+                    self.epoch_s,
+                )
+            else:
+                allocation = Allocation(epoch_s=self.epoch_s)
+            allocations[ap.ap_id] = allocation
+
+            for client in clients:
+                bits = allocation.served_bits.get(client.client_id, 0.0)
+                served_bits[client.client_id] = bits
+                throughput[client.client_id] = bits / self.epoch_s
+                demanded = ap_demands[client.client_id]
+                if demanded > 0.0:
+                    # A client with unmet demand and ~no service is starved.
+                    satisfied = bits >= min(
+                        demanded, STARVATION_THRESHOLD_BPS * self.epoch_s
+                    )
+                    connected[client.client_id] = satisfied
+                else:
+                    connected[client.client_id] = True
+
+            observations[ap.ap_id] = self._observe(
+                ap.ap_id,
+                clients,
+                ap_active_demands,
+                sinr_map,
+                clean_map,
+                allocation,
+                demands_bits,
+                detector_rng,
+            )
+
+        return EpochResult(
+            epoch_index=epoch_index,
+            served_bits=served_bits,
+            throughput_bps=throughput,
+            allocations=allocations,
+            observations=observations,
+            connected=connected,
+        )
+
+    # -- Sensing ----------------------------------------------------------------
+
+    def _observe(
+        self,
+        ap_id: int,
+        clients,
+        active_demands: Dict[int, float],
+        sinr_map: Dict[Tuple[int, int], float],
+        clean_map: Dict[int, float],
+        allocation: Allocation,
+        all_demands: Dict[int, float],
+        rng: np.random.Generator,
+    ) -> ApObservation:
+        """Build the sensing snapshot one AP gathers in an epoch."""
+        # PRACH-based contention estimate: active clients (anyone's) whose
+        # preamble is audible at this AP at >= -10 dB.
+        estimated = 0
+        for client in self.topology.clients:
+            if all_demands.get(client.client_id, 0.0) <= 0.0:
+                continue
+            if self._prach_audible[(client.client_id, ap_id)]:
+                estimated += 1
+
+        client_obs: Dict[int, ClientObservation] = {}
+        n_subs = self.grid.n_subchannels
+        for client in clients:
+            cid = client.client_id
+            subband_cqi = []
+            detected = []
+            max_cqi = []
+            for sub in range(n_subs):
+                sinr = sinr_map[(cid, sub)]
+                cqi = cqi_from_sinr(sinr)
+                subband_cqi.append(cqi)
+                key = (cid, sub)
+                best = max(self._max_cqi_state.get(key, 0), cqi)
+                self._max_cqi_state[key] = best
+                max_cqi.append(best)
+                clean_cqi = cqi_from_sinr(clean_map[cid])
+                truly_interfered = (
+                    clean_cqi > 0
+                    and cqi < INTERFERENCE_CQI_DROP_FRACTION * clean_cqi
+                )
+                if truly_interfered:
+                    flag = rng.random() < self.detector_true_positive
+                else:
+                    flag = rng.random() < self.detector_false_positive
+                detected.append(flag)
+            fractions = {
+                sub: allocation.fraction(cid, sub) for sub in range(n_subs)
+            }
+            client_obs[cid] = ClientObservation(
+                subband_cqi=subband_cqi,
+                max_subband_cqi=max_cqi,
+                interference_detected=detected,
+                scheduled_fraction=fractions,
+            )
+
+        return ApObservation(
+            ap_id=ap_id,
+            n_active_clients=len(active_demands),
+            estimated_contenders=max(estimated, len(active_demands), 1),
+            clients=client_obs,
+        )
+
+    # -- Convenience driver --------------------------------------------------------
+
+    def run(
+        self,
+        n_epochs: int,
+        policy: SubchannelPolicy,
+        demand_fn: Callable[[int], Dict[int, float]],
+    ) -> List[EpochResult]:
+        """Run ``n_epochs`` with ``policy`` deciding allocations.
+
+        Args:
+            n_epochs: number of 1 s epochs.
+            policy: subchannel policy (plain LTE, CellFi, oracle...).
+            demand_fn: epoch index -> per-client demand in bits.
+        """
+        results: List[EpochResult] = []
+        observations: Optional[Dict[int, ApObservation]] = None
+        for epoch in range(n_epochs):
+            allowed = policy.decide(epoch, observations)
+            result = self.run_epoch(epoch, allowed, demand_fn(epoch))
+            observations = result.observations
+            results.append(result)
+        return results

@@ -1,0 +1,82 @@
+"""Antenna gain patterns.
+
+The paper's access points use an "Amphenol directional antenna with 7 dBi
+gain and about 120 degree sector width"; clients are omnidirectional.
+:class:`SectorAntenna` implements the standard 3GPP parabolic sector pattern,
+which produces the strong front/back asymmetry behind the paper's Figure 7
+interference walk (SINR from -15 dB to +30 dB depending on bearing).
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+
+class Antenna(ABC):
+    """Interface: gain toward a bearing, in dBi."""
+
+    @abstractmethod
+    def gain_dbi(self, bearing_deg: float) -> float:
+        """Gain in dBi toward absolute bearing ``bearing_deg`` (degrees)."""
+
+    def gain_towards(self, from_x: float, from_y: float, to_x: float, to_y: float) -> float:
+        """Gain toward the point ``(to_x, to_y)`` seen from ``(from_x, from_y)``."""
+        bearing = math.degrees(math.atan2(to_y - from_y, to_x - from_x))
+        return self.gain_dbi(bearing)
+
+
+class OmniAntenna(Antenna):
+    """Isotropic-in-azimuth antenna with a fixed gain."""
+
+    def __init__(self, gain_dbi: float = 0.0) -> None:
+        self._gain_dbi = gain_dbi
+
+    def gain_dbi(self, bearing_deg: float) -> float:
+        return self._gain_dbi
+
+
+class SectorAntenna(Antenna):
+    """3GPP TR 36.814 parabolic azimuth pattern.
+
+    ``G(theta) = peak - min(12 * (theta / theta_3dB)^2, front_back_db)``
+
+    Args:
+        peak_gain_dbi: boresight gain (paper: 7 dBi).
+        boresight_deg: pointing direction in absolute degrees.
+        beamwidth_deg: 3 dB beamwidth (paper sector: ~120 degrees).
+        front_back_db: maximum attenuation off the back (3GPP default 20 dB).
+    """
+
+    def __init__(
+        self,
+        peak_gain_dbi: float = 7.0,
+        boresight_deg: float = 0.0,
+        beamwidth_deg: float = 120.0,
+        front_back_db: float = 20.0,
+    ) -> None:
+        if beamwidth_deg <= 0.0:
+            raise ValueError(f"beamwidth must be > 0, got {beamwidth_deg!r}")
+        if front_back_db < 0.0:
+            raise ValueError(f"front/back ratio must be >= 0, got {front_back_db!r}")
+        self.peak_gain_dbi = peak_gain_dbi
+        self.boresight_deg = boresight_deg
+        self.beamwidth_deg = beamwidth_deg
+        self.front_back_db = front_back_db
+
+    def gain_dbi(self, bearing_deg: float) -> float:
+        offset = _wrap_angle_deg(bearing_deg - self.boresight_deg)
+        attenuation = min(
+            12.0 * (offset / self.beamwidth_deg) ** 2, self.front_back_db
+        )
+        return self.peak_gain_dbi - attenuation
+
+
+def _wrap_angle_deg(angle: float) -> float:
+    """Wrap an angle to (-180, 180]."""
+    wrapped = math.fmod(angle, 360.0)
+    if wrapped > 180.0:
+        wrapped -= 360.0
+    elif wrapped <= -180.0:
+        wrapped += 360.0
+    return wrapped

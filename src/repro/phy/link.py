@@ -1,0 +1,154 @@
+"""Link budget and SINR computation.
+
+A :class:`Radio` couples a positioned node with its transmit power and
+antenna.  :class:`LinkBudget` evaluates received power, SNR and SINR over a
+:class:`repro.phy.propagation.CompositeChannel`.  These are the primitives
+every simulator in the repo builds rates from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.phy.antenna import Antenna, OmniAntenna
+from repro.phy.propagation import CompositeChannel
+from repro.utils.dbmath import (
+    db_to_linear,
+    dbm_to_watt,
+    linear_to_db,
+)
+from repro.utils.dbmath import thermal_noise_dbm
+
+
+@dataclass
+class Radio:
+    """A transceiver: a positioned node plus RF parameters.
+
+    Attributes:
+        node: any object with ``x`` and ``y`` attributes (metres).
+        tx_power_dbm: conducted transmit power.
+        antenna: azimuth gain pattern (default isotropic 0 dBi).
+        noise_figure_db: receiver noise figure (UE ~9 dB, eNB ~5 dB).
+    """
+
+    node: object
+    tx_power_dbm: float
+    antenna: Antenna = field(default_factory=OmniAntenna)
+    noise_figure_db: float = 7.0
+
+    @property
+    def x(self) -> float:
+        """Convenience passthrough to the node position."""
+        return self.node.x
+
+    @property
+    def y(self) -> float:
+        """Convenience passthrough to the node position."""
+        return self.node.y
+
+    def eirp_dbm_towards(self, other: "Radio") -> float:
+        """Effective isotropic radiated power toward ``other``."""
+        return self.tx_power_dbm + self.antenna.gain_towards(
+            self.x, self.y, other.x, other.y
+        )
+
+
+class LinkBudget:
+    """Evaluates received power and SINR over a propagation channel.
+
+    Args:
+        channel: path loss + shadowing model.
+        bandwidth_hz: bandwidth over which noise is integrated.  Per-subchannel
+            SINRs pass the subchannel bandwidth instead via method arguments.
+    """
+
+    def __init__(self, channel: CompositeChannel, bandwidth_hz: float) -> None:
+        if bandwidth_hz <= 0.0:
+            raise ValueError(f"bandwidth must be > 0, got {bandwidth_hz!r}")
+        self.channel = channel
+        self.bandwidth_hz = bandwidth_hz
+
+    def rx_power_dbm(self, tx: Radio, rx: Radio) -> float:
+        """Received power at ``rx`` from ``tx``, both antenna gains applied."""
+        loss_db = self.channel.loss_db(tx, rx)
+        tx_gain = tx.antenna.gain_towards(tx.x, tx.y, rx.x, rx.y)
+        rx_gain = rx.antenna.gain_towards(rx.x, rx.y, tx.x, tx.y)
+        return tx.tx_power_dbm + tx_gain + rx_gain - loss_db
+
+    def noise_dbm(self, rx: Radio, bandwidth_hz: float | None = None) -> float:
+        """Noise floor at ``rx`` over ``bandwidth_hz`` (defaults to link bw)."""
+        bw = self.bandwidth_hz if bandwidth_hz is None else bandwidth_hz
+        return thermal_noise_dbm(bw, rx.noise_figure_db)
+
+    def snr_db(self, tx: Radio, rx: Radio, bandwidth_hz: float | None = None) -> float:
+        """Signal-to-noise ratio in dB, no interference."""
+        return self.rx_power_dbm(tx, rx) - self.noise_dbm(rx, bandwidth_hz)
+
+    def sinr_db(
+        self,
+        tx: Radio,
+        rx: Radio,
+        interferers: Sequence[Radio] = (),
+        bandwidth_hz: float | None = None,
+        interferer_activity: Sequence[float] | None = None,
+    ) -> float:
+        """Signal-to-interference-plus-noise ratio in dB.
+
+        Args:
+            tx: serving transmitter.
+            rx: receiver.
+            interferers: co-channel transmitters (excluding ``tx``).
+            bandwidth_hz: noise/interference bandwidth (defaults to link bw).
+            interferer_activity: optional per-interferer duty-cycle weights in
+                [0, 1]; lets callers model partially loaded interferers.
+
+        Raises:
+            ValueError: if activity weights are provided but mismatched.
+        """
+        signal_w = dbm_to_watt(self.rx_power_dbm(tx, rx))
+        noise_w = dbm_to_watt(self.noise_dbm(rx, bandwidth_hz))
+        if interferer_activity is not None and len(interferer_activity) != len(
+            interferers
+        ):
+            raise ValueError(
+                f"{len(interferer_activity)} activity weights for "
+                f"{len(interferers)} interferers"
+            )
+        interference_w = 0.0
+        for idx, source in enumerate(interferers):
+            weight = 1.0 if interferer_activity is None else interferer_activity[idx]
+            if weight < 0.0 or weight > 1.0:
+                raise ValueError(f"activity weight out of [0,1]: {weight!r}")
+            if weight == 0.0:
+                continue
+            interference_w += weight * dbm_to_watt(self.rx_power_dbm(source, rx))
+        return linear_to_db(signal_w / (noise_w + interference_w))
+
+
+def sinr_db(
+    signal_dbm: float, interference_dbm_list: Iterable[float], noise_dbm: float
+) -> float:
+    """SINR from already-computed powers (all in dBm).
+
+    A convenience for callers that cache received powers instead of Radio
+    objects (the system-level simulators do this for speed).
+    """
+    noise_w = dbm_to_watt(noise_dbm)
+    interference_w = sum(dbm_to_watt(p) for p in interference_dbm_list)
+    signal_w = dbm_to_watt(signal_dbm)
+    return linear_to_db(signal_w / (noise_w + interference_w))
+
+
+def capped_spectral_efficiency(
+    sinr_value_db: float, gap_db: float = 3.0, max_efficiency: float = 6.0
+) -> float:
+    """Shannon capacity with an implementation gap, capped at a top MCS.
+
+    ``eff = min(max_efficiency, log2(1 + SINR / gap))`` in bit/s/Hz.  Used by
+    the Wi-Fi ideal rate adaptation and as a cross-check for the LTE tables.
+    """
+    import math
+
+    sinr_linear = db_to_linear(sinr_value_db) / db_to_linear(gap_db)
+    return min(max_efficiency, math.log2(1.0 + sinr_linear))

@@ -1,0 +1,275 @@
+"""PRACH preambles and detectors (paper Section 6.3.3).
+
+LTE clients announce themselves by transmitting a PRACH preamble -- a
+Zadoff-Chu (ZC) sequence selected by a root index and a cyclic shift.
+CellFi access points overhear preambles from clients of *other* cells to
+estimate contention (Section 5.1).  The challenge: an overhearing AP knows
+neither the preamble sequence number nor the timing.
+
+Two detectors are implemented:
+
+* :class:`NaivePrachDetector` -- correlates the received window against every
+  candidate root sequence (the "naive implementation" the paper mentions).
+* :class:`FastPrachDetector` -- the paper's low-complexity detector.  A time
+  offset of a ZC sequence appears as a linear phase (equivalently, a cyclic
+  shift maps between domains), so one frequency-domain correlation finds the
+  most likely cyclic shift and a second check validates its correlation
+  value.  Only presence/absence is needed, not the identity of the preamble.
+
+Both detectors count complex multiply-accumulate operations so benchmarks
+can report the complexity ratio; the paper measured its detector at 16x the
+required line rate on a 10 MHz channel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.utils.dbmath import db_to_linear
+
+#: Zadoff-Chu sequence length for PRACH preamble formats 0-3 (TS 36.211).
+ZC_LENGTH = 839
+
+#: Number of preambles per cell (TS 36.211): 64 signatures.
+N_PREAMBLES = 64
+
+
+def zadoff_chu(root: int, length: int = ZC_LENGTH) -> np.ndarray:
+    """Generate a Zadoff-Chu sequence ``x_u(n) = exp(-j pi u n (n+1) / N)``.
+
+    Args:
+        root: root index ``u``; must be coprime with ``length`` for the CAZAC
+            (constant amplitude, zero autocorrelation) property to hold.
+        length: sequence length ``N`` (prime for PRACH).
+
+    Raises:
+        ValueError: if the root is out of range ``1..length-1``.
+    """
+    if not 1 <= root < length:
+        raise ValueError(f"ZC root must be in 1..{length - 1}, got {root!r}")
+    n = np.arange(length)
+    return np.exp(-1j * np.pi * root * n * (n + 1) / length)
+
+
+@dataclass(frozen=True)
+class PrachPreamble:
+    """A preamble signature: ZC root plus cyclic shift.
+
+    Within one cell all 64 signatures are typically cyclic shifts of a small
+    number of roots; the shift spacing ``N_cs`` guards against round-trip
+    delay ambiguity.
+    """
+
+    root: int
+    cyclic_shift: int
+    length: int = ZC_LENGTH
+
+    def samples(self) -> np.ndarray:
+        """Baseband samples of this preamble."""
+        base = zadoff_chu(self.root, self.length)
+        return np.roll(base, -self.cyclic_shift)
+
+
+def transmit_preamble(
+    preamble: PrachPreamble,
+    snr_db: float,
+    rng: np.random.Generator,
+    delay_samples: int = 0,
+) -> np.ndarray:
+    """Produce a received window containing the preamble in AWGN.
+
+    Args:
+        preamble: the transmitted signature.
+        snr_db: per-sample SNR at the receiver.
+        rng: noise stream.
+        delay_samples: propagation delay, modelled as a cyclic rotation of
+            the observation window (the preamble's cyclic prefix makes the
+            delayed preamble look cyclically rotated within the window).
+    """
+    signal = np.roll(preamble.samples(), delay_samples)
+    noise_power = 1.0 / db_to_linear(snr_db)
+    noise = rng.normal(0.0, np.sqrt(noise_power / 2.0), size=(2, preamble.length))
+    return signal + noise[0] + 1j * noise[1]
+
+
+def noise_only_window(
+    length: int, rng: np.random.Generator, noise_power: float = 1.0
+) -> np.ndarray:
+    """A received window containing only noise (for false-alarm tests)."""
+    noise = rng.normal(0.0, np.sqrt(noise_power / 2.0), size=(2, length))
+    return noise[0] + 1j * noise[1]
+
+
+@dataclass
+class DetectionResult:
+    """Outcome of a detection attempt.
+
+    Attributes:
+        detected: whether a preamble was declared present.
+        metric: peak-to-average correlation ratio used for the decision.
+        cyclic_shift: estimated shift (only meaningful when detected).
+        root: estimated root (naive detector only; the fast detector does
+            not identify the root, by design).
+        complex_macs: complex multiply-accumulate operations spent.
+    """
+
+    detected: bool
+    metric: float
+    cyclic_shift: Optional[int] = None
+    root: Optional[int] = None
+    complex_macs: int = 0
+
+
+#: Detection threshold on the peak-to-average power ratio of the correlator
+#: output.  With N=839 a matched preamble at -10 dB SNR yields a PAPR of
+#: several tens; pure noise stays near ~7 (max of 839 exponentials).  The
+#: threshold of 13 gives a false-alarm rate well below 1e-3.
+DETECTION_THRESHOLD_PAPR = 13.0
+
+
+def _correlation_papr(received: np.ndarray, reference: np.ndarray) -> tuple:
+    """Cyclic correlation via FFT; returns (papr, argmax, mac_count)."""
+    n = len(reference)
+    fft_rx = np.fft.fft(received)
+    fft_ref = np.fft.fft(reference)
+    corr = np.fft.ifft(fft_rx * np.conj(fft_ref))
+    power = np.abs(corr) ** 2
+    mean_power = float(np.mean(power))
+    if mean_power == 0.0:
+        return 0.0, 0, 0
+    peak_index = int(np.argmax(power))
+    papr = float(power[peak_index] / mean_power)
+    # Complexity accounting: two FFTs + pointwise multiply + one IFFT,
+    # ~ 3 * (N/2) log2 N + N complex MACs.
+    log_n = max(1, int(np.ceil(np.log2(n))))
+    macs = 3 * (n // 2) * log_n + n
+    return papr, peak_index, macs
+
+
+class NaivePrachDetector:
+    """Reference detector: tries every candidate root sequence.
+
+    This is the "naive implementation [that] would correlate several long
+    PRACH sequences, one for each preamble sequence number, whenever new
+    samples are received".
+    """
+
+    def __init__(self, candidate_roots: Sequence[int], length: int = ZC_LENGTH) -> None:
+        if not candidate_roots:
+            raise ValueError("need at least one candidate root")
+        self.length = length
+        self._references = {root: zadoff_chu(root, length) for root in candidate_roots}
+
+    def detect(self, received: np.ndarray) -> DetectionResult:
+        """Correlate against every root; declare the best match."""
+        best = DetectionResult(detected=False, metric=0.0)
+        total_macs = 0
+        for root, reference in self._references.items():
+            papr, shift, macs = _correlation_papr(received, reference)
+            total_macs += macs
+            if papr > best.metric:
+                best = DetectionResult(
+                    detected=papr >= DETECTION_THRESHOLD_PAPR,
+                    metric=papr,
+                    cyclic_shift=shift,
+                    root=root,
+                )
+        best.complex_macs = total_macs
+        return best
+
+
+class FastPrachDetector:
+    """The paper's low-complexity detector.
+
+    Correlates against a *single* root sequence.  A received preamble with
+    unknown timing or unknown signature number shows up as a cyclic shift of
+    the correlation peak -- so presence detection needs only (1) finding the
+    most likely cyclic shift and (2) checking its correlation value, i.e.
+    "only two correlations" worth of work instead of one per signature.
+    """
+
+    def __init__(self, root: int, length: int = ZC_LENGTH) -> None:
+        self.length = length
+        self._reference = zadoff_chu(root, length)
+        self._fft_ref_conj = np.conj(np.fft.fft(self._reference))
+
+    def detect(self, received: np.ndarray) -> DetectionResult:
+        """Single frequency-domain correlation + peak validation."""
+        n = self.length
+        fft_rx = np.fft.fft(received)
+        corr = np.fft.ifft(fft_rx * self._fft_ref_conj)
+        power = np.abs(corr) ** 2
+        mean_power = float(np.mean(power))
+        peak_index = int(np.argmax(power))
+        papr = 0.0 if mean_power == 0.0 else float(power[peak_index] / mean_power)
+        # One FFT (reference FFT is precomputed), one pointwise multiply, one
+        # IFFT, plus the N-point peak scan: ~ 2 * (N/2) log2 N + 2N MACs.
+        log_n = max(1, int(np.ceil(np.log2(n))))
+        macs = 2 * (n // 2) * log_n + 2 * n
+        return DetectionResult(
+            detected=papr >= DETECTION_THRESHOLD_PAPR,
+            metric=papr,
+            cyclic_shift=peak_index,
+            complex_macs=macs,
+        )
+
+    def detect_batch(self, windows: np.ndarray) -> np.ndarray:
+        """Vectorised presence detection over many received windows.
+
+        A streaming deployment processes PRACH occasions back to back; the
+        FFTs across windows batch into single vectorised calls, which is
+        how the throughput numbers of Section 6.3.3 are achieved.
+
+        Args:
+            windows: complex array of shape ``(n_windows, length)``.
+
+        Returns:
+            Boolean detection flags, shape ``(n_windows,)``.
+
+        Raises:
+            ValueError: on a shape mismatch.
+        """
+        if windows.ndim != 2 or windows.shape[1] != self.length:
+            raise ValueError(
+                f"expected (n, {self.length}) windows, got {windows.shape}"
+            )
+        fft_rx = np.fft.fft(windows, axis=1)
+        corr = np.fft.ifft(fft_rx * self._fft_ref_conj[None, :], axis=1)
+        power = np.abs(corr) ** 2
+        mean_power = power.mean(axis=1)
+        peak_power = power.max(axis=1)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            papr = np.where(mean_power > 0.0, peak_power / mean_power, 0.0)
+        return papr >= DETECTION_THRESHOLD_PAPR
+
+
+def detection_probability(
+    detector,
+    snr_db: float,
+    rng: np.random.Generator,
+    trials: int = 100,
+    preamble: Optional[PrachPreamble] = None,
+) -> float:
+    """Monte-Carlo probability of detecting a preamble at ``snr_db``."""
+    target = preamble or PrachPreamble(root=25, cyclic_shift=0)
+    hits = 0
+    for _ in range(trials):
+        delay = int(rng.integers(0, target.length))
+        window = transmit_preamble(target, snr_db, rng, delay_samples=delay)
+        if detector.detect(window).detected:
+            hits += 1
+    return hits / trials
+
+
+def false_alarm_rate(
+    detector, rng: np.random.Generator, trials: int = 100, length: int = ZC_LENGTH
+) -> float:
+    """Monte-Carlo false-alarm rate on noise-only windows."""
+    alarms = 0
+    for _ in range(trials):
+        if detector.detect(noise_only_window(length, rng)).detected:
+            alarms += 1
+    return alarms / trials

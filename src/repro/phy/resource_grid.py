@@ -1,0 +1,188 @@
+"""OFDMA resource grid: resource blocks, subchannels and TDD frames.
+
+Terminology (paper Section 5): LTE schedules *resource blocks* (RBs), each
+180 kHz x 1 ms.  CellFi manages interference at *subchannel* granularity --
+"the minimal set of resource blocks that can be scheduled in LTE and for
+which we can get channel quality information".  On a 5 MHz carrier (25 RBs)
+there are 13 subchannels; on 20 MHz (100 RBs) there are 25, matching the
+3GPP subband sizes of 2 and 4 RBs respectively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+#: Resource-block width in hertz.
+RB_BANDWIDTH_HZ = 180_000.0
+
+#: Scheduling interval (one subframe / TTI) in seconds.
+TTI_S = 1e-3
+
+#: Resource elements in one RB over one TTI (12 subcarriers x 14 symbols).
+RES_ELEMENTS_PER_RB_TTI = 168
+
+#: Fraction of resource elements consumed by PDCCH, reference and sync
+#: signals.  With a 2-symbol control region plus CRS this is ~25%, the value
+#: system simulators commonly use.
+CONTROL_OVERHEAD_FRACTION = 0.25
+
+#: Data-bearing resource elements per RB per TTI.
+DATA_RES_ELEMENTS_PER_RB_TTI = int(RES_ELEMENTS_PER_RB_TTI * (1.0 - CONTROL_OVERHEAD_FRACTION))
+
+#: Supported LTE carrier bandwidths (Hz) and their RB counts (3GPP 36.101).
+RB_COUNT_BY_BANDWIDTH = {
+    1.4e6: 6,
+    3e6: 15,
+    5e6: 25,
+    10e6: 50,
+    15e6: 75,
+    20e6: 100,
+}
+
+
+def subband_size_rbs(n_rbs: int) -> int:
+    """Subband (subchannel) size in RBs as a function of carrier width.
+
+    Follows the UE-selected subband CQI sizing of TS 36.213 so that a 5 MHz
+    carrier yields 13 subchannels and a 20 MHz carrier yields 25 -- the
+    counts quoted in the paper.
+    """
+    if n_rbs <= 7:
+        return 1
+    if n_rbs <= 26:
+        return 2
+    if n_rbs <= 63:
+        return 3
+    return 4
+
+
+@dataclass(frozen=True)
+class TddConfig:
+    """TDD uplink/downlink subframe split over a 10 ms frame.
+
+    The paper uses "TDD type 2, configuration 4, which grants 7 downlink
+    (7 ms) and 2 uplink (2 ms) subframes in every 10 ms frame" (one special
+    subframe carries the switch guard and is counted as neither here).
+    """
+
+    name: str
+    downlink_subframes: int
+    uplink_subframes: int
+    special_subframes: int = 1
+
+    def __post_init__(self) -> None:
+        total = self.downlink_subframes + self.uplink_subframes + self.special_subframes
+        if total != 10:
+            raise ValueError(
+                f"TDD frame must have 10 subframes, {self.name!r} has {total}"
+            )
+
+    @property
+    def downlink_fraction(self) -> float:
+        """Fraction of airtime available to the downlink."""
+        return self.downlink_subframes / 10.0
+
+    @property
+    def uplink_fraction(self) -> float:
+        """Fraction of airtime available to the uplink."""
+        return self.uplink_subframes / 10.0
+
+
+#: The paper's configuration: 7 DL + 2 UL + 1 special.
+TDD_CONFIG_4 = TddConfig(name="tdd-config-4", downlink_subframes=7, uplink_subframes=2)
+
+#: An FDD-like grid (continuous downlink), used for the Figure 1 drive test
+#: whose testbed ran FDD band 13.
+FDD_DOWNLINK = TddConfig(name="fdd-downlink", downlink_subframes=9, uplink_subframes=0)
+
+
+class ResourceGrid:
+    """The frequency/time resource layout of one LTE carrier.
+
+    Args:
+        bandwidth_hz: one of the 3GPP carrier bandwidths.
+        tdd: TDD subframe configuration (defaults to the paper's config 4).
+
+    Raises:
+        ValueError: for a bandwidth LTE does not define.
+    """
+
+    def __init__(self, bandwidth_hz: float, tdd: TddConfig = TDD_CONFIG_4) -> None:
+        if bandwidth_hz not in RB_COUNT_BY_BANDWIDTH:
+            supported = sorted(RB_COUNT_BY_BANDWIDTH)
+            raise ValueError(
+                f"unsupported LTE bandwidth {bandwidth_hz!r}; expected one of {supported}"
+            )
+        self.bandwidth_hz = bandwidth_hz
+        self.tdd = tdd
+        self.n_rbs = RB_COUNT_BY_BANDWIDTH[bandwidth_hz]
+        self.subband_rbs = subband_size_rbs(self.n_rbs)
+
+    @property
+    def n_subchannels(self) -> int:
+        """Number of subchannels (last one may be fractional-size)."""
+        return -(-self.n_rbs // self.subband_rbs)  # ceil division
+
+    def subchannel_rbs(self, subchannel: int) -> int:
+        """How many RBs subchannel ``subchannel`` spans (the tail may be short)."""
+        self._check_subchannel(subchannel)
+        start = subchannel * self.subband_rbs
+        return min(self.subband_rbs, self.n_rbs - start)
+
+    def subchannel_rb_range(self, subchannel: int) -> Tuple[int, int]:
+        """Half-open RB index range [start, stop) of a subchannel."""
+        self._check_subchannel(subchannel)
+        start = subchannel * self.subband_rbs
+        return start, start + self.subchannel_rbs(subchannel)
+
+    def subchannel_bandwidth_hz(self, subchannel: int) -> float:
+        """Occupied bandwidth of one subchannel."""
+        return self.subchannel_rbs(subchannel) * RB_BANDWIDTH_HZ
+
+    def _check_subchannel(self, subchannel: int) -> None:
+        if not 0 <= subchannel < self.n_subchannels:
+            raise ValueError(
+                f"subchannel {subchannel} out of range 0..{self.n_subchannels - 1}"
+            )
+
+    # -- Rate computation ---------------------------------------------------
+
+    def downlink_rate_bps(self, efficiency_bits_per_re: float, n_rbs: int) -> float:
+        """Downlink data rate over ``n_rbs`` at a given spectral efficiency.
+
+        Accounts for control overhead and the TDD downlink duty cycle.
+        """
+        if n_rbs < 0 or n_rbs > self.n_rbs:
+            raise ValueError(f"n_rbs {n_rbs} out of range 0..{self.n_rbs}")
+        bits_per_tti = efficiency_bits_per_re * DATA_RES_ELEMENTS_PER_RB_TTI * n_rbs
+        return bits_per_tti / TTI_S * self.tdd.downlink_fraction
+
+    def uplink_rate_bps(self, efficiency_bits_per_re: float, n_rbs: int) -> float:
+        """Uplink data rate over ``n_rbs`` at a given spectral efficiency."""
+        if n_rbs < 0 or n_rbs > self.n_rbs:
+            raise ValueError(f"n_rbs {n_rbs} out of range 0..{self.n_rbs}")
+        bits_per_tti = efficiency_bits_per_re * DATA_RES_ELEMENTS_PER_RB_TTI * n_rbs
+        return bits_per_tti / TTI_S * self.tdd.uplink_fraction
+
+    def subchannel_downlink_rate_bps(
+        self, efficiency_bits_per_re: float, subchannel: int
+    ) -> float:
+        """Downlink rate of one subchannel at the given efficiency."""
+        return self.downlink_rate_bps(
+            efficiency_bits_per_re, self.subchannel_rbs(subchannel)
+        )
+
+    def peak_downlink_rate_bps(self, efficiency_bits_per_re: float = 5.55) -> float:
+        """Carrier-wide downlink rate at (default) the top-CQI efficiency."""
+        return self.downlink_rate_bps(efficiency_bits_per_re, self.n_rbs)
+
+    def all_subchannels(self) -> List[int]:
+        """Indices of every subchannel, ``[0, n_subchannels)``."""
+        return list(range(self.n_subchannels))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ResourceGrid({self.bandwidth_hz / 1e6:.0f} MHz, {self.n_rbs} RBs, "
+            f"{self.n_subchannels} subchannels, {self.tdd.name})"
+        )

@@ -1,0 +1,24 @@
+"""Simulation substrate: discrete-event engine, seeded RNG streams, topology.
+
+Everything time-driven in the repo (CSMA contention, CQI sampling, hopping
+epochs, database lease timers) runs on :class:`repro.sim.engine.Simulator`.
+"""
+
+from repro.sim.engine import Event, Simulator
+from repro.sim.rng import RngStreams
+from repro.sim.topology import (
+    AccessPointSite,
+    ClientSite,
+    Topology,
+    random_topology,
+)
+
+__all__ = [
+    "AccessPointSite",
+    "ClientSite",
+    "Event",
+    "RngStreams",
+    "Simulator",
+    "Topology",
+    "random_topology",
+]

@@ -1,0 +1,117 @@
+"""Client mobility models.
+
+Supports the paper's Section 7 roaming discussion: CellFi "provides
+seamless roaming across access points".  The classic random-waypoint model
+moves each client toward a uniformly drawn waypoint at a per-leg speed,
+pausing briefly on arrival -- pedestrian defaults suit the outdoor
+cellular setting.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+import numpy as np
+
+
+@dataclass
+class _WalkerState:
+    x: float
+    y: float
+    target_x: float
+    target_y: float
+    speed_m_s: float
+    pause_left_s: float = 0.0
+
+
+class RandomWaypointModel:
+    """Random-waypoint mobility over a square area.
+
+    Args:
+        area_m: side of the square arena.
+        rng: random stream (waypoints, speeds, pauses).
+        speed_range_m_s: per-leg speed drawn uniformly from this range
+            (default: pedestrian 0.5-2 m/s).
+        pause_range_s: dwell time at each waypoint.
+    """
+
+    def __init__(
+        self,
+        area_m: float,
+        rng: np.random.Generator,
+        speed_range_m_s: Tuple[float, float] = (0.5, 2.0),
+        pause_range_s: Tuple[float, float] = (0.0, 10.0),
+    ) -> None:
+        if area_m <= 0.0:
+            raise ValueError(f"area must be > 0, got {area_m!r}")
+        lo, hi = speed_range_m_s
+        if not 0.0 < lo <= hi:
+            raise ValueError(f"bad speed range {speed_range_m_s!r}")
+        self.area_m = area_m
+        self.rng = rng
+        self.speed_range = speed_range_m_s
+        self.pause_range = pause_range_s
+        self._walkers: Dict[int, _WalkerState] = {}
+
+    def add_client(self, client_id: int, x: float, y: float) -> None:
+        """Register a client at its starting position.
+
+        Raises:
+            ValueError: on duplicate registration.
+        """
+        if client_id in self._walkers:
+            raise ValueError(f"client {client_id} already registered")
+        state = _WalkerState(
+            x=x, y=y, target_x=x, target_y=y,
+            speed_m_s=self._draw_speed(),
+        )
+        self._pick_waypoint(state)
+        self._walkers[client_id] = state
+
+    def _draw_speed(self) -> float:
+        return float(self.rng.uniform(*self.speed_range))
+
+    def _pick_waypoint(self, state: _WalkerState) -> None:
+        state.target_x = float(self.rng.uniform(0.0, self.area_m))
+        state.target_y = float(self.rng.uniform(0.0, self.area_m))
+        state.speed_m_s = self._draw_speed()
+
+    def step(self, dt_s: float) -> Dict[int, Tuple[float, float]]:
+        """Advance all walkers by ``dt_s``; returns new positions.
+
+        Raises:
+            ValueError: for a non-positive time step.
+        """
+        if dt_s <= 0.0:
+            raise ValueError(f"time step must be > 0, got {dt_s!r}")
+        positions: Dict[int, Tuple[float, float]] = {}
+        for client_id, state in self._walkers.items():
+            remaining = dt_s
+            while remaining > 0.0:
+                if state.pause_left_s > 0.0:
+                    used = min(state.pause_left_s, remaining)
+                    state.pause_left_s -= used
+                    remaining -= used
+                    continue
+                dx = state.target_x - state.x
+                dy = state.target_y - state.y
+                distance = math.hypot(dx, dy)
+                reach = state.speed_m_s * remaining
+                if reach >= distance:
+                    state.x, state.y = state.target_x, state.target_y
+                    remaining -= distance / state.speed_m_s if state.speed_m_s else 0.0
+                    state.pause_left_s = float(self.rng.uniform(*self.pause_range))
+                    self._pick_waypoint(state)
+                else:
+                    state.x += dx / distance * reach
+                    state.y += dy / distance * reach
+                    remaining = 0.0
+            positions[client_id] = (state.x, state.y)
+        return positions
+
+    def position(self, client_id: int) -> Tuple[float, float]:
+        """Current position of one client."""
+        state = self._walkers[client_id]
+        return state.x, state.y

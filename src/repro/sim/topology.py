@@ -1,0 +1,274 @@
+"""Network topology: node placement and geometric queries.
+
+The paper's large-scale evaluation (Section 6.3.4) simulates a 2 km x 2 km
+area with randomly placed access points and a fixed number of clients placed
+within the coverage range of each AP.  :func:`random_topology` reproduces
+that setup; the resulting :class:`Topology` is shared by the LTE, Wi-Fi and
+CellFi simulators so all technologies are compared on identical layouts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class AccessPointSite:
+    """A fixed access-point location.
+
+    Attributes:
+        ap_id: dense integer identifier, unique within a topology.
+        x, y: position in metres.
+        height_m: antenna height above ground (paper rooftop cells: 15 m).
+    """
+
+    ap_id: int
+    x: float
+    y: float
+    height_m: float = 15.0
+
+    def distance_to(self, other: "NodeSite") -> float:
+        """Euclidean ground distance in metres."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+
+@dataclass(frozen=True)
+class ClientSite:
+    """A client location associated with one access point.
+
+    Attributes:
+        client_id: dense integer identifier, unique within a topology.
+        x, y: position in metres.
+        ap_id: identifier of the serving access point.
+        height_m: device height (handheld: 1.5 m).
+    """
+
+    client_id: int
+    x: float
+    y: float
+    ap_id: int
+    height_m: float = 1.5
+
+    def distance_to(self, other: "NodeSite") -> float:
+        """Euclidean ground distance in metres."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+
+# Either kind of placed node.
+NodeSite = object
+
+
+@dataclass
+class Topology:
+    """Immutable node layout plus association and adjacency queries."""
+
+    area_m: float
+    aps: List[AccessPointSite]
+    clients: List[ClientSite]
+    _clients_by_ap: Dict[int, List[ClientSite]] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        ap_ids = {ap.ap_id for ap in self.aps}
+        if len(ap_ids) != len(self.aps):
+            raise ValueError("duplicate access-point ids in topology")
+        by_ap: Dict[int, List[ClientSite]] = {ap.ap_id: [] for ap in self.aps}
+        for client in self.clients:
+            if client.ap_id not in ap_ids:
+                raise ValueError(
+                    f"client {client.client_id} references unknown AP {client.ap_id}"
+                )
+            by_ap[client.ap_id].append(client)
+        self._clients_by_ap = by_ap
+
+    def clients_of(self, ap_id: int) -> List[ClientSite]:
+        """Clients associated with access point ``ap_id``."""
+        return list(self._clients_by_ap[ap_id])
+
+    def ap(self, ap_id: int) -> AccessPointSite:
+        """Look up an access point by id."""
+        for candidate in self.aps:
+            if candidate.ap_id == ap_id:
+                return candidate
+        raise KeyError(f"no access point with id {ap_id}")
+
+    def client(self, client_id: int) -> ClientSite:
+        """Look up a client by id."""
+        for candidate in self.clients:
+            if candidate.client_id == client_id:
+                return candidate
+        raise KeyError(f"no client with id {client_id}")
+
+    def interference_graph(
+        self, interferes: Callable[[AccessPointSite, ClientSite], bool]
+    ) -> Dict[int, set]:
+        """Build the AP-level conflict graph the paper analyses (Section 5.5).
+
+        Two APs ``i`` and ``j`` conflict iff ``i`` may interfere with one of
+        ``j``'s clients or vice-versa, as judged by the ``interferes``
+        predicate (typically an SINR/path-loss test from ``repro.phy``).
+
+        Returns:
+            Adjacency sets keyed by AP id.
+        """
+        adjacency: Dict[int, set] = {ap.ap_id: set() for ap in self.aps}
+        for ap_a in self.aps:
+            for ap_b in self.aps:
+                if ap_a.ap_id >= ap_b.ap_id:
+                    continue
+                conflict = any(
+                    interferes(ap_b, client) for client in self._clients_by_ap[ap_a.ap_id]
+                ) or any(
+                    interferes(ap_a, client) for client in self._clients_by_ap[ap_b.ap_id]
+                )
+                if conflict:
+                    adjacency[ap_a.ap_id].add(ap_b.ap_id)
+                    adjacency[ap_b.ap_id].add(ap_a.ap_id)
+        return adjacency
+
+
+def random_topology(
+    rng: np.random.Generator,
+    n_aps: int,
+    clients_per_ap: int,
+    area_m: float = 2000.0,
+    client_range_m: float = 1000.0,
+    min_client_distance_m: float = 20.0,
+) -> Topology:
+    """Place APs uniformly in a square area and clients around each AP.
+
+    Mirrors the paper's simulation settings: "We simulate an area of
+    2 km x 2 km ... Base stations are randomly placed in this area with
+    varying number of clients per AP."
+
+    Clients are drawn uniformly *by area* within an annulus
+    [``min_client_distance_m``, ``client_range_m``] of their AP, clipped to
+    the simulation area.
+
+    Raises:
+        ValueError: on non-positive counts or inconsistent radii.
+    """
+    if n_aps <= 0:
+        raise ValueError(f"need at least one AP, got {n_aps}")
+    if clients_per_ap < 0:
+        raise ValueError(f"clients_per_ap must be >= 0, got {clients_per_ap}")
+    if not 0.0 <= min_client_distance_m < client_range_m:
+        raise ValueError(
+            "require 0 <= min_client_distance_m < client_range_m, got "
+            f"{min_client_distance_m} and {client_range_m}"
+        )
+
+    aps = [
+        AccessPointSite(ap_id=i, x=rng.uniform(0.0, area_m), y=rng.uniform(0.0, area_m))
+        for i in range(n_aps)
+    ]
+
+    clients: List[ClientSite] = []
+    client_id = 0
+    for ap in aps:
+        for _ in range(clients_per_ap):
+            x, y = _draw_annulus_point(
+                rng, ap.x, ap.y, min_client_distance_m, client_range_m, area_m
+            )
+            clients.append(ClientSite(client_id=client_id, x=x, y=y, ap_id=ap.ap_id))
+            client_id += 1
+
+    return Topology(area_m=area_m, aps=aps, clients=clients)
+
+
+def _draw_annulus_point(
+    rng: np.random.Generator,
+    cx: float,
+    cy: float,
+    r_min: float,
+    r_max: float,
+    area_m: float,
+    max_attempts: int = 64,
+) -> Tuple[float, float]:
+    """Sample a point uniformly by area in an annulus, clipped to the square.
+
+    Rejection-samples against the area bounds; falls back to clamping after
+    ``max_attempts`` so placement always terminates (an AP in a corner has a
+    small acceptance region).
+    """
+    for _ in range(max_attempts):
+        radius = math.sqrt(rng.uniform(r_min**2, r_max**2))
+        theta = rng.uniform(0.0, 2.0 * math.pi)
+        x = cx + radius * math.cos(theta)
+        y = cy + radius * math.sin(theta)
+        if 0.0 <= x <= area_m and 0.0 <= y <= area_m:
+            return x, y
+    return min(max(x, 0.0), area_m), min(max(y, 0.0), area_m)
+
+
+def reassociate_strongest(
+    topology: Topology, loss_db: Callable[[AccessPointSite, ClientSite], float]
+) -> Topology:
+    """Re-associate every client with the AP it receives most strongly.
+
+    Real UEs camp on the strongest cell they can hear, not the one whose
+    coverage disc they were spawned in; with shadowing the two differ.  The
+    experiments apply this before comparing technologies so association is
+    identical for all of them.
+
+    Args:
+        topology: the original layout.
+        loss_db: propagation loss in dB between an AP and a client
+            (typically ``CompositeChannel(...).loss_db``).
+    """
+    new_clients = []
+    for client in topology.clients:
+        best_ap = min(topology.aps, key=lambda ap: loss_db(ap, client))
+        new_clients.append(
+            ClientSite(
+                client_id=client.client_id,
+                x=client.x,
+                y=client.y,
+                ap_id=best_ap.ap_id,
+                height_m=client.height_m,
+            )
+        )
+    return Topology(area_m=topology.area_m, aps=list(topology.aps), clients=new_clients)
+
+
+def grid_topology(
+    n_aps_side: int,
+    clients_per_ap: int,
+    spacing_m: float,
+    client_offset_m: float = 100.0,
+) -> Topology:
+    """A deterministic grid layout, handy for unit tests and examples.
+
+    APs form an ``n x n`` grid with the given spacing; each AP's clients are
+    placed on a circle of radius ``client_offset_m`` around it.
+    """
+    if n_aps_side <= 0:
+        raise ValueError(f"grid side must be positive, got {n_aps_side}")
+    aps = []
+    for row in range(n_aps_side):
+        for col in range(n_aps_side):
+            aps.append(
+                AccessPointSite(
+                    ap_id=row * n_aps_side + col,
+                    x=(col + 0.5) * spacing_m,
+                    y=(row + 0.5) * spacing_m,
+                )
+            )
+    clients = []
+    client_id = 0
+    for ap in aps:
+        for k in range(clients_per_ap):
+            angle = 2.0 * math.pi * k / max(1, clients_per_ap)
+            clients.append(
+                ClientSite(
+                    client_id=client_id,
+                    x=ap.x + client_offset_m * math.cos(angle),
+                    y=ap.y + client_offset_m * math.sin(angle),
+                    ap_id=ap.ap_id,
+                )
+            )
+            client_id += 1
+    return Topology(area_m=n_aps_side * spacing_m, aps=aps, clients=clients)

@@ -1,0 +1,27 @@
+"""Traffic models (paper Section 6.3.4 "Workloads").
+
+"We consider two types of traffic workloads and focus on downlink traffic.
+First, backlogged flows for all clients are used for throughput
+measurements.  Second, we model web-like traffic based on realistic
+parameters regarding flow size, number of objects per page and object size
+from [28] using thinking time distributions [29] to get flow inter arrival
+times."
+
+* :mod:`repro.traffic.backlogged` -- saturated demand helpers.
+* :mod:`repro.traffic.web` -- the web-page workload generator.
+* :mod:`repro.traffic.flows` -- FIFO flow tracking / completion times,
+  shared by the epoch-driven LTE simulator and the event-driven Wi-Fi one.
+"""
+
+from repro.traffic.backlogged import saturated_demands
+from repro.traffic.flows import Flow, FlowTracker
+from repro.traffic.web import WebPage, WebWorkloadConfig, generate_web_sessions
+
+__all__ = [
+    "Flow",
+    "FlowTracker",
+    "WebPage",
+    "WebWorkloadConfig",
+    "generate_web_sessions",
+    "saturated_demands",
+]

@@ -1,0 +1,27 @@
+"""Backlogged (full-buffer) workload helpers.
+
+The throughput and coverage experiments (Figures 2 and 9(a)/(b)) use
+saturated downlink queues for every client: the network is always the
+bottleneck, so measured throughput reflects MAC efficiency alone.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.sim.topology import Topology
+
+
+def saturated_demands(topology: Topology) -> Dict[int, float]:
+    """Infinite downlink demand for every client in the topology."""
+    return {client.client_id: float("inf") for client in topology.clients}
+
+
+def saturated_demand_fn(topology: Topology):
+    """An epoch-indexed demand function for ``LteNetworkSimulator.run``."""
+    demands = saturated_demands(topology)
+
+    def demand(epoch_index: int) -> Dict[int, float]:
+        return dict(demands)
+
+    return demand

@@ -1,0 +1,120 @@
+"""FIFO flow tracking and completion-time accounting.
+
+Both simulators drive this the same way: flows :meth:`FlowTracker.arrive`,
+and delivered bits are credited per client -- either at exact delivery
+instants (the event-driven Wi-Fi MAC) or as an amount spread over an epoch
+(the fluid LTE model, which interpolates the completion instant inside the
+epoch).  Completion records feed the page-load-time CDFs of Figure 9(c).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class Flow:
+    """One downlink flow (a web page, in the Figure 9(c) workload).
+
+    Attributes:
+        client_id: destination client.
+        arrival_s: when the request was issued.
+        size_bits: total bits to deliver.
+        remaining_bits: bits still queued.
+        completed_s: completion instant, or ``None`` while in flight.
+    """
+
+    client_id: int
+    arrival_s: float
+    size_bits: float
+    remaining_bits: float = field(default=0.0)
+    completed_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.size_bits <= 0.0:
+            raise ValueError(f"flow size must be > 0, got {self.size_bits!r}")
+        self.remaining_bits = self.size_bits
+
+    @property
+    def completion_time_s(self) -> Optional[float]:
+        """Flow completion time (FCT), or ``None`` if still in flight."""
+        if self.completed_s is None:
+            return None
+        return self.completed_s - self.arrival_s
+
+
+class FlowTracker:
+    """Per-client FIFO queues with completion bookkeeping."""
+
+    def __init__(self) -> None:
+        self._queues: Dict[int, List[Flow]] = {}
+        self.completed: List[Flow] = []
+
+    def arrive(self, flow: Flow) -> None:
+        """Register a new flow at its arrival time."""
+        self._queues.setdefault(flow.client_id, []).append(flow)
+
+    def queued_bits(self, client_id: int) -> float:
+        """Bits outstanding for one client."""
+        return sum(f.remaining_bits for f in self._queues.get(client_id, []))
+
+    def total_queued_bits(self) -> float:
+        """Bits outstanding across all clients."""
+        return sum(self.queued_bits(cid) for cid in self._queues)
+
+    def active_clients(self) -> List[int]:
+        """Clients with non-empty queues."""
+        return [cid for cid, q in self._queues.items() if q]
+
+    def serve(
+        self,
+        client_id: int,
+        bits: float,
+        start_s: float,
+        end_s: float,
+    ) -> List[Flow]:
+        """Credit ``bits`` delivered to ``client_id`` over [start, end].
+
+        Flows drain FIFO; a flow finishing mid-interval gets a completion
+        instant linearly interpolated by bits (the fluid approximation the
+        epoch simulator needs; event simulators pass ``start == end``).
+
+        Returns:
+            Flows completed by this delivery.
+
+        Raises:
+            ValueError: for negative bits or a reversed interval.
+        """
+        if bits < 0.0:
+            raise ValueError(f"cannot serve negative bits: {bits!r}")
+        if end_s < start_s:
+            raise ValueError(f"reversed interval [{start_s}, {end_s}]")
+        queue = self._queues.get(client_id, [])
+        finished: List[Flow] = []
+        delivered = 0.0
+        budget = bits
+        while queue and budget > 0.0:
+            flow = queue[0]
+            take = min(flow.remaining_bits, budget)
+            flow.remaining_bits -= take
+            budget -= take
+            delivered += take
+            if flow.remaining_bits <= 1e-9:
+                if bits > 0.0 and end_s > start_s:
+                    fraction = delivered / bits
+                    flow.completed_s = start_s + fraction * (end_s - start_s)
+                else:
+                    flow.completed_s = end_s
+                finished.append(flow)
+                queue.pop(0)
+        self.completed.extend(finished)
+        return finished
+
+    def completion_times(self) -> List[float]:
+        """All recorded flow completion times, in seconds."""
+        return [f.completion_time_s for f in self.completed]
+
+    def in_flight(self) -> int:
+        """Number of flows still queued (for drain checks in tests)."""
+        return sum(len(q) for q in self._queues.values())

@@ -1,0 +1,44 @@
+"""TV white space substrate: channel plans, spectrum database, PAWS, rules.
+
+TVWS spectrum is available to secondary users only in the absence of
+incumbents, and "no device is allowed to access the spectrum before checking
+spectrum availability in a database" (paper Section 2).  This package
+implements the database side that the paper's testbed exercised against the
+certified Nominet database:
+
+* :mod:`repro.tvws.channels` -- TV channel plans (6 MHz US / 8 MHz EU).
+* :mod:`repro.tvws.database` -- a spectrum database tracking incumbents and
+  handing out time-limited channel leases.
+* :mod:`repro.tvws.paws` -- the IETF PAWS request/response message layer.
+* :mod:`repro.tvws.regulatory` -- ETSI EN 301 598 compliance rules (power
+  limits, the 60-second vacate deadline).
+"""
+
+from repro.tvws.channels import ChannelPlan, TvChannel, EU_CHANNEL_PLAN, US_CHANNEL_PLAN
+from repro.tvws.database import ChannelLease, Incumbent, SpectrumDatabase
+from repro.tvws.paws import (
+    AvailableSpectrumRequest,
+    AvailableSpectrumResponse,
+    DeviceDescriptor,
+    GeoLocation,
+    PawsServer,
+    SpectrumSpec,
+)
+from repro.tvws.regulatory import EtsiComplianceRules
+
+__all__ = [
+    "AvailableSpectrumRequest",
+    "AvailableSpectrumResponse",
+    "ChannelLease",
+    "ChannelPlan",
+    "DeviceDescriptor",
+    "EU_CHANNEL_PLAN",
+    "EtsiComplianceRules",
+    "GeoLocation",
+    "Incumbent",
+    "PawsServer",
+    "SpectrumDatabase",
+    "SpectrumSpec",
+    "TvChannel",
+    "US_CHANNEL_PLAN",
+]

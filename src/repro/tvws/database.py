@@ -1,0 +1,198 @@
+"""The TVWS spectrum database: incumbents, availability and leases.
+
+"TVWS spectrum is available to unlicensed devices (secondary users) only in
+the absence of incumbents (TV and wireless microphones, also called primary
+users)" (paper Section 2).  The database is used *only* to protect
+incumbents -- never to coordinate secondary users with each other.
+
+Time is explicit: every query passes ``now`` (simulation seconds), so the
+database composes with :class:`repro.sim.engine.Simulator` without hidden
+clocks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.tvws.channels import ChannelPlan
+
+
+@dataclass
+class Incumbent:
+    """A primary user whose channel must be protected.
+
+    Attributes:
+        name: label ("KTV-33", "wireless-mic-17").
+        channel: protected TV channel number.
+        x, y: location in metres (same plane as the topology).
+        protection_radius_m: secondary users within this radius of the
+            incumbent may not use the channel.
+        active_from / active_until: activity window in seconds; ``None``
+            means unbounded on that side.  Wireless microphones for special
+            events are the canonical time-bounded incumbents.
+    """
+
+    name: str
+    channel: int
+    x: float
+    y: float
+    protection_radius_m: float
+    active_from: Optional[float] = None
+    active_until: Optional[float] = None
+
+    def active_at(self, now: float) -> bool:
+        """Whether the incumbent is active at time ``now``."""
+        if self.active_from is not None and now < self.active_from:
+            return False
+        if self.active_until is not None and now >= self.active_until:
+            return False
+        return True
+
+    def protects(self, x: float, y: float, now: float) -> bool:
+        """Whether a device at (x, y) is inside the protected contour now."""
+        if not self.active_at(now):
+            return False
+        return math.hypot(self.x - x, self.y - y) <= self.protection_radius_m
+
+
+@dataclass(frozen=True)
+class ChannelLease:
+    """Permission to use one channel from a given location.
+
+    Attributes:
+        channel: TV channel number.
+        max_eirp_dbm: maximum allowed EIRP on the channel.
+        granted_at / expires_at: validity window in seconds.
+        device_id: the device the lease was issued to.
+    """
+
+    channel: int
+    max_eirp_dbm: float
+    granted_at: float
+    expires_at: float
+    device_id: str
+
+    def valid_at(self, now: float) -> bool:
+        """Whether the lease is still valid at ``now``."""
+        return self.granted_at <= now < self.expires_at
+
+
+class SpectrumDatabase:
+    """Authoritative channel availability for a region.
+
+    Args:
+        plan: the regional TV channel plan.
+        default_max_eirp_dbm: EIRP cap handed out with availability
+            (ETSI class-1 fixed devices: 36 dBm).
+        lease_duration_s: validity of granted leases.  Regulators expect
+            devices to re-query at least daily; experiments shorten this.
+    """
+
+    def __init__(
+        self,
+        plan: ChannelPlan,
+        default_max_eirp_dbm: float = 36.0,
+        lease_duration_s: float = 3600.0,
+    ) -> None:
+        if lease_duration_s <= 0.0:
+            raise ValueError(f"lease duration must be > 0, got {lease_duration_s!r}")
+        self.plan = plan
+        self.default_max_eirp_dbm = default_max_eirp_dbm
+        self.lease_duration_s = lease_duration_s
+        self._incumbents: List[Incumbent] = []
+        # Administrative overrides: channel -> unavailable (Figure 6 pulls a
+        # channel from the DB directly, without modelling the incumbent).
+        self._withdrawn: Dict[int, bool] = {}
+        self._leases: List[ChannelLease] = []
+        self._query_log: List[Tuple[float, str]] = []
+
+    # -- Incumbent / admin management ---------------------------------------
+
+    def register_incumbent(self, incumbent: Incumbent) -> None:
+        """Add a primary user to protect.
+
+        Raises:
+            KeyError: if the incumbent's channel is not in the plan.
+        """
+        self.plan.channel(incumbent.channel)  # Raises KeyError if unknown.
+        self._incumbents.append(incumbent)
+
+    def withdraw_channel(self, channel: int) -> None:
+        """Administratively mark a channel unavailable (Figure 6, t=57 s)."""
+        self.plan.channel(channel)
+        self._withdrawn[channel] = True
+
+    def restore_channel(self, channel: int) -> None:
+        """Undo :meth:`withdraw_channel` (Figure 6, five minutes later)."""
+        self._withdrawn.pop(channel, None)
+
+    # -- Queries -------------------------------------------------------------
+
+    def channel_available(self, channel: int, x: float, y: float, now: float) -> bool:
+        """Whether ``channel`` may be used from (x, y) at time ``now``."""
+        if self._withdrawn.get(channel, False):
+            return False
+        return not any(
+            inc.channel == channel and inc.protects(x, y, now)
+            for inc in self._incumbents
+        )
+
+    def available_channels(self, x: float, y: float, now: float) -> List[int]:
+        """All channel numbers usable from (x, y) at ``now``."""
+        return [
+            ch.number
+            for ch in self.plan.channels
+            if self.channel_available(ch.number, x, y, now)
+        ]
+
+    def grant_lease(
+        self, device_id: str, channel: int, x: float, y: float, now: float
+    ) -> Optional[ChannelLease]:
+        """Grant a lease on ``channel`` if it is available; else ``None``.
+
+        The lease expiry is additionally clipped to the next time an
+        already-scheduled incumbent becomes active on the channel, so a
+        device never holds a lease across an incumbent's start time.
+        """
+        if not self.channel_available(channel, x, y, now):
+            return None
+        expires = now + self.lease_duration_s
+        for inc in self._incumbents:
+            if (
+                inc.channel == channel
+                and inc.active_from is not None
+                and now < inc.active_from < expires
+                and math.hypot(inc.x - x, inc.y - y) <= inc.protection_radius_m
+            ):
+                expires = inc.active_from
+        lease = ChannelLease(
+            channel=channel,
+            max_eirp_dbm=self.default_max_eirp_dbm,
+            granted_at=now,
+            expires_at=expires,
+            device_id=device_id,
+        )
+        self._leases.append(lease)
+        self._query_log.append((now, device_id))
+        return lease
+
+    def lease_still_valid(self, lease: ChannelLease, now: float) -> bool:
+        """Re-validate a lease: unexpired *and* the channel is still clear.
+
+        A lease can be invalidated early by an administrative withdrawal or
+        a newly registered incumbent; compliant devices poll for this.
+        """
+        if not lease.valid_at(now):
+            return False
+        # Location is not stored on the lease; incumbency is re-checked by
+        # the owning client via available_channels.  Withdrawals are global:
+        if self._withdrawn.get(lease.channel, False):
+            return False
+        return True
+
+    @property
+    def query_count(self) -> int:
+        """Number of lease grants served (for overhead accounting)."""
+        return len(self._query_log)

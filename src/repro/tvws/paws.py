@@ -1,0 +1,217 @@
+"""PAWS: Protocol to Access White-Space databases (RFC 7545), simulated.
+
+The CellFi access point talks to the spectrum database with PAWS (paper
+Section 4.2: "We leverage this observation and build an ETSI-compliant TVWS
+database client using the PAWS protocol").  This module implements the
+message types relevant to the architecture -- INIT, AVAIL_SPECTRUM_REQ /
+AVAIL_SPECTRUM_RESP and SPECTRUM_USE_NOTIFY -- as plain dataclasses plus an
+in-process :class:`PawsServer` fronting a :class:`SpectrumDatabase`.
+
+Messages serialise to/from JSON-compatible dicts mirroring RFC 7545 field
+names, so a wire transport could be substituted without touching callers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.tvws.database import ChannelLease, SpectrumDatabase
+
+#: PAWS method names (RFC 7545 Section 4).
+METHOD_INIT = "spectrum.paws.init"
+METHOD_AVAIL_SPECTRUM = "spectrum.paws.getSpectrum"
+METHOD_SPECTRUM_USE = "spectrum.paws.notifySpectrumUse"
+
+#: Error codes (RFC 7545 Table 1, subset).
+ERROR_OUTSIDE_COVERAGE = -101
+ERROR_UNSUPPORTED = -102
+ERROR_MISSING = -201
+
+
+@dataclass(frozen=True)
+class GeoLocation:
+    """A device location.
+
+    The paper's CellFi AP owns a GPS; clients inherit "the same generic
+    location parameters determined from the access point's location".
+    """
+
+    x: float
+    y: float
+    uncertainty_m: float = 50.0
+
+    def to_json(self) -> Dict:
+        """RFC 7545 'geolocation' object (planar coordinates here)."""
+        return {
+            "point": {"center": {"x": self.x, "y": self.y}},
+            "uncertainty": self.uncertainty_m,
+        }
+
+
+@dataclass(frozen=True)
+class DeviceDescriptor:
+    """Identifies a white-space device to the database.
+
+    Attributes:
+        serial_number: unique device id.
+        device_type: ETSI type "A" (fixed, external antenna) or "B"
+            (portable); CellFi APs are type A, clients type B.
+    """
+
+    serial_number: str
+    device_type: str = "A"
+    manufacturer: str = "cellfi"
+
+    def to_json(self) -> Dict:
+        """RFC 7545 'deviceDesc' object."""
+        return {
+            "serialNumber": self.serial_number,
+            "etsiEnDeviceType": self.device_type,
+            "manufacturerId": self.manufacturer,
+        }
+
+
+@dataclass(frozen=True)
+class SpectrumSpec:
+    """One available channel in a response: frequency range + power cap."""
+
+    channel: int
+    low_hz: float
+    high_hz: float
+    max_eirp_dbm: float
+    expires_at: float
+
+    def to_json(self) -> Dict:
+        """RFC 7545-style 'spectrumSchedule' entry."""
+        return {
+            "channel": self.channel,
+            "frequencyRange": {"startHz": self.low_hz, "stopHz": self.high_hz},
+            "maxPowerDBm": self.max_eirp_dbm,
+            "eventTime": {"stopTime": self.expires_at},
+        }
+
+
+@dataclass(frozen=True)
+class AvailableSpectrumRequest:
+    """AVAIL_SPECTRUM_REQ: who is asking, from where, at what time."""
+
+    device: DeviceDescriptor
+    location: GeoLocation
+    request_time: float
+
+    def to_json(self) -> Dict:
+        """RFC 7545 request body."""
+        return {
+            "method": METHOD_AVAIL_SPECTRUM,
+            "deviceDesc": self.device.to_json(),
+            "location": self.location.to_json(),
+            "requestTime": self.request_time,
+        }
+
+
+@dataclass(frozen=True)
+class AvailableSpectrumResponse:
+    """AVAIL_SPECTRUM_RESP: the channels the device may use, or an error."""
+
+    spectra: List[SpectrumSpec] = field(default_factory=list)
+    error_code: Optional[int] = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the request succeeded."""
+        return self.error_code is None
+
+    def channel_numbers(self) -> List[int]:
+        """Channels offered in this response."""
+        return [spec.channel for spec in self.spectra]
+
+    def spec_for(self, channel: int) -> Optional[SpectrumSpec]:
+        """The entry for ``channel``, or ``None``."""
+        for spec in self.spectra:
+            if spec.channel == channel:
+                return spec
+        return None
+
+
+class PawsServer:
+    """An in-process PAWS endpoint fronting a :class:`SpectrumDatabase`.
+
+    Args:
+        database: the authority on channel availability.
+        coverage_area_m: requests from outside [0, coverage]^2 are rejected
+            with OUTSIDE_COVERAGE, mirroring real database behaviour.
+    """
+
+    def __init__(
+        self, database: SpectrumDatabase, coverage_area_m: float = 1e7
+    ) -> None:
+        self.database = database
+        self.coverage_area_m = coverage_area_m
+        self._registered: Dict[str, DeviceDescriptor] = {}
+        self._use_notifications: List[Dict] = []
+
+    def init_device(self, device: DeviceDescriptor) -> Dict:
+        """Handle INIT_REQ: register the device, return ruleset info."""
+        self._registered[device.serial_number] = device
+        return {
+            "method": METHOD_INIT,
+            "rulesetInfos": [{"authority": "etsi", "rulesetId": "ETSI-EN-301-598"}],
+        }
+
+    def available_spectrum(
+        self, request: AvailableSpectrumRequest
+    ) -> AvailableSpectrumResponse:
+        """Handle AVAIL_SPECTRUM_REQ against the backing database.
+
+        Issues a lease per available channel; the response's per-channel
+        expiry times reflect the leases granted.
+        """
+        loc = request.location
+        if not (
+            0.0 - self.coverage_area_m <= loc.x <= self.coverage_area_m
+            and 0.0 - self.coverage_area_m <= loc.y <= self.coverage_area_m
+        ):
+            return AvailableSpectrumResponse(error_code=ERROR_OUTSIDE_COVERAGE)
+        if request.device.serial_number not in self._registered:
+            # Real servers allow combined INIT; we auto-register for
+            # convenience but keep the hook for strictness in tests.
+            self._registered[request.device.serial_number] = request.device
+
+        specs: List[SpectrumSpec] = []
+        now = request.request_time
+        for number in self.database.available_channels(loc.x, loc.y, now):
+            lease = self.database.grant_lease(
+                request.device.serial_number, number, loc.x, loc.y, now
+            )
+            if lease is None:
+                continue
+            channel = self.database.plan.channel(number)
+            specs.append(
+                SpectrumSpec(
+                    channel=number,
+                    low_hz=channel.low_hz,
+                    high_hz=channel.high_hz,
+                    max_eirp_dbm=lease.max_eirp_dbm,
+                    expires_at=lease.expires_at,
+                )
+            )
+        return AvailableSpectrumResponse(spectra=specs)
+
+    def notify_spectrum_use(
+        self, device: DeviceDescriptor, channel: int, now: float
+    ) -> Dict:
+        """Handle SPECTRUM_USE_NOTIFY: record which channel a device took."""
+        notification = {
+            "method": METHOD_SPECTRUM_USE,
+            "serialNumber": device.serial_number,
+            "channel": channel,
+            "time": now,
+        }
+        self._use_notifications.append(notification)
+        return {"status": "ok"}
+
+    @property
+    def use_notifications(self) -> List[Dict]:
+        """All SPECTRUM_USE_NOTIFY messages received (copy)."""
+        return list(self._use_notifications)

@@ -1,0 +1,90 @@
+"""Plain-text rendering of tables and plots.
+
+The benchmark harness regenerates the paper's tables and figures as text so
+they can be diffed and inspected without a plotting stack.  ``format_table``
+mirrors the row/column layout of a paper table; ``ascii_plot`` gives a quick
+visual sanity check of a curve or CDF.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render a monospace table with aligned columns.
+
+    Args:
+        headers: column names.
+        rows: row cells; each row must have ``len(headers)`` entries.
+        title: optional title printed above the table.
+
+    Raises:
+        ValueError: if a row has the wrong number of cells.
+    """
+    str_rows: List[List[str]] = []
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}: {row!r}"
+            )
+        str_rows.append([_format_cell(cell) for cell in row])
+
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _format_cell(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3g}"
+    return str(cell)
+
+
+def ascii_plot(
+    points: Sequence[Tuple[float, float]],
+    width: int = 60,
+    height: int = 15,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render a scatter/line of (x, y) points as an ASCII grid.
+
+    Intended for eyeballing CDFs and sweeps in benchmark output; precision is
+    one character cell.
+    """
+    if not points:
+        return "(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = x_max - x_min or 1.0
+    y_span = y_max - y_min or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in points:
+        col = min(width - 1, int((x - x_min) / x_span * (width - 1)))
+        row = min(height - 1, int((y - y_min) / y_span * (height - 1)))
+        grid[height - 1 - row][col] = "*"
+
+    lines = [f"{y_label} [{y_min:.3g} .. {y_max:.3g}]"]
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label} [{x_min:.3g} .. {x_max:.3g}]")
+    return "\n".join(lines)

@@ -1,0 +1,87 @@
+"""Aggregate benchmark artefacts into one report.
+
+``pytest benchmarks/ --benchmark-only`` writes each reproduced table or
+figure to ``benchmarks/results/<name>.txt``; this module stitches them into
+a single Markdown report with the paper's figure ordering, so the whole
+paper-vs-measured story is one file (``python -m repro.cli report``).
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Report order and titles, following the paper's evaluation section.
+SECTIONS: Tuple[Tuple[str, str], ...] = (
+    ("table1", "Table 1 — 802.11af vs LTE design summary"),
+    ("fig1", "Figure 1 — single-cell outdoor drive test"),
+    ("fig2", "Figure 2 — Wi-Fi MAC inefficiency (af vs ac)"),
+    ("fig6", "Figure 6 — spectrum-database vacate/reacquire"),
+    ("fig7", "Figure 7 — two-cell interference walk"),
+    ("fig8", "Figure 8 — CQI interference detector"),
+    ("prach", "Section 6.3.3 — PRACH preamble detector"),
+    ("fig9a", "Figure 9(a) — coverage vs density"),
+    ("fig9b", "Figure 9(b) — client throughput CDFs"),
+    ("fig9c", "Figure 9(c) — page load times"),
+    ("theorem1", "Theorem 1 — hopping convergence"),
+    ("reuse", "Section 5.3 — channel re-use packing"),
+    ("overhead", "Section 6.3.4 — signalling overhead"),
+    ("uplink", "Extensions — uplink protection"),
+    ("ablations", "Extensions — design ablations"),
+)
+
+
+def collect_results(results_dir: pathlib.Path) -> Dict[str, str]:
+    """Read every ``<name>.txt`` artefact in a results directory."""
+    if not results_dir.is_dir():
+        raise FileNotFoundError(
+            f"no benchmark results at {results_dir}; run "
+            "`pytest benchmarks/ --benchmark-only` first"
+        )
+    artefacts: Dict[str, str] = {}
+    for path in sorted(results_dir.glob("*.txt")):
+        artefacts[path.stem] = path.read_text().rstrip()
+    return artefacts
+
+
+def render_report(
+    artefacts: Dict[str, str],
+    title: str = "CellFi reproduction — regenerated tables and figures",
+) -> str:
+    """Render the artefacts into a Markdown document.
+
+    Sections follow :data:`SECTIONS`; artefacts without a known section
+    are appended under "Other results" so nothing silently disappears.
+    """
+    lines: List[str] = [f"# {title}", ""]
+    covered = set()
+    for name, heading in SECTIONS:
+        if name not in artefacts:
+            continue
+        covered.add(name)
+        lines += [f"## {heading}", "", "```", artefacts[name], "```", ""]
+    leftovers = sorted(set(artefacts) - covered)
+    if leftovers:
+        lines += ["## Other results", ""]
+        for name in leftovers:
+            lines += [f"### {name}", "", "```", artefacts[name], "```", ""]
+    missing = [name for name, _ in SECTIONS if name not in artefacts]
+    if missing:
+        lines += [
+            "## Missing artefacts",
+            "",
+            "The following benchmarks have not been run yet: "
+            + ", ".join(missing),
+            "",
+        ]
+    return "\n".join(lines)
+
+
+def write_report(
+    results_dir: pathlib.Path, output_path: Optional[pathlib.Path] = None
+) -> pathlib.Path:
+    """Collect, render and write the report; returns the output path."""
+    artefacts = collect_results(results_dir)
+    output = output_path or results_dir.parent / "REPORT.md"
+    output.write_text(render_report(artefacts) + "\n")
+    return output

@@ -1,0 +1,35 @@
+"""Wi-Fi substrate: 802.11ac/af PHY rates and an event-driven CSMA/CA MAC.
+
+Rebuilt from scratch (the paper used ns-3) to reproduce the MAC phenomena
+the paper measures on long links: hidden and exposed terminals, RTS/CTS
+behaviour, channel-acquisition overhead, and starvation under contention
+(Figures 2 and 9).
+
+* :mod:`repro.wifi.rates` -- 802.11 MCS table with ideal SINR-based rate
+  adaptation, scaled to the channel bandwidth (6 MHz TVWS or 20 MHz).
+* :mod:`repro.wifi.frames` -- frame and overhead durations (preamble, RTS,
+  CTS, ACK, DIFS/SIFS/slot), including A-MPDU aggregation limits.
+* :mod:`repro.wifi.csma` -- the DCF state machine: carrier sense, backoff,
+  NAV, RTS/CTS, collisions with capture, retries.
+* :mod:`repro.wifi.network` -- builds a Wi-Fi network from a shared
+  :class:`repro.sim.topology.Topology` and runs saturated or dynamic
+  workloads.
+"""
+
+from repro.wifi.csma import CsmaNode, DcfParams, WifiMedium
+from repro.wifi.frames import FrameTimings
+from repro.wifi.network import WifiNetworkSimulator, WifiStandard
+from repro.wifi.rates import WIFI_MCS_TABLE, WifiMcs, best_mcs, data_rate_bps
+
+__all__ = [
+    "CsmaNode",
+    "DcfParams",
+    "FrameTimings",
+    "WIFI_MCS_TABLE",
+    "WifiMcs",
+    "WifiMedium",
+    "WifiNetworkSimulator",
+    "WifiStandard",
+    "best_mcs",
+    "data_rate_bps",
+]

@@ -1,0 +1,50 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_fig1_defaults(self):
+        args = build_parser().parse_args(["fig1"])
+        assert args.seed == 1
+        assert args.samples == 60
+
+    def test_fig9a_lists(self):
+        args = build_parser().parse_args(
+            ["fig9a", "--densities", "6", "8", "--seeds", "3"]
+        )
+        assert args.densities == [6, 8]
+        assert args.seeds == [3]
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["nonsense"])
+
+
+class TestExecution:
+    def test_fig6_runs(self, capsys):
+        assert main(["fig6"]) == 0
+        out = capsys.readouterr().out
+        assert "vacate latency" in out
+        assert "ETSI compliant: True" in out
+
+    def test_prach_runs(self, capsys):
+        assert main(["prach", "--trials", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "complexity ratio" in out
+
+    def test_convergence_runs(self, capsys):
+        assert main(["convergence", "--sizes", "8", "--replications", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Theorem 1" in out
+
+    def test_fig1_runs(self, capsys):
+        assert main(["fig1", "--samples", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "coverage" in out

@@ -1,0 +1,162 @@
+"""Unit tests for CellFi channel selection."""
+
+import pytest
+
+from repro.core.channel_selection import (
+    ChannelSelector,
+    OCCUPANCY_CELLFI,
+    OCCUPANCY_IDLE,
+    OCCUPANCY_OTHER,
+    OccupancyProbe,
+)
+from repro.sim.engine import Simulator
+from repro.tvws.channels import US_CHANNEL_PLAN
+from repro.tvws.database import SpectrumDatabase
+from repro.tvws.paws import DeviceDescriptor, GeoLocation, PawsServer
+from repro.tvws.regulatory import EtsiComplianceRules
+
+
+class _Harness:
+    """A selector wired to stub radio callbacks."""
+
+    def __init__(self, probe=None, poll_interval_s=1.0, lease_duration_s=3600.0):
+        self.sim = Simulator()
+        self.database = SpectrumDatabase(
+            US_CHANNEL_PLAN, lease_duration_s=lease_duration_s
+        )
+        self.paws = PawsServer(self.database)
+        self.compliance = EtsiComplianceRules()
+        self.started = []
+        self.stopped = 0
+        self.selector = ChannelSelector(
+            sim=self.sim,
+            paws=self.paws,
+            device=DeviceDescriptor("test-ap"),
+            location=GeoLocation(0.0, 0.0),
+            probe=probe or OccupancyProbe(),
+            radio_start=lambda ch, spec: self.started.append(ch),
+            radio_stop=self._stop,
+            poll_interval_s=poll_interval_s,
+            compliance=self.compliance,
+        )
+
+    def _stop(self):
+        self.stopped += 1
+
+
+class TestProbe:
+    def test_default_is_idle(self):
+        assert OccupancyProbe().probe(14) == OCCUPANCY_IDLE
+
+    def test_custom_classifier(self):
+        probe = OccupancyProbe(lambda ch: OCCUPANCY_OTHER)
+        assert probe.probe(14) == OCCUPANCY_OTHER
+
+    def test_unknown_class_rejected(self):
+        probe = OccupancyProbe(lambda ch: "martian")
+        with pytest.raises(ValueError):
+            probe.probe(14)
+
+
+class TestAcquisition:
+    def test_acquires_on_start(self):
+        harness = _Harness()
+        harness.selector.start()
+        assert harness.started == [14]  # Lowest idle channel.
+        assert harness.selector.current_channel == 14
+
+    def test_double_start_rejected(self):
+        harness = _Harness()
+        harness.selector.start()
+        with pytest.raises(RuntimeError):
+            harness.selector.start()
+
+    def test_prefers_idle_over_occupied(self):
+        def classify(channel):
+            return OCCUPANCY_OTHER if channel < 20 else OCCUPANCY_IDLE
+
+        harness = _Harness(probe=OccupancyProbe(classify))
+        harness.selector.start()
+        assert harness.selector.current_channel == 20
+
+    def test_prefers_cellfi_over_other_technology(self):
+        def classify(channel):
+            if channel == 16:
+                return OCCUPANCY_CELLFI
+            return OCCUPANCY_OTHER
+
+        harness = _Harness(probe=OccupancyProbe(classify))
+        harness.selector.start()
+        assert harness.selector.current_channel == 16
+
+    def test_takes_occupied_when_nothing_else(self):
+        harness = _Harness(probe=OccupancyProbe(lambda ch: OCCUPANCY_OTHER))
+        harness.selector.start()
+        assert harness.selector.current_channel == 14
+
+    def test_no_spectrum_logs_and_waits(self):
+        harness = _Harness()
+        for channel in US_CHANNEL_PLAN.channels:
+            harness.database.withdraw_channel(channel.number)
+        harness.selector.start()
+        assert harness.selector.current_channel is None
+        assert any(kind == "no-spectrum" for _, kind, _ in harness.selector.timeline())
+
+    def test_use_notification_sent(self):
+        harness = _Harness()
+        harness.selector.start()
+        assert harness.paws.use_notifications[0]["channel"] == 14
+
+
+class TestVacating:
+    def test_vacates_on_withdrawal(self):
+        harness = _Harness()
+        harness.selector.start()
+        harness.database.withdraw_channel(14)
+        harness.sim.run(until=2.0)
+        assert harness.stopped == 1
+        assert harness.selector.current_channel == 15  # Moved on.
+
+    def test_vacate_within_deadline(self):
+        harness = _Harness(poll_interval_s=2.0)
+        harness.selector.start()
+        harness.sim.run(until=10.0)
+        harness.database.withdraw_channel(14)
+        harness.sim.run(until=70.0)
+        assert harness.compliance.compliant
+
+    def test_frequent_polls_keep_lease_rolling(self):
+        # Polling faster than the lease duration renews it continuously:
+        # the radio never has to stop.
+        harness = _Harness(lease_duration_s=5.0, poll_interval_s=1.0)
+        harness.selector.start()
+        harness.sim.run(until=12.0)
+        assert harness.selector.current_channel == 14
+        assert harness.stopped == 0
+
+    def test_lease_expiry_forces_requery(self):
+        # Polling *slower* than the lease duration lets it lapse; the
+        # selector must stop transmitting and re-acquire.
+        harness = _Harness(lease_duration_s=5.0, poll_interval_s=10.0)
+        harness.selector.start()
+        harness.sim.run(until=12.0)
+        assert harness.selector.current_channel == 14
+        assert harness.stopped >= 1
+
+    def test_reacquires_after_restore(self):
+        harness = _Harness()
+        for channel in US_CHANNEL_PLAN.channels:
+            if channel.number != 14:
+                harness.database.withdraw_channel(channel.number)
+        harness.selector.start()
+        harness.database.withdraw_channel(14)
+        harness.sim.run(until=5.0)
+        assert harness.selector.current_channel is None
+        harness.database.restore_channel(14)
+        harness.sim.run(until=10.0)
+        assert harness.selector.current_channel == 14
+        assert harness.started == [14, 14]
+
+    def test_poll_interval_validation(self):
+        with pytest.raises(ValueError):
+            _Harness(poll_interval_s=0.0)

@@ -1,0 +1,227 @@
+"""Unit tests for the subchannel hopper (paper Section 5.3, Figure 4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.interference.hopping import (
+    ClientSense,
+    HopperConfig,
+    SubchannelHopper,
+)
+
+N_SUBS = 13
+
+
+def _hopper(**kwargs):
+    config = HopperConfig(n_subchannels=N_SUBS, **kwargs)
+    return SubchannelHopper(config, np.random.default_rng(7))
+
+
+def _sense(
+    interfered=(),
+    fractions=None,
+    cqi=10,
+    low_cqi_on=(),
+):
+    """Build a ClientSense with selective interference flags."""
+    interfered = set(interfered)
+    low = set(low_cqi_on)
+    return ClientSense(
+        subband_cqi=[3 if k in low else cqi for k in range(N_SUBS)],
+        max_subband_cqi=[cqi] * N_SUBS,
+        interference_detected=[k in interfered for k in range(N_SUBS)],
+        scheduled_fraction=dict(fractions or {}),
+    )
+
+
+class TestInitialisation:
+    def test_initial_pick_has_target_size(self):
+        hopper = _hopper()
+        holdings = hopper.step(5, {})
+        assert len(holdings) == 5
+        assert holdings <= set(range(N_SUBS))
+
+    def test_initial_buckets_positive(self):
+        hopper = _hopper()
+        hopper.step(5, {})
+        assert all(b > 0.0 for b in hopper.buckets.values())
+
+    def test_zero_share_holds_nothing(self):
+        hopper = _hopper()
+        assert hopper.step(0, {}) == set()
+
+    def test_share_out_of_range_rejected(self):
+        hopper = _hopper()
+        with pytest.raises(ValueError):
+            hopper.step(N_SUBS + 1, {})
+        with pytest.raises(ValueError):
+            hopper.step(-1, {})
+
+    def test_bucket_mean_configurable(self):
+        rng = np.random.default_rng(0)
+        config = HopperConfig(n_subchannels=N_SUBS, bucket_mean=10.0)
+        draws = [
+            SubchannelHopper(config, np.random.default_rng(i))._draw_bucket()
+            for i in range(500)
+        ]
+        assert np.mean(draws) == pytest.approx(10.0, rel=0.15)
+
+
+class TestBucketDynamics:
+    def test_clean_subchannels_keep_buckets(self):
+        hopper = _hopper(reuse_enabled=False)
+        hopper.step(3, {})
+        before = dict(hopper.buckets)
+        held = sorted(hopper.buckets)
+        senses = {0: _sense(fractions={held[0]: 1.0})}
+        hopper.step(3, senses)
+        assert hopper.buckets == before
+
+    def test_interference_drains_bucket_by_fraction(self):
+        hopper = _hopper(reuse_enabled=False)
+        hopper.step(1, {})
+        (held,) = hopper.buckets
+        start = hopper.buckets[held]
+        senses = {0: _sense(interfered=[held], fractions={held: 0.4})}
+        hopper.step(1, senses)
+        # Either it drained by 0.4 or (if it went <= 0) the hop happened.
+        if held in hopper.buckets:
+            assert hopper.buckets[held] == pytest.approx(start - 0.4)
+
+    def test_empty_bucket_triggers_hop(self):
+        hopper = _hopper(reuse_enabled=False)
+        hopper.step(1, {})
+        (held,) = hopper.buckets
+        hopper.buckets[held] = 0.3
+        senses = {0: _sense(interfered=[held], fractions={held: 1.0})}
+        for _ in range(20):
+            hopper.step(1, senses)
+            if held not in hopper.buckets:
+                break
+            senses = {0: _sense(interfered=[held], fractions={held: 1.0})}
+        assert held not in hopper.buckets
+        assert hopper.hop_count >= 1
+        assert len(hopper.buckets) == 1  # Replacement acquired.
+
+    def test_new_ap_eventually_wins_contended_subchannel(self):
+        # The bucket rule guarantees finite occupancy under persistent
+        # interference reports, no matter how long the AP has held it.
+        hopper = _hopper(reuse_enabled=False)
+        hopper.step(1, {})
+        (held,) = hopper.buckets
+        epochs = 0
+        while held in hopper.buckets and epochs < 1000:
+            senses = {0: _sense(interfered=[held], fractions={held: 1.0})}
+            hopper.step(1, senses)
+            epochs += 1
+        assert held not in hopper.buckets
+
+
+class TestUtilitySelection:
+    def test_hop_prefers_high_cqi_subchannel(self):
+        hopper = _hopper(reuse_enabled=False)
+        hopper.step(1, {})
+        (held,) = hopper.buckets
+        hopper.buckets[held] = 0.1
+        # Subchannel `best` has much better CQI than everything else.
+        best = (held + 1) % N_SUBS
+        cqi = [1] * N_SUBS
+        cqi[best] = 15
+        sense = ClientSense(
+            subband_cqi=cqi,
+            max_subband_cqi=cqi,
+            interference_detected=[k == held for k in range(N_SUBS)],
+            scheduled_fraction={held: 1.0},
+        )
+        hopper.step(1, {0: sense})
+        assert best in hopper.buckets
+
+    def test_hop_avoids_flagged_subchannel(self):
+        hopper = _hopper(reuse_enabled=False)
+        hopper.step(1, {})
+        (held,) = hopper.buckets
+        hopper.buckets[held] = 0.1
+        flagged = (held + 1) % N_SUBS
+        clean = (held + 2) % N_SUBS
+        cqi = [1] * N_SUBS
+        cqi[flagged] = 15
+        cqi[clean] = 14
+        sense = ClientSense(
+            subband_cqi=cqi,
+            max_subband_cqi=cqi,
+            interference_detected=[k == flagged or k == held for k in range(N_SUBS)],
+            scheduled_fraction={held: 1.0},
+        )
+        hopper.step(1, {0: sense})
+        assert clean in hopper.buckets
+        assert flagged not in hopper.buckets
+
+
+class TestResize:
+    def test_share_growth_adds_subchannels(self):
+        hopper = _hopper(reuse_enabled=False)
+        hopper.step(2, {})
+        hopper.step(5, {0: _sense()})
+        assert len(hopper.buckets) == 5
+
+    def test_share_shrink_drops_subchannels(self):
+        hopper = _hopper(reuse_enabled=False)
+        hopper.step(8, {})
+        hopper.step(3, {0: _sense()})
+        assert len(hopper.buckets) == 3
+
+    def test_resize_to_full_carrier(self):
+        hopper = _hopper(reuse_enabled=False)
+        hopper.step(1, {})
+        hopper.step(N_SUBS, {0: _sense()})
+        assert hopper.holdings == set(range(N_SUBS))
+
+
+class TestChannelReuse:
+    def test_packs_to_lower_index(self):
+        hopper = _hopper(reuse_persistence_epochs=2)
+        # Force holdings to high indices.
+        hopper.buckets = {10: 5.0, 11: 5.0, 12: 5.0}
+        senses = {0: _sense(fractions={10: 0.3, 11: 0.3, 12: 0.3})}
+        for _ in range(6):
+            hopper.step(3, senses)
+        assert hopper.reuse_moves >= 1
+        assert min(hopper.buckets) < 10
+
+    def test_no_packing_when_disabled(self):
+        hopper = _hopper(reuse_enabled=False)
+        hopper.buckets = {10: 5.0, 11: 5.0, 12: 5.0}
+        senses = {0: _sense(fractions={10: 0.3, 11: 0.3, 12: 0.3})}
+        for _ in range(6):
+            hopper.step(3, senses)
+        assert hopper.reuse_moves == 0
+        assert hopper.holdings == {10, 11, 12}
+
+    def test_no_packing_onto_interfered_subchannel(self):
+        hopper = _hopper(reuse_persistence_epochs=2)
+        hopper.buckets = {11: 5.0, 12: 5.0}
+        # All low subchannels are persistently flagged as interfered.
+        low = list(range(11))
+        senses = {0: _sense(interfered=low, fractions={11: 0.5, 12: 0.5})}
+        for _ in range(8):
+            hopper.step(2, senses)
+        assert hopper.reuse_moves == 0
+        assert hopper.holdings == {11, 12}
+
+    def test_packing_needs_persistence(self):
+        hopper = _hopper(reuse_persistence_epochs=4)
+        hopper.buckets = {12: 5.0}
+        senses = {0: _sense(fractions={12: 1.0})}
+        hopper.step(1, senses)
+        hopper.step(1, senses)
+        assert hopper.reuse_moves == 0  # Not yet persistent enough.
+
+
+class TestConfigValidation:
+    def test_bad_config_rejected(self):
+        with pytest.raises(ValueError):
+            HopperConfig(n_subchannels=0)
+        with pytest.raises(ValueError):
+            HopperConfig(n_subchannels=13, bucket_mean=0.0)
+        with pytest.raises(ValueError):
+            HopperConfig(n_subchannels=13, reuse_persistence_epochs=0)

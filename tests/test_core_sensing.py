@@ -1,0 +1,69 @@
+"""Unit tests for the CellFi sensing wrappers."""
+
+import numpy as np
+import pytest
+
+from repro.core.interference.sensing import (
+    CqiDropDetector,
+    PrachContentionEstimator,
+)
+
+
+class TestPrachEstimator:
+    def test_counts_distinct_clients(self):
+        est = PrachContentionEstimator()
+        est.hear(1, now=0.0)
+        est.hear(2, now=0.1)
+        est.hear(1, now=0.2)  # Duplicate.
+        assert est.estimate(now=0.5) == 2
+
+    def test_estimates_expire_after_ttl(self):
+        # "This allows sensing nodes to expire each estimate after 1 second."
+        est = PrachContentionEstimator(ttl_s=1.0)
+        est.hear(1, now=0.0)
+        assert est.estimate(now=0.9) == 1
+        assert est.estimate(now=1.1) == 0
+
+    def test_fresh_preamble_renews(self):
+        est = PrachContentionEstimator(ttl_s=1.0)
+        est.hear(1, now=0.0)
+        est.hear(1, now=0.8)
+        assert est.estimate(now=1.5) == 1
+
+    def test_heard_clients(self):
+        est = PrachContentionEstimator()
+        est.hear(3, now=0.0)
+        est.hear(7, now=0.0)
+        assert est.heard_clients(now=0.5) == {3, 7}
+
+    def test_empty(self):
+        assert PrachContentionEstimator().estimate(now=10.0) == 0
+
+
+class TestCqiDropDetector:
+    def test_rates_match_paper_constants(self):
+        rng = np.random.default_rng(1)
+        detector = CqiDropDetector(rng)
+        n = 20_000
+        tp = sum(detector.verdict(True) for _ in range(n)) / n
+        fp = sum(detector.verdict(False) for _ in range(n)) / n
+        assert tp == pytest.approx(0.80, abs=0.01)
+        assert fp == pytest.approx(0.02, abs=0.005)
+
+    def test_perfect_detector(self):
+        rng = np.random.default_rng(2)
+        detector = CqiDropDetector(rng, true_positive=1.0, false_positive=0.0)
+        assert detector.verdict(True)
+        assert not detector.verdict(False)
+
+    def test_vector_interface(self):
+        rng = np.random.default_rng(3)
+        detector = CqiDropDetector(rng, true_positive=1.0, false_positive=0.0)
+        assert detector.verdicts([True, False, True]) == [True, False, True]
+
+    def test_rate_ordering_enforced(self):
+        rng = np.random.default_rng(4)
+        with pytest.raises(ValueError):
+            CqiDropDetector(rng, true_positive=0.1, false_positive=0.5)
+        with pytest.raises(ValueError):
+            CqiDropDetector(rng, true_positive=1.5)

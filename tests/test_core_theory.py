@@ -1,0 +1,133 @@
+"""Unit tests for the Theorem 1 hopping-game model."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.core.interference.theory import (
+    HoppingGame,
+    feasible_uniform_demands,
+    random_conflict_graph,
+    theorem1_round_bound,
+)
+
+
+def _path_graph(n):
+    return nx.path_graph(n)
+
+
+class TestBound:
+    def test_formula(self):
+        # c * M log n / ((1-p) gamma).
+        bound = theorem1_round_bound(10, 13, 0.5, 0.0)
+        assert bound == pytest.approx(13 * np.log(10) / 0.5)
+
+    def test_fading_inflates_bound(self):
+        base = theorem1_round_bound(10, 13, 0.5, 0.0)
+        faded = theorem1_round_bound(10, 13, 0.5, 0.5)
+        assert faded == pytest.approx(2 * base)
+
+    def test_gamma_must_exceed_one_over_m(self):
+        with pytest.raises(ValueError):
+            theorem1_round_bound(10, 13, 0.01, 0.0)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            theorem1_round_bound(0, 13, 0.5, 0.0)
+        with pytest.raises(ValueError):
+            theorem1_round_bound(10, 13, 0.5, 1.0)
+
+
+class TestGameMechanics:
+    def test_single_node_converges_immediately(self):
+        graph = nx.Graph()
+        graph.add_node(0)
+        game = HoppingGame(graph, {0: 3}, 13, 0.0, np.random.default_rng(1))
+        result = game.run()
+        assert result.converged
+        assert result.rounds_to_converge <= 1
+
+    def test_no_neighbour_shares_a_subchannel(self):
+        graph = _path_graph(5)
+        demands = {v: 2 for v in graph.nodes}
+        game = HoppingGame(graph, demands, 13, 0.0, np.random.default_rng(2))
+        game.run()
+        for a, b in graph.edges:
+            assert not (game.held[a] & game.held[b])
+
+    def test_holdings_meet_demand_on_convergence(self):
+        graph = _path_graph(4)
+        demands = {v: 3 for v in graph.nodes}
+        game = HoppingGame(graph, demands, 13, 0.0, np.random.default_rng(3))
+        result = game.run()
+        assert result.converged
+        for v in graph.nodes:
+            assert len(game.held[v]) >= 3
+
+    def test_fading_slows_convergence(self):
+        rounds = {}
+        for p in (0.0, 0.6):
+            totals = []
+            for seed in range(10):
+                graph = _path_graph(6)
+                demands = {v: 3 for v in graph.nodes}
+                game = HoppingGame(graph, demands, 13, p, np.random.default_rng(seed))
+                totals.append(game.run().rounds_to_converge)
+            rounds[p] = np.mean(totals)
+        assert rounds[0.6] > rounds[0.0]
+
+    def test_converges_within_theorem_bound(self):
+        for seed in range(5):
+            rng = np.random.default_rng(seed)
+            graph = random_conflict_graph(16, 3.0, rng)
+            demands = feasible_uniform_demands(graph, 13, gamma=0.3)
+            game = HoppingGame(graph, demands, 13, 0.2, rng)
+            gamma = game.demand_slack()
+            assert gamma > 0.0
+            result = game.run(max_rounds=5000)
+            assert result.converged
+            bound = theorem1_round_bound(16, 13, gamma, 0.2, constant=3.0)
+            assert result.rounds_to_converge <= bound
+
+    def test_demand_validation(self):
+        graph = _path_graph(2)
+        with pytest.raises(ValueError):
+            HoppingGame(graph, {0: 14, 1: 0}, 13, 0.0, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            HoppingGame(graph, {0: -1, 1: 0}, 13, 0.0, np.random.default_rng(0))
+
+    def test_fading_probability_validation(self):
+        graph = _path_graph(2)
+        with pytest.raises(ValueError):
+            HoppingGame(graph, {0: 1, 1: 1}, 13, 1.0, np.random.default_rng(0))
+
+
+class TestHelpers:
+    def test_demand_slack(self):
+        graph = _path_graph(3)
+        game = HoppingGame(
+            graph, {0: 2, 1: 2, 2: 2}, 13, 0.0, np.random.default_rng(0)
+        )
+        # Worst closed neighbourhood: node 1 with both neighbours: 6/13.
+        assert game.demand_slack() == pytest.approx(1.0 - 6.0 / 13.0)
+
+    def test_feasible_uniform_demands_respect_gamma(self):
+        rng = np.random.default_rng(4)
+        graph = random_conflict_graph(20, 4.0, rng)
+        demands = feasible_uniform_demands(graph, 13, gamma=0.3)
+        game = HoppingGame(graph, demands, 13, 0.0, rng)
+        assert game.demand_slack() >= 0.3 - 1e-9
+
+    def test_random_graph_size(self):
+        rng = np.random.default_rng(5)
+        graph = random_conflict_graph(12, 3.0, rng)
+        assert graph.number_of_nodes() == 12
+
+    def test_random_graph_validation(self):
+        with pytest.raises(ValueError):
+            random_conflict_graph(0, 3.0, np.random.default_rng(0))
+
+    def test_feasible_demands_validation(self):
+        graph = _path_graph(3)
+        with pytest.raises(ValueError):
+            feasible_uniform_demands(graph, 13, gamma=0.0)

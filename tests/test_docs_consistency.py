@@ -1,0 +1,65 @@
+"""Documentation consistency: guard DESIGN.md and README against rot."""
+
+import importlib
+import pathlib
+import re
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+
+
+def _read(name: str) -> str:
+    return (REPO_ROOT / name).read_text()
+
+
+class TestDesignDoc:
+    def test_every_referenced_module_exists(self):
+        text = _read("DESIGN.md")
+        modules = set(re.findall(r"`(repro(?:\.\w+)+)`", text))
+        assert modules, "DESIGN.md should reference repro modules"
+        for dotted in sorted(modules):
+            importlib.import_module(dotted)
+
+    def test_every_referenced_benchmark_exists(self):
+        text = _read("DESIGN.md")
+        benches = set(re.findall(r"`(benchmarks/\w+\.py)`", text))
+        assert benches
+        for path in benches:
+            assert (REPO_ROOT / path).is_file(), f"{path} missing"
+
+    def test_every_referenced_test_file_exists(self):
+        text = _read("DESIGN.md")
+        tests = set(re.findall(r"`(tests/\w+\.py)`", text))
+        for path in tests:
+            assert (REPO_ROOT / path).is_file(), f"{path} missing"
+
+
+class TestReadme:
+    def test_quickstart_snippet_runs(self):
+        text = _read("README.md")
+        blocks = re.findall(r"```python\n(.*?)```", text, re.S)
+        assert blocks, "README should contain a python quickstart"
+        # Shrink the snippet so the doc test stays fast.
+        snippet = blocks[0].replace("n_aps=6", "n_aps=2").replace(
+            "net.run(10", "net.run(2"
+        )
+        namespace = {}
+        exec(compile(snippet, "README-quickstart", "exec"), namespace)
+        assert namespace["results"], "quickstart must produce results"
+
+    def test_examples_listed_exist(self):
+        text = _read("README.md")
+        examples = set(re.findall(r"`(examples/\w+\.py)`", text))
+        assert len(examples) >= 3
+        for path in examples:
+            assert (REPO_ROOT / path).is_file(), f"{path} missing"
+
+
+class TestExperimentsDoc:
+    def test_every_referenced_benchmark_exists(self):
+        text = _read("EXPERIMENTS.md")
+        benches = set(re.findall(r"`(benchmarks/\w+\.py)`", text))
+        assert len(benches) >= 12, "every figure needs a bench"
+        for path in benches:
+            assert (REPO_ROOT / path).is_file(), f"{path} missing"

@@ -1,0 +1,139 @@
+"""Unit tests for CQI reporting and the subband interference detector."""
+
+import numpy as np
+import pytest
+
+from repro.lte.cqi import (
+    CqiReport,
+    CqiReportingConfig,
+    SubbandCqiReporter,
+    measure_report,
+)
+
+
+class TestReportingConfig:
+    def test_default_mode(self):
+        config = CqiReportingConfig()
+        assert config.mode == "3-0"
+        assert config.period_s == 2e-3
+        assert config.n_subbands == 13
+
+    def test_payload_bits(self):
+        # 4-bit wideband + 13 x 2-bit subbands.
+        assert CqiReportingConfig().payload_bits == 30
+
+    def test_uplink_overhead_order_of_10kbps(self):
+        # The paper computes ~10 kb/s; the strict field count gives 15 kb/s.
+        overhead = CqiReportingConfig().uplink_overhead_bps
+        assert 8e3 <= overhead <= 20e3
+
+
+class TestMeasureReport:
+    def test_quantises_subbands(self):
+        report = measure_report([-10.0, 0.0, 25.0])
+        assert report.subband_cqi[0] == 0
+        assert 1 <= report.subband_cqi[1] <= 5
+        assert report.subband_cqi[2] == 15
+
+    def test_wideband_reflects_average(self):
+        report = measure_report([10.0, 10.0, 10.0])
+        assert report.cqi_for(0) == report.wideband_cqi
+
+    def test_noise_requires_rng(self):
+        with pytest.raises(ValueError):
+            measure_report([10.0], measurement_noise_db=1.0)
+
+    def test_noise_perturbs_reports(self):
+        rng = np.random.default_rng(0)
+        reports = {
+            tuple(
+                measure_report([8.0] * 4, measurement_noise_db=2.0, rng=rng).subband_cqi
+            )
+            for _ in range(20)
+        }
+        assert len(reports) > 1
+
+    def test_timestamp_carried(self):
+        assert measure_report([5.0], time=3.5).time == 3.5
+
+
+class TestSubbandReporter:
+    def _reporter(self, **kwargs):
+        return SubbandCqiReporter(n_subbands=2, **kwargs)
+
+    def _feed(self, reporter, cqis, n):
+        for i in range(n):
+            reporter.ingest(CqiReport(wideband_cqi=max(cqis), subband_cqi=list(cqis), time=i * 2e-3))
+
+    def test_no_interference_no_detection(self):
+        reporter = self._reporter()
+        self._feed(reporter, (12, 12), 100)
+        assert not reporter.interference_detected(0)
+        assert not reporter.interference_detected(1)
+
+    def test_sustained_drop_detected(self):
+        reporter = self._reporter()
+        self._feed(reporter, (12, 12), 50)
+        self._feed(reporter, (12, 4), 15)  # 4 < 0.6 * 12.
+        assert not reporter.interference_detected(0)
+        assert reporter.interference_detected(1)
+
+    def test_short_drop_not_detected(self):
+        reporter = self._reporter(consecutive_required=10)
+        self._feed(reporter, (12, 12), 50)
+        self._feed(reporter, (12, 4), 5)
+        assert not reporter.interference_detected(1)
+
+    def test_mild_drop_not_detected(self):
+        # 8 >= 0.6 * 12 = 7.2, so a one-step CQI drop must not fire.
+        reporter = self._reporter()
+        self._feed(reporter, (12, 12), 50)
+        self._feed(reporter, (12, 8), 50)
+        assert not reporter.interference_detected(1)
+
+    def test_recovery_resets_streak(self):
+        reporter = self._reporter()
+        self._feed(reporter, (12, 12), 50)
+        self._feed(reporter, (12, 4), 8)
+        self._feed(reporter, (12, 12), 1)
+        self._feed(reporter, (12, 4), 8)
+        assert not reporter.interference_detected(1)
+
+    def test_max_tracking_window(self):
+        reporter = SubbandCqiReporter(n_subbands=1, max_window=20)
+        self._feed_single(reporter, 15, 5)
+        self._feed_single(reporter, 6, 30)  # Old max ages out of the window.
+        assert reporter.max_cqi(0) == 6
+
+    def _feed_single(self, reporter, cqi, n):
+        for i in range(n):
+            reporter.ingest(CqiReport(wideband_cqi=cqi, subband_cqi=[cqi], time=i * 2e-3))
+
+    def test_detector_unlatches_after_max_ages_out(self):
+        # The property behind the measured ~80% TP: during a long
+        # interference burst the clean max eventually leaves the window
+        # and the detector stops flagging.
+        reporter = SubbandCqiReporter(n_subbands=1, max_window=50)
+        self._feed_single(reporter, 12, 50)
+        self._feed_single(reporter, 4, 30)
+        assert reporter.interference_detected(0)
+        self._feed_single(reporter, 4, 60)
+        assert not reporter.interference_detected(0)
+
+    def test_mismatched_report_rejected(self):
+        reporter = self._reporter()
+        with pytest.raises(ValueError):
+            reporter.ingest(CqiReport(wideband_cqi=5, subband_cqi=[5, 5, 5]))
+
+    def test_latest(self):
+        reporter = self._reporter()
+        assert reporter.latest() is None
+        report = CqiReport(wideband_cqi=5, subband_cqi=[5, 5])
+        reporter.ingest(report)
+        assert reporter.latest() is report
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            SubbandCqiReporter(n_subbands=1, drop_fraction=1.5)
+        with pytest.raises(ValueError):
+            SubbandCqiReporter(n_subbands=1, consecutive_required=0)

@@ -1,0 +1,139 @@
+"""Unit tests for the downlink schedulers."""
+
+import pytest
+
+from repro.lte.scheduler import (
+    Allocation,
+    ProportionalFairScheduler,
+    RoundRobinScheduler,
+)
+
+
+def _flat_rate(rate):
+    return lambda client, sub: rate
+
+
+class TestAllocation:
+    def test_client_throughput(self):
+        alloc = Allocation(epoch_s=2.0, served_bits={1: 4e6})
+        assert alloc.client_throughput_bps(1) == 2e6
+        assert alloc.client_throughput_bps(99) == 0.0
+
+    def test_fraction_default_zero(self):
+        assert Allocation(epoch_s=1.0).fraction(1, 2) == 0.0
+
+    def test_clients_on(self):
+        alloc = Allocation(epoch_s=1.0, time_fraction={(1, 0): 0.5, (2, 0): 0.5, (1, 1): 1.0})
+        assert sorted(alloc.clients_on(0)) == [1, 2]
+        assert alloc.clients_on(1) == [1]
+
+
+class TestRoundRobin:
+    def test_equal_rates_equal_bits(self):
+        scheduler = RoundRobinScheduler()
+        alloc = scheduler.allocate(
+            [0, 1], {1: float("inf"), 2: float("inf")}, _flat_rate(1e6)
+        )
+        assert alloc.served_bits[1] == pytest.approx(alloc.served_bits[2], rel=0.05)
+
+    def test_total_bits_bounded_by_capacity(self):
+        scheduler = RoundRobinScheduler()
+        alloc = scheduler.allocate(
+            [0, 1, 2], {1: float("inf"), 2: float("inf")}, _flat_rate(1e6)
+        )
+        assert sum(alloc.served_bits.values()) <= 3e6 * 1.0 + 1e-6
+
+    def test_finite_demand_not_exceeded(self):
+        scheduler = RoundRobinScheduler()
+        alloc = scheduler.allocate([0, 1], {1: 100.0}, _flat_rate(1e6))
+        assert alloc.served_bits[1] == pytest.approx(100.0)
+
+    def test_leftover_capacity_goes_to_backlogged(self):
+        scheduler = RoundRobinScheduler()
+        alloc = scheduler.allocate(
+            [0], {1: 1000.0, 2: float("inf")}, _flat_rate(1e6)
+        )
+        assert alloc.served_bits[1] == pytest.approx(1000.0)
+        # Mini-slot granularity: client 2 gets all remaining whole slots.
+        assert alloc.served_bits[2] == pytest.approx(1e6 * 49 / 50, rel=0.01)
+
+    def test_zero_rate_client_not_scheduled(self):
+        scheduler = RoundRobinScheduler()
+
+        def rate(client, sub):
+            return 0.0 if client == 1 else 1e6
+
+        alloc = scheduler.allocate([0], {1: float("inf"), 2: float("inf")}, rate)
+        assert alloc.served_bits[1] == 0.0
+        assert alloc.served_bits[2] > 0.0
+
+    def test_time_fractions_sum_to_one_per_subchannel(self):
+        scheduler = RoundRobinScheduler()
+        alloc = scheduler.allocate(
+            [0, 1], {1: float("inf"), 2: float("inf")}, _flat_rate(1e6)
+        )
+        for sub in (0, 1):
+            total = sum(
+                frac for (c, s), frac in alloc.time_fraction.items() if s == sub
+            )
+            assert total == pytest.approx(1.0)
+
+    def test_no_clients_no_bits(self):
+        alloc = RoundRobinScheduler().allocate([0, 1], {}, _flat_rate(1e6))
+        assert alloc.served_bits == {}
+
+
+class TestProportionalFair:
+    def test_equal_conditions_equal_split(self):
+        scheduler = ProportionalFairScheduler()
+        alloc = scheduler.allocate(
+            [0, 1, 2], {1: float("inf"), 2: float("inf")}, _flat_rate(1e6)
+        )
+        assert alloc.served_bits[1] == pytest.approx(alloc.served_bits[2], rel=0.1)
+
+    def test_airtime_fairness_with_unequal_rates(self):
+        # PF equalises airtime, so throughput is proportional to rate.
+        scheduler = ProportionalFairScheduler()
+
+        def rate(client, sub):
+            return 2e6 if client == 1 else 5e5
+
+        alloc = scheduler.allocate([0], {1: float("inf"), 2: float("inf")}, rate)
+        ratio = alloc.served_bits[1] / alloc.served_bits[2]
+        assert ratio == pytest.approx(4.0, rel=0.2)
+
+    def test_prefers_subchannel_quality(self):
+        # A client only schedulable on one subchannel still gets served.
+        scheduler = ProportionalFairScheduler()
+
+        def rate(client, sub):
+            if client == 1:
+                return 1e6 if sub == 0 else 0.0
+            return 1e6
+
+        alloc = scheduler.allocate([0, 1], {1: float("inf"), 2: float("inf")}, rate)
+        assert alloc.served_bits[1] > 0.0
+        assert alloc.fraction(1, 1) == 0.0
+
+    def test_average_persists_across_epochs(self):
+        scheduler = ProportionalFairScheduler(smoothing=0.5)
+        # Epoch 1: client 1 alone, builds up a high average.
+        scheduler.allocate([0], {1: float("inf")}, _flat_rate(1e6))
+        # Epoch 2: newcomer 2 should get more than half the airtime.
+        alloc = scheduler.allocate(
+            [0], {1: float("inf"), 2: float("inf")}, _flat_rate(1e6)
+        )
+        assert alloc.served_bits[2] >= alloc.served_bits[1]
+
+    def test_demand_respected(self):
+        scheduler = ProportionalFairScheduler()
+        alloc = scheduler.allocate([0], {1: 500.0, 2: float("inf")}, _flat_rate(1e6))
+        assert alloc.served_bits[1] == pytest.approx(500.0)
+
+    def test_bad_smoothing_rejected(self):
+        with pytest.raises(ValueError):
+            ProportionalFairScheduler(smoothing=0.0)
+
+    def test_empty_subchannels_yield_nothing(self):
+        alloc = ProportionalFairScheduler().allocate([], {1: float("inf")}, _flat_rate(1e6))
+        assert alloc.served_bits[1] == 0.0

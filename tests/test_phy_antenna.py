@@ -1,0 +1,69 @@
+"""Unit tests for antenna patterns."""
+
+import pytest
+
+from repro.phy.antenna import OmniAntenna, SectorAntenna, _wrap_angle_deg
+
+
+class TestOmni:
+    def test_constant_gain(self):
+        antenna = OmniAntenna(gain_dbi=3.0)
+        for bearing in (-180.0, -90.0, 0.0, 45.0, 179.0):
+            assert antenna.gain_dbi(bearing) == 3.0
+
+    def test_gain_towards_matches(self):
+        antenna = OmniAntenna(2.0)
+        assert antenna.gain_towards(0, 0, 100, 100) == 2.0
+
+
+class TestSector:
+    def test_boresight_has_peak_gain(self):
+        antenna = SectorAntenna(peak_gain_dbi=7.0, boresight_deg=30.0)
+        assert antenna.gain_dbi(30.0) == pytest.approx(7.0)
+
+    def test_3db_point_at_half_beamwidth(self):
+        antenna = SectorAntenna(
+            peak_gain_dbi=7.0, boresight_deg=0.0, beamwidth_deg=120.0
+        )
+        # The 3GPP pattern puts 3 dB attenuation at theta/theta_3dB = 1/2.
+        assert antenna.gain_dbi(60.0) == pytest.approx(7.0 - 3.0)
+
+    def test_back_lobe_capped(self):
+        antenna = SectorAntenna(
+            peak_gain_dbi=7.0, boresight_deg=0.0, front_back_db=20.0
+        )
+        assert antenna.gain_dbi(180.0) == pytest.approx(7.0 - 20.0)
+
+    def test_pattern_symmetric(self):
+        antenna = SectorAntenna(boresight_deg=0.0)
+        assert antenna.gain_dbi(40.0) == pytest.approx(antenna.gain_dbi(-40.0))
+
+    def test_wraps_across_180(self):
+        antenna = SectorAntenna(boresight_deg=170.0)
+        # -170 deg is only 20 deg away from boresight through the wrap.
+        assert antenna.gain_dbi(-170.0) > antenna.gain_dbi(90.0)
+
+    def test_gain_towards_geometry(self):
+        antenna = SectorAntenna(peak_gain_dbi=7.0, boresight_deg=0.0)
+        # A point due east is on boresight.
+        assert antenna.gain_towards(0, 0, 100, 0) == pytest.approx(7.0)
+        # A point due west is in the back lobe.
+        assert antenna.gain_towards(0, 0, -100, 0) == pytest.approx(7.0 - 20.0)
+
+    def test_bad_beamwidth_raises(self):
+        with pytest.raises(ValueError):
+            SectorAntenna(beamwidth_deg=0.0)
+
+    def test_negative_front_back_raises(self):
+        with pytest.raises(ValueError):
+            SectorAntenna(front_back_db=-5.0)
+
+
+class TestWrapAngle:
+    @pytest.mark.parametrize(
+        "angle,expected",
+        [(0.0, 0.0), (180.0, 180.0), (181.0, -179.0), (-181.0, 179.0),
+         (360.0, 0.0), (540.0, 180.0), (-360.0, 0.0)],
+    )
+    def test_wraps(self, angle, expected):
+        assert _wrap_angle_deg(angle) == pytest.approx(expected)

@@ -1,0 +1,122 @@
+"""Unit tests for the link budget and SINR computation."""
+
+import pytest
+
+from repro.phy.antenna import OmniAntenna, SectorAntenna
+from repro.phy.link import LinkBudget, Radio, capped_spectral_efficiency, sinr_db
+from repro.phy.propagation import CompositeChannel, FreeSpacePathLoss
+
+
+class _Node:
+    def __init__(self, x, y):
+        self.x, self.y = x, y
+
+
+def _budget(bandwidth_hz=5e6):
+    channel = CompositeChannel(FreeSpacePathLoss(600e6))
+    return LinkBudget(channel, bandwidth_hz)
+
+
+class TestRxPower:
+    def test_rx_power_matches_friis(self):
+        budget = _budget()
+        tx = Radio(node=_Node(0, 0), tx_power_dbm=30.0)
+        rx = Radio(node=_Node(1000, 0), tx_power_dbm=20.0)
+        expected = 30.0 - FreeSpacePathLoss(600e6).path_loss_db(1000.0)
+        assert budget.rx_power_dbm(tx, rx) == pytest.approx(expected)
+
+    def test_antenna_gains_applied_both_ends(self):
+        budget = _budget()
+        tx = Radio(
+            node=_Node(0, 0), tx_power_dbm=30.0,
+            antenna=SectorAntenna(peak_gain_dbi=7.0, boresight_deg=0.0),
+        )
+        rx = Radio(
+            node=_Node(1000, 0), tx_power_dbm=20.0, antenna=OmniAntenna(2.0)
+        )
+        base = 30.0 - FreeSpacePathLoss(600e6).path_loss_db(1000.0)
+        assert budget.rx_power_dbm(tx, rx) == pytest.approx(base + 7.0 + 2.0)
+
+    def test_eirp_towards(self):
+        tx = Radio(
+            node=_Node(0, 0), tx_power_dbm=29.0,
+            antenna=SectorAntenna(peak_gain_dbi=7.0, boresight_deg=0.0),
+        )
+        rx = Radio(node=_Node(100, 0), tx_power_dbm=20.0)
+        assert tx.eirp_dbm_towards(rx) == pytest.approx(36.0)
+
+    def test_bad_bandwidth_raises(self):
+        with pytest.raises(ValueError):
+            LinkBudget(CompositeChannel(FreeSpacePathLoss(600e6)), 0.0)
+
+
+class TestSnrSinr:
+    def test_snr_is_rx_minus_noise(self):
+        budget = _budget()
+        tx = Radio(node=_Node(0, 0), tx_power_dbm=30.0)
+        rx = Radio(node=_Node(500, 0), tx_power_dbm=20.0)
+        assert budget.snr_db(tx, rx) == pytest.approx(
+            budget.rx_power_dbm(tx, rx) - budget.noise_dbm(rx)
+        )
+
+    def test_sinr_without_interferers_equals_snr(self):
+        budget = _budget()
+        tx = Radio(node=_Node(0, 0), tx_power_dbm=30.0)
+        rx = Radio(node=_Node(500, 0), tx_power_dbm=20.0)
+        assert budget.sinr_db(tx, rx) == pytest.approx(budget.snr_db(tx, rx))
+
+    def test_equal_interferer_caps_sinr_near_zero(self):
+        budget = _budget()
+        tx = Radio(node=_Node(0, 0), tx_power_dbm=30.0)
+        interferer = Radio(node=_Node(0, 0.1), tx_power_dbm=30.0)
+        rx = Radio(node=_Node(500, 0), tx_power_dbm=20.0)
+        assert budget.sinr_db(tx, rx, [interferer]) < 0.1
+
+    def test_interferer_activity_weighting(self):
+        budget = _budget()
+        tx = Radio(node=_Node(0, 0), tx_power_dbm=30.0)
+        interferer = Radio(node=_Node(100, 100), tx_power_dbm=30.0)
+        rx = Radio(node=_Node(500, 0), tx_power_dbm=20.0)
+        full = budget.sinr_db(tx, rx, [interferer], interferer_activity=[1.0])
+        half = budget.sinr_db(tx, rx, [interferer], interferer_activity=[0.5])
+        off = budget.sinr_db(tx, rx, [interferer], interferer_activity=[0.0])
+        assert full < half < off
+        assert off == pytest.approx(budget.snr_db(tx, rx))
+
+    def test_activity_length_validated(self):
+        budget = _budget()
+        tx = Radio(node=_Node(0, 0), tx_power_dbm=30.0)
+        rx = Radio(node=_Node(500, 0), tx_power_dbm=20.0)
+        with pytest.raises(ValueError):
+            budget.sinr_db(tx, rx, [tx], interferer_activity=[0.5, 0.5])
+
+    def test_activity_range_validated(self):
+        budget = _budget()
+        tx = Radio(node=_Node(0, 0), tx_power_dbm=30.0)
+        rx = Radio(node=_Node(500, 0), tx_power_dbm=20.0)
+        with pytest.raises(ValueError):
+            budget.sinr_db(tx, rx, [tx], interferer_activity=[1.5])
+
+    def test_noise_bandwidth_override(self):
+        budget = _budget(5e6)
+        rx = Radio(node=_Node(0, 0), tx_power_dbm=20.0)
+        narrow = budget.noise_dbm(rx, bandwidth_hz=180e3)
+        assert narrow < budget.noise_dbm(rx)
+
+
+class TestHelpers:
+    def test_sinr_db_function(self):
+        # Signal -80, one interferer -90, noise -100: SINR ~ 9.5 dB.
+        value = sinr_db(-80.0, [-90.0], -100.0)
+        assert value == pytest.approx(9.54, abs=0.05)
+
+    def test_sinr_db_no_interference(self):
+        assert sinr_db(-80.0, [], -100.0) == pytest.approx(20.0)
+
+    def test_capped_efficiency_caps(self):
+        assert capped_spectral_efficiency(80.0, max_efficiency=6.0) == 6.0
+
+    def test_capped_efficiency_matches_shannon_shape(self):
+        low = capped_spectral_efficiency(0.0)
+        high = capped_spectral_efficiency(15.0)
+        assert high > low > 0.0

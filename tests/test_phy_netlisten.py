@@ -1,0 +1,157 @@
+"""Tests for the signal-level network-listen classifier."""
+
+import numpy as np
+import pytest
+
+from repro.phy.netlisten import (
+    CELLFI,
+    IDLE,
+    OTHER,
+    PSS_LENGTH,
+    PSS_ROOTS,
+    NetworkListener,
+    pss_sequence,
+    synth_idle,
+    synth_lte_burst,
+    synth_wifi_burst,
+)
+
+
+def _rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestPssSequence:
+    def test_length_and_dc_puncture(self):
+        seq = pss_sequence(25)
+        assert len(seq) == PSS_LENGTH
+        assert seq[31] == 0.0
+
+    def test_unit_amplitude_off_dc(self):
+        seq = pss_sequence(29)
+        magnitudes = np.abs(np.delete(seq, 31))
+        assert np.allclose(magnitudes, 1.0)
+
+    def test_roots_distinct(self):
+        a, b = pss_sequence(25), pss_sequence(34)
+        assert not np.allclose(a, b)
+
+    def test_cross_root_correlation_low(self):
+        a, b = pss_sequence(25), pss_sequence(29)
+        cross = abs(np.vdot(a, b)) / (np.linalg.norm(a) * np.linalg.norm(b))
+        assert cross < 0.35
+
+    def test_invalid_root_rejected(self):
+        with pytest.raises(ValueError):
+            pss_sequence(26)
+
+
+class TestClassification:
+    def test_lte_identified_any_root(self):
+        listener = NetworkListener()
+        rng = _rng(1)
+        for root in PSS_ROOTS:
+            verdict = listener.classify(synth_lte_burst(root, 2048, 3.0, rng))
+            assert verdict.occupancy == CELLFI
+            assert verdict.pss_root == root
+
+    def test_wifi_identified_as_other(self):
+        listener = NetworkListener()
+        rng = _rng(2)
+        for _ in range(20):
+            verdict = listener.classify(synth_wifi_burst(2048, 6.0, rng))
+            assert verdict.occupancy == OTHER
+
+    def test_noise_is_idle(self):
+        listener = NetworkListener()
+        rng = _rng(3)
+        for _ in range(20):
+            assert listener.classify(synth_idle(2048, rng)).occupancy == IDLE
+
+    def test_strong_wifi_never_reads_as_lte(self):
+        # The normalized coefficient is power-invariant: cranking Wi-Fi
+        # power must not push it over the PSS threshold.
+        listener = NetworkListener()
+        rng = _rng(4)
+        for snr in (10.0, 20.0, 30.0):
+            verdict = listener.classify(synth_wifi_burst(2048, snr, rng))
+            assert verdict.occupancy == OTHER
+
+    def test_weak_lte_degrades_to_energy_classes(self):
+        listener = NetworkListener()
+        rng = _rng(5)
+        verdict = listener.classify(synth_lte_burst(25, 2048, -15.0, rng))
+        assert verdict.occupancy in (IDLE, OTHER)  # PSS buried in noise.
+
+    def test_short_capture_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkListener().classify(np.zeros(10, dtype=complex))
+
+    def test_noise_floor_validated(self):
+        with pytest.raises(ValueError):
+            NetworkListener(noise_floor_power=0.0)
+
+    def test_coefficient_in_unit_range(self):
+        listener = NetworkListener()
+        rng = _rng(6)
+        for capture in (
+            synth_lte_burst(25, 1024, 5.0, rng),
+            synth_wifi_burst(1024, 5.0, rng),
+            synth_idle(1024, rng),
+        ):
+            verdict = listener.classify(capture)
+            assert 0.0 <= verdict.pss_coefficient <= 1.0 + 1e-9
+
+
+class TestProbeIntegration:
+    def test_probe_fn_drives_channel_selection(self):
+        from repro.core.channel_selection import OccupancyProbe
+
+        rng = _rng(7)
+        listener = NetworkListener()
+
+        def capture(channel: int):
+            if channel == 14:
+                return synth_wifi_burst(2048, 8.0, rng)
+            if channel == 15:
+                return synth_lte_burst(25, 2048, 5.0, rng)
+            return synth_idle(2048, rng)
+
+        probe = OccupancyProbe(listener.probe_fn(capture))
+        assert probe.probe(14) == OTHER
+        assert probe.probe(15) == CELLFI
+        assert probe.probe(16) == IDLE
+
+    def test_selector_prefers_idle_over_radio_classified(self):
+        from repro.core.channel_selection import ChannelSelector, OccupancyProbe
+        from repro.sim.engine import Simulator
+        from repro.tvws.channels import US_CHANNEL_PLAN
+        from repro.tvws.database import SpectrumDatabase
+        from repro.tvws.paws import DeviceDescriptor, GeoLocation, PawsServer
+
+        rng = _rng(8)
+        listener = NetworkListener()
+
+        def capture(channel: int):
+            # Channels 14-15 busy with Wi-Fi; 16 hosts another CellFi cell;
+            # 17+ idle.
+            if channel in (14, 15):
+                return synth_wifi_burst(2048, 8.0, rng)
+            if channel == 16:
+                return synth_lte_burst(34, 2048, 5.0, rng)
+            return synth_idle(2048, rng)
+
+        sim = Simulator()
+        paws = PawsServer(SpectrumDatabase(US_CHANNEL_PLAN))
+        started = []
+        selector = ChannelSelector(
+            sim=sim,
+            paws=paws,
+            device=DeviceDescriptor("nl-ap"),
+            location=GeoLocation(0.0, 0.0),
+            probe=OccupancyProbe(listener.probe_fn(capture)),
+            radio_start=lambda ch, spec: started.append(ch),
+            radio_stop=lambda: None,
+        )
+        selector.start()
+        assert started == [17]  # Lowest *idle* channel, not lowest overall.

@@ -1,0 +1,165 @@
+"""Unit tests for propagation models."""
+
+import math
+
+import pytest
+
+from repro.phy.propagation import (
+    CompositeChannel,
+    FreeSpacePathLoss,
+    LogDistancePathLoss,
+    LogNormalShadowing,
+    UrbanHataPathLoss,
+)
+
+
+class _Node:
+    def __init__(self, x, y):
+        self.x, self.y = x, y
+
+
+class TestFreeSpace:
+    def test_known_value_2ghz_100m(self):
+        # FSPL(2.4 GHz, 100 m) ~ 80 dB.
+        model = FreeSpacePathLoss(2.4e9)
+        assert model.path_loss_db(100.0) == pytest.approx(80.1, abs=0.2)
+
+    def test_slope_is_20db_per_decade(self):
+        model = FreeSpacePathLoss(600e6)
+        assert model.path_loss_db(1000.0) - model.path_loss_db(100.0) == pytest.approx(
+            20.0, abs=0.01
+        )
+
+    def test_lower_frequency_less_loss(self):
+        assert FreeSpacePathLoss(600e6).path_loss_db(500.0) < FreeSpacePathLoss(
+            2.4e9
+        ).path_loss_db(500.0)
+
+    def test_distance_clamped_below_one_meter(self):
+        model = FreeSpacePathLoss(600e6)
+        assert model.path_loss_db(0.0) == model.path_loss_db(1.0)
+
+    def test_negative_distance_raises(self):
+        with pytest.raises(ValueError):
+            FreeSpacePathLoss(600e6).path_loss_db(-1.0)
+
+    def test_bad_frequency_raises(self):
+        with pytest.raises(ValueError):
+            FreeSpacePathLoss(0.0)
+
+
+class TestLogDistance:
+    def test_matches_free_space_at_reference(self):
+        model = LogDistancePathLoss(600e6, exponent=3.7, reference_m=10.0)
+        free = FreeSpacePathLoss(600e6)
+        assert model.path_loss_db(10.0) == pytest.approx(free.path_loss_db(10.0))
+
+    def test_slope_beyond_reference(self):
+        model = LogDistancePathLoss(600e6, exponent=4.0, reference_m=10.0)
+        delta = model.path_loss_db(1000.0) - model.path_loss_db(100.0)
+        assert delta == pytest.approx(40.0, abs=0.01)
+
+    def test_free_space_inside_reference(self):
+        model = LogDistancePathLoss(600e6, exponent=4.0, reference_m=100.0)
+        free = FreeSpacePathLoss(600e6)
+        assert model.path_loss_db(50.0) == pytest.approx(free.path_loss_db(50.0))
+
+    def test_exponent_below_two_rejected(self):
+        with pytest.raises(ValueError):
+            LogDistancePathLoss(600e6, exponent=1.5)
+
+
+class TestUrbanHata:
+    def test_calibration_at_one_km(self):
+        # The value the repo's link budgets are built around: ~126 dB.
+        model = UrbanHataPathLoss()
+        assert model.path_loss_db(1000.0) == pytest.approx(126.3, abs=0.5)
+
+    def test_slope_around_37db_per_decade(self):
+        model = UrbanHataPathLoss()
+        delta = model.path_loss_db(1000.0) - model.path_loss_db(100.0)
+        assert delta == pytest.approx(37.2, abs=0.3)
+
+    def test_taller_base_station_reduces_loss(self):
+        low = UrbanHataPathLoss(base_height_m=10.0)
+        high = UrbanHataPathLoss(base_height_m=50.0)
+        assert high.path_loss_db(1000.0) < low.path_loss_db(1000.0)
+
+    def test_higher_frequency_more_loss(self):
+        assert UrbanHataPathLoss(frequency_hz=700e6).path_loss_db(
+            1000.0
+        ) > UrbanHataPathLoss(frequency_hz=500e6).path_loss_db(1000.0)
+
+    def test_frequency_range_enforced(self):
+        with pytest.raises(ValueError):
+            UrbanHataPathLoss(frequency_hz=2.4e9)
+
+    def test_paper_range_feasible(self):
+        # 36 dBm EIRP - PL(1.3 km) must stay above the CQI-1 sensitivity
+        # over 5 MHz (~ -107 dBm + (-6.7) margin).
+        model = UrbanHataPathLoss()
+        rx_dbm = 36.0 - model.path_loss_db(1300.0)
+        assert rx_dbm > -107.5 - 6.7
+
+
+class TestShadowing:
+    def test_deterministic_per_link(self):
+        shadow = LogNormalShadowing(sigma_db=8.0, seed=1)
+        a = shadow.shadowing_db(0.0, 0.0, 100.0, 50.0)
+        b = shadow.shadowing_db(0.0, 0.0, 100.0, 50.0)
+        assert a == b
+
+    def test_reciprocal(self):
+        shadow = LogNormalShadowing(sigma_db=8.0, seed=1)
+        forward = shadow.shadowing_db(0.0, 0.0, 100.0, 50.0)
+        reverse = shadow.shadowing_db(100.0, 50.0, 0.0, 0.0)
+        assert forward == reverse
+
+    def test_zero_sigma_is_zero(self):
+        shadow = LogNormalShadowing(sigma_db=0.0, seed=1)
+        assert shadow.shadowing_db(0, 0, 10, 10) == 0.0
+
+    def test_seed_decorrelates(self):
+        a = LogNormalShadowing(8.0, seed=1).shadowing_db(0, 0, 100, 50)
+        b = LogNormalShadowing(8.0, seed=2).shadowing_db(0, 0, 100, 50)
+        assert a != b
+
+    def test_empirical_sigma(self):
+        shadow = LogNormalShadowing(sigma_db=6.0, seed=3)
+        samples = [
+            shadow.shadowing_db(0.0, 0.0, float(i), float(2 * i + 1))
+            for i in range(1, 2000)
+        ]
+        mean = sum(samples) / len(samples)
+        var = sum((s - mean) ** 2 for s in samples) / len(samples)
+        assert abs(mean) < 0.5
+        assert math.sqrt(var) == pytest.approx(6.0, rel=0.1)
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            LogNormalShadowing(sigma_db=-1.0)
+
+
+class TestCompositeChannel:
+    def test_without_shadowing_equals_path_loss(self):
+        channel = CompositeChannel(UrbanHataPathLoss())
+        a, b = _Node(0, 0), _Node(600, 800)  # 1 km apart.
+        assert channel.loss_db(a, b) == pytest.approx(
+            UrbanHataPathLoss().path_loss_db(1000.0)
+        )
+
+    def test_shadowing_added(self):
+        shadow = LogNormalShadowing(sigma_db=8.0, seed=9)
+        channel = CompositeChannel(UrbanHataPathLoss(), shadow)
+        a, b = _Node(0, 0), _Node(600, 800)
+        expected = UrbanHataPathLoss().path_loss_db(1000.0) + shadow.shadowing_db(
+            0, 0, 600, 800
+        )
+        assert channel.loss_db(a, b) == pytest.approx(expected)
+
+    def test_symmetric(self):
+        channel = CompositeChannel(
+            UrbanHataPathLoss(), LogNormalShadowing(7.0, seed=4)
+        )
+        a, b = _Node(10, 20), _Node(500, 900)
+        assert channel.loss_db(a, b) == channel.loss_db(b, a)

@@ -1,0 +1,127 @@
+"""Unit tests for the OFDMA resource grid and TDD frames."""
+
+import pytest
+
+from repro.phy.resource_grid import (
+    FDD_DOWNLINK,
+    RB_BANDWIDTH_HZ,
+    ResourceGrid,
+    TDD_CONFIG_4,
+    TddConfig,
+    subband_size_rbs,
+)
+
+
+class TestTddConfig:
+    def test_paper_config4_split(self):
+        assert TDD_CONFIG_4.downlink_subframes == 7
+        assert TDD_CONFIG_4.uplink_subframes == 2
+        assert TDD_CONFIG_4.downlink_fraction == pytest.approx(0.7)
+        assert TDD_CONFIG_4.uplink_fraction == pytest.approx(0.2)
+
+    def test_frame_must_have_ten_subframes(self):
+        with pytest.raises(ValueError):
+            TddConfig(name="bad", downlink_subframes=8, uplink_subframes=4)
+
+
+class TestSubbandSizes:
+    def test_5mhz_gives_13_subchannels(self):
+        # The paper: "there are 13 such subchannels on 5MHz channel".
+        grid = ResourceGrid(5e6)
+        assert grid.n_rbs == 25
+        assert grid.n_subchannels == 13
+
+    def test_20mhz_gives_25_subchannels(self):
+        # "... and 25 subchannels on a 20 MHz channel."
+        grid = ResourceGrid(20e6)
+        assert grid.n_rbs == 100
+        assert grid.n_subchannels == 25
+
+    def test_subband_size_function(self):
+        assert subband_size_rbs(6) == 1
+        assert subband_size_rbs(25) == 2
+        assert subband_size_rbs(50) == 3
+        assert subband_size_rbs(100) == 4
+
+    def test_unsupported_bandwidth_raises(self):
+        with pytest.raises(ValueError):
+            ResourceGrid(7e6)
+
+
+class TestSubchannelGeometry:
+    def test_rb_ranges_partition_carrier(self):
+        grid = ResourceGrid(5e6)
+        covered = []
+        for sub in grid.all_subchannels():
+            start, stop = grid.subchannel_rb_range(sub)
+            covered.extend(range(start, stop))
+        assert covered == list(range(grid.n_rbs))
+
+    def test_tail_subchannel_may_be_short(self):
+        grid = ResourceGrid(5e6)  # 25 RBs / 2 -> last subband has 1 RB.
+        assert grid.subchannel_rbs(12) == 1
+        assert grid.subchannel_rbs(0) == 2
+
+    def test_subchannel_bandwidth(self):
+        grid = ResourceGrid(5e6)
+        assert grid.subchannel_bandwidth_hz(0) == pytest.approx(2 * RB_BANDWIDTH_HZ)
+
+    def test_out_of_range_subchannel_raises(self):
+        grid = ResourceGrid(5e6)
+        with pytest.raises(ValueError):
+            grid.subchannel_rbs(13)
+        with pytest.raises(ValueError):
+            grid.subchannel_rb_range(-1)
+
+
+class TestRates:
+    def test_peak_rate_plausible(self):
+        # 5 MHz TDD config 4 at top CQI: ~12 Mb/s downlink.
+        grid = ResourceGrid(5e6)
+        peak = grid.peak_downlink_rate_bps()
+        assert 10e6 < peak < 15e6
+
+    def test_fdd_grid_faster_than_tdd(self):
+        tdd = ResourceGrid(5e6, tdd=TDD_CONFIG_4)
+        fdd = ResourceGrid(5e6, tdd=FDD_DOWNLINK)
+        assert fdd.peak_downlink_rate_bps() > tdd.peak_downlink_rate_bps()
+
+    def test_rate_linear_in_rbs(self):
+        grid = ResourceGrid(5e6)
+        one = grid.downlink_rate_bps(2.0, 1)
+        ten = grid.downlink_rate_bps(2.0, 10)
+        assert ten == pytest.approx(10 * one)
+
+    def test_rate_linear_in_efficiency(self):
+        grid = ResourceGrid(5e6)
+        assert grid.downlink_rate_bps(4.0, 5) == pytest.approx(
+            2 * grid.downlink_rate_bps(2.0, 5)
+        )
+
+    def test_uplink_uses_uplink_fraction(self):
+        grid = ResourceGrid(5e6)
+        dl = grid.downlink_rate_bps(2.0, 10)
+        ul = grid.uplink_rate_bps(2.0, 10)
+        assert ul / dl == pytest.approx(
+            grid.tdd.uplink_fraction / grid.tdd.downlink_fraction
+        )
+
+    def test_rb_count_validated(self):
+        grid = ResourceGrid(5e6)
+        with pytest.raises(ValueError):
+            grid.downlink_rate_bps(2.0, 26)
+        with pytest.raises(ValueError):
+            grid.uplink_rate_bps(2.0, -1)
+
+    def test_subchannel_rate_accounts_for_short_tail(self):
+        grid = ResourceGrid(5e6)
+        full = grid.subchannel_downlink_rate_bps(2.0, 0)
+        tail = grid.subchannel_downlink_rate_bps(2.0, 12)
+        assert tail == pytest.approx(full / 2)
+
+    def test_sum_of_subchannel_rates_is_carrier_rate(self):
+        grid = ResourceGrid(5e6)
+        total = sum(
+            grid.subchannel_downlink_rate_bps(2.0, k) for k in grid.all_subchannels()
+        )
+        assert total == pytest.approx(grid.downlink_rate_bps(2.0, grid.n_rbs))

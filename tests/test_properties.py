@@ -1,0 +1,244 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.interference.hopping import ClientSense, HopperConfig, SubchannelHopper
+from repro.core.interference.share import compute_share, shares_feasible
+from repro.phy.harq import block_error_rate, delivery_probability, expected_attempts
+from repro.phy.mcs import cqi_from_sinr, efficiency_from_cqi
+from repro.phy.resource_grid import RB_COUNT_BY_BANDWIDTH, ResourceGrid
+from repro.traffic.flows import Flow, FlowTracker
+from repro.utils.dbmath import (
+    db_to_linear,
+    dbm_to_watt,
+    linear_to_db,
+    watt_to_dbm,
+    wireless_sum_dbm,
+)
+from repro.utils.stats import Cdf, jain_fairness, percentile
+
+
+class TestDbMathProperties:
+    @given(st.floats(min_value=-200.0, max_value=200.0))
+    def test_db_roundtrip(self, db):
+        assert linear_to_db(db_to_linear(db)) == pytest.approx(db, abs=1e-9)
+
+    @given(st.floats(min_value=-150.0, max_value=60.0))
+    def test_dbm_roundtrip(self, dbm):
+        assert watt_to_dbm(dbm_to_watt(dbm)) == pytest.approx(dbm, abs=1e-9)
+
+    @given(
+        st.lists(st.floats(min_value=-120.0, max_value=30.0), min_size=1, max_size=8)
+    )
+    def test_wireless_sum_at_least_strongest(self, levels):
+        total = wireless_sum_dbm(levels)
+        assert total >= max(levels) - 1e-9
+
+    @given(
+        st.lists(st.floats(min_value=-120.0, max_value=30.0), min_size=1, max_size=8)
+    )
+    def test_wireless_sum_bounded_by_count(self, levels):
+        total = wireless_sum_dbm(levels)
+        bound = max(levels) + 10.0 * math.log10(len(levels))
+        assert total <= bound + 1e-9
+
+
+class TestStatsProperties:
+    @given(
+        st.lists(
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+            min_size=1,
+            max_size=100,
+        ),
+        st.floats(min_value=0.0, max_value=100.0),
+    )
+    def test_percentile_within_range(self, values, q):
+        result = percentile(values, q)
+        span = max(abs(min(values)), abs(max(values)), 1.0)
+        tolerance = 1e-12 * span  # Interpolation rounding slack.
+        assert min(values) - tolerance <= result <= max(values) + tolerance
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    def test_jain_fairness_bounds(self, values):
+        fairness = jain_fairness(values)
+        assert 1.0 / len(values) - 1e-9 <= fairness <= 1.0 + 1e-9
+
+    @given(
+        st.lists(
+            st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
+            min_size=2,
+            max_size=100,
+        )
+    )
+    def test_cdf_monotone(self, values):
+        cdf = Cdf(values)
+        lo, hi = min(values), max(values)
+        previous = 0.0
+        for i in range(11):
+            x = lo + (hi - lo) * i / 10.0
+            level = cdf.evaluate(x)
+            assert level >= previous - 1e-12
+            previous = level
+        assert cdf.evaluate(hi) == 1.0
+
+
+class TestMcsProperties:
+    @given(st.floats(min_value=-30.0, max_value=40.0))
+    def test_cqi_in_range(self, sinr):
+        assert 0 <= cqi_from_sinr(sinr) <= 15
+
+    @given(
+        st.floats(min_value=-30.0, max_value=40.0),
+        st.floats(min_value=0.0, max_value=10.0),
+    )
+    def test_cqi_monotone(self, sinr, delta):
+        assert cqi_from_sinr(sinr + delta) >= cqi_from_sinr(sinr)
+
+    @given(st.integers(min_value=0, max_value=15))
+    def test_efficiency_nonnegative(self, cqi):
+        assert efficiency_from_cqi(cqi) >= 0.0
+
+
+class TestHarqProperties:
+    @given(
+        st.floats(min_value=-20.0, max_value=30.0),
+        st.integers(min_value=1, max_value=15),
+    )
+    def test_bler_is_probability(self, sinr, cqi):
+        assert 0.0 <= block_error_rate(sinr, cqi) <= 1.0
+
+    @given(
+        st.floats(min_value=-20.0, max_value=30.0),
+        st.integers(min_value=1, max_value=15),
+    )
+    def test_delivery_beats_single_shot(self, sinr, cqi):
+        # HARQ can only help: P(delivered) >= P(first attempt succeeds).
+        assert (
+            delivery_probability(sinr, cqi)
+            >= (1.0 - block_error_rate(sinr, cqi)) - 1e-12
+        )
+
+    @given(
+        st.floats(min_value=-20.0, max_value=30.0),
+        st.integers(min_value=1, max_value=15),
+    )
+    def test_expected_attempts_bounds(self, sinr, cqi):
+        assert 1.0 - 1e-12 <= expected_attempts(sinr, cqi) <= 4.0 + 1e-12
+
+
+class TestResourceGridProperties:
+    @given(st.sampled_from(sorted(RB_COUNT_BY_BANDWIDTH)))
+    def test_subchannels_partition_rbs(self, bandwidth):
+        grid = ResourceGrid(bandwidth)
+        total = sum(grid.subchannel_rbs(k) for k in grid.all_subchannels())
+        assert total == grid.n_rbs
+
+    @given(
+        st.sampled_from(sorted(RB_COUNT_BY_BANDWIDTH)),
+        st.floats(min_value=0.0, max_value=5.55),
+    )
+    def test_rates_nonnegative_and_bounded(self, bandwidth, efficiency):
+        grid = ResourceGrid(bandwidth)
+        rate = grid.downlink_rate_bps(efficiency, grid.n_rbs)
+        assert rate >= 0.0
+        # 5.55 bit/RE over the whole grid is the ceiling.
+        assert rate <= grid.peak_downlink_rate_bps() + 1e-6
+
+
+class TestShareProperties:
+    @given(
+        st.integers(min_value=1, max_value=100),
+        st.integers(min_value=0, max_value=50),
+        st.integers(min_value=0, max_value=500),
+    )
+    def test_share_bounds(self, total, own, contenders):
+        share = compute_share(total, own, contenders)
+        assert 0 <= share <= total
+        if own > 0:
+            assert share >= 1
+
+    @given(
+        st.integers(min_value=1, max_value=13),
+        st.lists(st.integers(min_value=1, max_value=10), min_size=1, max_size=6),
+    )
+    def test_shared_collision_domain_feasible(self, total_subchannels, client_counts):
+        # When every AP hears every client, the computed shares must fit in
+        # the carrier with at most one extra subchannel per AP (the
+        # at-least-one rule for tiny shares).
+        everyone = sum(client_counts)
+        shares = [
+            compute_share(total_subchannels, n, everyone) for n in client_counts
+        ]
+        slack = sum(1 for s, n in zip(shares, client_counts) if s == 1)
+        assert sum(shares) <= total_subchannels + slack
+
+
+class TestHopperProperties:
+    @given(
+        st.integers(min_value=0, max_value=13),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=30)
+    def test_holdings_track_share(self, share, seed):
+        hopper = SubchannelHopper(
+            HopperConfig(n_subchannels=13), np.random.default_rng(seed)
+        )
+        hopper.step(share, {})
+        assert len(hopper.holdings) == share
+        # A second step with an empty sense dict keeps the size.
+        hopper.step(share, {})
+        assert len(hopper.holdings) == share
+
+    @given(
+        st.integers(min_value=1, max_value=13),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=30)
+    def test_holdings_are_valid_subchannels(self, share, seed):
+        hopper = SubchannelHopper(
+            HopperConfig(n_subchannels=13), np.random.default_rng(seed)
+        )
+        holdings = hopper.step(share, {})
+        assert holdings <= set(range(13))
+        assert len(holdings) == len(set(holdings))
+
+
+class TestFlowTrackerProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=1.0, max_value=1e5),
+                st.floats(min_value=0.0, max_value=10.0),
+            ),
+            min_size=1,
+            max_size=20,
+        ),
+        st.lists(st.floats(min_value=0.0, max_value=1e5), min_size=1, max_size=30),
+    )
+    def test_conservation(self, flows, services):
+        """Bits served never exceed bits offered; queues never go negative."""
+        tracker = FlowTracker()
+        offered = 0.0
+        for size, arrival in flows:
+            tracker.arrive(Flow(client_id=1, arrival_s=arrival, size_bits=size))
+            offered += size
+        t = 100.0
+        for amount in services:
+            tracker.serve(1, amount, t, t + 1.0)
+            t += 1.0
+            assert tracker.queued_bits(1) >= -1e-9
+        delivered = offered - tracker.queued_bits(1)
+        assert delivered <= offered + 1e-6
+        for flow in tracker.completed:
+            assert flow.completed_s >= flow.arrival_s or flow.completed_s >= 100.0

@@ -1,0 +1,76 @@
+"""Tests for the benchmark-report generator."""
+
+import pathlib
+
+import pytest
+
+from repro.utils.reportgen import collect_results, render_report, write_report
+
+
+@pytest.fixture
+def results_dir(tmp_path):
+    directory = tmp_path / "results"
+    directory.mkdir()
+    (directory / "fig1.txt").write_text("figure one body\n")
+    (directory / "table1.txt").write_text("table one body\n")
+    (directory / "custom.txt").write_text("custom artefact\n")
+    return directory
+
+
+class TestCollect:
+    def test_reads_all_artefacts(self, results_dir):
+        artefacts = collect_results(results_dir)
+        assert set(artefacts) == {"fig1", "table1", "custom"}
+        assert artefacts["fig1"] == "figure one body"
+
+    def test_missing_directory_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            collect_results(tmp_path / "nope")
+
+
+class TestRender:
+    def test_sections_in_paper_order(self, results_dir):
+        report = render_report(collect_results(results_dir))
+        table_pos = report.index("Table 1")
+        fig1_pos = report.index("Figure 1")
+        assert table_pos < fig1_pos
+
+    def test_unknown_artefacts_kept(self, results_dir):
+        report = render_report(collect_results(results_dir))
+        assert "custom artefact" in report
+        assert "Other results" in report
+
+    def test_missing_benchmarks_listed(self, results_dir):
+        report = render_report(collect_results(results_dir))
+        assert "Missing artefacts" in report
+        assert "fig9a" in report
+
+    def test_bodies_fenced(self, results_dir):
+        report = render_report(collect_results(results_dir))
+        assert "```\nfigure one body\n```" in report
+
+
+class TestWrite:
+    def test_writes_default_location(self, results_dir):
+        output = write_report(results_dir)
+        assert output == results_dir.parent / "REPORT.md"
+        assert "figure one body" in output.read_text()
+
+    def test_explicit_output(self, results_dir, tmp_path):
+        target = tmp_path / "out.md"
+        assert write_report(results_dir, target) == target
+        assert target.exists()
+
+
+class TestCliIntegration:
+    def test_report_command(self, results_dir, capsys, monkeypatch):
+        from repro.cli import main
+
+        monkeypatch.chdir(results_dir.parent)
+        assert main(["report", "--results-dir", str(results_dir)]) == 0
+        assert "wrote" in capsys.readouterr().out
+
+    def test_report_command_missing_dir(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["report", "--results-dir", str(tmp_path / "none")]) == 1

@@ -1,0 +1,156 @@
+"""Unit tests for the discrete-event simulator."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_callback_fires_at_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(2.5, lambda: seen.append(sim.now))
+        sim.run(until=10.0)
+        assert seen == [2.5]
+
+    def test_clock_ends_at_until(self):
+        sim = Simulator()
+        sim.run(until=7.0)
+        assert sim.now == 7.0
+
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(3.0, lambda: order.append("late"))
+        sim.schedule(1.0, lambda: order.append("early"))
+        sim.run(until=5.0)
+        assert order == ["early", "late"]
+
+    def test_ties_fire_in_scheduling_order(self):
+        sim = Simulator()
+        order = []
+        for i in range(5):
+            sim.schedule(1.0, lambda i=i: order.append(i))
+        sim.run(until=1.0)
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_event_at_until_fires(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(5.0, lambda: seen.append(True))
+        sim.run(until=5.0)
+        assert seen == [True]
+
+    def test_event_after_until_does_not_fire(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(5.1, lambda: seen.append(True))
+        sim.run(until=5.0)
+        assert seen == []
+        sim.run(until=6.0)
+        assert seen == [True]
+
+    def test_negative_delay_raises(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule(-0.1, lambda: None)
+
+    def test_run_backwards_raises(self):
+        sim = Simulator()
+        sim.run(until=5.0)
+        with pytest.raises(ValueError):
+            sim.run(until=4.0)
+
+    def test_schedule_at_absolute(self):
+        sim = Simulator()
+        sim.run(until=2.0)
+        seen = []
+        sim.schedule_at(3.0, lambda: seen.append(sim.now))
+        sim.run(until=4.0)
+        assert seen == [3.0]
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        seen = []
+
+        def outer():
+            sim.schedule(1.0, lambda: seen.append(sim.now))
+
+        sim.schedule(1.0, outer)
+        sim.run(until=3.0)
+        assert seen == [2.0]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        seen = []
+        event = sim.schedule(1.0, lambda: seen.append(True))
+        event.cancel()
+        sim.run(until=2.0)
+        assert seen == []
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert event.cancelled
+
+    def test_pending_events_excludes_cancelled(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        event = sim.schedule(2.0, lambda: None)
+        event.cancel()
+        assert sim.pending_events() == 1
+
+
+class TestRecurring:
+    def test_schedule_every_repeats(self):
+        sim = Simulator()
+        ticks = []
+        sim.schedule_every(1.0, lambda: ticks.append(sim.now))
+        sim.run(until=3.5)
+        assert ticks == [1.0, 2.0, 3.0]
+
+    def test_start_delay_override(self):
+        sim = Simulator()
+        ticks = []
+        sim.schedule_every(2.0, lambda: ticks.append(sim.now), start_delay=0.5)
+        sim.run(until=5.0)
+        assert ticks == [0.5, 2.5, 4.5]
+
+    def test_cancelling_first_stops_chain(self):
+        sim = Simulator()
+        ticks = []
+        event = sim.schedule_every(1.0, lambda: ticks.append(sim.now))
+        event.cancel()
+        sim.run(until=5.0)
+        assert ticks == []
+
+    def test_nonpositive_interval_raises(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule_every(0.0, lambda: None)
+
+
+class TestRunUntilIdle:
+    def test_drains_queue(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, lambda: seen.append(1))
+        sim.schedule(2.0, lambda: seen.append(2))
+        sim.run_until_idle()
+        assert seen == [1, 2]
+        assert sim.now == 2.0
+
+    def test_reentrant_run_raises(self):
+        sim = Simulator()
+
+        def nested():
+            with pytest.raises(RuntimeError):
+                sim.run(until=10.0)
+
+        sim.schedule(1.0, nested)
+        sim.run(until=2.0)

@@ -1,0 +1,53 @@
+"""Unit tests for seeded RNG streams."""
+
+import pytest
+
+from repro.sim.rng import RngStreams
+
+
+class TestRngStreams:
+    def test_same_seed_same_draws(self):
+        a = RngStreams(42).stream("x").random(5)
+        b = RngStreams(42).stream("x").random(5)
+        assert list(a) == list(b)
+
+    def test_different_names_differ(self):
+        streams = RngStreams(42)
+        a = streams.stream("a").random(5)
+        b = streams.stream("b").random(5)
+        assert list(a) != list(b)
+
+    def test_different_seeds_differ(self):
+        a = RngStreams(1).stream("x").random(5)
+        b = RngStreams(2).stream("x").random(5)
+        assert list(a) != list(b)
+
+    def test_stream_is_cached(self):
+        streams = RngStreams(1)
+        assert streams.stream("x") is streams.stream("x")
+
+    def test_adding_consumer_does_not_perturb_existing(self):
+        one = RngStreams(7)
+        draw_then = one.stream("topology").random(3)
+        two = RngStreams(7)
+        two.stream("newcomer").random(100)  # A new consumer appears.
+        draw_now = two.stream("topology").random(3)
+        assert list(draw_then) == list(draw_now)
+
+    def test_fork_is_deterministic(self):
+        a = RngStreams(3).fork("rep-1").stream("x").random(4)
+        b = RngStreams(3).fork("rep-1").stream("x").random(4)
+        assert list(a) == list(b)
+
+    def test_fork_labels_differ(self):
+        base = RngStreams(3)
+        a = base.fork("rep-1").stream("x").random(4)
+        b = base.fork("rep-2").stream("x").random(4)
+        assert list(a) != list(b)
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValueError):
+            RngStreams(-1)
+
+    def test_master_seed_exposed(self):
+        assert RngStreams(9).master_seed == 9

@@ -1,0 +1,108 @@
+"""Unit tests for the PAWS protocol layer."""
+
+import pytest
+
+from repro.tvws.channels import US_CHANNEL_PLAN
+from repro.tvws.database import Incumbent, SpectrumDatabase
+from repro.tvws.paws import (
+    AvailableSpectrumRequest,
+    DeviceDescriptor,
+    ERROR_OUTSIDE_COVERAGE,
+    GeoLocation,
+    PawsServer,
+)
+
+
+def _server(**db_kwargs):
+    return PawsServer(SpectrumDatabase(US_CHANNEL_PLAN, **db_kwargs))
+
+
+def _request(x=0.0, y=0.0, t=0.0, serial="ap-1"):
+    return AvailableSpectrumRequest(
+        device=DeviceDescriptor(serial_number=serial),
+        location=GeoLocation(x=x, y=y),
+        request_time=t,
+    )
+
+
+class TestInit:
+    def test_init_returns_ruleset(self):
+        server = _server()
+        response = server.init_device(DeviceDescriptor("ap-1"))
+        assert response["rulesetInfos"][0]["rulesetId"] == "ETSI-EN-301-598"
+
+
+class TestAvailableSpectrum:
+    def test_returns_all_channels_when_clear(self):
+        server = _server()
+        response = server.available_spectrum(_request())
+        assert response.ok
+        assert len(response.spectra) == len(US_CHANNEL_PLAN)
+
+    def test_excludes_incumbent_channels(self):
+        server = _server()
+        server.database.register_incumbent(Incumbent("tv", 20, 0, 0, 1000.0))
+        response = server.available_spectrum(_request())
+        assert 20 not in response.channel_numbers()
+        assert 21 in response.channel_numbers()
+
+    def test_spectrum_spec_fields(self):
+        server = _server(lease_duration_s=100.0)
+        response = server.available_spectrum(_request(t=50.0))
+        spec = response.spec_for(14)
+        assert spec.low_hz == 470e6
+        assert spec.high_hz == 476e6
+        assert spec.max_eirp_dbm == 36.0
+        assert spec.expires_at == 150.0
+
+    def test_outside_coverage_rejected(self):
+        server = PawsServer(
+            SpectrumDatabase(US_CHANNEL_PLAN), coverage_area_m=1000.0
+        )
+        response = server.available_spectrum(_request(x=5000.0))
+        assert not response.ok
+        assert response.error_code == ERROR_OUTSIDE_COVERAGE
+        assert response.spectra == []
+
+    def test_spec_for_missing_channel(self):
+        server = _server()
+        server.database.withdraw_channel(14)
+        response = server.available_spectrum(_request())
+        assert response.spec_for(14) is None
+
+
+class TestNotifications:
+    def test_use_notification_recorded(self):
+        server = _server()
+        device = DeviceDescriptor("ap-1")
+        server.notify_spectrum_use(device, 20, now=42.0)
+        notes = server.use_notifications
+        assert len(notes) == 1
+        assert notes[0]["channel"] == 20
+        assert notes[0]["time"] == 42.0
+
+    def test_notifications_are_copies(self):
+        server = _server()
+        server.notify_spectrum_use(DeviceDescriptor("ap-1"), 20, now=1.0)
+        notes = server.use_notifications
+        notes.clear()
+        assert len(server.use_notifications) == 1
+
+
+class TestSerialisation:
+    def test_request_to_json_shape(self):
+        body = _request(x=10.0, y=20.0, t=5.0).to_json()
+        assert body["method"] == "spectrum.paws.getSpectrum"
+        assert body["deviceDesc"]["serialNumber"] == "ap-1"
+        assert body["location"]["point"]["center"] == {"x": 10.0, "y": 20.0}
+
+    def test_device_descriptor_types(self):
+        fixed = DeviceDescriptor("ap", device_type="A").to_json()
+        assert fixed["etsiEnDeviceType"] == "A"
+
+    def test_spectrum_spec_json(self):
+        server = _server()
+        spec = server.available_spectrum(_request()).spectra[0]
+        body = spec.to_json()
+        assert body["frequencyRange"]["startHz"] == spec.low_hz
+        assert body["maxPowerDBm"] == spec.max_eirp_dbm

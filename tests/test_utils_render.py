@@ -1,0 +1,50 @@
+"""Unit tests for repro.utils.render."""
+
+import pytest
+
+from repro.utils.render import ascii_plot, format_table
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        out = format_table(["a", "bb"], [[1, 2], [30, 40]])
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert "30" in lines[3]
+
+    def test_title_prepended(self):
+        out = format_table(["x"], [[1]], title="Table 1")
+        assert out.splitlines()[0] == "Table 1"
+
+    def test_mismatched_row_raises(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_float_formatting(self):
+        out = format_table(["v"], [[3.14159]])
+        assert "3.14" in out
+
+    def test_columns_aligned(self):
+        out = format_table(["name", "v"], [["x", 1], ["longer", 2]])
+        lines = out.splitlines()
+        # All data rows have the separator at the same position.
+        positions = {line.index("|") for line in lines if "|" in line}
+        assert len(positions) == 1
+
+
+class TestAsciiPlot:
+    def test_empty_data(self):
+        assert ascii_plot([]) == "(no data)"
+
+    def test_contains_marks(self):
+        out = ascii_plot([(0.0, 0.0), (1.0, 1.0)], width=10, height=5)
+        assert out.count("*") >= 2
+
+    def test_labels_present(self):
+        out = ascii_plot([(0, 0), (2, 4)], x_label="dist", y_label="tput")
+        assert "dist" in out
+        assert "tput" in out
+
+    def test_flat_series_does_not_crash(self):
+        out = ascii_plot([(0.0, 1.0), (1.0, 1.0)])
+        assert "*" in out

@@ -1,0 +1,328 @@
+"""Unit tests for the CSMA/CA (DCF) machinery."""
+
+import numpy as np
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.wifi.csma import (
+    CsmaNode,
+    DcfParams,
+    Station,
+    Transmission,
+    WifiMedium,
+    mpdu_delivery_fraction,
+)
+from repro.wifi.frames import FrameTimings
+from repro.wifi.rates import WIFI_MCS_TABLE
+
+
+def _flat_loss(db):
+    return lambda a, b: db
+
+
+def _medium(sim, loss_db=80.0, bandwidth=20e6, **param_kwargs):
+    params = DcfParams(timings=FrameTimings(bandwidth_hz=bandwidth), **param_kwargs)
+    return WifiMedium(sim, _flat_loss(loss_db), bandwidth, params)
+
+
+class TestMpduFraction:
+    def test_full_delivery_at_operating_point(self):
+        assert mpdu_delivery_fraction(20.0, 20.0) == 1.0
+        assert mpdu_delivery_fraction(30.0, 20.0) == 1.0
+
+    def test_total_loss_deep_below(self):
+        assert mpdu_delivery_fraction(10.0, 20.0) == 0.0
+
+    def test_linear_in_between(self):
+        assert mpdu_delivery_fraction(17.0, 20.0) == pytest.approx(0.5)
+
+
+class TestTransmission:
+    def test_overlap_fraction_full(self):
+        a = Transmission(src=0, dst=1, kind="data", start=0.0, end=1.0)
+        b = Transmission(src=2, dst=3, kind="data", start=0.0, end=2.0)
+        assert a.overlap_fraction(b) == 1.0
+
+    def test_overlap_fraction_partial(self):
+        a = Transmission(src=0, dst=1, kind="data", start=0.0, end=1.0)
+        b = Transmission(src=2, dst=3, kind="data", start=0.5, end=2.0)
+        assert a.overlap_fraction(b) == pytest.approx(0.5)
+
+    def test_no_overlap(self):
+        a = Transmission(src=0, dst=1, kind="data", start=0.0, end=1.0)
+        b = Transmission(src=2, dst=3, kind="data", start=1.5, end=2.0)
+        assert a.overlap_fraction(b) == 0.0
+
+
+class TestMedium:
+    def test_duplicate_station_rejected(self):
+        sim = Simulator()
+        medium = _medium(sim)
+        medium.add_station(Station(0, 0, 0, 20.0))
+        with pytest.raises(ValueError):
+            medium.add_station(Station(0, 1, 1, 20.0))
+
+    def test_rx_power(self):
+        sim = Simulator()
+        medium = _medium(sim, loss_db=70.0)
+        medium.add_station(Station(0, 0, 0, 20.0))
+        medium.add_station(Station(1, 10, 0, 20.0))
+        assert medium.rx_dbm(0, 1) == pytest.approx(-50.0)
+
+    def test_hears_depends_on_threshold(self):
+        sim = Simulator()
+        medium = _medium(sim, loss_db=70.0)
+        medium.add_station(Station(0, 0, 0, 20.0))
+        medium.add_station(Station(1, 10, 0, 20.0))
+        assert medium.hears(1, 0)  # -50 dBm is way above threshold.
+
+    def test_does_not_hear_weak_signal(self):
+        sim = Simulator()
+        medium = _medium(sim, loss_db=150.0)
+        medium.add_station(Station(0, 0, 0, 20.0))
+        medium.add_station(Station(1, 10, 0, 20.0))
+        assert not medium.hears(1, 0)  # -130 dBm is below any threshold.
+
+    def test_cs_threshold_derived_from_noise(self):
+        sim = Simulator()
+        medium = _medium(sim, bandwidth=20e6)
+        # noise(-94 with NF 7) + 19 ~ -75 dBm.
+        assert medium.params.cs_threshold_dbm == pytest.approx(
+            medium.noise_dbm + 19.0
+        )
+
+    def test_sinr_no_interference(self):
+        sim = Simulator()
+        medium = _medium(sim, loss_db=70.0)
+        medium.add_station(Station(0, 0, 0, 20.0))
+        medium.add_station(Station(1, 10, 0, 20.0))
+        tx = medium.transmit(0, duration=1e-3, kind="data", dst_id=1)
+        sim.run(until=2e-3)
+        assert medium.sinr_db(tx) == pytest.approx(-50.0 - medium.noise_dbm)
+
+    def test_sinr_with_overlapping_interferer(self):
+        sim = Simulator()
+        medium = _medium(sim, loss_db=70.0)
+        for sid in (0, 1, 2):
+            medium.add_station(Station(sid, sid * 10.0, 0, 20.0))
+        tx = medium.transmit(0, duration=1e-3, kind="data", dst_id=1)
+        medium.transmit(2, duration=1e-3, kind="data", dst_id=None)
+        sim.run(until=2e-3)
+        # Equal powers: SINR ~ 0 dB (interference dominates noise).
+        assert medium.sinr_db(tx) == pytest.approx(0.0, abs=0.1)
+
+    def test_sinr_weighted_by_overlap(self):
+        sim = Simulator()
+        medium = _medium(sim, loss_db=70.0)
+        for sid in (0, 1, 2):
+            medium.add_station(Station(sid, sid * 10.0, 0, 20.0))
+        tx = medium.transmit(0, duration=2e-3, kind="data", dst_id=1)
+        sim.run(until=1e-3)
+        medium.transmit(2, duration=1e-3, kind="data")
+        sim.run(until=3e-3)
+        # Interferer overlapped half the frame: SINR ~ +3 dB.
+        assert medium.sinr_db(tx) == pytest.approx(3.0, abs=0.2)
+
+    def test_prune_history(self):
+        sim = Simulator()
+        medium = _medium(sim)
+        medium.add_station(Station(0, 0, 0, 20.0))
+        medium.transmit(0, duration=1e-3, kind="data")
+        sim.run(until=1.0)
+        medium.prune_history(horizon_s=0.1)
+        assert medium._history == []
+
+
+def _build_pair(sim, loss_db=70.0, rts_cts=True):
+    """One AP with one client, clean channel."""
+    medium = _medium(sim, loss_db=loss_db, rts_cts=rts_cts)
+    ap_station = Station(0, 0.0, 0.0, 20.0)
+    client_station = Station(100, 50.0, 0.0, 20.0)
+    medium.add_station(ap_station)
+    medium.add_station(client_station)
+    node = CsmaNode(sim, medium, ap_station, medium.params, np.random.default_rng(1))
+    node.add_destination(100, WIFI_MCS_TABLE[5])
+    return medium, node
+
+
+class TestCsmaNode:
+    def test_delivers_queued_traffic(self):
+        sim = Simulator()
+        medium, node = _build_pair(sim)
+        node.enqueue(100, 1e6)
+        sim.run(until=1.0)
+        assert node.stats[100].bits_delivered == pytest.approx(1e6)
+        assert node.queued_bits(100) == 0.0
+
+    def test_no_failures_on_clean_channel(self):
+        sim = Simulator()
+        medium, node = _build_pair(sim)
+        node.enqueue(100, 5e6)
+        sim.run(until=2.0)
+        assert node.stats[100].data_failures == 0
+
+    def test_throughput_below_phy_rate(self):
+        sim = Simulator()
+        medium, node = _build_pair(sim)
+        node.enqueue(100, 1e9)
+        sim.run(until=1.0)
+        delivered = node.stats[100].bits_delivered
+        from repro.wifi.rates import data_rate_bps
+
+        phy_rate = data_rate_bps(WIFI_MCS_TABLE[5], 20e6)
+        assert 0.3 * phy_rate < delivered < phy_rate
+
+    def test_rts_cts_adds_overhead(self):
+        results = {}
+        for rts in (True, False):
+            sim = Simulator()
+            medium, node = _build_pair(sim, rts_cts=rts)
+            node.enqueue(100, 1e9)
+            sim.run(until=1.0)
+            results[rts] = node.stats[100].bits_delivered
+        assert results[False] > results[True]
+
+    def test_enqueue_unknown_destination_raises(self):
+        sim = Simulator()
+        medium, node = _build_pair(sim)
+        with pytest.raises(KeyError):
+            node.enqueue(999, 1000.0)
+
+    def test_delivery_callback_invoked(self):
+        sim = Simulator()
+        medium, node = _build_pair(sim)
+        deliveries = []
+        node.delivery_callback = lambda dest, bits: deliveries.append((dest, bits))
+        node.enqueue(100, 1e5)
+        sim.run(until=1.0)
+        assert deliveries
+        assert sum(b for _, b in deliveries) == pytest.approx(1e5)
+
+    def test_round_robin_across_clients(self):
+        sim = Simulator()
+        medium = _medium(sim, loss_db=70.0)
+        ap_station = Station(0, 0.0, 0.0, 20.0)
+        medium.add_station(ap_station)
+        for sid in (100, 101):
+            medium.add_station(Station(sid, 50.0, float(sid - 100), 20.0))
+        node = CsmaNode(sim, medium, ap_station, medium.params, np.random.default_rng(2))
+        for sid in (100, 101):
+            node.add_destination(sid, WIFI_MCS_TABLE[5])
+            node.enqueue(sid, 1e9)
+        sim.run(until=1.0)
+        a = node.stats[100].bits_delivered
+        b = node.stats[101].bits_delivered
+        assert a == pytest.approx(b, rel=0.2)
+
+
+class TestContention:
+    def _two_ap_world(self, mutual_loss_db, rng_seed=3):
+        """Two APs, each serving its own client; configurable AP-AP loss."""
+        sim = Simulator()
+        params = DcfParams(timings=FrameTimings(bandwidth_hz=20e6))
+
+        positions = {0: (0.0, 0.0), 1: (1000.0, 0.0), 100: (20.0, 0.0), 101: (980.0, 0.0)}
+
+        def loss(a, b):
+            pair = {a.station_id, b.station_id}
+            if pair == {0, 1}:
+                return mutual_loss_db
+            # AP to own client: strong.
+            if pair in ({0, 100}, {1, 101}):
+                return 70.0
+            # Cross links (AP to the other cell's client): strong enough to
+            # break frames when transmissions overlap (SIR ~ 5 dB).
+            if pair in ({0, 101}, {1, 100}):
+                return 75.0
+            return 120.0
+
+        medium = WifiMedium(sim, loss, 20e6, params)
+        for sid, (x, y) in positions.items():
+            medium.add_station(Station(sid, x, y, 20.0))
+        nodes = []
+        for ap, client in ((0, 100), (1, 101)):
+            node = CsmaNode(
+                sim, medium, medium.station(ap), params,
+                np.random.default_rng(rng_seed + ap),
+            )
+            node.add_destination(client, WIFI_MCS_TABLE[3])
+            node.enqueue(client, 1e9)
+            nodes.append(node)
+        return sim, medium, nodes
+
+    def test_mutually_sensing_aps_share_cleanly(self):
+        sim, medium, nodes = self._two_ap_world(mutual_loss_db=60.0)
+        sim.run(until=1.0)
+        failures = sum(n.stats[d].data_failures for n in nodes for d in n.stats)
+        attempts = sum(n.stats[d].data_attempts for n in nodes for d in n.stats)
+        assert attempts > 0
+        assert failures / attempts < 0.2
+
+    def test_hidden_aps_collide(self):
+        # APs cannot hear each other; their frames overlap at the clients.
+        sim, medium, nodes = self._two_ap_world(mutual_loss_db=160.0)
+        sim.run(until=1.0)
+        failures = sum(n.stats[d].data_failures for n in nodes for d in n.stats)
+        assert failures > 0
+
+    def test_hidden_throughput_lower_than_coordinated(self):
+        sim_a, _, nodes_a = self._two_ap_world(mutual_loss_db=60.0)
+        sim_a.run(until=1.0)
+        sim_b, _, nodes_b = self._two_ap_world(mutual_loss_db=160.0)
+        sim_b.run(until=1.0)
+        coordinated = sum(n.stats[d].bits_delivered for n in nodes_a for d in n.stats)
+        hidden = sum(n.stats[d].bits_delivered for n in nodes_b for d in n.stats)
+        assert hidden < coordinated
+
+
+class TestExposedTerminal:
+    """Two APs that hear each other but whose clients are far apart: both
+    transmissions could proceed in parallel, yet CSMA serialises them --
+    the classic exposed-terminal inefficiency the paper pins on long-range
+    Wi-Fi."""
+
+    def _world(self, mutual_loss_db):
+        sim = Simulator()
+        params = DcfParams(timings=FrameTimings(bandwidth_hz=20e6))
+
+        def loss(a, b):
+            pair = {a.station_id, b.station_id}
+            if pair == {0, 1}:
+                return mutual_loss_db       # AP <-> AP.
+            if pair in ({0, 100}, {1, 101}):
+                return 70.0                 # AP -> own client.
+            return 140.0                    # Cross links: negligible.
+
+        medium = WifiMedium(sim, loss, 20e6, params)
+        for sid, (x, y) in {0: (0, 0), 1: (500, 0), 100: (-50, 0), 101: (550, 0)}.items():
+            medium.add_station(Station(sid, float(x), float(y), 20.0))
+        nodes = []
+        for ap, client in ((0, 100), (1, 101)):
+            node = CsmaNode(
+                sim, medium, medium.station(ap), params,
+                np.random.default_rng(11 + ap),
+            )
+            node.add_destination(client, WIFI_MCS_TABLE[5])
+            node.enqueue(client, 1e9)
+            nodes.append(node)
+        return sim, nodes
+
+    def _total(self, mutual_loss_db):
+        sim, nodes = self._world(mutual_loss_db)
+        sim.run(until=1.0)
+        return sum(n.stats[d].bits_delivered for n in nodes for d in n.stats)
+
+    def test_exposure_costs_throughput(self):
+        # Mutually-sensing (exposed) pair vs truly isolated pair.  The APs
+        # sometimes slip a TXOP into each other's RTS/CTS gaps (real DCF
+        # does too), so the loss is substantial but not a full halving.
+        exposed = self._total(mutual_loss_db=70.0)
+        isolated = self._total(mutual_loss_db=140.0)
+        assert exposed < 0.85 * isolated
+
+    def test_exposed_pair_has_no_collisions(self):
+        # Serialisation is wasteful but clean: no data failures.
+        sim, nodes = self._world(mutual_loss_db=70.0)
+        sim.run(until=1.0)
+        failures = sum(n.stats[d].data_failures for n in nodes for d in n.stats)
+        assert failures == 0
