@@ -1,0 +1,16 @@
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench bench-full
+
+# Tier-1 test suite (must stay green).
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Quick epoch benchmark (small sizes, few epochs) -- suitable for CI.
+bench:
+	$(PYTHON) benchmarks/bench_epoch.py --smoke
+
+# Full epoch benchmark: 10/50/200 cells, writes BENCH_epoch.json.
+bench-full:
+	$(PYTHON) benchmarks/bench_epoch.py

@@ -1,0 +1,181 @@
+#!/usr/bin/env python
+"""Benchmark the LTE epoch hot path: scalar vs vectorized backend.
+
+Times ``LteNetworkSimulator.run_epoch`` under saturated demand on seeded
+random deployments at several cell counts, and writes the measurements to
+``BENCH_epoch.json`` at the repository root.
+
+The scalar (reference) backend is quadratic in cells per subchannel and
+becomes very slow past ~50 cells, so by default it is only timed up to
+``--max-scalar-cells`` (50); larger sizes record the vectorized backend
+alone.  Both backends are bit-identical for the same seeds
+(``tests/test_lte_network_vectorized.py``), so the speedup is free.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_epoch.py            # full run
+    PYTHONPATH=src python benchmarks/bench_epoch.py --smoke    # quick CI run
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import time
+from typing import Dict, List
+
+import numpy as np
+
+from repro.lte.network import (
+    BACKEND_SCALAR,
+    BACKEND_VECTORIZED,
+    AllSubchannelsPolicy,
+    LteNetworkSimulator,
+)
+from repro.phy.propagation import (
+    CompositeChannel,
+    LogNormalShadowing,
+    UrbanHataPathLoss,
+)
+from repro.phy.resource_grid import ResourceGrid
+from repro.sim.rng import RngStreams
+from repro.sim.topology import random_topology, reassociate_strongest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+OUTPUT_PATH = REPO_ROOT / "BENCH_epoch.json"
+
+DEFAULT_SIZES = (10, 50, 200)
+CLIENTS_PER_AP = 6
+SEED = 2017
+
+
+def build_network(n_cells: int, backend: str) -> LteNetworkSimulator:
+    """A seeded deployment identical across backends."""
+    rng = np.random.default_rng(SEED)
+    topology = random_topology(
+        rng,
+        n_aps=n_cells,
+        clients_per_ap=CLIENTS_PER_AP,
+        area_m=2000.0,
+        client_range_m=600.0,
+    )
+    channel = CompositeChannel(
+        UrbanHataPathLoss(), LogNormalShadowing(sigma_db=7.0, seed=SEED)
+    )
+    topology = reassociate_strongest(topology, channel.loss_db)
+    return LteNetworkSimulator(
+        topology=topology,
+        grid=ResourceGrid(5e6),
+        channel=channel,
+        rngs=RngStreams(SEED),
+        backend=backend,
+    )
+
+
+def time_epochs(net: LteNetworkSimulator, n_epochs: int) -> Dict[str, float]:
+    """Wall-clock seconds for the epoch loop (setup excluded)."""
+    grid = net.grid
+    policy = AllSubchannelsPolicy(
+        [ap.ap_id for ap in net.topology.aps], grid.n_subchannels
+    )
+    demands = {c.client_id: float("inf") for c in net.topology.clients}
+    # One untimed warm-up epoch (fills gain cache and rate tables).
+    allowed = policy.decide(0, None)
+    observations = net.run_epoch(0, allowed, demands).observations
+    start = time.perf_counter()
+    for epoch in range(1, n_epochs + 1):
+        allowed = policy.decide(epoch, observations)
+        observations = net.run_epoch(epoch, allowed, demands).observations
+    elapsed = time.perf_counter() - start
+    return {
+        "total_s": elapsed,
+        "per_epoch_s": elapsed / n_epochs,
+        "epochs": n_epochs,
+    }
+
+
+def run_benchmark(
+    sizes: List[int], n_epochs: int, max_scalar_cells: int
+) -> Dict:
+    results = []
+    for n_cells in sizes:
+        entry: Dict = {"cells": n_cells, "clients": n_cells * CLIENTS_PER_AP}
+        net = build_network(n_cells, BACKEND_VECTORIZED)
+        entry["vectorized"] = time_epochs(net, n_epochs)
+        print(
+            f"{n_cells:4d} cells  vectorized  "
+            f"{entry['vectorized']['per_epoch_s'] * 1e3:9.1f} ms/epoch"
+        )
+        if n_cells <= max_scalar_cells:
+            net = build_network(n_cells, BACKEND_SCALAR)
+            entry["scalar"] = time_epochs(net, n_epochs)
+            entry["speedup"] = (
+                entry["scalar"]["per_epoch_s"]
+                / entry["vectorized"]["per_epoch_s"]
+            )
+            print(
+                f"{n_cells:4d} cells  scalar      "
+                f"{entry['scalar']['per_epoch_s'] * 1e3:9.1f} ms/epoch  "
+                f"(speedup {entry['speedup']:.1f}x)"
+            )
+        else:
+            entry["scalar"] = None
+            entry["note"] = (
+                f"scalar backend skipped above {max_scalar_cells} cells "
+                "(reference implementation is too slow; it is bit-identical "
+                "to the vectorized backend)"
+            )
+        results.append(entry)
+    return {
+        "benchmark": "lte-epoch-backends",
+        "seed": SEED,
+        "clients_per_ap": CLIENTS_PER_AP,
+        "epochs_timed": n_epochs,
+        "results": results,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="quick mode: small sizes and few epochs (CI / make bench)",
+    )
+    parser.add_argument(
+        "--sizes",
+        type=int,
+        nargs="+",
+        default=None,
+        help=f"cell counts to benchmark (default {list(DEFAULT_SIZES)})",
+    )
+    parser.add_argument(
+        "--epochs", type=int, default=None, help="epochs to time per run"
+    )
+    parser.add_argument(
+        "--max-scalar-cells",
+        type=int,
+        default=50,
+        help="largest size at which the scalar backend is also timed",
+    )
+    parser.add_argument(
+        "--output",
+        type=pathlib.Path,
+        default=OUTPUT_PATH,
+        help=f"result file (default {OUTPUT_PATH})",
+    )
+    args = parser.parse_args()
+    if args.smoke:
+        sizes = args.sizes or [10, 20]
+        n_epochs = args.epochs or 2
+    else:
+        sizes = args.sizes or list(DEFAULT_SIZES)
+        n_epochs = args.epochs or 5
+    payload = run_benchmark(sizes, n_epochs, args.max_scalar_cells)
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

@@ -172,19 +172,37 @@ class OracleAllocator:
     # -- Analytic throughput model ------------------------------------------------
 
     def _column_rates(self, sub: int) -> Dict[int, float]:
-        """Per-client rate on subchannel ``sub`` under current holders."""
-        from repro.phy.harq import harq_goodput_scale
+        """Per-client rate on subchannel ``sub`` under current holders.
+
+        SINRs are computed from the simulator's cached power matrix in one
+        vector operation per holder; interference accumulates in holder
+        order and the dB conversion goes through ``math.log10``, so results
+        are bit-identical to per-link ``net.sinr_db`` queries (the local
+        search toggles thousands of columns, making this the hot path).
+        """
+        import math
+
+        import numpy as np
+
         from repro.phy.mcs import CQI_OUT_OF_RANGE, cqi_from_sinr, efficiency_from_cqi
 
+        net = self.net
+        power_w = net._rx_w_mat
         holders = [ap for ap, subs in self.allocation.items() if sub in subs]
         rates: Dict[int, float] = {}
         for ap in holders:
             clients = self._ap_clients[ap]
             if not clients:
                 continue
-            others = [a for a in holders if a != ap]
-            for cid in clients:
-                sinr = self.net.sinr_db(cid, ap, others)
+            rows = net._rows_of_ap[ap]
+            signal_w = power_w[rows, net._ap_col[ap]]
+            interference_w = np.zeros(len(rows))
+            for other in holders:
+                if other != ap:
+                    interference_w += power_w[rows, net._ap_col[other]]
+            ratios = (signal_w / (net._rb_noise_w + interference_w)).tolist()
+            for i, cid in enumerate(clients):
+                sinr = 10.0 * math.log10(ratios[i])
                 cqi = cqi_from_sinr(sinr)
                 if cqi == CQI_OUT_OF_RANGE:
                     rates[cid] = 0.0
@@ -193,7 +211,7 @@ class OracleAllocator:
                     efficiency_from_cqi(cqi), sub
                 )
                 rates[cid] = (
-                    rate * harq_goodput_scale(sinr, cqi) / len(clients)
+                    rate * self.net._harq_scale(sinr, cqi) / len(clients)
                 )
         return rates
 

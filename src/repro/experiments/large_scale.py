@@ -25,7 +25,7 @@ from repro.baselines.oracle import OracleAllocator
 from repro.baselines.plain_lte import PlainLtePolicy
 from repro.core.interference.manager import CellFiInterferenceManager
 from repro.experiments.common import Scenario, build_scenario
-from repro.lte.network import LteNetworkSimulator
+from repro.lte.network import BACKEND_VECTORIZED, LteNetworkSimulator
 from repro.traffic.backlogged import saturated_demand_fn
 from repro.traffic.flows import Flow, FlowTracker
 from repro.traffic.web import WebPage, WebWorkloadConfig, generate_web_sessions
@@ -43,12 +43,15 @@ TECH_WIFI = "802.11af"
 TECH_ORACLE = "Oracle"
 
 
-def _make_lte_net(scenario: Scenario, stream_label: str) -> LteNetworkSimulator:
+def _make_lte_net(
+    scenario: Scenario, stream_label: str, backend: str = BACKEND_VECTORIZED
+) -> LteNetworkSimulator:
     return LteNetworkSimulator(
         topology=scenario.topology,
         grid=scenario.grid(),
         channel=scenario.channel,
         rngs=scenario.rngs.fork(stream_label),
+        backend=backend,
     )
 
 
@@ -83,10 +86,13 @@ class SaturatedRun:
 
 
 def run_lte_family_saturated(
-    tech: str, scenario: Scenario, epochs: int = 15
+    tech: str,
+    scenario: Scenario,
+    epochs: int = 15,
+    backend: str = BACKEND_VECTORIZED,
 ) -> SaturatedRun:
     """Run CellFi / plain LTE / Oracle with backlogged traffic."""
-    net = _make_lte_net(scenario, f"net-{tech}")
+    net = _make_lte_net(scenario, f"net-{tech}", backend=backend)
     policy = _make_policy(tech, scenario, net)
     results = net.run(epochs, policy, saturated_demand_fn(scenario.topology))
     measured = results[min(WARMUP_EPOCHS, epochs - 1):]
@@ -248,9 +254,10 @@ def _run_lte_family_web(
     scenario: Scenario,
     pages: List[WebPage],
     duration_s: float,
+    backend: str = BACKEND_VECTORIZED,
 ) -> tuple:
     """Epoch-driven web workload for an LTE-family technology."""
-    net = _make_lte_net(scenario, f"web-{tech}")
+    net = _make_lte_net(scenario, f"web-{tech}", backend=backend)
     policy = _make_policy(tech, scenario, net)
     tracker = FlowTracker()
     pending = sorted(pages, key=lambda p: p.arrival_s)

@@ -12,6 +12,8 @@ from __future__ import annotations
 import math
 from abc import ABC, abstractmethod
 
+import numpy as np
+
 
 class Antenna(ABC):
     """Interface: gain toward a bearing, in dBi."""
@@ -25,6 +27,19 @@ class Antenna(ABC):
         bearing = math.degrees(math.atan2(to_y - from_y, to_x - from_x))
         return self.gain_dbi(bearing)
 
+    def gains_towards(
+        self, from_x: float, from_y: float, to_xs, to_ys
+    ) -> np.ndarray:
+        """Gains toward many points at once, in dBi.
+
+        The base implementation simply loops :meth:`gain_towards`;
+        subclasses with closed-form patterns override it with a numpy
+        computation for gain-matrix construction.
+        """
+        return np.array(
+            [self.gain_towards(from_x, from_y, x, y) for x, y in zip(to_xs, to_ys)]
+        )
+
 
 class OmniAntenna(Antenna):
     """Isotropic-in-azimuth antenna with a fixed gain."""
@@ -34,6 +49,11 @@ class OmniAntenna(Antenna):
 
     def gain_dbi(self, bearing_deg: float) -> float:
         return self._gain_dbi
+
+    def gains_towards(
+        self, from_x: float, from_y: float, to_xs, to_ys
+    ) -> np.ndarray:
+        return np.full(len(to_xs), self._gain_dbi)
 
 
 class SectorAntenna(Antenna):
@@ -68,6 +88,19 @@ class SectorAntenna(Antenna):
         offset = _wrap_angle_deg(bearing_deg - self.boresight_deg)
         attenuation = min(
             12.0 * (offset / self.beamwidth_deg) ** 2, self.front_back_db
+        )
+        return self.peak_gain_dbi - attenuation
+
+    def gains_towards(
+        self, from_x: float, from_y: float, to_xs, to_ys
+    ) -> np.ndarray:
+        bearings = np.degrees(
+            np.arctan2(np.asarray(to_ys) - from_y, np.asarray(to_xs) - from_x)
+        )
+        offsets = np.mod(bearings - self.boresight_deg, 360.0)
+        offsets = np.where(offsets > 180.0, offsets - 360.0, offsets)
+        attenuation = np.minimum(
+            12.0 * (offsets / self.beamwidth_deg) ** 2, self.front_back_db
         )
         return self.peak_gain_dbi - attenuation
 

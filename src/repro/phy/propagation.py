@@ -16,7 +16,9 @@ from __future__ import annotations
 import hashlib
 import math
 from abc import ABC, abstractmethod
-from typing import Optional
+from typing import Dict, Optional, Sequence
+
+import numpy as np
 
 SPEED_OF_LIGHT_M_S = 299_792_458.0
 
@@ -190,3 +192,93 @@ class CompositeChannel:
                 node_a.x, node_a.y, node_b.x, node_b.y
             )
         return loss
+
+
+class GainMatrixCache:
+    """Cached pairwise AP <-> client link gains for one deployment.
+
+    The epoch simulators query the same (AP, client) losses every epoch;
+    this cache computes each link exactly once -- through the *same* scalar
+    ``channel.loss_db`` call, so cached values are bit-identical to direct
+    queries -- and hands out the full matrix for vectorized kernels.
+
+    Channels are reciprocal (distance and shadowing are symmetric in the
+    endpoints, and an AP's antenna gain applies to both link directions),
+    so one entry serves downlink and uplink.
+
+    Invalidation is explicit: mobility code calls :meth:`invalidate_client`
+    after moving a client (see :meth:`repro.sim.topology.Topology.move_client`);
+    only that client's row is recomputed, lazily, on next access.
+
+    Args:
+        channel: the composite propagation model.
+        aps: access-point sites (column order of the matrix).
+        clients: client sites (row order of the matrix).
+        ap_antennas: optional per-AP antenna (``ap_id`` -> antenna); its
+            bearing-dependent gain toward each client is subtracted from
+            the loss.  Omitted APs radiate isotropically.
+    """
+
+    def __init__(
+        self,
+        channel: CompositeChannel,
+        aps: Sequence,
+        clients: Sequence,
+        ap_antennas: Optional[Dict[int, "object"]] = None,
+    ) -> None:
+        self.channel = channel
+        self._aps = list(aps)
+        self._clients = list(clients)
+        self.ap_antennas = dict(ap_antennas or {})
+        self.ap_index: Dict[int, int] = {
+            ap.ap_id: j for j, ap in enumerate(self._aps)
+        }
+        self.client_index: Dict[int, int] = {
+            c.client_id: i for i, c in enumerate(self._clients)
+        }
+        self._loss = np.zeros((len(self._clients), len(self._aps)))
+        self._row_valid = np.zeros(len(self._clients), dtype=bool)
+
+    def _fill_row(self, row: int) -> None:
+        client = self._clients[row]
+        for col, ap in enumerate(self._aps):
+            loss = self.channel.loss_db(ap, client)
+            antenna = self.ap_antennas.get(ap.ap_id)
+            if antenna is not None:
+                loss -= antenna.gain_towards(ap.x, ap.y, client.x, client.y)
+            self._loss[row, col] = loss
+        self._row_valid[row] = True
+
+    def loss_db(self, client_id: int, ap_id: int) -> float:
+        """Cached total link loss between a client and an AP, in dB."""
+        row = self.client_index[client_id]
+        if not self._row_valid[row]:
+            self._fill_row(row)
+        return float(self._loss[row, self.ap_index[ap_id]])
+
+    def matrix(self) -> np.ndarray:
+        """The full (n_clients, n_aps) loss matrix in dB.
+
+        The returned array is the live cache -- callers must not mutate it.
+        """
+        for row in np.flatnonzero(~self._row_valid):
+            self._fill_row(int(row))
+        return self._loss
+
+    def invalidate_client(self, client_id: int, site=None) -> None:
+        """Mark one client's links stale, e.g. after a mobility step.
+
+        Args:
+            client_id: the moved client.
+            site: optionally the client's new :class:`ClientSite`; when
+                given, the cached row recomputes against it (the cache
+                holds site references, and sites are immutable).
+        """
+        row = self.client_index[client_id]
+        if site is not None:
+            self._clients[row] = site
+        self._row_valid[row] = False
+
+    def invalidate_all(self) -> None:
+        """Mark every link stale (e.g. the propagation model changed)."""
+        self._row_valid[:] = False

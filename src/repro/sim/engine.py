@@ -7,6 +7,8 @@ Design notes
   run bit-reproducible for a fixed seed, which the tests rely on.
 * Cancellation is O(1): a cancelled event stays in the heap but is skipped
   when popped (the standard "lazy deletion" idiom; heapq has no remove).
+  When cancelled entries outnumber live ones the heap is compacted, so
+  heavy cancel/reschedule churn cannot grow the queue without bound.
 * The engine is intentionally simple -- no coroutine processes.  Callers
   schedule callbacks; recurring behaviours reschedule themselves.  This keeps
   stack traces flat and state explicit, which matters when debugging MAC
@@ -28,17 +30,25 @@ class Event:
         callback: zero-argument callable invoked at ``time``.
     """
 
-    __slots__ = ("time", "seq", "callback", "_cancelled")
+    __slots__ = ("time", "seq", "callback", "_cancelled", "_tally")
 
     def __init__(self, time: float, seq: int, callback: Callable[[], None]) -> None:
         self.time = time
         self.seq = seq
         self.callback = callback
         self._cancelled = False
+        # While the event sits in a simulator's queue this holds the
+        # simulator's cancelled-entry counter (a one-element list); it is
+        # detached on pop so late cancels of already-fired events don't
+        # skew the count.
+        self._tally: Optional[List[int]] = None
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Idempotent."""
-        self._cancelled = True
+        if not self._cancelled:
+            self._cancelled = True
+            if self._tally is not None:
+                self._tally[0] += 1
 
     @property
     def cancelled(self) -> bool:
@@ -63,11 +73,16 @@ class Simulator:
         sim.run(until=10.0)
     """
 
+    #: Queues smaller than this are never compacted (heapify overhead is
+    #: not worth it; also keeps the behaviour trivial for tiny tests).
+    COMPACTION_MIN_SIZE = 64
+
     def __init__(self) -> None:
         self._queue: List[Event] = []
         self._seq = itertools.count()
         self._now = 0.0
         self._running = False
+        self._cancelled_in_queue = [0]
 
     @property
     def now(self) -> float:
@@ -91,7 +106,33 @@ class Simulator:
         if delay < 0.0:
             raise ValueError(f"cannot schedule into the past (delay={delay!r})")
         event = Event(self._now + delay, next(self._seq), callback)
+        event._tally = self._cancelled_in_queue
         heapq.heappush(self._queue, event)
+        self._maybe_compact()
+        return event
+
+    def _maybe_compact(self) -> None:
+        """Drop cancelled entries once they outnumber live ones (amortised O(1))."""
+        if (
+            len(self._queue) >= self.COMPACTION_MIN_SIZE
+            and 2 * self._cancelled_in_queue[0] > len(self._queue)
+        ):
+            survivors = []
+            for event in self._queue:
+                if event.cancelled:
+                    event._tally = None
+                else:
+                    survivors.append(event)
+            self._queue = survivors
+            heapq.heapify(self._queue)
+            self._cancelled_in_queue[0] = 0
+
+    def _pop_event(self) -> Event:
+        """Pop the earliest event, maintaining the cancelled-entry count."""
+        event = heapq.heappop(self._queue)
+        if event.cancelled:
+            self._cancelled_in_queue[0] -= 1
+        event._tally = None
         return event
 
     def schedule_at(self, time: float, callback: Callable[[], None]) -> Event:
@@ -142,7 +183,7 @@ class Simulator:
         self._running = True
         try:
             while self._queue and self._queue[0].time <= until:
-                event = heapq.heappop(self._queue)
+                event = self._pop_event()
                 if event.cancelled:
                     continue
                 self._now = event.time
@@ -152,20 +193,33 @@ class Simulator:
             self._running = False
 
     def run_until_idle(self, max_time: float = float("inf")) -> None:
-        """Run until the queue is empty or ``max_time`` is reached."""
+        """Run until the queue is empty or ``max_time`` is reached.
+
+        With a finite ``max_time`` the clock always ends at ``max_time``
+        (exactly like :meth:`run`), even if the queue drains early, so a
+        follow-up ``run(until=...)`` observes a continuous timeline.  With
+        the default unbounded ``max_time`` the clock stops at the last
+        fired event (there is no instant to advance to).
+        """
         if self._running:
             raise RuntimeError("Simulator.run is not re-entrant")
         self._running = True
         try:
             while self._queue and self._queue[0].time <= max_time:
-                event = heapq.heappop(self._queue)
+                event = self._pop_event()
                 if event.cancelled:
                     continue
                 self._now = event.time
                 event.callback()
+            if max_time != float("inf"):
+                self._now = max(self._now, max_time)
         finally:
             self._running = False
 
     def pending_events(self) -> int:
         """Number of not-yet-cancelled events still queued."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        return len(self._queue) - self._cancelled_in_queue[0]
+
+    def queue_size(self) -> int:
+        """Raw heap size including lazily-deleted (cancelled) entries."""
+        return len(self._queue)

@@ -102,6 +102,33 @@ class Topology:
                 return candidate
         raise KeyError(f"no client with id {client_id}")
 
+    def move_client(self, client_id: int, x: float, y: float) -> ClientSite:
+        """Relocate a client (mobility step), keeping its association.
+
+        Sites are immutable, so the client is replaced in place by a new
+        :class:`ClientSite` at ``(x, y)``.  Anything caching per-link
+        quantities (e.g. a :class:`repro.phy.propagation.GainMatrixCache`
+        or a simulator's link powers) must be invalidated for this client.
+
+        Returns:
+            The new site.
+
+        Raises:
+            KeyError: for an unknown client id.
+        """
+        old = self.client(client_id)
+        new = ClientSite(
+            client_id=old.client_id,
+            x=x,
+            y=y,
+            ap_id=old.ap_id,
+            height_m=old.height_m,
+        )
+        self.clients[self.clients.index(old)] = new
+        siblings = self._clients_by_ap[old.ap_id]
+        siblings[siblings.index(old)] = new
+        return new
+
     def interference_graph(
         self, interferes: Callable[[AccessPointSite, ClientSite], bool]
     ) -> Dict[int, set]:

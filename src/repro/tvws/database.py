@@ -147,14 +147,16 @@ class SpectrumDatabase:
             if self.channel_available(ch.number, x, y, now)
         ]
 
-    def grant_lease(
-        self, device_id: str, channel: int, x: float, y: float, now: float
-    ) -> Optional[ChannelLease]:
-        """Grant a lease on ``channel`` if it is available; else ``None``.
+    def lease_terms(
+        self, channel: int, x: float, y: float, now: float
+    ) -> Optional[Tuple[float, float]]:
+        """Quote the ``(max_eirp_dbm, expires_at)`` a lease would carry.
 
-        The lease expiry is additionally clipped to the next time an
+        A quote is *not* recorded: it commits the database to nothing and
+        leaves the lease table untouched.  Returns ``None`` when the
+        channel is unavailable.  The expiry is clipped to the next time an
         already-scheduled incumbent becomes active on the channel, so a
-        device never holds a lease across an incumbent's start time.
+        device never holds terms across an incumbent's start time.
         """
         if not self.channel_available(channel, x, y, now):
             return None
@@ -167,9 +169,23 @@ class SpectrumDatabase:
                 and math.hypot(inc.x - x, inc.y - y) <= inc.protection_radius_m
             ):
                 expires = inc.active_from
+        return self.default_max_eirp_dbm, expires
+
+    def grant_lease(
+        self, device_id: str, channel: int, x: float, y: float, now: float
+    ) -> Optional[ChannelLease]:
+        """Grant a lease on ``channel`` if it is available; else ``None``.
+
+        The granted terms are exactly those of :meth:`lease_terms`; the
+        lease is appended to the lease table and counted as a query.
+        """
+        terms = self.lease_terms(channel, x, y, now)
+        if terms is None:
+            return None
+        max_eirp, expires = terms
         lease = ChannelLease(
             channel=channel,
-            max_eirp_dbm=self.default_max_eirp_dbm,
+            max_eirp_dbm=max_eirp,
             granted_at=now,
             expires_at=expires,
             device_id=device_id,
@@ -177,6 +193,30 @@ class SpectrumDatabase:
         self._leases.append(lease)
         self._query_log.append((now, device_id))
         return lease
+
+    def renew_lease(
+        self, device_id: str, channel: int, x: float, y: float, now: float
+    ) -> Optional[ChannelLease]:
+        """Grant a lease, replacing any the device already holds on the channel.
+
+        Repeated renewals therefore keep exactly one live entry per
+        (device, channel) in the lease table instead of appending a fresh
+        lease on every poll.
+        """
+        terms = self.lease_terms(channel, x, y, now)
+        if terms is None:
+            return None
+        self._leases = [
+            lease
+            for lease in self._leases
+            if not (lease.device_id == device_id and lease.channel == channel)
+        ]
+        return self.grant_lease(device_id, channel, x, y, now)
+
+    @property
+    def lease_table_size(self) -> int:
+        """Number of lease records currently held (churn diagnostics)."""
+        return len(self._leases)
 
     def lease_still_valid(self, lease: ChannelLease, now: float) -> bool:
         """Re-validate a lease: unexpired *and* the channel is still clear.

@@ -150,6 +150,7 @@ class PawsServer:
         self.coverage_area_m = coverage_area_m
         self._registered: Dict[str, DeviceDescriptor] = {}
         self._use_notifications: List[Dict] = []
+        self._in_use: Dict[str, int] = {}
 
     def init_device(self, device: DeviceDescriptor) -> Dict:
         """Handle INIT_REQ: register the device, return ruleset info."""
@@ -164,13 +165,16 @@ class PawsServer:
     ) -> AvailableSpectrumResponse:
         """Handle AVAIL_SPECTRUM_REQ against the backing database.
 
-        Issues a lease per available channel; the response's per-channel
-        expiry times reflect the leases granted.
+        The channel the device reported in use (via SPECTRUM_USE_NOTIFY)
+        gets its lease *renewed*; every other available channel is
+        returned as a short-lived quote that leaves the lease table
+        untouched.  Polling every second therefore keeps at most one live
+        lease per device instead of minting one per channel per poll.
         """
         loc = request.location
         if not (
-            0.0 - self.coverage_area_m <= loc.x <= self.coverage_area_m
-            and 0.0 - self.coverage_area_m <= loc.y <= self.coverage_area_m
+            0.0 <= loc.x <= self.coverage_area_m
+            and 0.0 <= loc.y <= self.coverage_area_m
         ):
             return AvailableSpectrumResponse(error_code=ERROR_OUTSIDE_COVERAGE)
         if request.device.serial_number not in self._registered:
@@ -178,22 +182,29 @@ class PawsServer:
             # convenience but keep the hook for strictness in tests.
             self._registered[request.device.serial_number] = request.device
 
+        serial = request.device.serial_number
+        in_use = self._in_use.get(serial)
         specs: List[SpectrumSpec] = []
         now = request.request_time
         for number in self.database.available_channels(loc.x, loc.y, now):
-            lease = self.database.grant_lease(
-                request.device.serial_number, number, loc.x, loc.y, now
-            )
-            if lease is None:
-                continue
+            if number == in_use:
+                lease = self.database.renew_lease(serial, number, loc.x, loc.y, now)
+                if lease is None:
+                    continue
+                terms = (lease.max_eirp_dbm, lease.expires_at)
+            else:
+                quoted = self.database.lease_terms(number, loc.x, loc.y, now)
+                if quoted is None:
+                    continue
+                terms = quoted
             channel = self.database.plan.channel(number)
             specs.append(
                 SpectrumSpec(
                     channel=number,
                     low_hz=channel.low_hz,
                     high_hz=channel.high_hz,
-                    max_eirp_dbm=lease.max_eirp_dbm,
-                    expires_at=lease.expires_at,
+                    max_eirp_dbm=terms[0],
+                    expires_at=terms[1],
                 )
             )
         return AvailableSpectrumResponse(spectra=specs)
@@ -201,7 +212,12 @@ class PawsServer:
     def notify_spectrum_use(
         self, device: DeviceDescriptor, channel: int, now: float
     ) -> Dict:
-        """Handle SPECTRUM_USE_NOTIFY: record which channel a device took."""
+        """Handle SPECTRUM_USE_NOTIFY: record which channel a device took.
+
+        The in-use channel is what subsequent AVAIL_SPECTRUM_REQ handling
+        renews a lease for; all other channels are merely quoted.
+        """
+        self._in_use[device.serial_number] = channel
         notification = {
             "method": METHOD_SPECTRUM_USE,
             "serialNumber": device.serial_number,

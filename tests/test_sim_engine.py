@@ -154,3 +154,101 @@ class TestRunUntilIdle:
 
         sim.schedule(1.0, nested)
         sim.run(until=2.0)
+
+
+class TestRunUntilIdleClock:
+    def test_finite_max_time_advances_clock_past_last_event(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(sim.now))
+        sim.run_until_idle(max_time=5.0)
+        assert fired == [1.0]
+        assert sim.now == 5.0
+
+    def test_finite_max_time_with_empty_queue(self):
+        sim = Simulator()
+        sim.run_until_idle(max_time=3.0)
+        assert sim.now == 3.0
+
+    def test_event_beyond_max_time_stays_queued(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(10.0, lambda: fired.append(True))
+        sim.run_until_idle(max_time=5.0)
+        assert fired == []
+        assert sim.now == 5.0
+        assert sim.pending_events() == 1
+
+    def test_followup_scheduling_sees_continuous_timeline(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(sim.now))
+        sim.run_until_idle(max_time=4.0)
+        # A relative delay from here must be measured from t=4, not t=1.
+        sim.schedule(1.0, lambda: fired.append(sim.now))
+        sim.run_until_idle()
+        assert fired == [1.0, 5.0]
+        assert sim.now == 5.0
+
+    def test_unbounded_idle_stops_at_last_event(self):
+        sim = Simulator()
+        sim.schedule(2.0, lambda: None)
+        sim.run_until_idle()
+        assert sim.now == 2.0
+
+
+class TestLazyDeletionBounds:
+    def test_pending_events_under_recurring_chains(self):
+        sim = Simulator()
+        for _ in range(10):
+            sim.schedule_every(0.5, lambda: None)
+        sim.run(until=100.0)
+        # 10 chains x 200 fires each; exactly one future event per chain.
+        assert sim.pending_events() == 10
+        assert sim.queue_size() == 10
+
+    def test_cancel_storm_compacts_on_next_schedule(self):
+        sim = Simulator()
+        events = [sim.schedule(10.0, lambda: None) for _ in range(1000)]
+        for event in events[:900]:
+            event.cancel()
+        assert sim.pending_events() == 100
+        # The next push notices cancelled entries outnumber live ones.
+        sim.schedule(10.0, lambda: None)
+        assert sim.pending_events() == 101
+        assert sim.queue_size() == 101
+
+    def test_timer_reset_churn_keeps_heap_bounded(self):
+        sim = Simulator()
+        # Typical timeout-reset pattern: arm a batch of timers, cancel them
+        # all, re-arm.  10,000 cancelled events pass through the queue; the
+        # heap must stay proportional to the live set, not the churn.
+        for _ in range(100):
+            events = [sim.schedule(10.0, lambda: None) for _ in range(100)]
+            for event in events:
+                event.cancel()
+            assert sim.queue_size() <= 256
+        assert sim.pending_events() == 0
+        # One more schedule triggers a final compaction to the live set.
+        sim.schedule(1.0, lambda: None)
+        assert sim.queue_size() == 1
+
+    def test_cancelled_recurring_chain_leaves_no_garbage_growth(self):
+        sim = Simulator()
+        ticks = []
+        keeper = sim.schedule_every(1.0, lambda: ticks.append(sim.now))
+        victims = [sim.schedule_every(1.0, lambda: None) for _ in range(200)]
+        for event in victims:
+            event.cancel()
+        sim.run(until=50.0)
+        assert len(ticks) == 50
+        # The 200 cancelled chain heads never fired or rescheduled.
+        assert sim.pending_events() == 1
+
+    def test_cancel_after_fire_does_not_corrupt_count(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.run(until=2.0)
+        event.cancel()  # Late cancel of an already-fired event.
+        assert sim.pending_events() == 0
+        assert sim.queue_size() == 0

@@ -106,3 +106,88 @@ class TestSerialisation:
         body = spec.to_json()
         assert body["frequencyRange"]["startHz"] == spec.low_hz
         assert body["maxPowerDBm"] == spec.max_eirp_dbm
+
+
+class TestCoverageBounds:
+    def test_negative_coordinates_rejected(self):
+        # Regression: the coverage check used to accept the whole
+        # [-coverage, +coverage]^2 square, contradicting the documented
+        # [0, coverage]^2 service area.
+        server = PawsServer(
+            SpectrumDatabase(US_CHANNEL_PLAN), coverage_area_m=1000.0
+        )
+        for x, y in [(-1.0, 0.0), (0.0, -1.0), (-500.0, -500.0)]:
+            response = server.available_spectrum(_request(x=x, y=y))
+            assert not response.ok
+            assert response.error_code == ERROR_OUTSIDE_COVERAGE
+
+    def test_coverage_corners_accepted(self):
+        server = PawsServer(
+            SpectrumDatabase(US_CHANNEL_PLAN), coverage_area_m=1000.0
+        )
+        assert server.available_spectrum(_request(x=0.0, y=0.0)).ok
+        assert server.available_spectrum(_request(x=1000.0, y=1000.0)).ok
+
+
+class TestLeaseChurn:
+    def test_discovery_polls_do_not_create_leases(self):
+        server = _server()
+        for k in range(10):
+            response = server.available_spectrum(_request(t=float(k)))
+            assert response.ok
+        assert server.database.lease_table_size == 0
+
+    def test_hundred_polls_keep_one_lease(self):
+        server = _server()
+        device = DeviceDescriptor(serial_number="ap-1")
+        server.init_device(device)
+        response = server.available_spectrum(_request(t=0.0))
+        channel = response.channel_numbers()[0]
+        server.notify_spectrum_use(device, channel, now=0.0)
+        for k in range(1, 101):
+            response = server.available_spectrum(_request(t=float(k)))
+            assert response.ok
+            assert channel in response.channel_numbers()
+        assert server.database.lease_table_size == 1
+
+    def test_renewal_extends_expiry(self):
+        server = _server(lease_duration_s=100.0)
+        device = DeviceDescriptor(serial_number="ap-1")
+        server.notify_spectrum_use(device, 14, now=0.0)
+        first = server.available_spectrum(_request(t=10.0))
+        later = server.available_spectrum(_request(t=50.0))
+        assert first.spec_for(14).expires_at == 110.0
+        assert later.spec_for(14).expires_at == 150.0
+        assert server.database.lease_table_size == 1
+
+    def test_channel_switch_keeps_lease_table_bounded(self):
+        server = _server()
+        device = DeviceDescriptor(serial_number="ap-1")
+        server.notify_spectrum_use(device, 14, now=0.0)
+        server.available_spectrum(_request(t=1.0))
+        server.notify_spectrum_use(device, 21, now=2.0)
+        for k in range(3, 53):
+            server.available_spectrum(_request(t=float(k)))
+        # At most the stale lease on the old channel plus the live one.
+        assert server.database.lease_table_size <= 2
+
+    def test_quotes_match_granted_terms(self):
+        server = _server(lease_duration_s=100.0)
+        device = DeviceDescriptor(serial_number="ap-1")
+        server.notify_spectrum_use(device, 14, now=0.0)
+        response = server.available_spectrum(_request(t=20.0))
+        in_use = response.spec_for(14)
+        quoted = response.spec_for(21)
+        assert in_use.expires_at == quoted.expires_at == 120.0
+        assert in_use.max_eirp_dbm == quoted.max_eirp_dbm
+
+    def test_two_devices_hold_independent_leases(self):
+        server = _server()
+        a = DeviceDescriptor(serial_number="ap-a")
+        b = DeviceDescriptor(serial_number="ap-b")
+        server.notify_spectrum_use(a, 14, now=0.0)
+        server.notify_spectrum_use(b, 14, now=0.0)
+        for k in range(1, 21):
+            server.available_spectrum(_request(t=float(k), serial="ap-a"))
+            server.available_spectrum(_request(t=float(k), serial="ap-b"))
+        assert server.database.lease_table_size == 2
