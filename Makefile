@@ -1,11 +1,17 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-full
+.PHONY: test bench bench-full sweep-smoke
 
 # Tier-1 test suite (must stay green).
 test:
 	$(PYTHON) -m pytest -x -q
+
+# 2-cell sweep through the multiprocessing runner (the CI smoke test).
+sweep-smoke:
+	$(PYTHON) -m repro.cli sweep fig9a --densities 4 --seeds 1 \
+		--techs LTE CellFi --clients-per-ap 3 --epochs 3 \
+		--jobs 2 --retries 1 --timeout 300
 
 # Quick epoch benchmark (small sizes, few epochs) -- suitable for CI.
 bench:

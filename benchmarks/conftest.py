@@ -11,7 +11,6 @@ paper-scale parameters (20 topologies, longer simulations).
 
 from __future__ import annotations
 
-import os
 import pathlib
 
 import pytest
@@ -20,8 +19,10 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
 def full_scale() -> bool:
-    """Whether REPRO_FULL=1 requests paper-scale runs."""
-    return os.environ.get("REPRO_FULL", "0") == "1"
+    """Whether REPRO_FULL requests paper-scale runs (truthy spellings ok)."""
+    from repro.experiments.common import full_scale as _full_scale
+
+    return _full_scale()
 
 
 @pytest.fixture

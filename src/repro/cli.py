@@ -6,14 +6,18 @@ Examples::
     python -m repro.cli fig9a --densities 6 10 14 --seeds 1 2
     python -m repro.cli shootout --aps 10
     python -m repro.cli fig6
+    python -m repro.cli sweep fig9a --jobs 4 --resume --out fig9a.jsonl
 
 Each subcommand prints the same paper-vs-measured rows the benchmark
-harness records, at a scale controlled by its flags.
+harness records, at a scale controlled by its flags.  ``sweep`` fans a
+figure grid out across worker processes with caching, per-cell timeout
+and retry (see ``docs/SWEEPS.md``).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -144,12 +148,138 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
     results = pathlib.Path(args.results_dir)
     try:
-        output = write_report(results)
+        output = write_report(
+            results, sweep_logs=[pathlib.Path(p) for p in args.sweep_log]
+        )
     except FileNotFoundError as error:
         print(error, file=sys.stderr)
         return 1
     print(f"wrote {output}")
     return 0
+
+
+# -- Sweep subcommand ---------------------------------------------------------
+
+#: Sweep spec builders by name; each maps CLI flags onto builder kwargs
+#: (flag value ``None`` keeps the builder's default).
+SWEEP_SPECS = ("fig9a", "fig9b", "fig1", "fig2", "convergence", "fig7")
+
+
+def _sweep_kwargs(args: argparse.Namespace, **mapping) -> dict:
+    """Collect builder kwargs from CLI flags, dropping unset ones."""
+    return {
+        key: value for key, value in mapping.items() if value is not None
+    }
+
+
+def build_sweep_spec(args: argparse.Namespace):
+    """Construct the requested figure grid as a SweepSpec."""
+    if args.spec == "fig9a":
+        from repro.experiments.large_scale import fig9a_sweep_spec
+
+        return fig9a_sweep_spec(
+            **_sweep_kwargs(
+                args,
+                densities=args.densities,
+                seeds=args.seeds,
+                techs=args.techs,
+                clients_per_ap=args.clients_per_ap,
+                epochs=args.epochs,
+                wifi_duration_s=args.wifi_duration,
+            )
+        )
+    if args.spec == "fig9b":
+        from repro.experiments.large_scale import fig9b_sweep_spec
+
+        return fig9b_sweep_spec(
+            **_sweep_kwargs(
+                args,
+                seeds=args.seeds,
+                n_aps=args.aps,
+                techs=args.techs,
+                clients_per_ap=args.clients_per_ap,
+                epochs=args.epochs,
+                wifi_duration_s=args.wifi_duration,
+            )
+        )
+    if args.spec == "fig1":
+        from repro.experiments.coverage import fig1_sweep_spec
+
+        return fig1_sweep_spec(
+            **_sweep_kwargs(
+                args, seeds=args.seeds, samples_per_point=args.samples
+            )
+        )
+    if args.spec == "fig2":
+        from repro.experiments.wifi_macs import fig2_sweep_spec
+
+        return fig2_sweep_spec(
+            **_sweep_kwargs(
+                args,
+                seeds=args.seeds,
+                n_aps=args.aps,
+                clients_per_ap=args.clients_per_ap,
+                duration_s=args.duration,
+            )
+        )
+    if args.spec == "convergence":
+        from repro.experiments.convergence import convergence_sweep_spec
+
+        return convergence_sweep_spec(
+            **_sweep_kwargs(
+                args,
+                n_nodes_list=args.sizes,
+                fading_list=args.fadings,
+                replications=args.replications,
+            )
+        )
+    if args.spec == "fig7":
+        from repro.experiments.interference_exp import fig7_sweep_spec
+
+        return fig7_sweep_spec(**_sweep_kwargs(args, seeds=args.seeds))
+    raise ValueError(f"unknown sweep spec {args.spec!r}")
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments.sweep import run_sweep
+    from repro.utils.reportgen import sweep_metric_table, sweep_outcome_summary
+
+    spec = build_sweep_spec(args)
+    result = run_sweep(
+        spec,
+        jobs=args.jobs,
+        timeout_s=args.timeout,
+        retries=args.retries,
+        out_path=args.out,
+        resume=args.resume,
+    )
+    print(
+        f"sweep {spec.name!r}: {len(result.records)} cells "
+        f"({result.computed} computed, {result.reused} reused from cache)"
+    )
+    payload = [
+        {
+            "scenario": r.scenario,
+            "params": r.params,
+            "status": r.status,
+            "wall_time_s": r.wall_time_s,
+            "metrics": r.metrics,
+        }
+        for r in result.records
+    ]
+    print(sweep_outcome_summary(payload))
+    print()
+    print(sweep_metric_table(payload, title=f"{spec.name} metrics (mean over seeds)"))
+    if args.out:
+        print(f"\nresults log: {args.out}")
+    failures = [r for r in result.records if r.status != "ok"]
+    for record in failures:
+        print(
+            f"  task {record.task_id} {record.status} after "
+            f"{record.attempts} attempt(s): {record.error}",
+            file=sys.stderr,
+        )
+    return 1 if failures else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -197,7 +327,57 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("report", help="compile benchmarks/results into REPORT.md")
     p.add_argument("--results-dir", default="benchmarks/results")
+    p.add_argument(
+        "--sweep-log",
+        nargs="*",
+        default=[],
+        help="sweep JSONL logs to aggregate into the report",
+    )
     p.set_defaults(fn=_cmd_report)
+
+    p = sub.add_parser(
+        "sweep",
+        help="run a figure grid through the parallel fault-tolerant sweep runner",
+    )
+    p.add_argument("spec", choices=SWEEP_SPECS, help="which figure grid to run")
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=max(os.cpu_count() or 1, 1),
+        help="worker processes (0 = inline in this process)",
+    )
+    p.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-cell wall-clock limit in seconds",
+    )
+    p.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        help="extra attempts for a failed or timed-out cell",
+    )
+    p.add_argument("--out", default=None, help="JSONL results log path")
+    p.add_argument(
+        "--resume",
+        action="store_true",
+        help="reuse successful cells already present in --out",
+    )
+    # Grid axes (None keeps each spec builder's default).
+    p.add_argument("--seeds", type=int, nargs="+", default=None)
+    p.add_argument("--densities", type=int, nargs="+", default=None)
+    p.add_argument("--techs", nargs="+", default=None)
+    p.add_argument("--aps", type=int, default=None)
+    p.add_argument("--clients-per-ap", type=int, default=None)
+    p.add_argument("--epochs", type=int, default=None)
+    p.add_argument("--wifi-duration", type=float, default=None)
+    p.add_argument("--samples", type=int, default=None)
+    p.add_argument("--duration", type=float, default=None)
+    p.add_argument("--sizes", type=int, nargs="+", default=None)
+    p.add_argument("--fadings", type=float, nargs="+", default=None)
+    p.add_argument("--replications", type=int, default=None)
+    p.set_defaults(fn=_cmd_sweep)
 
     return parser
 
@@ -206,7 +386,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; not an experiment failure.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

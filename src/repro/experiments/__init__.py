@@ -11,8 +11,12 @@ Module                         Reproduces
 :mod:`~repro.experiments.prach_eval`        Section 6.3.3: PRACH detector
 :mod:`~repro.experiments.large_scale`       Figure 9 (a)(b)(c)
 :mod:`~repro.experiments.convergence`       Theorem 1 + Section 5.3 re-use
+:mod:`~repro.experiments.sweep`             Parallel fault-tolerant grid runner
 =============================  ==========================================
 
 Each module exposes ``run_*`` functions returning plain result dataclasses;
-the benchmark harness formats them into the paper's tables/series.
+the benchmark harness formats them into the paper's tables/series.  Grid
+experiments additionally expose ``*_sweep_spec`` builders that express
+the figure's (seed x config x technology) grid for
+:func:`repro.experiments.sweep.run_sweep` (see ``docs/SWEEPS.md``).
 """

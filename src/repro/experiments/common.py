@@ -35,9 +35,17 @@ LTE_BANDWIDTH_HZ = 5e6
 SHADOWING_SIGMA_DB = 7.0
 
 
+#: Values of ``REPRO_FULL`` that enable paper-scale runs.
+_TRUTHY = frozenset({"1", "true", "yes", "on"})
+
+
 def full_scale() -> bool:
-    """Whether to run paper-scale experiments (REPRO_FULL=1) or CI-scale."""
-    return os.environ.get("REPRO_FULL", "0") == "1"
+    """Whether to run paper-scale experiments (``REPRO_FULL`` truthy) or CI-scale.
+
+    Accepts the usual truthy spellings (``1``/``true``/``yes``/``on``,
+    any case); everything else -- including unset -- is CI scale.
+    """
+    return os.environ.get("REPRO_FULL", "").strip().lower() in _TRUTHY
 
 
 @dataclass

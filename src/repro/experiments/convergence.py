@@ -29,6 +29,7 @@ from repro.core.interference.theory import (
     random_conflict_graph,
     theorem1_round_bound,
 )
+from repro.experiments.sweep import SweepSpec, run_sweep
 from repro.lte.network import LteNetworkSimulator
 from repro.phy.propagation import CompositeChannel, UrbanHataPathLoss
 from repro.phy.resource_grid import ResourceGrid
@@ -55,6 +56,66 @@ class ConvergencePoint:
     converged_all: bool
 
 
+SCENARIO_CONVERGENCE = "convergence"
+
+
+def convergence_cell(
+    n_nodes: int,
+    fading_p: float,
+    m_subchannels: int = 13,
+    gamma: float = 0.25,
+    replications: int = 10,
+    mean_degree: float = 3.0,
+    seed: int = 17,
+) -> Dict[str, object]:
+    """One Theorem-1 grid cell: ``replications`` games at (n, p).
+
+    The cell's generator derives from (seed, n, p) via
+    :class:`~repro.sim.rng.RngStreams`, so every cell is independent of
+    its position in the grid and of which worker evaluates it.
+    """
+    rng = RngStreams(seed).stream(f"convergence:{n_nodes}:{fading_p}")
+    rounds: List[int] = []
+    all_converged = True
+    for _ in range(replications):
+        graph = random_conflict_graph(n_nodes, mean_degree, rng)
+        demands = feasible_uniform_demands(graph, m_subchannels, gamma)
+        game = HoppingGame(graph, demands, m_subchannels, fading_p, rng)
+        outcome = game.run(max_rounds=2000)
+        all_converged &= outcome.converged
+        if outcome.rounds_to_converge is not None:
+            rounds.append(outcome.rounds_to_converge)
+    return {
+        "mean_rounds": float(np.mean(rounds)) if rounds else float("nan"),
+        "bound_rounds": theorem1_round_bound(n_nodes, m_subchannels, gamma, fading_p),
+        "converged_all": bool(all_converged),
+    }
+
+
+def convergence_sweep_spec(
+    n_nodes_list: Sequence[int] = (8, 16, 32, 64),
+    fading_list: Sequence[float] = (0.0, 0.3),
+    m_subchannels: int = 13,
+    gamma: float = 0.25,
+    replications: int = 10,
+    mean_degree: float = 3.0,
+    seed: int = 17,
+) -> SweepSpec:
+    """The Theorem-1 grid: network size x fading probability."""
+    return SweepSpec.from_grid(
+        "convergence",
+        SCENARIO_CONVERGENCE,
+        grid={"n_nodes": list(n_nodes_list), "fading_p": list(fading_list)},
+        base={
+            "m_subchannels": m_subchannels,
+            "gamma": gamma,
+            "replications": replications,
+            "mean_degree": mean_degree,
+            "seed": seed,
+        },
+    )
+
+
 def run_convergence_sweep(
     n_nodes_list: Sequence[int] = (8, 16, 32, 64),
     fading_list: Sequence[float] = (0.0, 0.3),
@@ -63,33 +124,38 @@ def run_convergence_sweep(
     replications: int = 10,
     mean_degree: float = 3.0,
     seed: int = 17,
+    jobs: int = 0,
+    **sweep_kwargs,
 ) -> List[ConvergencePoint]:
-    """Sweep network size and fading; measure rounds to convergence."""
-    rng = np.random.default_rng(seed)
+    """Sweep network size and fading; measure rounds to convergence.
+
+    The (n, p) grid runs through the sweep runner; ``jobs=0`` stays
+    serial in-process, ``jobs>=1`` fans cells out over workers.
+    """
+    spec = convergence_sweep_spec(
+        n_nodes_list=n_nodes_list,
+        fading_list=fading_list,
+        m_subchannels=m_subchannels,
+        gamma=gamma,
+        replications=replications,
+        mean_degree=mean_degree,
+        seed=seed,
+    )
+    result = run_sweep(spec, jobs=jobs, **sweep_kwargs)
+    result.raise_on_failures()
     points: List[ConvergencePoint] = []
-    for n in n_nodes_list:
-        for p in fading_list:
-            rounds: List[int] = []
-            all_converged = True
-            for _ in range(replications):
-                graph = random_conflict_graph(n, mean_degree, rng)
-                demands = feasible_uniform_demands(graph, m_subchannels, gamma)
-                game = HoppingGame(graph, demands, m_subchannels, p, rng)
-                realised_gamma = game.demand_slack()
-                outcome = game.run(max_rounds=2000)
-                all_converged &= outcome.converged
-                if outcome.rounds_to_converge is not None:
-                    rounds.append(outcome.rounds_to_converge)
-            points.append(
-                ConvergencePoint(
-                    n_nodes=n,
-                    fading_p=p,
-                    gamma=gamma,
-                    mean_rounds=float(np.mean(rounds)) if rounds else float("nan"),
-                    bound_rounds=theorem1_round_bound(n, m_subchannels, gamma, p),
-                    converged_all=all_converged,
-                )
+    for record in result.records:
+        params, metrics = record.params, record.metrics
+        points.append(
+            ConvergencePoint(
+                n_nodes=params["n_nodes"],
+                fading_p=params["fading_p"],
+                gamma=params["gamma"],
+                mean_rounds=metrics["mean_rounds"],
+                bound_rounds=metrics["bound_rounds"],
+                converged_all=metrics["converged_all"],
             )
+        )
     return points
 
 

@@ -231,3 +231,61 @@ def _measure_point(
         ul_channel_fraction=(1.0 / grid.n_rbs) if ul_rates else 0.0,
         harq_fraction=harq_fraction,
     )
+
+
+# -- Sweep-spec plumbing ------------------------------------------------------
+
+SCENARIO_FIG1 = "fig1_drive_test"
+
+
+def fig1_cell(
+    seed: int = 1,
+    bandwidth_hz: float = 5e6,
+    max_distance_m: float = 1700.0,
+    step_m: float = 25.0,
+    samples_per_point: int = 60,
+):
+    """One Figure 1 sweep cell: a full drive test at one seed.
+
+    Returns the figure's headline metrics as a flat, JSON-able dict so
+    the sweep runner can log and regression-check them.
+    """
+    result = run_drive_test(
+        seed=seed,
+        bandwidth_hz=bandwidth_hz,
+        max_distance_m=max_distance_m,
+        step_m=step_m,
+        samples_per_point=samples_per_point,
+    )
+    dl_rates = result.all_code_rates("downlink")
+    return {
+        "coverage_fraction_1mbps": float(result.coverage_fraction(1.0)),
+        "max_range_1mbps_m": float(result.max_range_m(1.0)),
+        "median_dl_code_rate": float(np.median(dl_rates)),
+        "min_dl_code_rate": float(min(dl_rates)),
+        "harq_usage_beyond_500m": float(result.harq_usage_beyond(500.0)),
+        "peak_tcp_mbps": float(max(t for _, t in result.throughput_curve())),
+    }
+
+
+def fig1_sweep_spec(
+    seeds=(1,),
+    bandwidth_hz: float = 5e6,
+    max_distance_m: float = 1700.0,
+    step_m: float = 25.0,
+    samples_per_point: int = 60,
+):
+    """The Figure 1 grid: one drive test per seed."""
+    from repro.experiments.sweep import SweepSpec
+
+    return SweepSpec.from_grid(
+        "fig1",
+        SCENARIO_FIG1,
+        grid={"seed": list(seeds)},
+        base={
+            "bandwidth_hz": bandwidth_hz,
+            "max_distance_m": max_distance_m,
+            "step_m": step_m,
+            "samples_per_point": samples_per_point,
+        },
+    )

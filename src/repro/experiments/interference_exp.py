@@ -22,10 +22,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
+from repro.experiments.sweep import SweepSpec
 from repro.lte.network import rlf_probability
 from repro.phy.antenna import SectorAntenna
 from repro.phy.harq import block_error_rate
@@ -120,6 +121,53 @@ def _signalling_scale(sir_db: float) -> float:
     """Goodput multiplier under control-signalling-only interference."""
     loss = SIGNALLING_MAX_LOSS * math.exp(-max(sir_db, 0.0) / 10.0)
     return 1.0 - min(loss, SIGNALLING_MAX_LOSS)
+
+
+SCENARIO_FIG7 = "fig7_walk"
+
+
+def fig7_cell(
+    seed: int = 3,
+    bandwidth_hz: float = 5e6,
+    n_points: int = 120,
+    path_length_m: float = 260.0,
+) -> Dict[str, object]:
+    """One Figure 7 sweep cell: a full two-cell walk at one seed."""
+    result = run_two_cell_walk(
+        seed=seed,
+        bandwidth_hz=bandwidth_hz,
+        n_points=n_points,
+        path_length_m=path_length_m,
+    )
+    sinrs = [s.sinr_db for s in result.samples]
+    return {
+        "signalling_max_gap": float(result.signalling_vs_none_max_gap()),
+        "full_interference_median_loss": float(
+            result.full_interference_median_loss()
+        ),
+        "disconnections": int(result.disconnection_count()),
+        "min_sinr_db": float(min(sinrs)),
+        "max_sinr_db": float(max(sinrs)),
+    }
+
+
+def fig7_sweep_spec(
+    seeds: Sequence[int] = (3,),
+    bandwidth_hz: float = 5e6,
+    n_points: int = 120,
+    path_length_m: float = 260.0,
+) -> SweepSpec:
+    """The Figure 7 grid: one walk per seed (the paper walks once)."""
+    return SweepSpec.from_grid(
+        "fig7",
+        SCENARIO_FIG7,
+        grid={"seed": list(seeds)},
+        base={
+            "bandwidth_hz": bandwidth_hz,
+            "n_points": n_points,
+            "path_length_m": path_length_m,
+        },
+    )
 
 
 def run_two_cell_walk(

@@ -25,6 +25,7 @@ from repro.baselines.oracle import OracleAllocator
 from repro.baselines.plain_lte import PlainLtePolicy
 from repro.core.interference.manager import CellFiInterferenceManager
 from repro.experiments.common import Scenario, build_scenario
+from repro.experiments.sweep import SweepSpec, run_sweep
 from repro.lte.network import BACKEND_VECTORIZED, LteNetworkSimulator
 from repro.traffic.backlogged import saturated_demand_fn
 from repro.traffic.flows import Flow, FlowTracker
@@ -131,6 +132,101 @@ def run_wifi_saturated(
     )
 
 
+# -- Sweep-spec plumbing ------------------------------------------------------
+#
+# Figures 9(a) and 9(b) are grids of independent (seed, density, tech)
+# cells over the *same* cell evaluator, so both are expressed as sweep
+# specs and executed by :func:`repro.experiments.sweep.run_sweep` --
+# serially in-process by default, or fanned out over worker processes
+# via the ``jobs`` argument / ``python -m repro.cli sweep``.
+
+SCENARIO_SATURATED = "large_scale_saturated"
+
+
+def large_scale_saturated_cell(
+    seed: int,
+    n_aps: int,
+    tech: str,
+    clients_per_ap: int = 6,
+    epochs: int = 15,
+    wifi_duration_s: float = 6.0,
+) -> Dict[str, object]:
+    """One Figure 9(a)/9(b) grid cell: a single (seed, density, tech) run.
+
+    All randomness derives from ``seed`` via the scenario's
+    :class:`~repro.sim.rng.RngStreams`, so the metrics are identical no
+    matter which worker process (or how many) evaluates the cell.
+    """
+    scenario = build_scenario(seed, n_aps, clients_per_ap)
+    if tech == TECH_WIFI:
+        run = run_wifi_saturated(scenario, duration_s=wifi_duration_s)
+    else:
+        run = run_lte_family_saturated(tech, scenario, epochs=epochs)
+    throughput = [float(t) for t in run.throughput_bps]
+    return {
+        "tech": run.tech,
+        "connected_fraction": float(run.connected_fraction),
+        "throughput_bps": throughput,
+        "median_bps": float(np.median(throughput)),
+    }
+
+
+def fig9a_sweep_spec(
+    densities: Sequence[int] = (6, 10, 14),
+    seeds: Sequence[int] = (1, 2),
+    techs: Sequence[str] = (TECH_WIFI, TECH_LTE, TECH_CELLFI),
+    clients_per_ap: int = 6,
+    epochs: int = 12,
+    wifi_duration_s: float = 5.0,
+) -> SweepSpec:
+    """The Figure 9(a) grid: density x seed x technology."""
+    return SweepSpec.from_grid(
+        "fig9a",
+        SCENARIO_SATURATED,
+        grid={"n_aps": list(densities), "seed": list(seeds), "tech": list(techs)},
+        base={
+            "clients_per_ap": clients_per_ap,
+            "epochs": epochs,
+            "wifi_duration_s": wifi_duration_s,
+        },
+    )
+
+
+def fig9b_sweep_spec(
+    seeds: Sequence[int] = (1,),
+    n_aps: int = 14,
+    techs: Sequence[str] = (TECH_WIFI, TECH_LTE, TECH_CELLFI, TECH_ORACLE),
+    clients_per_ap: int = 6,
+    epochs: int = 15,
+    wifi_duration_s: float = 6.0,
+) -> SweepSpec:
+    """The Figure 9(b) grid: seed x technology at the densest setting."""
+    return SweepSpec.from_grid(
+        "fig9b",
+        SCENARIO_SATURATED,
+        grid={"seed": list(seeds), "tech": list(techs)},
+        base={
+            "n_aps": n_aps,
+            "clients_per_ap": clients_per_ap,
+            "epochs": epochs,
+            "wifi_duration_s": wifi_duration_s,
+        },
+    )
+
+
+def _metrics_by_cell(
+    spec: SweepSpec, jobs: int, **sweep_kwargs
+) -> Dict[tuple, Dict[str, object]]:
+    """Run a spec and key each cell's metrics by (seed, n_aps, tech)."""
+    result = run_sweep(spec, jobs=jobs, **sweep_kwargs)
+    result.raise_on_failures()
+    keyed: Dict[tuple, Dict[str, object]] = {}
+    for record in result.records:
+        params = record.params
+        keyed[(params["seed"], params["n_aps"], params["tech"])] = record.metrics
+    return keyed
+
+
 @dataclass
 class CoverageVsDensity:
     """Figure 9(a): connected-user fraction per technology and density."""
@@ -150,24 +246,40 @@ def run_coverage_vs_density(
     epochs: int = 12,
     wifi_duration_s: float = 5.0,
     include_wifi: bool = True,
+    jobs: int = 0,
+    **sweep_kwargs,
 ) -> CoverageVsDensity:
-    """Sweep AP density and measure coverage for each technology."""
+    """Sweep AP density and measure coverage for each technology.
+
+    The grid is expressed as a sweep spec; ``jobs``/``sweep_kwargs`` pass
+    straight to :func:`repro.experiments.sweep.run_sweep` (``jobs=0``
+    keeps the historical serial in-process behaviour).
+    """
     result = CoverageVsDensity(densities=list(densities))
     techs = [TECH_WIFI, TECH_LTE, TECH_CELLFI] if include_wifi else [TECH_LTE, TECH_CELLFI]
-    acc: Dict[str, List[float]] = {t: [] for t in techs}
-    for density in densities:
-        per_tech: Dict[str, List[float]] = {t: [] for t in techs}
-        for seed in seeds:
-            scenario = build_scenario(seed, density, clients_per_ap)
-            for tech in techs:
-                if tech == TECH_WIFI:
-                    run = run_wifi_saturated(scenario, duration_s=wifi_duration_s)
-                else:
-                    run = run_lte_family_saturated(tech, scenario, epochs=epochs)
-                per_tech[tech].append(run.connected_fraction)
-        for tech in techs:
-            acc[tech].append(float(np.mean(per_tech[tech])))
-    result.coverage = acc
+    spec = fig9a_sweep_spec(
+        densities=densities,
+        seeds=seeds,
+        techs=techs,
+        clients_per_ap=clients_per_ap,
+        epochs=epochs,
+        wifi_duration_s=wifi_duration_s,
+    )
+    cells = _metrics_by_cell(spec, jobs, **sweep_kwargs)
+    result.coverage = {
+        tech: [
+            float(
+                np.mean(
+                    [
+                        cells[(seed, density, tech)]["connected_fraction"]
+                        for seed in seeds
+                    ]
+                )
+            )
+            for density in densities
+        ]
+        for tech in techs
+    }
     return result
 
 
@@ -194,23 +306,30 @@ def run_throughput_cdfs(
     epochs: int = 15,
     wifi_duration_s: float = 6.0,
     include_oracle: bool = True,
+    jobs: int = 0,
+    **sweep_kwargs,
 ) -> ThroughputCdfs:
-    """The densest-scenario throughput comparison, pooled over seeds."""
+    """The densest-scenario throughput comparison, pooled over seeds.
+
+    Expressed as a sweep spec over (seed, tech); see
+    :func:`run_coverage_vs_density` for the ``jobs`` semantics.
+    """
     techs = [TECH_WIFI, TECH_LTE, TECH_CELLFI] + (
         [TECH_ORACLE] if include_oracle else []
     )
+    spec = fig9b_sweep_spec(
+        seeds=seeds,
+        n_aps=n_aps,
+        techs=techs,
+        clients_per_ap=clients_per_ap,
+        epochs=epochs,
+        wifi_duration_s=wifi_duration_s,
+    )
+    cells = _metrics_by_cell(spec, jobs, **sweep_kwargs)
     pooled: Dict[str, List[float]] = {t: [] for t in techs}
     for seed in seeds:
-        scenario = build_scenario(seed, n_aps, clients_per_ap)
-        pooled[TECH_WIFI].extend(
-            run_wifi_saturated(scenario, duration_s=wifi_duration_s).throughput_bps
-        )
         for tech in techs:
-            if tech == TECH_WIFI:
-                continue
-            pooled[tech].extend(
-                run_lte_family_saturated(tech, scenario, epochs=epochs).throughput_bps
-            )
+            pooled[tech].extend(cells[(seed, n_aps, tech)]["throughput_bps"])
     return ThroughputCdfs(samples_bps=pooled)
 
 

@@ -175,3 +175,49 @@ def run_fig2(
     ac_run = ac_net.run_saturated(duration_s)
     result.throughput_bps[AC_INDOOR.name] = list(ac_run.throughput_bps.values())
     return result
+
+
+# -- Sweep-spec plumbing ------------------------------------------------------
+
+SCENARIO_FIG2 = "fig2_wifi_macs"
+
+
+def fig2_cell(
+    seed: int = 1,
+    n_aps: int = 8,
+    clients_per_ap: int = 6,
+    duration_s: float = 4.0,
+) -> Dict[str, object]:
+    """One Figure 2 sweep cell: the af-vs-ac comparison at one seed."""
+    result = run_fig2(
+        seed=seed, n_aps=n_aps, clients_per_ap=clients_per_ap, duration_s=duration_s
+    )
+    metrics: Dict[str, object] = {}
+    for standard, samples in result.throughput_bps.items():
+        arr = np.array(samples)
+        key = standard.replace(".", "_")
+        metrics[f"median_bps[{key}]"] = float(np.median(arr))
+        metrics[f"starved_fraction[{key}]"] = float((arr < 50e3).mean())
+        metrics[f"mean_snr_db[{key}]"] = float(result.mean_snr_db[standard])
+    return metrics
+
+
+def fig2_sweep_spec(
+    seeds=(1,),
+    n_aps: int = 8,
+    clients_per_ap: int = 6,
+    duration_s: float = 4.0,
+):
+    """The Figure 2 grid: one matched af/ac comparison per seed."""
+    from repro.experiments.sweep import SweepSpec
+
+    return SweepSpec.from_grid(
+        "fig2",
+        SCENARIO_FIG2,
+        grid={"seed": list(seeds)},
+        base={
+            "n_aps": n_aps,
+            "clients_per_ap": clients_per_ap,
+            "duration_s": duration_s,
+        },
+    )

@@ -8,8 +8,11 @@ paper-vs-measured story is one file (``python -m repro.cli report``).
 
 from __future__ import annotations
 
+import json
 import pathlib
 from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.utils.render import format_table
 
 #: Report order and titles, following the paper's evaluation section.
 SECTIONS: Tuple[Tuple[str, str], ...] = (
@@ -77,11 +80,135 @@ def render_report(
     return "\n".join(lines)
 
 
+# -- Sweep-log aggregation ----------------------------------------------------
+#
+# ``python -m repro.cli sweep`` writes a JSONL results log (one record
+# per grid cell; see repro.experiments.sweep).  The helpers below turn
+# such a log into the paper-vs-measured tables the report embeds.
+
+
+def load_sweep_records(path: pathlib.Path) -> List[dict]:
+    """Parse a sweep JSONL log, skipping blank or half-written lines."""
+    records: List[dict] = []
+    path = pathlib.Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"no sweep log at {path}")
+    with path.open() as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError:
+                continue
+    return records
+
+
+def sweep_outcome_summary(records: Sequence[dict]) -> str:
+    """Per-scenario outcome counts and wall-clock totals."""
+    by_scenario: Dict[str, List[dict]] = {}
+    for record in records:
+        by_scenario.setdefault(record.get("scenario", "?"), []).append(record)
+    rows = []
+    for name in sorted(by_scenario):
+        cells = by_scenario[name]
+        statuses = [c.get("status") for c in cells]
+        wall = sum(float(c.get("wall_time_s", 0.0)) for c in cells)
+        rows.append(
+            [
+                name,
+                len(cells),
+                statuses.count("ok"),
+                statuses.count("failed"),
+                statuses.count("timeout"),
+                f"{wall:.1f} s",
+            ]
+        )
+    return format_table(
+        ["scenario", "cells", "ok", "failed", "timeout", "wall"],
+        rows,
+        title="Sweep outcomes",
+    )
+
+
+def _scalar_metric_keys(records: Sequence[dict]) -> List[str]:
+    keys: List[str] = []
+    for record in records:
+        for key, value in record.get("metrics", {}).items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            if key not in keys:
+                keys.append(key)
+    return keys
+
+
+def sweep_metric_table(
+    records: Sequence[dict],
+    group_by: Optional[Sequence[str]] = None,
+    title: str = "Sweep metrics",
+) -> str:
+    """Mean scalar metrics, grouped by the varying grid parameters.
+
+    By default rows group over every parameter that varies across the
+    log *except* ``seed``, so repeated topologies average out -- the
+    same convention the paper's tables use ("every scenario is repeated
+    ... on a new topology").
+    """
+    ok = [r for r in records if r.get("status") == "ok"]
+    if not ok:
+        return format_table(["(no successful cells)"], [], title=title)
+    param_keys = sorted({k for r in ok for k in r.get("params", {})})
+    if group_by is None:
+        group_by = [
+            key
+            for key in param_keys
+            if key != "seed"
+            and len({repr(r["params"].get(key)) for r in ok}) > 1
+        ]
+    metric_keys = _scalar_metric_keys(ok)
+    groups: Dict[tuple, List[dict]] = {}
+    for record in ok:
+        key = tuple(record["params"].get(k) for k in group_by)
+        groups.setdefault(key, []).append(record)
+    rows = []
+    for key in sorted(groups, key=repr):
+        cells = groups[key]
+        row: List[object] = list(key)
+        for metric in metric_keys:
+            values = [
+                c["metrics"][metric]
+                for c in cells
+                if isinstance(c["metrics"].get(metric), (int, float))
+                and not isinstance(c["metrics"].get(metric), bool)
+            ]
+            row.append(
+                f"{sum(values) / len(values):.4g}" if values else "-"
+            )
+        rows.append(row)
+    return format_table(list(group_by) + metric_keys, rows, title=title)
+
+
+def render_sweep_summary(path: pathlib.Path) -> str:
+    """The full aggregation of one sweep log: outcomes plus metric means."""
+    records = load_sweep_records(path)
+    return sweep_outcome_summary(records) + "\n\n" + sweep_metric_table(records)
+
+
 def write_report(
-    results_dir: pathlib.Path, output_path: Optional[pathlib.Path] = None
+    results_dir: pathlib.Path,
+    output_path: Optional[pathlib.Path] = None,
+    sweep_logs: Sequence[pathlib.Path] = (),
 ) -> pathlib.Path:
-    """Collect, render and write the report; returns the output path."""
+    """Collect, render and write the report; returns the output path.
+
+    ``sweep_logs`` are JSONL results logs from ``repro.cli sweep``; each
+    is aggregated into a ``sweep-<name>`` artefact section.
+    """
     artefacts = collect_results(results_dir)
+    for log in sweep_logs:
+        log = pathlib.Path(log)
+        artefacts[f"sweep-{log.stem}"] = render_sweep_summary(log)
     output = output_path or results_dir.parent / "REPORT.md"
     output.write_text(render_report(artefacts) + "\n")
     return output

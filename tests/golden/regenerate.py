@@ -1,0 +1,46 @@
+"""Regenerate tests/golden/figures.json in place.
+
+Run this (and commit the diff, explaining why in the PR) when a change
+is *supposed* to move the figure numbers::
+
+    PYTHONPATH=src python tests/golden/regenerate.py [--jobs N]
+
+Every entry's cell is re-evaluated through the sweep runner with the
+params recorded in the golden file; tolerances are preserved.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+
+from repro.experiments.sweep import SweepSpec, SweepTask, run_sweep
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "figures.json"
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--jobs", type=int, default=0)
+    args = parser.parse_args()
+
+    golden = json.loads(GOLDEN_PATH.read_text())
+    entries = golden["entries"]
+    spec = SweepSpec(
+        "golden-regen",
+        [SweepTask.make(e["scenario"], e["params"]) for e in entries],
+    )
+    result = run_sweep(spec, jobs=args.jobs)
+    result.raise_on_failures()
+    fresh = result.metrics_by_hash()
+    for entry in entries:
+        metrics = fresh[SweepTask.make(entry["scenario"], entry["params"]).config_hash]
+        for name, check in entry["metrics"].items():
+            check["value"] = metrics[name]
+    GOLDEN_PATH.write_text(json.dumps(golden, indent=1, sort_keys=True) + "\n")
+    print(f"rewrote {GOLDEN_PATH} ({len(entries)} entries)")
+
+
+if __name__ == "__main__":
+    main()

@@ -26,6 +26,43 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["nonsense"])
 
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep", "fig9a"])
+        assert args.spec == "fig9a"
+        assert args.jobs >= 1
+        assert args.retries == 1
+        assert args.timeout is None
+        assert args.out is None
+        assert not args.resume
+
+    def test_sweep_flags(self):
+        args = build_parser().parse_args(
+            [
+                "sweep", "fig9a", "--jobs", "4", "--resume", "--timeout", "60",
+                "--out", "x.jsonl", "--densities", "4", "6", "--seeds", "1",
+                "--techs", "LTE", "CellFi",
+            ]
+        )
+        assert args.jobs == 4
+        assert args.resume
+        assert args.timeout == 60.0
+        assert args.out == "x.jsonl"
+        assert args.densities == [4, 6]
+        assert args.techs == ["LTE", "CellFi"]
+
+    def test_sweep_unknown_spec_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "fig99"])
+
+    def test_sweep_spec_builders_cover_all_choices(self):
+        from repro.cli import SWEEP_SPECS, build_sweep_spec
+
+        defaults = build_parser().parse_args(["sweep", "fig9a"])
+        for name in SWEEP_SPECS:
+            defaults.spec = name
+            spec = build_sweep_spec(defaults)
+            assert len(spec) >= 1, name
+
 
 class TestExecution:
     def test_fig6_runs(self, capsys):
@@ -48,3 +85,27 @@ class TestExecution:
         assert main(["fig1", "--samples", "10"]) == 0
         out = capsys.readouterr().out
         assert "coverage" in out
+
+    def test_sweep_runs_convergence_grid(self, capsys, tmp_path):
+        out_path = tmp_path / "conv.jsonl"
+        code = main(
+            [
+                "sweep", "convergence", "--sizes", "8", "--fadings", "0.0",
+                "--replications", "2", "--jobs", "2", "--out", str(out_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "1 cells (1 computed, 0 reused" in out
+        assert "Sweep outcomes" in out
+        assert out_path.exists()
+        # Re-run with --resume: everything comes from the cache.
+        code = main(
+            [
+                "sweep", "convergence", "--sizes", "8", "--fadings", "0.0",
+                "--replications", "2", "--jobs", "2", "--out", str(out_path),
+                "--resume",
+            ]
+        )
+        assert code == 0
+        assert "0 computed, 1 reused" in capsys.readouterr().out

@@ -114,7 +114,11 @@ class TestScenarioDeterminism:
     def test_full_scale_env_flag(self, monkeypatch):
         from repro.experiments import common
 
-        monkeypatch.setenv("REPRO_FULL", "1")
-        assert common.full_scale()
-        monkeypatch.setenv("REPRO_FULL", "0")
+        for value in ("1", "true", "TRUE", "Yes", "on", " yes "):
+            monkeypatch.setenv("REPRO_FULL", value)
+            assert common.full_scale(), value
+        for value in ("0", "false", "no", "off", "", "2"):
+            monkeypatch.setenv("REPRO_FULL", value)
+            assert not common.full_scale(), value
+        monkeypatch.delenv("REPRO_FULL")
         assert not common.full_scale()

@@ -1,0 +1,77 @@
+"""Golden-value regression net over the paper-figure pipelines.
+
+Every entry in ``tests/golden/figures.json`` pins one sweep cell of a
+figure pipeline (fig1 drive test, fig2 MAC comparison, fig9a coverage
+grid, Theorem-1 convergence) at a fixed CI-scale seed, with explicit
+per-metric tolerances.  A perf or refactoring PR that silently changes
+what the figures compute fails here; a PR that *intends* to move the
+numbers regenerates the file via ``tests/golden/regenerate.py`` and says
+so.
+
+The cells run through the sweep runner itself, so this is also an
+end-to-end check that the runner reproduces the figure pipelines.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.experiments.sweep import SweepSpec, SweepTask, run_sweep
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "golden" / "figures.json"
+
+
+def _entries():
+    return json.loads(GOLDEN_PATH.read_text())["entries"]
+
+
+def _entry_id(entry):
+    params = entry["params"]
+    bits = [entry["figure"]]
+    for key in ("seed", "n_aps", "tech", "n_nodes", "fading_p"):
+        if key in params:
+            bits.append(f"{key}{params[key]}")
+    return "-".join(str(b) for b in bits)
+
+
+@pytest.fixture(scope="module")
+def measured():
+    """Run every golden cell once, through the sweep runner."""
+    entries = _entries()
+    spec = SweepSpec(
+        "golden",
+        [SweepTask.make(e["scenario"], e["params"]) for e in entries],
+    )
+    result = run_sweep(spec, jobs=0)
+    result.raise_on_failures()
+    return result.metrics_by_hash()
+
+
+@pytest.mark.parametrize("entry", _entries(), ids=_entry_id)
+def test_figure_metrics_match_golden(entry, measured):
+    key = SweepTask.make(entry["scenario"], entry["params"]).config_hash
+    metrics = measured[key]
+    for name, check in entry["metrics"].items():
+        assert name in metrics, f"metric {name!r} disappeared"
+        value, expected = metrics[name], check["value"]
+        tolerance = check.get("atol", 0.0) + check.get("rtol", 0.0) * abs(expected)
+        assert value == pytest.approx(expected, abs=tolerance), (
+            f"{_entry_id(entry)}: {name} = {value!r}, golden {expected!r} "
+            f"(±{tolerance:g}); if this change is intentional, regenerate "
+            "tests/golden/figures.json via tests/golden/regenerate.py"
+        )
+
+
+def test_golden_covers_the_headline_figures():
+    figures = {e["figure"] for e in _entries()}
+    assert {"fig1", "fig2", "fig9a", "convergence"} <= figures
+
+
+def test_golden_pins_coverage_throughput_and_convergence_metrics():
+    """The ISSUE's key metrics are all under regression."""
+    pinned = {name for e in _entries() for name in e["metrics"]}
+    assert "coverage_fraction_1mbps" in pinned
+    assert "connected_fraction" in pinned
+    assert any(name.startswith("median_bps") for name in pinned)
+    assert "mean_rounds" in pinned

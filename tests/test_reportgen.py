@@ -1,10 +1,18 @@
 """Tests for the benchmark-report generator."""
 
+import json
 import pathlib
 
 import pytest
 
-from repro.utils.reportgen import collect_results, render_report, write_report
+from repro.utils.reportgen import (
+    collect_results,
+    load_sweep_records,
+    render_report,
+    sweep_metric_table,
+    sweep_outcome_summary,
+    write_report,
+)
 
 
 @pytest.fixture
@@ -60,6 +68,72 @@ class TestWrite:
         target = tmp_path / "out.md"
         assert write_report(results_dir, target) == target
         assert target.exists()
+
+
+def _record(seed, tech, status="ok", coverage=0.9):
+    return {
+        "task_id": seed,
+        "config_hash": f"h{seed}{tech}",
+        "scenario": "large_scale_saturated",
+        "params": {"seed": seed, "tech": tech, "epochs": 4},
+        "status": status,
+        "attempts": 1,
+        "wall_time_s": 0.5,
+        "metrics": {} if status != "ok" else {
+            "connected_fraction": coverage,
+            "tech": tech,
+            "throughput_bps": [1.0, 2.0],
+        },
+        "error": None if status == "ok" else "boom",
+    }
+
+
+@pytest.fixture
+def sweep_log(tmp_path):
+    path = tmp_path / "sweep.jsonl"
+    records = [
+        _record(1, "LTE", coverage=0.8),
+        _record(2, "LTE", coverage=0.9),
+        _record(1, "CellFi", coverage=1.0),
+        _record(2, "CellFi", coverage=0.9),
+        _record(3, "CellFi", status="timeout"),
+    ]
+    path.write_text("\n".join(json.dumps(r) for r in records) + "\n")
+    return path
+
+
+class TestSweepAggregation:
+    def test_load_skips_torn_lines(self, sweep_log):
+        text = sweep_log.read_text()
+        sweep_log.write_text(text + '{"task_id": 9, "status')
+        assert len(load_sweep_records(sweep_log)) == 5
+
+    def test_load_missing_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_sweep_records(tmp_path / "none.jsonl")
+
+    def test_outcome_summary_counts(self, sweep_log):
+        summary = sweep_outcome_summary(load_sweep_records(sweep_log))
+        assert "large_scale_saturated" in summary
+        row = [l for l in summary.splitlines() if "large_scale" in l][0]
+        cells = [c.strip() for c in row.split("|")]
+        assert cells[1:5] == ["5", "4", "0", "1"]
+
+    def test_metric_table_groups_by_varying_non_seed_params(self, sweep_log):
+        table = sweep_metric_table(load_sweep_records(sweep_log))
+        # Grouped by tech (the only varying non-seed param), mean over seeds.
+        cellfi = [l for l in table.splitlines() if l.startswith("CellFi")][0]
+        assert "0.95" in cellfi
+        lte = [l for l in table.splitlines() if l.startswith("LTE")][0]
+        assert "0.85" in lte
+        # Non-scalar metrics (lists, strings) are not tabulated.
+        assert "throughput_bps" not in table
+
+    def test_report_embeds_sweep_section(self, results_dir, sweep_log):
+        output = write_report(results_dir, sweep_logs=[sweep_log])
+        text = output.read_text()
+        assert "sweep-sweep" in text
+        assert "Sweep outcomes" in text
 
 
 class TestCliIntegration:

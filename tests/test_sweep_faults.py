@@ -1,0 +1,138 @@
+"""Fault injection: crashed, hung, and dying cells degrade gracefully.
+
+A scenario that raises, blocks past the timeout, or kills its own
+process must be retried the configured number of times, recorded as
+``failed``/``timeout`` in the results log, and must not abort sibling
+cells or the sweep itself.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.experiments import sweep
+from repro.experiments.sweep import (
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    SweepSpec,
+    SweepTask,
+    run_sweep,
+)
+
+
+@sweep.scenario("_faulty_cell")
+def _faulty_cell(seed, mode="ok"):
+    if mode == "crash":
+        raise RuntimeError(f"injected failure for seed {seed}")
+    if mode == "hang":
+        time.sleep(60.0)
+    if mode == "die":
+        os._exit(3)
+    return {"value": float(seed)}
+
+
+def _spec(modes):
+    return SweepSpec(
+        "faulty",
+        [
+            SweepTask.make("_faulty_cell", {"seed": i, "mode": mode})
+            for i, mode in enumerate(modes)
+        ],
+    )
+
+
+def _by_mode(result):
+    return {r.params["mode"]: r for r in result.records}
+
+
+class TestFaultIsolation:
+    @pytest.fixture(scope="class")
+    def mixed(self):
+        # ok siblings on both sides of every failure mode.
+        return run_sweep(
+            _spec(["ok", "crash", "hang", "die", "ok"]),
+            jobs=2,
+            timeout_s=1.0,
+            retries=1,
+        )
+
+    def test_all_cells_recorded(self, mixed):
+        assert len(mixed.records) == 5
+        assert [r.task_id for r in mixed.records] == list(range(5))
+
+    def test_siblings_unaffected(self, mixed):
+        ok = [r for r in mixed.records if r.params["mode"] == "ok"]
+        assert len(ok) == 2
+        assert all(r.status == STATUS_OK for r in ok)
+        assert all(r.metrics["value"] == float(r.params["seed"]) for r in ok)
+
+    def test_crash_recorded_as_failed(self, mixed):
+        record = _by_mode(mixed)["crash"]
+        assert record.status == STATUS_FAILED
+        assert "injected failure" in record.error
+
+    def test_hang_recorded_as_timeout(self, mixed):
+        record = _by_mode(mixed)["hang"]
+        assert record.status == STATUS_TIMEOUT
+        assert "timeout" in record.error
+
+    def test_hard_exit_recorded_as_failed(self, mixed):
+        record = _by_mode(mixed)["die"]
+        assert record.status == STATUS_FAILED
+        assert "exit code 3" in record.error
+
+    def test_failures_exhaust_configured_retries(self, mixed):
+        for mode in ("crash", "hang", "die"):
+            assert _by_mode(mixed)[mode].attempts == 2  # 1 + retries
+
+    def test_raise_on_failures(self, mixed):
+        with pytest.raises(RuntimeError, match="did not complete"):
+            mixed.raise_on_failures()
+
+
+class TestRetryBudget:
+    def test_zero_retries_single_attempt(self):
+        result = run_sweep(_spec(["crash"]), jobs=1, retries=0)
+        (record,) = result.records
+        assert record.status == STATUS_FAILED
+        assert record.attempts == 1
+
+    def test_more_retries_more_attempts(self):
+        result = run_sweep(_spec(["crash"]), jobs=1, retries=3)
+        (record,) = result.records
+        assert record.attempts == 4
+
+    def test_timeout_terminates_promptly(self):
+        start = time.monotonic()
+        result = run_sweep(_spec(["hang"]), jobs=1, timeout_s=0.5, retries=0)
+        elapsed = time.monotonic() - start
+        (record,) = result.records
+        assert record.status == STATUS_TIMEOUT
+        # Far below the 60 s the cell would sleep: the worker was killed.
+        assert elapsed < 30.0
+
+
+class TestInlineFailures:
+    def test_inline_records_failure_without_raising(self):
+        result = run_sweep(_spec(["ok", "crash"]), jobs=0)
+        by_mode = _by_mode(result)
+        assert by_mode["ok"].status == STATUS_OK
+        assert by_mode["crash"].status == STATUS_FAILED
+        assert "injected failure" in by_mode["crash"].error
+
+    def test_failed_cells_land_in_the_log(self, tmp_path):
+        out = tmp_path / "faults.jsonl"
+        run_sweep(_spec(["ok", "crash"]), jobs=2, retries=0, out_path=out)
+        from repro.experiments.sweep import load_records
+
+        statuses = {r.params["mode"]: r.status for r in load_records(out)}
+        assert statuses == {"ok": STATUS_OK, "crash": STATUS_FAILED}
+
+    def test_unknown_scenario_is_a_recorded_failure(self):
+        spec = SweepSpec("ghost", [SweepTask.make("_no_such_scenario", {"x": 1})])
+        result = run_sweep(spec, jobs=1, retries=0)
+        (record,) = result.records
+        assert record.status == STATUS_FAILED
+        assert "unknown sweep scenario" in record.error

@@ -1,0 +1,198 @@
+"""Determinism and resume semantics of the parallel sweep runner.
+
+The contract under test: worker fan-out must never perturb results --
+the same grid run with ``jobs=1`` and ``jobs=4`` produces identical
+metrics (``RngStreams`` draws derive from cell params, not from
+scheduling) -- and ``--resume`` against a half-written results log
+recomputes exactly the missing cells.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments import sweep
+from repro.experiments.sweep import (
+    STATUS_OK,
+    SweepSpec,
+    SweepTask,
+    config_hash,
+    load_records,
+    run_sweep,
+)
+from repro.sim.rng import RngStreams
+
+
+@sweep.scenario("_runner_cell")
+def _runner_cell(seed, scale=1.0):
+    """Cheap deterministic cell: metrics derive only from the params."""
+    rng = RngStreams(seed).stream("cell")
+    draws = rng.random(8)
+    return {
+        "mean": float(draws.mean() * scale),
+        "first": float(draws[0]),
+        "seed": seed,
+    }
+
+
+def _spec(n=6, scale=1.0):
+    return SweepSpec(
+        "runner-grid",
+        [
+            SweepTask.make("_runner_cell", {"seed": seed, "scale": scale})
+            for seed in range(n)
+        ],
+    )
+
+
+class TestConfigHash:
+    def test_param_order_irrelevant(self):
+        a = config_hash("s", {"x": 1, "y": 2.5})
+        b = config_hash("s", {"y": 2.5, "x": 1})
+        assert a == b
+
+    def test_distinct_configs_distinct_hashes(self):
+        hashes = {
+            config_hash("s", {"x": 1}),
+            config_hash("s", {"x": 2}),
+            config_hash("t", {"x": 1}),
+        }
+        assert len(hashes) == 3
+
+    def test_task_hash_matches_free_function(self):
+        task = SweepTask.make("s", {"x": 1, "y": "z"})
+        assert task.config_hash == config_hash("s", {"y": "z", "x": 1})
+
+
+class TestGrid:
+    def test_cartesian_product_order(self):
+        spec = SweepSpec.from_grid(
+            "g", "_runner_cell", grid={"a": [1, 2], "b": [10, 20]}, base={"c": 0}
+        )
+        combos = [(t.params_dict["a"], t.params_dict["b"]) for t in spec.tasks]
+        assert combos == [(1, 10), (1, 20), (2, 10), (2, 20)]
+        assert all(t.params_dict["c"] == 0 for t in spec.tasks)
+
+    def test_len(self):
+        assert len(_spec(5)) == 5
+
+
+class TestDeterminism:
+    def test_inline_matches_subprocess(self):
+        spec = _spec()
+        inline = run_sweep(spec, jobs=0)
+        forked = run_sweep(spec, jobs=2)
+        assert inline.metrics_by_hash() == forked.metrics_by_hash()
+
+    def test_jobs1_matches_jobs4_jsonl(self, tmp_path):
+        spec = _spec(8)
+        one = tmp_path / "jobs1.jsonl"
+        four = tmp_path / "jobs4.jsonl"
+        run_sweep(spec, jobs=1, out_path=one)
+        run_sweep(spec, jobs=4, out_path=four)
+
+        def metric_lines(path):
+            return [
+                (json.loads(line)["config_hash"], json.loads(line)["metrics"])
+                for line in path.read_text().splitlines()
+            ]
+
+        assert metric_lines(one) == metric_lines(four)
+
+    def test_canonical_log_ordered_by_task(self, tmp_path):
+        out = tmp_path / "sweep.jsonl"
+        run_sweep(_spec(6), jobs=3, out_path=out)
+        ids = [json.loads(l)["task_id"] for l in out.read_text().splitlines()]
+        assert ids == sorted(ids) == list(range(6))
+
+
+class TestResume:
+    def test_resume_recomputes_only_missing(self, tmp_path):
+        spec = _spec(8)
+        out = tmp_path / "sweep.jsonl"
+        full = run_sweep(spec, jobs=2, out_path=out)
+        assert full.computed == 8
+
+        # Delete half the records (simulating an interrupted run).
+        lines = out.read_text().splitlines()
+        kept, dropped = lines[::2], lines[1::2]
+        out.write_text("\n".join(kept) + "\n")
+
+        resumed = run_sweep(spec, jobs=2, out_path=out, resume=True)
+        assert resumed.computed == len(dropped)
+        assert resumed.reused == len(kept)
+        assert resumed.metrics_by_hash() == full.metrics_by_hash()
+        # The rewritten log is complete and canonical again.
+        assert [r.task_id for r in load_records(out)] == list(range(8))
+
+    def test_resume_tolerates_truncated_line(self, tmp_path):
+        spec = _spec(4)
+        out = tmp_path / "sweep.jsonl"
+        full = run_sweep(spec, jobs=1, out_path=out)
+        text = out.read_text().splitlines()
+        out.write_text("\n".join(text[:2]) + "\n" + text[3][: len(text[3]) // 2])
+        resumed = run_sweep(spec, jobs=1, out_path=out, resume=True)
+        assert resumed.reused == 2
+        assert resumed.computed == 2
+        assert resumed.metrics_by_hash() == full.metrics_by_hash()
+
+    def test_resume_recomputes_failed_records(self, tmp_path):
+        spec = _spec(3)
+        out = tmp_path / "sweep.jsonl"
+        full = run_sweep(spec, jobs=1, out_path=out)
+        records = [json.loads(l) for l in out.read_text().splitlines()]
+        records[1]["status"] = "failed"
+        records[1]["metrics"] = {}
+        out.write_text("\n".join(json.dumps(r) for r in records) + "\n")
+        resumed = run_sweep(spec, jobs=1, out_path=out, resume=True)
+        assert resumed.reused == 2
+        assert resumed.computed == 1
+        assert resumed.metrics_by_hash() == full.metrics_by_hash()
+
+    def test_without_resume_everything_recomputes(self, tmp_path):
+        spec = _spec(3)
+        out = tmp_path / "sweep.jsonl"
+        run_sweep(spec, jobs=1, out_path=out)
+        again = run_sweep(spec, jobs=1, out_path=out)
+        assert again.computed == 3
+        assert again.reused == 0
+
+    def test_cache_ignores_records_from_other_configs(self, tmp_path):
+        out = tmp_path / "sweep.jsonl"
+        run_sweep(_spec(3, scale=1.0), jobs=1, out_path=out)
+        changed = run_sweep(_spec(3, scale=2.0), jobs=1, out_path=out, resume=True)
+        # scale changed -> different config hashes -> nothing reusable.
+        assert changed.computed == 3
+        assert changed.reused == 0
+        assert all(r.status == STATUS_OK for r in changed.records)
+
+
+class TestFigureGridDeterminism:
+    """A real (LTE-family) figure grid is jobs-invariant end to end."""
+
+    @pytest.fixture(scope="class")
+    def grid(self):
+        from repro.experiments.large_scale import (
+            TECH_CELLFI,
+            TECH_LTE,
+            fig9a_sweep_spec,
+        )
+
+        return fig9a_sweep_spec(
+            densities=(4, 5),
+            seeds=(1, 2),
+            techs=(TECH_LTE, TECH_CELLFI),
+            clients_per_ap=3,
+            epochs=3,
+            wifi_duration_s=1.0,
+        )
+
+    def test_fanout_does_not_perturb_rng(self, grid):
+        serial = run_sweep(grid, jobs=1)
+        parallel = run_sweep(grid, jobs=4)
+        assert serial.metrics_by_hash() == parallel.metrics_by_hash()
+
+    def test_driver_inline_matches_sweep_workers(self, grid):
+        inline = run_sweep(grid, jobs=0)
+        forked = run_sweep(grid, jobs=2)
+        assert inline.metrics_by_hash() == forked.metrics_by_hash()
