@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-full sweep-smoke
+.PHONY: test bench bench-full sweep-smoke faults-smoke
 
 # Tier-1 test suite (must stay green).
 test:
@@ -12,6 +12,14 @@ sweep-smoke:
 	$(PYTHON) -m repro.cli sweep fig9a --densities 4 --seeds 1 \
 		--techs LTE CellFi --clients-per-ap 3 --epochs 3 \
 		--jobs 2 --retries 1 --timeout 300
+
+# Deterministic database-outage scenario through the faulty transport:
+# one outage grace mode absorbs, one that forces a vacate.  Exit status
+# is 0 iff the run stayed ETSI-compliant (see docs/ROBUSTNESS.md).
+faults-smoke:
+	$(PYTHON) -m repro.cli db-outage --seed 1 --outages 60:30 240:90 \
+		--timeout-prob 0.2 --drop-prob 0.1 --error-prob 0.05 \
+		--malformed-prob 0.02 --spike-prob 0.05
 
 # Quick epoch benchmark (small sizes, few epochs) -- suitable for CI.
 bench:

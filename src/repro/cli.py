@@ -74,6 +74,56 @@ def _cmd_fig6(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_outages(specs: List[str]) -> List[tuple]:
+    """Parse ``start:duration`` outage windows (seconds after boot)."""
+    windows = []
+    for spec in specs:
+        try:
+            start_s, _, duration_s = spec.partition(":")
+            windows.append((float(start_s), float(duration_s)))
+        except ValueError:
+            raise SystemExit(
+                f"bad outage spec {spec!r}; expected start:duration, e.g. 60:30"
+            )
+    return windows
+
+
+def _cmd_db_outage(args: argparse.Namespace) -> int:
+    from repro.experiments.db_outage import run_db_outage
+    from repro.utils.reportgen import robustness_summary
+
+    result = run_db_outage(
+        seed=args.seed,
+        outages=_parse_outages(args.outages),
+        timeout_prob=args.timeout_prob,
+        drop_prob=args.drop_prob,
+        error_prob=args.error_prob,
+        malformed_prob=args.malformed_prob,
+        latency_spike_prob=args.spike_prob,
+        poll_interval_s=args.poll_interval,
+        withdraw_in_outage=args.withdraw_in_outage,
+        secondary=args.secondary,
+    )
+    rows = [[f"{t:8.1f}", event] for t, event in result.timeline]
+    shown = rows if args.full_timeline else rows[:40]
+    print(format_table(["t [s]", "event"], shown,
+                       title="Database-outage timeline (Figure 6 under faults)"))
+    if len(rows) > len(shown):
+        print(f"  ... {len(rows) - len(shown)} more events (--full-timeline)")
+    print()
+    if result.robustness_rows:
+        print(robustness_summary(result.robustness_rows))
+        print()
+    print(f"radio downtime     : {result.downtime_s:.1f} s of "
+          f"{result.window_s:.0f} s window")
+    print(f"throughput loss    : {result.loss_fraction * 100:.1f}%")
+    print(f"forced vacates     : {result.counts.get('forced-vacate', 0)}")
+    print(f"ETSI compliant     : {result.compliant} "
+          f"({len(result.violations)} violation(s))")
+    print(f"run digest         : {result.digest}")
+    return 0 if result.compliant else 1
+
+
 def _cmd_fig9a(args: argparse.Namespace) -> int:
     from repro.experiments.large_scale import run_coverage_vs_density
 
@@ -162,7 +212,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 #: Sweep spec builders by name; each maps CLI flags onto builder kwargs
 #: (flag value ``None`` keeps the builder's default).
-SWEEP_SPECS = ("fig9a", "fig9b", "fig1", "fig2", "convergence", "fig7")
+SWEEP_SPECS = ("fig9a", "fig9b", "fig1", "fig2", "convergence", "fig7", "db_outage")
 
 
 def _sweep_kwargs(args: argparse.Namespace, **mapping) -> dict:
@@ -237,6 +287,18 @@ def build_sweep_spec(args: argparse.Namespace):
         from repro.experiments.interference_exp import fig7_sweep_spec
 
         return fig7_sweep_spec(**_sweep_kwargs(args, seeds=args.seeds))
+    if args.spec == "db_outage":
+        from repro.experiments.db_outage import db_outage_sweep_spec
+
+        return db_outage_sweep_spec(
+            **_sweep_kwargs(
+                args,
+                durations=args.outage_durations,
+                seeds=args.seeds,
+                withdraw=args.withdraw or None,
+                secondary=args.secondary or None,
+            )
+        )
     raise ValueError(f"unknown sweep spec {args.spec!r}")
 
 
@@ -301,6 +363,37 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("fig6", help="database vacate/reacquire timeline")
     p.set_defaults(fn=_cmd_fig6)
+
+    p = sub.add_parser(
+        "db-outage",
+        help="Figure 6 timeline under database outages and wire faults",
+    )
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument(
+        "--outages",
+        nargs="*",
+        default=["60:30", "240:90"],
+        help="outage windows as start:duration seconds after boot",
+    )
+    p.add_argument("--timeout-prob", type=float, default=0.0)
+    p.add_argument("--drop-prob", type=float, default=0.0)
+    p.add_argument("--error-prob", type=float, default=0.0)
+    p.add_argument("--malformed-prob", type=float, default=0.0)
+    p.add_argument("--spike-prob", type=float, default=0.0)
+    p.add_argument("--poll-interval", type=float, default=2.0)
+    p.add_argument(
+        "--withdraw-in-outage",
+        type=int,
+        default=None,
+        help="really withdraw the held channel during outage N",
+    )
+    p.add_argument(
+        "--secondary",
+        action="store_true",
+        help="add a reliable secondary database endpoint (failover)",
+    )
+    p.add_argument("--full-timeline", action="store_true")
+    p.set_defaults(fn=_cmd_db_outage)
 
     p = sub.add_parser("fig9a", help="coverage vs density")
     p.add_argument("--densities", type=int, nargs="+", default=[6, 10, 14])
@@ -377,6 +470,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--sizes", type=int, nargs="+", default=None)
     p.add_argument("--fadings", type=float, nargs="+", default=None)
     p.add_argument("--replications", type=int, default=None)
+    p.add_argument("--outage-durations", type=float, nargs="+", default=None)
+    p.add_argument("--withdraw", action="store_true")
+    p.add_argument("--secondary", action="store_true")
     p.set_defaults(fn=_cmd_sweep)
 
     return parser

@@ -22,6 +22,7 @@ from repro.phy.resource_grid import ResourceGrid
 from repro.sim.engine import Event, Simulator
 from repro.tvws.paws import DeviceDescriptor, GeoLocation, PawsServer, SpectrumSpec
 from repro.tvws.regulatory import EtsiComplianceRules
+from repro.tvws.transport import RetryPolicy, RobustnessLog
 
 
 @dataclass
@@ -42,6 +43,16 @@ class CellFiAccessPoint:
         timing: reacquisition latencies (reboot, cell search).
         compliance: optional ETSI monitor.
         probe: network-listen classifier for channel preference.
+        transport: optional primary wire to the database (e.g. a
+            :class:`~repro.tvws.transport.FaultyTransport` over
+            ``paws``); defaults to the reliable in-process call.
+        secondary: optional failover database endpoint (a second
+            :class:`PawsServer` or any transport); the selector switches
+            to it when the primary exhausts its retries.
+        retry: PAWS timeout/retry/backoff policy.
+        robustness: shared structured robustness log (faults, retries,
+            grace transitions, failovers, forced vacates).
+        rng: seeded jitter source for retry backoff.
     """
 
     def __init__(
@@ -55,6 +66,11 @@ class CellFiAccessPoint:
         timing: Optional[ReacquisitionTiming] = None,
         compliance: Optional[EtsiComplianceRules] = None,
         probe: Optional[OccupancyProbe] = None,
+        transport=None,
+        secondary=None,
+        retry: Optional[RetryPolicy] = None,
+        robustness: Optional[RobustnessLog] = None,
+        rng=None,
     ) -> None:
         self.sim = sim
         self.carrier_bandwidth_hz = carrier_bandwidth_hz
@@ -68,14 +84,20 @@ class CellFiAccessPoint:
         self.device = DeviceDescriptor(serial_number=serial, device_type="A")
         self.selector = ChannelSelector(
             sim=sim,
-            paws=paws,
+            paws=transport if transport is not None else paws,
             device=self.device,
             location=GeoLocation(x=x, y=y),
             probe=probe or OccupancyProbe(),
             radio_start=self._on_channel_granted,
             radio_stop=self._on_channel_lost,
             compliance=compliance,
+            secondary=secondary,
+            retry=retry,
+            robustness=robustness,
+            rng=rng,
         )
+        #: The selector's structured robustness log (grace, retries, ...).
+        self.robustness = self.selector.robustness
         self.clients: List[UserEquipment] = []
         self._pending_start: Optional[Event] = None
         self._ever_started = False

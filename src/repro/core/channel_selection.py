@@ -14,25 +14,57 @@ Responsibilities of the component:
 * vacate immediately when the lease disappears -- the AP silencing its
   radio instantly silences every client, because LTE uplink is grant-based;
 * reacquire when spectrum returns (AP reboot + client cell search, the
-  Figure 6 timeline).
+  Figure 6 timeline);
+* **survive a flaky database**: the selector talks PAWS over a
+  :class:`~repro.tvws.transport.PawsTransport` with a per-request timeout
+  and bounded exponential backoff, fails over to a secondary database if
+  one is configured, and -- when every endpoint is unreachable -- enters a
+  degraded *lease-grace mode* that keeps transmitting on the still-valid
+  cached lease and force-vacates at the lease expiry or the ETSI 60 s
+  deadline (measured from the last successful validation), whichever is
+  sooner.  A transient fault therefore never silences the cell, while the
+  EN 301 598 vacate invariant holds under every fault schedule.
+
+The vacate logic distinguishes three situations cleanly:
+
+================================  =============================================
+observation                       reaction
+================================  =============================================
+transport failure (timeout,       retry with backoff, then failover, then
+dropped/malformed reply,          grace mode on the cached lease
+transient server error)
+authoritative error response      vacate: the database answered and the answer
+(outside coverage, unsupported)   is "you have no authorization"
+channel withdrawal (response OK   vacate immediately and move to another
+but our channel is gone) or       offered channel if one exists
+lease expiry
+================================  =============================================
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import random
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.lte.rrc import ReacquisitionTiming
-from repro.sim.engine import Simulator
+from repro.sim.engine import Event, Simulator
 from repro.tvws.paws import (
+    AUTHORITATIVE_DENIALS,
     AvailableSpectrumRequest,
     AvailableSpectrumResponse,
     DeviceDescriptor,
+    ERROR_MISSING,
     GeoLocation,
-    PawsServer,
     SpectrumSpec,
 )
-from repro.tvws.regulatory import EtsiComplianceRules
+from repro.tvws.regulatory import EtsiComplianceRules, VACATE_DEADLINE_S
+from repro.tvws.transport import (
+    PawsTransport,
+    RetryPolicy,
+    RobustnessLog,
+    TransportError,
+    as_transport,
+)
 
 #: Network-listen occupancy classes, in descending preference order.
 OCCUPANCY_IDLE = "idle"
@@ -80,7 +112,10 @@ class ChannelSelector:
 
     Args:
         sim: discrete-event simulator (shared with the rest of the AP).
-        paws: the spectrum database frontend.
+        paws: the spectrum database endpoint -- a bare
+            :class:`~repro.tvws.paws.PawsServer` (wrapped in a
+            zero-latency :class:`~repro.tvws.transport.DirectTransport`)
+            or any :class:`~repro.tvws.transport.PawsTransport`.
         device: this AP's PAWS identity.
         location: the AP's GPS position.
         probe: network-listen classifier.
@@ -91,12 +126,20 @@ class ChannelSelector:
             vacating within 60 s; polling at 1 s gives the 2 s observed
             response of the paper's testbed.
         compliance: optional ETSI monitor to report events to.
+        secondary: optional failover database endpoint (server or
+            transport); tried after the primary exhausts its retries.
+        retry: timeout/retry/backoff policy for every PAWS exchange.
+        robustness: shared structured event log; one is created when not
+            given so :attr:`robustness` is always inspectable.
+        rng: seeded source of backoff jitter (anything with
+            ``.random()``); defaults to a fixed-seed ``random.Random`` so
+            unconfigured selectors stay deterministic.
     """
 
     def __init__(
         self,
         sim: Simulator,
-        paws: PawsServer,
+        paws,
         device: DeviceDescriptor,
         location: GeoLocation,
         probe: OccupancyProbe,
@@ -104,6 +147,10 @@ class ChannelSelector:
         radio_stop: Callable[[], None],
         poll_interval_s: float = 1.0,
         compliance: Optional[EtsiComplianceRules] = None,
+        secondary=None,
+        retry: Optional[RetryPolicy] = None,
+        robustness: Optional[RobustnessLog] = None,
+        rng=None,
     ) -> None:
         if poll_interval_s <= 0.0:
             raise ValueError(f"poll interval must be > 0, got {poll_interval_s!r}")
@@ -116,10 +163,28 @@ class ChannelSelector:
         self._radio_stop = radio_stop
         self.poll_interval_s = poll_interval_s
         self.compliance = compliance
+        self.retry = retry or RetryPolicy()
+        self.robustness = robustness if robustness is not None else RobustnessLog()
+        self._rng = rng if rng is not None else random.Random(0)
+        self._transports: List[PawsTransport] = [as_transport(paws)]
+        if secondary is not None:
+            self._transports.append(as_transport(secondary))
+        self._active_idx = 0
         self.current_channel: Optional[int] = None
         self.current_spec: Optional[SpectrumSpec] = None
         self.events: List[SelectorEvent] = []
         self._started = False
+        self._registered = False
+        self._inflight = False
+        #: When the database became unreachable with a channel held.
+        self._grace_since: Optional[float] = None
+        self._grace_event: Optional[Event] = None
+        #: Last time the database confirmed our channel was still ours.
+        #: The ETSI grace deadline anchors here, not at grace entry, so a
+        #: withdrawal that lands just before the outage is still vacated
+        #: within 60 s of the channel actually ceasing to be available.
+        self._last_confirmed_s: Optional[float] = None
+        self._no_spectrum_streak = 0
 
     # -- Lifecycle --------------------------------------------------------------
 
@@ -128,31 +193,171 @@ class ChannelSelector:
         if self._started:
             raise RuntimeError("channel selector already started")
         self._started = True
-        self.paws.init_device(self.device)
-        self._acquire()
+        self._begin_cycle()
         self.sim.schedule(self.poll_interval_s, self._poll)
 
-    def _query(self) -> AvailableSpectrumResponse:
+    @property
+    def in_grace(self) -> bool:
+        """Whether the selector is riding out a database outage."""
+        return self._grace_since is not None
+
+    @property
+    def active_transport(self) -> PawsTransport:
+        """The endpoint the next request will go to (failover-aware)."""
+        return self._transports[self._active_idx]
+
+    # -- Polling ----------------------------------------------------------------
+
+    def _poll(self) -> None:
+        self.sim.schedule(self.poll_interval_s, self._poll)
+        if self._inflight:
+            # The previous cycle is still retrying/backing off (or its
+            # reply is in flight); don't pile a second request onto it.
+            return
+        self._begin_cycle()
+
+    def _begin_cycle(self) -> None:
+        """Start one validate-or-acquire request cycle."""
+        self._inflight = True
+        self._attempt(attempt=0, idx=self._active_idx,
+                      fallbacks=len(self._transports) - 1)
+
+    def _attempt(self, attempt: int, idx: int, fallbacks: int) -> None:
+        transport = self._transports[idx]
+        if attempt > 0:
+            self._robust("retry", f"attempt {attempt + 1} via {transport.name}")
+        if not self._registered:
+            try:
+                transport.init_device(self.device)
+                self._registered = True
+            except TransportError as error:
+                self._attempt_failed(attempt, idx, fallbacks, error)
+                return
         request = AvailableSpectrumRequest(
             device=self.device,
             location=self.location,
             request_time=self.sim.now,
         )
-        return self.paws.available_spectrum(request)
-
-    def _acquire(self) -> None:
-        """Query, choose the best channel and start the radio."""
-        response = self._query()
-        chosen = self.choose_channel(response)
-        if chosen is None:
-            self._log("no-spectrum", "database offered no usable channel")
+        try:
+            reply = transport.available_spectrum(
+                request, timeout_s=self.retry.timeout_s
+            )
+        except TransportError as error:
+            self._attempt_failed(attempt, idx, fallbacks, error)
             return
-        channel, spec = chosen
-        self.current_channel = channel
+        response = reply.response
+        if response.error_code is not None and response.error_code not in (
+            AUTHORITATIVE_DENIALS
+        ):
+            # Transient server-side error: retryable, not a withdrawal.
+            if response.error_code == ERROR_MISSING:
+                self._registered = False  # Re-INIT on the next attempt.
+            error = TransportError(
+                f"server error {response.error_code} via {transport.name}",
+                reply.latency_s,
+            )
+            self._attempt_failed(attempt, idx, fallbacks, error)
+            return
+        if reply.latency_s > 0.0:
+            self.sim.schedule(
+                reply.latency_s, lambda: self._handle_response(response)
+            )
+        else:
+            self._handle_response(response)
+
+    def _attempt_failed(
+        self, attempt: int, idx: int, fallbacks: int, error: Exception
+    ) -> None:
+        elapsed = max(float(getattr(error, "elapsed_s", 0.0)), 0.0)
+        if attempt < self.retry.max_retries:
+            delay = elapsed + self.retry.backoff_delay(
+                attempt, float(self._rng.random())
+            )
+            self._robust("backoff", f"{error}; retry in {delay:.3f}s")
+            self.sim.schedule(
+                delay, lambda: self._attempt(attempt + 1, idx, fallbacks)
+            )
+            return
+        if fallbacks > 0:
+            nxt = (idx + 1) % len(self._transports)
+            self._active_idx = nxt
+            self._robust(
+                "failover",
+                f"{self._transports[idx].name} -> {self._transports[nxt].name} "
+                f"after {error}",
+            )
+            self.sim.schedule(
+                elapsed, lambda: self._attempt(0, nxt, fallbacks - 1)
+            )
+            return
+        self._cycle_failed(error)
+
+    def _cycle_failed(self, error: Exception) -> None:
+        """Retries and failover exhausted: the database is unreachable."""
+        self._inflight = False
+        if self.current_channel is None:
+            self._log_no_spectrum(f"database unreachable: {error}")
+            return
+        if self._grace_since is None:
+            self._enter_grace(error)
+        # Already in grace: the deadline stands; the next poll retries.
+
+    # -- Response handling -------------------------------------------------------
+
+    def _handle_response(self, response: AvailableSpectrumResponse) -> None:
+        """Process a delivered response (OK or authoritative denial)."""
+        self._inflight = False
+        self._exit_grace()
+        now = self.sim.now
+        if not response.ok:
+            # The database answered: this device has no authorization
+            # here.  Unlike a transport fault, that is final -- vacate.
+            detail = f"authorization denied (code {response.error_code})"
+            if self.current_channel is not None:
+                self._vacate(detail)
+            else:
+                self._log_no_spectrum(detail)
+            return
+        if self.current_channel is None:
+            self._acquire_from(response)
+            return
+        spec = response.spec_for(self.current_channel)
+        lease_expired = (
+            self.current_spec is not None
+            and now >= self.current_spec.expires_at
+        )
+        if spec is None or lease_expired:
+            self._vacate("channel withdrawn" if spec is None else "lease expired")
+            # Try to move to another channel offered in the same response.
+            self._acquire_from(response)
+            return
+        # Refresh the rolling lease.
         self.current_spec = spec
+        self._last_confirmed_s = now
         if self.compliance is not None:
             self.compliance.lease_granted(self.device.serial_number, spec.expires_at)
-        self.paws.notify_spectrum_use(self.device, channel, self.sim.now)
+
+    def _acquire_from(self, response: AvailableSpectrumResponse) -> None:
+        """Choose the best channel from ``response`` and start the radio."""
+        chosen = self.choose_channel(response)
+        if chosen is None:
+            self._log_no_spectrum("database offered no usable channel")
+            return
+        channel, spec = chosen
+        self._end_no_spectrum_streak()
+        self.current_channel = channel
+        self.current_spec = spec
+        self._last_confirmed_s = self.sim.now
+        if self.compliance is not None:
+            self.compliance.lease_granted(self.device.serial_number, spec.expires_at)
+        try:
+            self.active_transport.notify_spectrum_use(
+                self.device, channel, self.sim.now
+            )
+        except TransportError as error:
+            # Best effort: the quote we hold is valid; the next successful
+            # poll renews the lease server-side.
+            self._robust("notify-failed", str(error))
         self._radio_start(channel, spec)
         self._log("radio-start", f"channel {channel}")
 
@@ -162,44 +367,75 @@ class ChannelSelector:
         """Pick the best channel from a database response.
 
         Preference: idle > occupied-by-CellFi > occupied-by-other
-        technology; ties break toward the lowest channel number.
+        technology; ties break toward the lowest channel number.  Each
+        channel is probed exactly once per decision and the class cached
+        for the ranking, so a stateful or noisy probe cannot return
+        inconsistent classes to the sort mid-comparison.
         """
         if not response.ok or not response.spectra:
             return None
+        occupancy: Dict[int, str] = {}
+        for spec in response.spectra:
+            if spec.channel not in occupancy:
+                occupancy[spec.channel] = self.probe.probe(spec.channel)
         ranked = sorted(
             response.spectra,
-            key=lambda spec: (_PREFERENCE[self.probe.probe(spec.channel)], spec.channel),
+            key=lambda spec: (_PREFERENCE[occupancy[spec.channel]], spec.channel),
         )
         best = ranked[0]
         return best.channel, best
 
-    # -- Polling ----------------------------------------------------------------------
+    # -- Grace mode --------------------------------------------------------------
 
-    def _poll(self) -> None:
-        self.sim.schedule(self.poll_interval_s, self._poll)
-        if self.current_channel is None:
-            # Nothing held: keep trying to acquire.
-            self._acquire()
-            return
-        response = self._query()
-        spec = response.spec_for(self.current_channel) if response.ok else None
-        lease_expired = (
-            self.current_spec is not None
-            and self.sim.now >= self.current_spec.expires_at
+    def _enter_grace(self, error: Exception) -> None:
+        """Database unreachable while holding a channel: ride the lease."""
+        now = self.sim.now
+        anchor = self._last_confirmed_s if self._last_confirmed_s is not None else now
+        deadline = anchor + VACATE_DEADLINE_S
+        if self.current_spec is not None:
+            deadline = min(deadline, self.current_spec.expires_at)
+        self._grace_since = now
+        detail = (
+            f"{error}; transmitting on cached lease, forced vacate at "
+            f"t={deadline:.1f}s unless the database recovers"
         )
-        if spec is None or lease_expired:
-            self._vacate("channel withdrawn" if spec is None else "lease expired")
-            # Try to move to another channel right away, if one exists.
-            self._acquire()
+        self._robust("grace-entered", detail)
+        self._log("grace-entered", detail)
+        if deadline <= now:
+            self._grace_expired()
         else:
-            # Refresh the rolling lease.
-            self.current_spec = spec
-            if self.compliance is not None:
-                self.compliance.lease_granted(
-                    self.device.serial_number, spec.expires_at
-                )
+            self._grace_event = self.sim.schedule_at(deadline, self._grace_expired)
+
+    def _grace_expired(self) -> None:
+        self._grace_event = None
+        if self._grace_since is None:
+            return
+        self._grace_since = None
+        self._robust(
+            "forced-vacate", "grace deadline reached with the database unreachable"
+        )
+        self._vacate("grace expired: database unreachable")
+
+    def _exit_grace(self) -> None:
+        """A response got through: the database is reachable again."""
+        if self._grace_since is None:
+            return
+        outage_s = self.sim.now - self._grace_since
+        if self._grace_event is not None:
+            self._grace_event.cancel()
+            self._grace_event = None
+        self._grace_since = None
+        detail = f"database reachable again after {outage_s:.1f}s"
+        self._robust("grace-exited", detail)
+        self._log("grace-exited", detail)
+
+    # -- Vacating ----------------------------------------------------------------
 
     def _vacate(self, reason: str) -> None:
+        if self._grace_event is not None:
+            self._grace_event.cancel()
+            self._grace_event = None
+        self._grace_since = None
         if self.compliance is not None:
             self.compliance.channel_lost(self.device.serial_number, self.sim.now)
         self._radio_stop()
@@ -208,9 +444,38 @@ class ChannelSelector:
         self._log("radio-stop", reason)
         self.current_channel = None
         self.current_spec = None
+        self._last_confirmed_s = None
+
+    # -- Event logging -----------------------------------------------------------
 
     def _log(self, kind: str, detail: str) -> None:
         self.events.append(SelectorEvent(time=self.sim.now, kind=kind, detail=detail))
+
+    def _log_no_spectrum(self, detail: str) -> None:
+        """Log ``no-spectrum`` once per dry spell, not once per poll.
+
+        Long outages poll every second for minutes; recording each miss
+        would grow :attr:`events` without bound.  The first occurrence is
+        logged, the rest are counted, and recovery emits one summarising
+        event (see :meth:`_end_no_spectrum_streak`).
+        """
+        self._no_spectrum_streak += 1
+        if self._no_spectrum_streak == 1:
+            self._log("no-spectrum", detail)
+
+    def _end_no_spectrum_streak(self) -> None:
+        if self._no_spectrum_streak > 1:
+            self._log(
+                "no-spectrum-recovered",
+                f"suppressed {self._no_spectrum_streak - 1} duplicate "
+                "no-spectrum polls",
+            )
+        self._no_spectrum_streak = 0
+
+    def _robust(self, kind: str, detail: str) -> None:
+        self.robustness.record(
+            self.sim.now, self.device.serial_number, kind, detail
+        )
 
     def timeline(self) -> List[Tuple[float, str, str]]:
         """The (time, kind, detail) event list, e.g. for Figure 6."""

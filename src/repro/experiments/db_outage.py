@@ -1,0 +1,345 @@
+"""Database-outage robustness experiment (Figure 6 under faults).
+
+Figure 6 shows the vacate/reacquire timeline when the database *cleanly*
+withdraws a channel.  Real deployments -- especially the rural links
+TVWS targets -- lose the database itself: the backhaul drops, the server
+times out, responses arrive garbled.  This experiment replays the
+Figure 6 scenario through a :class:`~repro.tvws.transport.FaultyTransport`
+with scheduled full outages plus probabilistic wire faults, and measures
+
+* the selector timeline (retry, backoff, grace-entered, forced-vacate,
+  grace-exited, failover) as a structured robustness log,
+* ETSI EN 301 598 compliance along the whole run (the monitor is fed
+  ground-truth channel-loss times, not the client's guess),
+* throughput loss versus outage duration: a short outage is ridden out
+  in lease-grace mode at **zero** cost, while one longer than the 60 s
+  deadline forces a vacate and costs the reboot + cell-search
+  reacquisition on top.
+
+Everything derives from the experiment seed and the outage schedule, so
+the timeline and robustness log are bit-identical across runs and
+``--jobs`` levels (asserted via :attr:`DbOutageResult.digest`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.cellfi import CellFiAccessPoint
+from repro.lte.rrc import ReacquisitionTiming
+from repro.lte.ue import UserEquipment
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngStreams
+from repro.tvws.channels import US_CHANNEL_PLAN
+from repro.tvws.database import SpectrumDatabase
+from repro.tvws.paws import PawsServer
+from repro.tvws.regulatory import EtsiComplianceRules
+from repro.tvws.transport import (
+    DirectTransport,
+    FaultSpec,
+    FaultyTransport,
+    RetryPolicy,
+    RobustnessLog,
+)
+
+#: Default outage schedule, offsets from the end of boot: one short
+#: outage grace mode absorbs entirely, one long enough to force a vacate.
+DEFAULT_OUTAGES: Tuple[Tuple[float, float], ...] = ((60.0, 30.0), (240.0, 90.0))
+
+#: Settle time after boot before the measurement window opens.
+BOOT_MARGIN_S = 10.0
+
+#: Measurement continues this long after the last outage ends, covering
+#: the reboot + cell-search reacquisition.
+TAIL_S = 300.0
+
+
+@dataclass
+class DbOutageResult:
+    """Outcome of one outage run.
+
+    Attributes:
+        boot_s: when the measurement window opened (AP fully up).
+        window_s: length of the measurement window.
+        outages: absolute ``(start, end)`` outage windows.
+        downtime_s: total time the AP radio was off inside the window.
+        loss_fraction: ``downtime_s / window_s`` -- the throughput loss
+            proxy (the carrier serves nothing while the radio is off).
+        counts: robustness-event tallies by kind.
+        violations: ETSI violations recorded by the monitor.
+        compliant: no violation along the whole timeline.
+        timeline: merged (time, event) log -- AP events, selector events
+            and robustness events -- sorted by time.
+        selector_timeline: the selector's own (time, kind, detail) rows.
+        robustness_rows: structured robustness log as dict rows.
+        digest: SHA-256 over the canonical JSON of selector timeline +
+            robustness log; bit-equal digests mean bit-equal runs.
+    """
+
+    boot_s: float
+    window_s: float
+    outages: Tuple[Tuple[float, float], ...]
+    downtime_s: float
+    loss_fraction: float
+    counts: Dict[str, int]
+    violations: List
+    compliant: bool
+    timeline: List[Tuple[float, str]]
+    selector_timeline: List[Tuple[float, str, str]]
+    robustness_rows: List[Dict[str, object]] = field(default_factory=list)
+    digest: str = ""
+
+
+def _canonical_digest(
+    selector_timeline: List[Tuple[float, str, str]],
+    robustness_rows: List[Dict[str, object]],
+) -> str:
+    blob = json.dumps(
+        {"selector": selector_timeline, "robustness": robustness_rows},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def _radio_downtime_s(
+    timeline: Sequence[Tuple[float, str]], start: float, end: float
+) -> float:
+    """Total radio-off time inside [start, end] from AP timeline events."""
+    on = False
+    for t, event in timeline:
+        if t > start:
+            break
+        if event == "radio-on":
+            on = True
+        elif event == "radio-off":
+            on = False
+    downtime = 0.0
+    off_since = None if on else start
+    for t, event in timeline:
+        if t <= start or t > end:
+            continue
+        if event == "radio-off" and off_since is None:
+            off_since = t
+        elif event == "radio-on" and off_since is not None:
+            downtime += t - off_since
+            off_since = None
+    if off_since is not None:
+        downtime += end - off_since
+    return downtime
+
+
+def run_db_outage(
+    seed: int = 1,
+    outages: Sequence[Tuple[float, float]] = DEFAULT_OUTAGES,
+    timeout_prob: float = 0.0,
+    drop_prob: float = 0.0,
+    error_prob: float = 0.0,
+    malformed_prob: float = 0.0,
+    latency_s: float = 0.02,
+    latency_spike_prob: float = 0.0,
+    latency_spike_s: float = 2.0,
+    poll_interval_s: float = 2.0,
+    lease_duration_s: float = 3600.0,
+    withdraw_in_outage: Optional[int] = None,
+    secondary: bool = False,
+    tail_s: float = TAIL_S,
+    timing: Optional[ReacquisitionTiming] = None,
+    retry: Optional[RetryPolicy] = None,
+) -> DbOutageResult:
+    """Run the outage scenario and collect the robustness story.
+
+    Args:
+        seed: drives the fault RNG and backoff jitter.
+        outages: ``(start_offset_s, duration_s)`` windows, offsets from
+            the end of boot, during which the database is unreachable.
+        timeout_prob / drop_prob / error_prob / malformed_prob /
+        latency_spike_prob: probabilistic wire faults outside outages.
+        withdraw_in_outage: index of the outage during which the held
+            channel is *actually* withdrawn from the database (and
+            restored at outage end) -- exercises the case where the
+            unreachable database really did revoke the channel; the
+            compliance monitor is fed the ground-truth loss time.
+        secondary: add a reliable secondary database endpoint; the
+            selector fails over to it instead of entering grace mode.
+        tail_s: measurement continues this long after the last outage.
+    """
+    timing = timing or ReacquisitionTiming()
+    sim = Simulator()
+    database = SpectrumDatabase(US_CHANNEL_PLAN, lease_duration_s=lease_duration_s)
+    paws = PawsServer(database)
+    compliance = EtsiComplianceRules()
+    robustness = RobustnessLog()
+    streams = RngStreams(seed)
+
+    boot = timing.time_to_resume() + BOOT_MARGIN_S
+    abs_outages = tuple(
+        (boot + start, boot + start + duration) for start, duration in outages
+    )
+    fault_spec = FaultSpec(
+        timeout_prob=timeout_prob,
+        drop_prob=drop_prob,
+        error_prob=error_prob,
+        malformed_prob=malformed_prob,
+        latency_s=latency_s,
+        latency_spike_prob=latency_spike_prob,
+        latency_spike_s=latency_spike_s,
+        outages=abs_outages,
+    )
+    transport = FaultyTransport(
+        inner=DirectTransport(paws, name="primary-db"),
+        clock=lambda: sim.now,
+        rng=streams.stream("transport-faults"),
+        spec=fault_spec,
+        log=robustness,
+        name="primary-db",
+    )
+    secondary_transport = None
+    if secondary:
+        secondary_transport = DirectTransport(paws, name="secondary-db")
+
+    ap = CellFiAccessPoint(
+        sim=sim,
+        paws=paws,
+        x=1000.0,
+        y=1000.0,
+        serial="outage-ap",
+        timing=timing,
+        compliance=compliance,
+        transport=transport,
+        secondary=secondary_transport,
+        retry=retry,
+        robustness=robustness,
+        rng=streams.stream("retry-jitter"),
+    )
+    ap.selector.poll_interval_s = poll_interval_s
+    client = UserEquipment(ue_id=0, node=type("N", (), {"x": 1200.0, "y": 1000.0})())
+    ap.register_client(client)
+    ap.start()
+
+    sim.run(until=boot)
+    if ap.selector.current_channel is None or not ap.radio_on:
+        raise RuntimeError("AP failed to come up before the measurement window")
+
+    # The paper's site had effectively one usable channel: remove all
+    # others so a withdrawal leaves the AP with no spectrum at all.
+    held = ap.selector.current_channel
+    for tv_channel in database.plan.channels:
+        if tv_channel.number != held:
+            database.withdraw_channel(tv_channel.number)
+
+    if withdraw_in_outage is not None:
+        start, end_w = abs_outages[withdraw_in_outage]
+        # The withdrawal lands shortly after the outage begins -- the
+        # client cannot observe it, only ride its cached lease.
+        withdraw_at = start + min(5.0, (end_w - start) / 2.0)
+
+        def _withdraw() -> None:
+            channel = ap.selector.current_channel
+            if channel is None:
+                return
+            database.withdraw_channel(channel)
+            # Ground truth for the monitor: the channel ceased to be
+            # available *now*, whatever the unreachable client believes.
+            compliance.channel_lost(ap.device.serial_number, sim.now)
+
+        sim.schedule_at(withdraw_at, _withdraw)
+        sim.schedule_at(end_w, lambda: database.restore_channel(held))
+
+    sim.schedule_every(5.0, lambda: compliance.check_time(sim.now))
+    end = (abs_outages[-1][1] if abs_outages else boot) + tail_s
+    sim.run(until=end)
+
+    selector_timeline = ap.selector.timeline()
+    robustness_rows = robustness.to_rows()
+    timeline = ap.timeline + [
+        (t, f"{kind}:{detail}") for t, kind, detail in selector_timeline
+    ]
+    timeline.sort(key=lambda item: item[0])
+    window = end - boot
+    downtime = _radio_downtime_s(ap.timeline, boot, end)
+    return DbOutageResult(
+        boot_s=boot,
+        window_s=window,
+        outages=abs_outages,
+        downtime_s=downtime,
+        loss_fraction=downtime / window if window > 0 else 0.0,
+        counts=robustness.counts(),
+        violations=list(compliance.violations),
+        compliant=compliance.compliant,
+        timeline=timeline,
+        selector_timeline=selector_timeline,
+        robustness_rows=robustness_rows,
+        digest=_canonical_digest(selector_timeline, robustness_rows),
+    )
+
+
+# -- Sweep integration ---------------------------------------------------------
+
+
+def db_outage_cell(
+    seed: int,
+    outage_s: float,
+    timeout_prob: float = 0.05,
+    drop_prob: float = 0.05,
+    error_prob: float = 0.02,
+    malformed_prob: float = 0.02,
+    latency_spike_prob: float = 0.05,
+    withdraw: bool = False,
+    secondary: bool = False,
+    tail_s: float = 200.0,
+) -> Dict[str, object]:
+    """One sweep cell: a single outage of ``outage_s`` seconds.
+
+    Returns scalar metrics (throughput loss, event counts, compliance)
+    plus the run digest, so determinism across ``--jobs`` levels is
+    checkable cell by cell.
+    """
+    result = run_db_outage(
+        seed=seed,
+        outages=((60.0, outage_s),),
+        timeout_prob=timeout_prob,
+        drop_prob=drop_prob,
+        error_prob=error_prob,
+        malformed_prob=malformed_prob,
+        latency_spike_prob=latency_spike_prob,
+        withdraw_in_outage=0 if withdraw else None,
+        secondary=secondary,
+        tail_s=tail_s,
+    )
+    counts = result.counts
+    return {
+        "outage_s": outage_s,
+        "throughput_loss_fraction": round(result.loss_fraction, 6),
+        "downtime_s": round(result.downtime_s, 3),
+        "window_s": round(result.window_s, 3),
+        "faults_injected": counts.get("fault-injected", 0),
+        "retries": counts.get("retry", 0),
+        "backoffs": counts.get("backoff", 0),
+        "graces": counts.get("grace-entered", 0),
+        "failovers": counts.get("failover", 0),
+        "forced_vacates": counts.get("forced-vacate", 0),
+        "violations": len(result.violations),
+        "compliant": result.compliant,
+        "digest": result.digest,
+    }
+
+
+def db_outage_sweep_spec(
+    durations: Sequence[float] = (15.0, 45.0, 90.0, 180.0),
+    seeds: Sequence[int] = (1, 2),
+    withdraw: bool = False,
+    secondary: bool = False,
+):
+    """Throughput-loss-vs-outage-duration grid as a SweepSpec."""
+    from repro.experiments.sweep import SweepSpec
+
+    return SweepSpec.from_grid(
+        name="db_outage",
+        scenario_name="db_outage",
+        grid={"outage_s": [float(d) for d in durations], "seed": list(seeds)},
+        base={"withdraw": withdraw, "secondary": secondary},
+    )

@@ -73,6 +73,7 @@ _BUILTIN_SCENARIOS: Dict[str, str] = {
     "fig7_walk": "repro.experiments.interference_exp:fig7_cell",
     "fig1_drive_test": "repro.experiments.coverage:fig1_cell",
     "fig2_wifi_macs": "repro.experiments.wifi_macs:fig2_cell",
+    "db_outage": "repro.experiments.db_outage:db_outage_cell",
 }
 
 #: Scenarios registered at runtime (tests, downstream extensions).

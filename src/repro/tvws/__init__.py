@@ -12,6 +12,9 @@ certified Nominet database:
 * :mod:`repro.tvws.paws` -- the IETF PAWS request/response message layer.
 * :mod:`repro.tvws.regulatory` -- ETSI EN 301 598 compliance rules (power
   limits, the 60-second vacate deadline).
+* :mod:`repro.tvws.transport` -- the fault-injectable wire between the
+  PAWS client and the database (timeouts, outages, retry policy, the
+  structured robustness log).
 """
 
 from repro.tvws.channels import ChannelPlan, TvChannel, EU_CHANNEL_PLAN, US_CHANNEL_PLAN
@@ -25,6 +28,17 @@ from repro.tvws.paws import (
     SpectrumSpec,
 )
 from repro.tvws.regulatory import EtsiComplianceRules
+from repro.tvws.transport import (
+    DirectTransport,
+    FaultSpec,
+    FaultyTransport,
+    PawsTransport,
+    RetryPolicy,
+    RobustnessEvent,
+    RobustnessLog,
+    TransportError,
+    TransportTimeout,
+)
 
 __all__ = [
     "AvailableSpectrumRequest",
@@ -32,13 +46,22 @@ __all__ = [
     "ChannelLease",
     "ChannelPlan",
     "DeviceDescriptor",
+    "DirectTransport",
     "EU_CHANNEL_PLAN",
     "EtsiComplianceRules",
+    "FaultSpec",
+    "FaultyTransport",
     "GeoLocation",
     "Incumbent",
     "PawsServer",
+    "PawsTransport",
+    "RetryPolicy",
+    "RobustnessEvent",
+    "RobustnessLog",
     "SpectrumDatabase",
     "SpectrumSpec",
+    "TransportError",
+    "TransportTimeout",
     "TvChannel",
     "US_CHANNEL_PLAN",
 ]

@@ -27,6 +27,19 @@ METHOD_SPECTRUM_USE = "spectrum.paws.notifySpectrumUse"
 ERROR_OUTSIDE_COVERAGE = -101
 ERROR_UNSUPPORTED = -102
 ERROR_MISSING = -201
+#: Server-side transient failure (RFC 7545 reserves the -32xxx range for
+#: JSON-RPC; we use a compact code).  Unlike the authoritative denials
+#: above, a client may retry after this without losing authorization.
+ERROR_DATABASE_UNAVAILABLE = -301
+
+#: Codes that are final answers about this device/location -- retrying
+#: the identical request cannot succeed, so clients must treat them as a
+#: loss of authorization rather than a transient failure.
+AUTHORITATIVE_DENIALS = frozenset({ERROR_OUTSIDE_COVERAGE, ERROR_UNSUPPORTED})
+
+#: Codes a client may retry or repair (e.g. by re-registering) without
+#: treating them as a channel withdrawal.
+TRANSIENT_ERRORS = frozenset({ERROR_DATABASE_UNAVAILABLE, ERROR_MISSING})
 
 
 @dataclass(frozen=True)
@@ -141,13 +154,21 @@ class PawsServer:
         database: the authority on channel availability.
         coverage_area_m: requests from outside [0, coverage]^2 are rejected
             with OUTSIDE_COVERAGE, mirroring real database behaviour.
+        strict: when true, AVAIL_SPECTRUM_REQ from a device that never
+            sent INIT_REQ is rejected with :data:`ERROR_MISSING` instead
+            of being auto-registered -- the documented strictness hook,
+            matching certified databases that require registration first.
     """
 
     def __init__(
-        self, database: SpectrumDatabase, coverage_area_m: float = 1e7
+        self,
+        database: SpectrumDatabase,
+        coverage_area_m: float = 1e7,
+        strict: bool = False,
     ) -> None:
         self.database = database
         self.coverage_area_m = coverage_area_m
+        self.strict = strict
         self._registered: Dict[str, DeviceDescriptor] = {}
         self._use_notifications: List[Dict] = []
         self._in_use: Dict[str, int] = {}
@@ -178,8 +199,10 @@ class PawsServer:
         ):
             return AvailableSpectrumResponse(error_code=ERROR_OUTSIDE_COVERAGE)
         if request.device.serial_number not in self._registered:
-            # Real servers allow combined INIT; we auto-register for
-            # convenience but keep the hook for strictness in tests.
+            if self.strict:
+                return AvailableSpectrumResponse(error_code=ERROR_MISSING)
+            # Lenient mode mirrors servers that allow combined INIT:
+            # unknown devices are registered on first contact.
             self._registered[request.device.serial_number] = request.device
 
         serial = request.device.serial_number

@@ -1,0 +1,420 @@
+"""Fault-injectable transport between the PAWS client and its database.
+
+The paper's testbed talked to a *remote* certified database (Nominet) over
+the Internet; the reproduction's original PAWS path was a perfectly
+reliable, zero-latency in-process call, so nothing could exercise the
+regulatory behaviour *under failure* -- yet ETSI EN 301 598's 60-second
+vacate deadline is precisely about what a device does when its database
+disappears.  This module makes the wire explicit:
+
+* :class:`PawsTransport` -- the interface :class:`repro.core.
+  channel_selection.ChannelSelector` speaks.  All three PAWS exchanges
+  (INIT, AVAIL_SPECTRUM, SPECTRUM_USE_NOTIFY) go through it.
+* :class:`DirectTransport` -- the original behaviour: in-process,
+  zero-latency, always up.  Wrapping a bare :class:`~repro.tvws.paws.
+  PawsServer` in it is what keeps all fault-free configs bit-identical
+  to the pre-transport code paths.
+* :class:`FaultyTransport` -- a wrapper that injects timeouts, dropped
+  responses (server processed, reply lost), transient RFC 7545 error
+  codes, malformed/short responses, latency spikes and scheduled full
+  outages, driven by the simulation clock and a seeded RNG so every
+  fault sequence is bit-reproducible.
+* :class:`RetryPolicy` -- per-request timeout plus bounded exponential
+  backoff with deterministic jitter, used by the resilient client.
+* :class:`RobustnessLog` -- the structured event log (fault injected,
+  retry, backoff, grace-entered, failover, forced-vacate, ...) that
+  :mod:`repro.utils.reportgen` aggregates into report tables.
+
+Determinism discipline: every stochastic decision draws from the seeded
+RNG handed to the transport, in simulation-event order, and a fixed
+number of draws is consumed per request -- so the same seed and fault
+schedule reproduce bit-identical timelines at any ``--jobs`` level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.tvws.paws import (
+    AvailableSpectrumRequest,
+    AvailableSpectrumResponse,
+    DeviceDescriptor,
+    ERROR_DATABASE_UNAVAILABLE,
+    PawsServer,
+)
+
+#: Fault kinds a :class:`FaultyTransport` can inject.
+FAULT_TIMEOUT = "timeout"
+FAULT_DROP = "drop"
+FAULT_ERROR = "error"
+FAULT_MALFORMED = "malformed"
+FAULT_LATENCY_SPIKE = "latency-spike"
+FAULT_OUTAGE = "outage"
+
+
+class TransportError(Exception):
+    """Base class for transport-level failures (not PAWS error responses).
+
+    Attributes:
+        elapsed_s: simulated time the failed exchange consumed before the
+            client could tell it had failed (a timeout burns the full
+            request timeout; a malformed reply only its latency).
+    """
+
+    def __init__(self, message: str, elapsed_s: float = 0.0) -> None:
+        super().__init__(message)
+        self.elapsed_s = elapsed_s
+
+
+class TransportTimeout(TransportError):
+    """No response within the request timeout (lost request or reply)."""
+
+
+class MalformedResponse(TransportError):
+    """A response arrived but could not be parsed (truncated/garbled)."""
+
+
+@dataclass(frozen=True)
+class TransportReply:
+    """A successful exchange: the parsed response plus its wire latency."""
+
+    response: AvailableSpectrumResponse
+    latency_s: float = 0.0
+
+
+@dataclass(frozen=True)
+class RobustnessEvent:
+    """One structured robustness-log entry.
+
+    Attributes:
+        time: simulation time of the event.
+        source: who reported it (device serial or transport name).
+        kind: event class ("fault-injected", "retry", "backoff",
+            "grace-entered", "grace-exited", "failover", "forced-vacate",
+            ...).
+        detail: human-readable specifics.
+    """
+
+    time: float
+    source: str
+    kind: str
+    detail: str = ""
+
+
+class RobustnessLog:
+    """Append-only structured log of robustness events.
+
+    Shared between transports and clients so one log tells the whole
+    story of a run; :func:`repro.utils.reportgen.robustness_summary`
+    renders it into the report.
+    """
+
+    def __init__(self) -> None:
+        self._events: List[RobustnessEvent] = []
+
+    def record(self, time: float, source: str, kind: str, detail: str = "") -> None:
+        """Append one event."""
+        self._events.append(
+            RobustnessEvent(time=time, source=source, kind=kind, detail=detail)
+        )
+
+    @property
+    def events(self) -> List[RobustnessEvent]:
+        """All events so far (copy)."""
+        return list(self._events)
+
+    def counts(self) -> Dict[str, int]:
+        """Number of events per kind."""
+        tally: Dict[str, int] = {}
+        for event in self._events:
+            tally[event.kind] = tally.get(event.kind, 0) + 1
+        return tally
+
+    def to_rows(self) -> List[Dict[str, object]]:
+        """JSON-able dict rows (for digests, sweep metrics, reports)."""
+        return [
+            {
+                "time": event.time,
+                "source": event.source,
+                "kind": event.kind,
+                "detail": event.detail,
+            }
+            for event in self._events
+        ]
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Per-request timeout and bounded exponential backoff with jitter.
+
+    Attributes:
+        timeout_s: client-side wait before an exchange counts as lost.
+        max_retries: extra attempts after the first failure, per
+            transport, per poll cycle.
+        backoff_base_s: backoff before retry ``k`` is
+            ``base * factor**k`` (clipped to ``backoff_max_s``).
+        jitter_s: uniform extra delay in ``[0, jitter_s)`` drawn from the
+            client's seeded RNG, decorrelating synchronised retries.
+    """
+
+    timeout_s: float = 0.5
+    max_retries: int = 2
+    backoff_base_s: float = 0.25
+    backoff_factor: float = 2.0
+    backoff_max_s: float = 5.0
+    jitter_s: float = 0.1
+
+    def backoff_delay(self, attempt: int, u: float) -> float:
+        """Delay before retry number ``attempt + 1`` (``u`` in [0, 1))."""
+        base = min(
+            self.backoff_base_s * self.backoff_factor**attempt, self.backoff_max_s
+        )
+        return base + self.jitter_s * u
+
+
+class PawsTransport:
+    """Interface between a PAWS client and a spectrum database endpoint.
+
+    Implementations may raise :class:`TransportError` from any method to
+    model the wire failing; a returned :class:`AvailableSpectrumResponse`
+    with an error code models the *server* answering with an RFC 7545
+    error instead.
+    """
+
+    #: Label used in robustness logs and failover messages.
+    name: str = "transport"
+
+    def init_device(self, device: DeviceDescriptor) -> Dict:
+        """Deliver INIT_REQ; returns the ruleset info dict."""
+        raise NotImplementedError
+
+    def available_spectrum(
+        self,
+        request: AvailableSpectrumRequest,
+        timeout_s: Optional[float] = None,
+    ) -> TransportReply:
+        """Deliver AVAIL_SPECTRUM_REQ; returns the reply with its latency.
+
+        Raises:
+            TransportError: when the exchange fails at the wire level.
+        """
+        raise NotImplementedError
+
+    def notify_spectrum_use(
+        self, device: DeviceDescriptor, channel: int, now: float
+    ) -> Dict:
+        """Deliver SPECTRUM_USE_NOTIFY (best effort)."""
+        raise NotImplementedError
+
+
+class DirectTransport(PawsTransport):
+    """The perfectly reliable in-process wire to a :class:`PawsServer`.
+
+    Zero latency and no failures: exactly the behaviour the rest of the
+    code base had before the transport layer existed, which keeps every
+    fault-free experiment bit-identical.
+    """
+
+    def __init__(self, server: PawsServer, name: str = "direct") -> None:
+        self.server = server
+        self.name = name
+
+    def init_device(self, device: DeviceDescriptor) -> Dict:
+        return self.server.init_device(device)
+
+    def available_spectrum(
+        self,
+        request: AvailableSpectrumRequest,
+        timeout_s: Optional[float] = None,
+    ) -> TransportReply:
+        return TransportReply(self.server.available_spectrum(request), 0.0)
+
+    def notify_spectrum_use(
+        self, device: DeviceDescriptor, channel: int, now: float
+    ) -> Dict:
+        return self.server.notify_spectrum_use(device, channel, now)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """What a :class:`FaultyTransport` injects, and how often.
+
+    The four probabilistic faults are mutually exclusive per request
+    (one uniform draw partitioned over their cumulative probabilities):
+
+    Attributes:
+        timeout_prob: request lost before reaching the server.
+        drop_prob: server processed the request (side effects happen,
+            e.g. a lease renewal) but the reply is lost.
+        error_prob: server answers with the transient RFC 7545 error
+            :data:`~repro.tvws.paws.ERROR_DATABASE_UNAVAILABLE`.
+        malformed_prob: reply arrives truncated and unparseable.
+        latency_s: baseline round-trip latency of every exchange.
+        latency_spike_prob: chance of adding ``latency_spike_s`` on top;
+            a spike past the client timeout surfaces as a timeout (the
+            server *did* process the request).
+        latency_spike_s: spike magnitude in seconds.
+        outages: ``(start_s, end_s)`` windows of absolute simulation time
+            during which the database is fully unreachable (every method
+            times out, nothing reaches the server).
+    """
+
+    timeout_prob: float = 0.0
+    drop_prob: float = 0.0
+    error_prob: float = 0.0
+    malformed_prob: float = 0.0
+    latency_s: float = 0.0
+    latency_spike_prob: float = 0.0
+    latency_spike_s: float = 2.0
+    outages: Tuple[Tuple[float, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        total = (
+            self.timeout_prob + self.drop_prob + self.error_prob + self.malformed_prob
+        )
+        if total > 1.0 + 1e-9:
+            raise ValueError(f"fault probabilities sum to {total:.3f} > 1")
+        for start, end in self.outages:
+            if end <= start:
+                raise ValueError(f"outage window ({start}, {end}) is empty")
+
+    def in_outage(self, now: float) -> bool:
+        """Whether ``now`` falls inside a scheduled full outage."""
+        return any(start <= now < end for start, end in self.outages)
+
+
+class FaultyTransport(PawsTransport):
+    """Wrap another transport and inject wire faults deterministically.
+
+    Args:
+        inner: the transport actually reaching the server.
+        clock: zero-argument callable returning the current simulation
+            time (typically ``lambda: sim.now``); drives outage windows
+            and fault-log timestamps.
+        rng: seeded generator (``numpy.random.Generator`` or
+            ``random.Random``); exactly two draws are consumed per
+            AVAIL_SPECTRUM request, so fault sequences are stable.
+        spec: the fault mix and outage schedule.
+        log: optional shared robustness log; every injected fault is
+            recorded as a ``fault-injected`` event.
+        name: label for logs and failover messages.
+    """
+
+    def __init__(
+        self,
+        inner: PawsTransport,
+        clock: Callable[[], float],
+        rng,
+        spec: FaultSpec,
+        log: Optional[RobustnessLog] = None,
+        name: str = "faulty",
+    ) -> None:
+        self.inner = inner
+        self.clock = clock
+        self.rng = rng
+        self.spec = spec
+        self.log = log
+        self.name = name
+        #: (time, method, kind) tuples of every injected fault.
+        self.fault_log: List[Tuple[float, str, str]] = []
+
+    # -- Fault bookkeeping ----------------------------------------------------
+
+    def _inject(self, method: str, kind: str, detail: str) -> None:
+        now = self.clock()
+        self.fault_log.append((now, method, kind))
+        if self.log is not None:
+            self.log.record(now, self.name, "fault-injected", f"{method}: {detail}")
+
+    def _timeout(self, method: str, kind: str, detail: str, timeout_s: Optional[float]):
+        self._inject(method, kind, detail)
+        elapsed = timeout_s if timeout_s is not None else self.spec.latency_s
+        return TransportTimeout(f"{kind} on {method} via {self.name}", elapsed)
+
+    # -- PawsTransport --------------------------------------------------------
+
+    def init_device(self, device: DeviceDescriptor) -> Dict:
+        if self.spec.in_outage(self.clock()):
+            raise self._timeout("init", FAULT_OUTAGE, "database unreachable", None)
+        return self.inner.init_device(device)
+
+    def notify_spectrum_use(
+        self, device: DeviceDescriptor, channel: int, now: float
+    ) -> Dict:
+        if self.spec.in_outage(self.clock()):
+            raise self._timeout(
+                "notifySpectrumUse", FAULT_OUTAGE, "database unreachable", None
+            )
+        return self.inner.notify_spectrum_use(device, channel, now)
+
+    def available_spectrum(
+        self,
+        request: AvailableSpectrumRequest,
+        timeout_s: Optional[float] = None,
+    ) -> TransportReply:
+        method = "getSpectrum"
+        if self.spec.in_outage(self.clock()):
+            raise self._timeout(method, FAULT_OUTAGE, "database unreachable", timeout_s)
+
+        # Exactly two draws per request keeps the stream aligned whatever
+        # fault fires, so schedules are reproducible draw-for-draw.
+        u_fault = float(self.rng.random())
+        u_spike = float(self.rng.random())
+
+        spec = self.spec
+        edge = spec.timeout_prob
+        if u_fault < edge:
+            raise self._timeout(method, FAULT_TIMEOUT, "request lost", timeout_s)
+        edge += spec.drop_prob
+        if u_fault < edge:
+            # The server processes the request; only the reply is lost.
+            self.inner.available_spectrum(request, timeout_s)
+            raise self._timeout(method, FAULT_DROP, "response dropped", timeout_s)
+        edge += spec.error_prob
+        if u_fault < edge:
+            self._inject(method, FAULT_ERROR, "transient server error")
+            return TransportReply(
+                AvailableSpectrumResponse(error_code=ERROR_DATABASE_UNAVAILABLE),
+                spec.latency_s,
+            )
+        edge += spec.malformed_prob
+        if u_fault < edge:
+            self._inject(method, FAULT_MALFORMED, "truncated response body")
+            raise MalformedResponse(
+                f"unparseable response on {method} via {self.name}", spec.latency_s
+            )
+
+        latency = spec.latency_s
+        if u_spike < spec.latency_spike_prob:
+            latency += spec.latency_spike_s
+            self._inject(method, FAULT_LATENCY_SPIKE, f"+{spec.latency_spike_s:g}s")
+        reply = self.inner.available_spectrum(request, timeout_s)
+        latency += reply.latency_s
+        if timeout_s is not None and latency >= timeout_s:
+            # Processed server-side, but the reply came back too late.
+            raise TransportTimeout(
+                f"reply after {latency:.3f}s > timeout {timeout_s:g}s via {self.name}",
+                timeout_s,
+            )
+        return TransportReply(reply.response, latency)
+
+
+def as_transport(endpoint) -> PawsTransport:
+    """Coerce a :class:`PawsServer` (or pass through a transport).
+
+    Lets every caller keep handing :class:`ChannelSelector` a bare
+    server; the resilient client then runs over a
+    :class:`DirectTransport` with behaviour identical to the old
+    in-process call.
+    """
+    if isinstance(endpoint, PawsTransport):
+        return endpoint
+    if isinstance(endpoint, PawsServer):
+        return DirectTransport(endpoint)
+    raise TypeError(
+        f"expected PawsServer or PawsTransport, got {type(endpoint).__name__}"
+    )

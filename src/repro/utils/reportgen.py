@@ -20,6 +20,7 @@ SECTIONS: Tuple[Tuple[str, str], ...] = (
     ("fig1", "Figure 1 — single-cell outdoor drive test"),
     ("fig2", "Figure 2 — Wi-Fi MAC inefficiency (af vs ac)"),
     ("fig6", "Figure 6 — spectrum-database vacate/reacquire"),
+    ("db_outage", "Robustness — Figure 6 under database outages and wire faults"),
     ("fig7", "Figure 7 — two-cell interference walk"),
     ("fig8", "Figure 8 — CQI interference detector"),
     ("prach", "Section 6.3.3 — PRACH preamble detector"),
@@ -187,6 +188,31 @@ def sweep_metric_table(
             )
         rows.append(row)
     return format_table(list(group_by) + metric_keys, rows, title=title)
+
+
+def robustness_summary(rows: Sequence[dict]) -> str:
+    """Tally a structured robustness log (see ``RobustnessLog.to_rows``).
+
+    One row per event kind: count, first and last occurrence time --
+    enough to read off how many faults were injected, how often the
+    client retried or failed over, and whether grace mode ever had to
+    force a vacate.
+    """
+    by_kind: Dict[str, List[dict]] = {}
+    for row in rows:
+        by_kind.setdefault(str(row.get("kind", "?")), []).append(row)
+    table_rows = []
+    for kind in sorted(by_kind):
+        events = by_kind[kind]
+        times = [float(e.get("time", 0.0)) for e in events]
+        table_rows.append(
+            [kind, len(events), f"{min(times):.1f} s", f"{max(times):.1f} s"]
+        )
+    return format_table(
+        ["event", "count", "first", "last"],
+        table_rows,
+        title="Robustness events",
+    )
 
 
 def render_sweep_summary(path: pathlib.Path) -> str:

@@ -10,27 +10,49 @@ from repro.core.channel_selection import (
     OccupancyProbe,
 )
 from repro.sim.engine import Simulator
+from repro.sim.rng import RngStreams
 from repro.tvws.channels import US_CHANNEL_PLAN
 from repro.tvws.database import SpectrumDatabase
 from repro.tvws.paws import DeviceDescriptor, GeoLocation, PawsServer
-from repro.tvws.regulatory import EtsiComplianceRules
+from repro.tvws.regulatory import EtsiComplianceRules, VACATE_DEADLINE_S
+from repro.tvws.transport import (
+    DirectTransport,
+    FaultSpec,
+    FaultyTransport,
+    PawsTransport,
+    RetryPolicy,
+    RobustnessLog,
+    TransportTimeout,
+)
 
 
 class _Harness:
     """A selector wired to stub radio callbacks."""
 
-    def __init__(self, probe=None, poll_interval_s=1.0, lease_duration_s=3600.0):
+    def __init__(
+        self,
+        probe=None,
+        poll_interval_s=1.0,
+        lease_duration_s=3600.0,
+        transport=None,
+        secondary=None,
+        retry=None,
+    ):
         self.sim = Simulator()
         self.database = SpectrumDatabase(
             US_CHANNEL_PLAN, lease_duration_s=lease_duration_s
         )
         self.paws = PawsServer(self.database)
         self.compliance = EtsiComplianceRules()
+        self.robustness = RobustnessLog()
         self.started = []
         self.stopped = 0
+        endpoint = self.paws
+        if transport is not None:
+            endpoint = transport(self)  # factory gets the built harness
         self.selector = ChannelSelector(
             sim=self.sim,
-            paws=self.paws,
+            paws=endpoint,
             device=DeviceDescriptor("test-ap"),
             location=GeoLocation(0.0, 0.0),
             probe=probe or OccupancyProbe(),
@@ -38,10 +60,53 @@ class _Harness:
             radio_stop=self._stop,
             poll_interval_s=poll_interval_s,
             compliance=self.compliance,
+            secondary=secondary,
+            retry=retry,
+            robustness=self.robustness,
+            rng=RngStreams(1).stream("jitter"),
         )
 
     def _stop(self):
         self.stopped += 1
+
+
+def _faulty_factory(spec, seed=1):
+    """Harness transport factory: a FaultyTransport over the harness server."""
+
+    def build(harness):
+        return FaultyTransport(
+            inner=DirectTransport(harness.paws, name="primary"),
+            clock=lambda: harness.sim.now,
+            rng=RngStreams(seed).stream("transport-faults"),
+            spec=spec,
+            log=harness.robustness,
+            name="primary",
+        )
+
+    return build
+
+
+class _FailNext(PawsTransport):
+    """Wrap a transport; fail the next N getSpectrum calls with a timeout."""
+
+    def __init__(self, inner, fail=0):
+        self.inner = inner
+        self.name = inner.name
+        self.fail = fail
+
+    def init_device(self, device):
+        return self.inner.init_device(device)
+
+    def notify_spectrum_use(self, device, channel, now):
+        return self.inner.notify_spectrum_use(device, channel, now)
+
+    def available_spectrum(self, request, timeout_s=None):
+        if self.fail > 0:
+            self.fail -= 1
+            raise TransportTimeout(
+                "injected timeout", timeout_s if timeout_s is not None else 0.0
+            )
+        return self.inner.available_spectrum(request, timeout_s)
 
 
 class TestProbe:
@@ -160,3 +225,185 @@ class TestVacating:
     def test_poll_interval_validation(self):
         with pytest.raises(ValueError):
             _Harness(poll_interval_s=0.0)
+
+
+class TestProbeDiscipline:
+    def test_each_channel_probed_exactly_once_per_decision(self):
+        calls = []
+
+        def classify(channel):
+            calls.append(channel)
+            return OCCUPANCY_IDLE
+
+        harness = _Harness(probe=OccupancyProbe(classify))
+        harness.selector.start()
+        # One probe per offered channel, no duplicates from the ranking.
+        assert sorted(calls) == sorted(set(calls))
+        assert len(calls) == len(US_CHANNEL_PLAN)
+
+    def test_inconsistent_probe_cannot_skew_ranking(self):
+        # A noisy probe that flips class on every call: the cached class
+        # from the single probe is what ranks, so the choice is stable.
+        state = {"n": 0}
+
+        def classify(channel):
+            state["n"] += 1
+            return OCCUPANCY_IDLE if state["n"] % 2 else OCCUPANCY_OTHER
+
+        harness = _Harness(probe=OccupancyProbe(classify))
+        harness.selector.start()
+        assert harness.selector.current_channel is not None
+
+
+class TestNoSpectrumRateLimit:
+    def test_single_event_per_dry_spell(self):
+        harness = _Harness()
+        for channel in US_CHANNEL_PLAN.channels:
+            harness.database.withdraw_channel(channel.number)
+        harness.selector.start()
+        harness.sim.run(until=30.0)
+        kinds = [kind for _, kind, _ in harness.selector.timeline()]
+        assert kinds.count("no-spectrum") == 1
+        assert len(harness.selector.events) < 10  # bounded, not one per poll
+
+    def test_recovery_emits_summary(self):
+        harness = _Harness()
+        for channel in US_CHANNEL_PLAN.channels:
+            harness.database.withdraw_channel(channel.number)
+        harness.selector.start()
+        harness.sim.run(until=20.0)
+        harness.database.restore_channel(14)
+        harness.sim.run(until=25.0)
+        assert harness.selector.current_channel == 14
+        recovered = [
+            detail
+            for _, kind, detail in harness.selector.timeline()
+            if kind == "no-spectrum-recovered"
+        ]
+        assert len(recovered) == 1
+        assert "suppressed" in recovered[0]
+
+
+class TestRetryAndBackoff:
+    def test_transient_timeout_is_retried_not_vacated(self):
+        harness = _Harness(
+            transport=lambda h: _FailNext(DirectTransport(h.paws, "primary"))
+        )
+        harness.selector.start()
+        assert harness.selector.current_channel == 14
+        harness.selector._transports[0].fail = 1  # next poll times out once
+        harness.sim.run(until=10.0)
+        assert harness.stopped == 0  # a single lost reply never vacates
+        assert harness.selector.current_channel == 14
+        counts = harness.robustness.counts()
+        assert counts.get("backoff", 0) >= 1
+        assert counts.get("retry", 0) >= 1
+
+    def test_retries_exhausted_enters_grace_not_vacate(self):
+        harness = _Harness(
+            transport=_faulty_factory(FaultSpec(outages=((5.0, 30.0),)))
+        )
+        harness.selector.start()
+        harness.sim.run(until=10.0)
+        assert harness.selector.in_grace
+        assert harness.stopped == 0  # still transmitting on the cached lease
+        harness.sim.run(until=35.0)
+        assert not harness.selector.in_grace  # database came back
+        assert harness.stopped == 0
+        counts = harness.robustness.counts()
+        assert counts.get("grace-entered", 0) >= 1
+        assert counts.get("grace-exited", 0) >= 1
+        assert counts.get("forced-vacate", 0) == 0
+
+    def test_long_outage_forces_vacate_within_deadline(self):
+        harness = _Harness(
+            transport=_faulty_factory(FaultSpec(outages=((5.0, 200.0),)))
+        )
+        harness.selector.start()
+        harness.sim.run(until=120.0)
+        assert harness.stopped == 1
+        assert harness.selector.current_channel is None
+        counts = harness.robustness.counts()
+        assert counts.get("forced-vacate", 0) == 1
+        # The vacate happened within 60 s of the last successful
+        # validation (the poll just before the outage began).
+        vacate_time = next(
+            t for t, kind, _ in harness.selector.timeline() if kind == "radio-stop"
+        )
+        assert vacate_time <= 4.0 + VACATE_DEADLINE_S + 1e-9
+        assert harness.compliance.compliant
+
+    def test_grace_deadline_clipped_by_lease_expiry(self):
+        harness = _Harness(
+            lease_duration_s=20.0,
+            transport=_faulty_factory(FaultSpec(outages=((5.0, 200.0),))),
+        )
+        harness.selector.start()
+        harness.sim.run(until=60.0)
+        # Lease expires at ~24 s (last renewal at 4 s), well before the
+        # 60 s ETSI deadline: the vacate must not outlive the lease.
+        assert harness.stopped == 1
+        vacate_time = next(
+            t for t, kind, _ in harness.selector.timeline() if kind == "radio-stop"
+        )
+        assert vacate_time <= 24.0 + 1e-9
+
+
+class TestFailover:
+    def test_secondary_takes_over(self):
+        harness = _Harness(
+            transport=_faulty_factory(FaultSpec(timeout_prob=1.0)),
+            secondary=DirectTransport(
+                PawsServer(SpectrumDatabase(US_CHANNEL_PLAN)), "secondary"
+            ),
+        )
+        harness.selector.start()
+        harness.sim.run(until=10.0)
+        assert harness.selector.current_channel == 14
+        assert harness.selector.active_transport.name == "secondary"
+        counts = harness.robustness.counts()
+        assert counts.get("failover", 0) >= 1
+        assert harness.stopped == 0
+
+    def test_failover_is_sticky(self):
+        harness = _Harness(
+            transport=_faulty_factory(FaultSpec(timeout_prob=1.0)),
+            secondary=DirectTransport(
+                PawsServer(SpectrumDatabase(US_CHANNEL_PLAN)), "secondary"
+            ),
+        )
+        harness.selector.start()
+        harness.sim.run(until=20.0)
+        failovers = harness.robustness.counts().get("failover", 0)
+        # One switch, then every later poll goes straight to the
+        # secondary instead of burning retries on the dead primary.
+        assert failovers == 1
+
+
+class TestStrictServerRecovery:
+    def test_reinit_after_server_forgets_registration(self):
+        harness = _Harness()
+        harness.paws.strict = True
+        harness.selector.start()
+        assert harness.selector.current_channel == 14
+        # The database restarts and loses its registration table: the
+        # next poll gets ERROR_MISSING, and the client repairs it by
+        # re-sending INIT instead of vacating.
+        harness.paws._registered.clear()
+        harness.sim.run(until=5.0)
+        assert harness.selector.current_channel == 14
+        assert harness.stopped == 0
+        assert harness.robustness.counts().get("retry", 0) >= 1
+
+
+class TestRetryPolicyWiring:
+    def test_custom_policy_controls_attempts(self):
+        harness = _Harness(
+            transport=_faulty_factory(FaultSpec(timeout_prob=1.0)),
+            retry=RetryPolicy(max_retries=0, timeout_s=0.2),
+        )
+        harness.selector.start()
+        harness.sim.run(until=3.0)
+        counts = harness.robustness.counts()
+        assert counts.get("retry", 0) == 0  # no retries allowed
+        assert counts.get("backoff", 0) == 0

@@ -1,0 +1,106 @@
+"""Tests for the database-outage robustness experiment."""
+
+import json
+
+from repro.cli import main
+from repro.experiments.db_outage import (
+    db_outage_cell,
+    db_outage_sweep_spec,
+    run_db_outage,
+)
+from repro.experiments.sweep import run_sweep
+
+_FAULTS = dict(timeout_prob=0.1, drop_prob=0.05, error_prob=0.02)
+
+
+class TestDeterminism:
+    def test_same_seed_bit_identical(self):
+        first = run_db_outage(seed=1, tail_s=150.0, **_FAULTS)
+        second = run_db_outage(seed=1, tail_s=150.0, **_FAULTS)
+        assert first.digest == second.digest
+        assert first.selector_timeline == second.selector_timeline
+        assert first.robustness_rows == second.robustness_rows
+
+    def test_different_seed_different_schedule(self):
+        first = run_db_outage(seed=1, tail_s=150.0, **_FAULTS)
+        second = run_db_outage(seed=2, tail_s=150.0, **_FAULTS)
+        assert first.digest != second.digest
+
+    def test_sweep_jobs_invariant(self):
+        spec = db_outage_sweep_spec(durations=(20.0, 90.0), seeds=(1,))
+        inline = run_sweep(spec, jobs=0)
+        forked = run_sweep(spec, jobs=2)
+        key = lambda result: sorted(
+            (r.params["outage_s"], r.metrics["digest"]) for r in result.ok
+        )
+        assert key(inline) == key(forked)
+        assert len(inline.ok) == 2
+
+    def test_cell_digest_matches_direct_run(self):
+        cell = db_outage_cell(seed=1, outage_s=90.0)
+        direct = run_db_outage(
+            seed=1,
+            outages=((60.0, 90.0),),
+            timeout_prob=0.05,
+            drop_prob=0.05,
+            error_prob=0.02,
+            malformed_prob=0.02,
+            latency_spike_prob=0.05,
+            tail_s=200.0,
+        )
+        assert cell["digest"] == direct.digest
+
+
+class TestScenarioShape:
+    def test_fault_free_run_is_clean(self):
+        result = run_db_outage(seed=1, outages=(), tail_s=100.0)
+        assert result.compliant
+        assert result.counts == {}
+        assert result.downtime_s == 0.0
+        assert result.loss_fraction == 0.0
+
+    def test_loss_grows_with_outage_duration(self):
+        short = db_outage_cell(seed=1, outage_s=20.0)
+        long = db_outage_cell(seed=1, outage_s=120.0)
+        assert short["throughput_loss_fraction"] == 0.0
+        assert long["throughput_loss_fraction"] > 0.0
+        assert long["forced_vacates"] == 1
+
+    def test_metrics_are_json_safe(self):
+        cell = db_outage_cell(seed=1, outage_s=20.0)
+        json.dumps(cell)
+
+
+class TestCli:
+    def test_db_outage_exit_zero_when_compliant(self, capsys):
+        code = main(
+            [
+                "db-outage",
+                "--seed", "1",
+                "--outages", "40:30",
+                "--timeout-prob", "0.1",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Database-outage timeline" in out
+        assert "Robustness events" in out
+        assert "digest" in out
+
+    def test_db_outage_sweep_via_cli(self, tmp_path, capsys):
+        out_path = tmp_path / "dbo.jsonl"
+        code = main(
+            [
+                "sweep", "db_outage",
+                "--outage-durations", "20", "90",
+                "--seeds", "1",
+                "--jobs", "0",
+                "--out", str(out_path),
+            ]
+        )
+        assert code == 0
+        records = [
+            json.loads(line) for line in out_path.read_text().splitlines() if line
+        ]
+        assert len(records) == 2
+        assert all(r["status"] == "ok" for r in records)

@@ -5,11 +5,14 @@ import pytest
 from repro.tvws.channels import US_CHANNEL_PLAN
 from repro.tvws.database import Incumbent, SpectrumDatabase
 from repro.tvws.paws import (
+    AUTHORITATIVE_DENIALS,
     AvailableSpectrumRequest,
     DeviceDescriptor,
+    ERROR_MISSING,
     ERROR_OUTSIDE_COVERAGE,
     GeoLocation,
     PawsServer,
+    TRANSIENT_ERRORS,
 )
 
 
@@ -191,3 +194,35 @@ class TestLeaseChurn:
             server.available_spectrum(_request(t=float(k), serial="ap-a"))
             server.available_spectrum(_request(t=float(k), serial="ap-b"))
         assert server.database.lease_table_size == 2
+
+
+class TestStrictMode:
+    def test_lenient_mode_auto_registers(self):
+        server = _server()
+        response = server.available_spectrum(_request(serial="never-inited"))
+        assert response.ok
+        assert "never-inited" in server._registered
+
+    def test_strict_rejects_unregistered(self):
+        server = PawsServer(SpectrumDatabase(US_CHANNEL_PLAN), strict=True)
+        response = server.available_spectrum(_request(serial="never-inited"))
+        assert not response.ok
+        assert response.error_code == ERROR_MISSING
+        assert response.spectra == []
+        # The device was NOT silently registered by the failed request.
+        assert "never-inited" not in server._registered
+
+    def test_strict_accepts_after_init(self):
+        server = PawsServer(SpectrumDatabase(US_CHANNEL_PLAN), strict=True)
+        device = DeviceDescriptor("ap-1")
+        server.init_device(device)
+        response = server.available_spectrum(_request(serial="ap-1"))
+        assert response.ok
+        assert len(response.spectra) == len(US_CHANNEL_PLAN)
+
+    def test_missing_is_transient_not_authoritative(self):
+        # A resilient client repairs ERROR_MISSING by re-sending INIT;
+        # it must never be treated as a loss of authorization.
+        assert ERROR_MISSING in TRANSIENT_ERRORS
+        assert ERROR_MISSING not in AUTHORITATIVE_DENIALS
+        assert not (TRANSIENT_ERRORS & AUTHORITATIVE_DENIALS)

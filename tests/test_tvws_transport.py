@@ -1,0 +1,249 @@
+"""Unit tests for the fault-injectable PAWS transport layer."""
+
+import pytest
+
+from repro.sim.rng import RngStreams
+from repro.tvws.channels import US_CHANNEL_PLAN
+from repro.tvws.database import SpectrumDatabase
+from repro.tvws.paws import (
+    AvailableSpectrumRequest,
+    DeviceDescriptor,
+    ERROR_DATABASE_UNAVAILABLE,
+    GeoLocation,
+    PawsServer,
+)
+from repro.tvws.transport import (
+    DirectTransport,
+    FaultSpec,
+    FaultyTransport,
+    MalformedResponse,
+    PawsTransport,
+    RetryPolicy,
+    RobustnessLog,
+    TransportTimeout,
+    as_transport,
+)
+
+
+def _server(**kwargs):
+    return PawsServer(SpectrumDatabase(US_CHANNEL_PLAN), **kwargs)
+
+
+def _request(t=0.0, serial="ap-1"):
+    return AvailableSpectrumRequest(
+        device=DeviceDescriptor(serial_number=serial),
+        location=GeoLocation(x=0.0, y=0.0),
+        request_time=t,
+    )
+
+
+def _faulty(spec, seed=7, server=None, log=None, clock=None):
+    clock_state = {"now": 0.0}
+    clock = clock or (lambda: clock_state["now"])
+    transport = FaultyTransport(
+        inner=DirectTransport(server or _server(), name="primary"),
+        clock=clock,
+        rng=RngStreams(seed).stream("transport-faults"),
+        spec=spec,
+        log=log,
+        name="primary",
+    )
+    transport._clock_state = clock_state  # test-side handle to move time
+    return transport
+
+
+class TestFaultSpec:
+    def test_probabilities_must_not_exceed_one(self):
+        with pytest.raises(ValueError):
+            FaultSpec(timeout_prob=0.6, drop_prob=0.5)
+
+    def test_empty_outage_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec(outages=((10.0, 10.0),))
+
+    def test_in_outage_half_open(self):
+        spec = FaultSpec(outages=((10.0, 20.0),))
+        assert not spec.in_outage(9.999)
+        assert spec.in_outage(10.0)
+        assert spec.in_outage(19.999)
+        assert not spec.in_outage(20.0)
+
+
+class TestDirectTransport:
+    def test_passthrough_matches_server(self):
+        server = _server()
+        transport = DirectTransport(server)
+        reply = transport.available_spectrum(_request())
+        assert reply.latency_s == 0.0
+        assert reply.response.channel_numbers() == (
+            server.available_spectrum(_request()).channel_numbers()
+        )
+
+    def test_as_transport_coercion(self):
+        server = _server()
+        assert isinstance(as_transport(server), DirectTransport)
+        direct = DirectTransport(server)
+        assert as_transport(direct) is direct
+        with pytest.raises(TypeError):
+            as_transport(object())
+
+
+class TestFaultInjection:
+    def test_fault_free_is_transparent(self):
+        transport = _faulty(FaultSpec(latency_s=0.0))
+        for k in range(20):
+            reply = transport.available_spectrum(_request(t=float(k)))
+            assert reply.response.ok
+        assert transport.fault_log == []
+
+    def test_timeout_never_reaches_server(self):
+        server = _server()
+        transport = _faulty(FaultSpec(timeout_prob=1.0), server=server)
+        with pytest.raises(TransportTimeout):
+            transport.available_spectrum(_request(), timeout_s=0.5)
+        # The request was lost on the wire: no server-side registration.
+        assert "ap-1" not in server._registered
+
+    def test_drop_has_server_side_effects(self):
+        server = _server()
+        transport = _faulty(FaultSpec(drop_prob=1.0), server=server)
+        with pytest.raises(TransportTimeout):
+            transport.available_spectrum(_request(), timeout_s=0.5)
+        # The server processed the request; only the reply was lost.
+        assert "ap-1" in server._registered
+
+    def test_error_response_is_transient_code(self):
+        transport = _faulty(FaultSpec(error_prob=1.0))
+        reply = transport.available_spectrum(_request())
+        assert reply.response.error_code == ERROR_DATABASE_UNAVAILABLE
+
+    def test_malformed_raises(self):
+        transport = _faulty(FaultSpec(malformed_prob=1.0))
+        with pytest.raises(MalformedResponse):
+            transport.available_spectrum(_request())
+
+    def test_latency_spike_past_timeout_is_timeout(self):
+        spec = FaultSpec(latency_s=0.02, latency_spike_prob=1.0, latency_spike_s=2.0)
+        transport = _faulty(spec)
+        with pytest.raises(TransportTimeout):
+            transport.available_spectrum(_request(), timeout_s=0.5)
+
+    def test_latency_spike_within_timeout_is_slow_reply(self):
+        spec = FaultSpec(latency_s=0.02, latency_spike_prob=1.0, latency_spike_s=2.0)
+        transport = _faulty(spec)
+        reply = transport.available_spectrum(_request(), timeout_s=10.0)
+        assert reply.response.ok
+        assert reply.latency_s == pytest.approx(2.02)
+
+    def test_outage_blocks_every_method(self):
+        transport = _faulty(FaultSpec(outages=((5.0, 15.0),)))
+        transport._clock_state["now"] = 10.0
+        with pytest.raises(TransportTimeout):
+            transport.init_device(DeviceDescriptor("ap-1"))
+        with pytest.raises(TransportTimeout):
+            transport.available_spectrum(_request(), timeout_s=0.5)
+        with pytest.raises(TransportTimeout):
+            transport.notify_spectrum_use(DeviceDescriptor("ap-1"), 14, 10.0)
+        transport._clock_state["now"] = 15.0
+        assert transport.available_spectrum(_request()).response.ok
+
+    def test_fault_log_and_robustness_events(self):
+        log = RobustnessLog()
+        transport = _faulty(FaultSpec(timeout_prob=1.0), log=log)
+        with pytest.raises(TransportTimeout):
+            transport.available_spectrum(_request(), timeout_s=0.5)
+        assert transport.fault_log == [(0.0, "getSpectrum", "timeout")]
+        assert log.counts() == {"fault-injected": 1}
+
+    def test_timeout_elapsed_burns_full_timeout(self):
+        transport = _faulty(FaultSpec(timeout_prob=1.0))
+        with pytest.raises(TransportTimeout) as excinfo:
+            transport.available_spectrum(_request(), timeout_s=0.75)
+        assert excinfo.value.elapsed_s == 0.75
+
+
+class TestDeterminism:
+    def test_same_seed_same_fault_sequence(self):
+        spec = FaultSpec(
+            timeout_prob=0.2, drop_prob=0.1, error_prob=0.1, malformed_prob=0.05
+        )
+
+        def run(seed):
+            transport = _faulty(spec, seed=seed)
+            kinds = []
+            for k in range(50):
+                try:
+                    reply = transport.available_spectrum(
+                        _request(t=float(k)), timeout_s=0.5
+                    )
+                    kinds.append(
+                        "ok" if reply.response.ok else f"err{reply.response.error_code}"
+                    )
+                except TransportTimeout:
+                    kinds.append("timeout")
+                except MalformedResponse:
+                    kinds.append("malformed")
+            return kinds
+
+        assert run(3) == run(3)
+        assert run(3) != run(4)  # different stream, different schedule
+
+    def test_exactly_two_draws_per_request(self):
+        # The draw discipline is what keeps schedules aligned whatever
+        # fault fires; consume the stream in lockstep and compare.
+        spec = FaultSpec(timeout_prob=0.3, error_prob=0.2)
+        transport = _faulty(spec, seed=11)
+        shadow = RngStreams(11).stream("transport-faults")
+        for k in range(30):
+            shadow.random(), shadow.random()
+            try:
+                transport.available_spectrum(_request(t=float(k)), timeout_s=0.5)
+            except TransportTimeout:
+                pass
+        # After N requests both streams sit at the same position.
+        assert float(transport.rng.random()) == float(shadow.random())
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_then_caps(self):
+        policy = RetryPolicy(
+            backoff_base_s=0.25, backoff_factor=2.0, backoff_max_s=1.0, jitter_s=0.0
+        )
+        delays = [policy.backoff_delay(k, 0.0) for k in range(5)]
+        assert delays == [0.25, 0.5, 1.0, 1.0, 1.0]
+
+    def test_jitter_is_bounded_and_deterministic(self):
+        policy = RetryPolicy(jitter_s=0.1)
+        assert policy.backoff_delay(0, 0.0) == pytest.approx(0.25)
+        assert policy.backoff_delay(0, 0.999) < 0.25 + 0.1
+
+
+class TestRobustnessLog:
+    def test_counts_and_rows(self):
+        log = RobustnessLog()
+        log.record(1.0, "ap", "retry", "attempt 2")
+        log.record(2.0, "ap", "retry", "attempt 3")
+        log.record(3.0, "ap", "grace-entered", "outage")
+        assert len(log) == 3
+        assert log.counts() == {"retry": 2, "grace-entered": 1}
+        rows = log.to_rows()
+        assert rows[0] == {
+            "time": 1.0, "source": "ap", "kind": "retry", "detail": "attempt 2",
+        }
+
+    def test_events_are_copies(self):
+        log = RobustnessLog()
+        log.record(1.0, "ap", "retry")
+        log.events.clear()
+        assert len(log) == 1
+
+
+class TestInterface:
+    def test_base_class_is_abstract(self):
+        transport = PawsTransport()
+        with pytest.raises(NotImplementedError):
+            transport.init_device(DeviceDescriptor("x"))
+        with pytest.raises(NotImplementedError):
+            transport.available_spectrum(_request())
+        with pytest.raises(NotImplementedError):
+            transport.notify_spectrum_use(DeviceDescriptor("x"), 14, 0.0)
