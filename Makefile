@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-full sweep-smoke faults-smoke
+.PHONY: test bench bench-full bench-obs sweep-smoke faults-smoke trace-smoke
 
 # Tier-1 test suite (must stay green).
 test:
@@ -21,6 +21,14 @@ faults-smoke:
 		--timeout-prob 0.2 --drop-prob 0.1 --error-prob 0.05 \
 		--malformed-prob 0.02 --spike-prob 0.05
 
+# Short traced fig9a cell; validates both trace exports against the
+# trace_event schema (see docs/OBSERVABILITY.md).
+trace-smoke:
+	$(PYTHON) -m repro.cli fig9a --densities 4 --seeds 1 --epochs 3 \
+		--trace trace-smoke.json --trace-jsonl trace-smoke.jsonl \
+		--metrics-out trace-smoke-metrics.json --profile
+	$(PYTHON) -m repro.obs.validate trace-smoke.json trace-smoke.jsonl
+
 # Quick epoch benchmark (small sizes, few epochs) -- suitable for CI.
 bench:
 	$(PYTHON) benchmarks/bench_epoch.py --smoke
@@ -28,3 +36,8 @@ bench:
 # Full epoch benchmark: 10/50/200 cells, writes BENCH_epoch.json.
 bench-full:
 	$(PYTHON) benchmarks/bench_epoch.py
+
+# Telemetry overhead benchmark: asserts the disabled-telemetry epoch
+# stays within 3% of the BENCH_epoch.json reference; writes BENCH_obs.json.
+bench-obs:
+	$(PYTHON) benchmarks/bench_obs_overhead.py

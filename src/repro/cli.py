@@ -17,6 +17,7 @@ and retry (see ``docs/SWEEPS.md``).
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from typing import List, Optional
@@ -24,6 +25,75 @@ from typing import List, Optional
 import numpy as np
 
 from repro.utils.render import ascii_plot, format_table
+
+
+# -- Telemetry plumbing (see docs/OBSERVABILITY.md) ---------------------------
+
+#: Subcommands that run simulations and therefore accept telemetry flags.
+TELEMETRY_FLAGS = ("--trace", "--trace-jsonl", "--metrics-out", "--profile")
+
+
+def _add_telemetry_flags(p: argparse.ArgumentParser) -> None:
+    group = p.add_argument_group("telemetry")
+    group.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="write a Chrome trace_event JSON (open in Perfetto)",
+    )
+    group.add_argument(
+        "--trace-jsonl",
+        default=None,
+        metavar="PATH",
+        help="write the raw sim-time trace as JSONL",
+    )
+    group.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write the metrics snapshot (counters/gauges/histograms/series) as JSON",
+    )
+    group.add_argument(
+        "--profile",
+        action="store_true",
+        help="print the top wall-time callback sites after the run",
+    )
+
+
+def _telemetry_from_args(args: argparse.Namespace):
+    """Build a Telemetry for the run, or None when no flag asks for one."""
+    want_trace = bool(
+        getattr(args, "trace", None) or getattr(args, "trace_jsonl", None)
+    )
+    want_profile = bool(getattr(args, "profile", False))
+    want_metrics = bool(getattr(args, "metrics_out", None))
+    if not (want_trace or want_profile or want_metrics):
+        return None
+    from repro.obs import Telemetry
+
+    return Telemetry(trace=want_trace, profile=want_profile)
+
+
+def _write_telemetry_outputs(args: argparse.Namespace, tel) -> None:
+    if getattr(args, "metrics_out", None):
+        payload = tel.snapshot(include_profile=False)
+        merged = getattr(args, "_sweep_cell_telemetry", None)
+        if merged is not None:
+            payload["sweep_cells"] = merged
+        with open(args.metrics_out, "w") as handle:
+            json.dump(payload, handle, sort_keys=True)
+            handle.write("\n")
+        print(f"metrics snapshot: {args.metrics_out}")
+    if getattr(args, "trace", None):
+        tel.tracer.write_chrome(args.trace)
+        print(f"chrome trace: {args.trace} ({len(tel.tracer)} records; "
+              "open in https://ui.perfetto.dev)")
+    if getattr(args, "trace_jsonl", None):
+        tel.tracer.write_jsonl(args.trace_jsonl)
+        print(f"trace jsonl: {args.trace_jsonl}")
+    if getattr(args, "profile", False) and tel.profiler is not None:
+        print()
+        print(tel.profiler.table(10))
 
 
 def _cmd_fig1(args: argparse.Namespace) -> int:
@@ -199,7 +269,9 @@ def _cmd_report(args: argparse.Namespace) -> int:
     results = pathlib.Path(args.results_dir)
     try:
         output = write_report(
-            results, sweep_logs=[pathlib.Path(p) for p in args.sweep_log]
+            results,
+            sweep_logs=[pathlib.Path(p) for p in args.sweep_log],
+            telemetry_files=[pathlib.Path(p) for p in args.telemetry],
         )
     except FileNotFoundError as error:
         print(error, file=sys.stderr)
@@ -306,7 +378,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.experiments.sweep import run_sweep
     from repro.utils.reportgen import sweep_metric_table, sweep_outcome_summary
 
+    from repro.obs import runtime as _obs_runtime
+
     spec = build_sweep_spec(args)
+    tel = _obs_runtime.active()
     result = run_sweep(
         spec,
         jobs=args.jobs,
@@ -314,7 +389,31 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         retries=args.retries,
         out_path=args.out,
         resume=args.resume,
+        collect_telemetry=tel is not None,
     )
+    if tel is not None:
+        # Fold worker-side snapshots into the run-level outputs: merged
+        # counters/histograms land in --metrics-out, and each cell becomes
+        # a trace span / profile site on the parent timeline.
+        from repro.obs import merge_snapshots
+
+        snapshots = []
+        for record in result.records:
+            if record.telemetry is not None:
+                snapshots.append(record.telemetry)
+            if tel.profiler is not None:
+                tel.profiler.record(
+                    f"sweep.cell.{record.scenario}", record.wall_time_s
+                )
+            if tel.tracer is not None:
+                tel.tracer.instant(
+                    f"sweep.{record.status}",
+                    cat="sweep",
+                    t=float(record.task_id),
+                    args={"scenario": record.scenario, "attempts": record.attempts},
+                )
+        if snapshots:
+            args._sweep_cell_telemetry = merge_snapshots(snapshots)
     print(
         f"sweep {spec.name!r}: {len(result.records)} cells "
         f"({result.computed} computed, {result.reused} reused from cache)"
@@ -354,14 +453,17 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("fig1", help="single-cell drive test")
     p.add_argument("--seed", type=int, default=1)
     p.add_argument("--samples", type=int, default=60)
+    _add_telemetry_flags(p)
     p.set_defaults(fn=_cmd_fig1)
 
     p = sub.add_parser("fig2", help="802.11af vs 802.11ac")
     p.add_argument("--seed", type=int, default=1)
     p.add_argument("--duration", type=float, default=3.0)
+    _add_telemetry_flags(p)
     p.set_defaults(fn=_cmd_fig2)
 
     p = sub.add_parser("fig6", help="database vacate/reacquire timeline")
+    _add_telemetry_flags(p)
     p.set_defaults(fn=_cmd_fig6)
 
     p = sub.add_parser(
@@ -393,6 +495,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="add a reliable secondary database endpoint (failover)",
     )
     p.add_argument("--full-timeline", action="store_true")
+    _add_telemetry_flags(p)
     p.set_defaults(fn=_cmd_db_outage)
 
     p = sub.add_parser("fig9a", help="coverage vs density")
@@ -400,6 +503,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seeds", type=int, nargs="+", default=[1, 2])
     p.add_argument("--epochs", type=int, default=10)
     p.add_argument("--wifi-duration", type=float, default=3.0)
+    _add_telemetry_flags(p)
     p.set_defaults(fn=_cmd_fig9a)
 
     p = sub.add_parser("fig9b", help="throughput CDFs with oracle")
@@ -407,15 +511,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--aps", type=int, default=10)
     p.add_argument("--epochs", type=int, default=10)
     p.add_argument("--wifi-duration", type=float, default=3.0)
+    _add_telemetry_flags(p)
     p.set_defaults(fn=_cmd_fig9b)
 
     p = sub.add_parser("prach", help="PRACH detector evaluation")
     p.add_argument("--trials", type=int, default=40)
+    _add_telemetry_flags(p)
     p.set_defaults(fn=_cmd_prach)
 
     p = sub.add_parser("convergence", help="Theorem 1 validation")
     p.add_argument("--sizes", type=int, nargs="+", default=[8, 16, 32])
     p.add_argument("--replications", type=int, default=8)
+    _add_telemetry_flags(p)
     p.set_defaults(fn=_cmd_convergence)
 
     p = sub.add_parser("report", help="compile benchmarks/results into REPORT.md")
@@ -425,6 +532,12 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="*",
         default=[],
         help="sweep JSONL logs to aggregate into the report",
+    )
+    p.add_argument(
+        "--telemetry",
+        nargs="*",
+        default=[],
+        help="--metrics-out snapshots to summarise into a telemetry section",
     )
     p.set_defaults(fn=_cmd_report)
 
@@ -473,6 +586,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--outage-durations", type=float, nargs="+", default=None)
     p.add_argument("--withdraw", action="store_true")
     p.add_argument("--secondary", action="store_true")
+    _add_telemetry_flags(p)
     p.set_defaults(fn=_cmd_sweep)
 
     return parser
@@ -483,7 +597,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
-        return args.fn(args)
+        tel = _telemetry_from_args(args)
+        if tel is None:
+            return args.fn(args)
+        from repro.obs import activated
+
+        with activated(tel):
+            rc = args.fn(args)
+        _write_telemetry_outputs(args, tel)
+        return rc
     except BrokenPipeError:
         # Downstream pager/head closed the pipe; not an experiment failure.
         os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())

@@ -47,6 +47,7 @@ import random
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.obs import runtime as _obs_runtime
 from repro.sim.engine import Event, Simulator
 from repro.tvws.paws import (
     AUTHORITATIVE_DENIALS,
@@ -72,6 +73,11 @@ OCCUPANCY_CELLFI = "cellfi"
 OCCUPANCY_OTHER = "other"
 
 _PREFERENCE = {OCCUPANCY_IDLE: 0, OCCUPANCY_CELLFI: 1, OCCUPANCY_OTHER: 2}
+
+#: Fixed bucket edges for the PAWS request-latency histogram (seconds).
+#: Fixed at import time so latency percentiles aggregate deterministically
+#: across sweep cells (see repro.obs.metrics).
+PAWS_LATENCY_EDGES = (0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 5.0, 10.0)
 
 
 class OccupancyProbe:
@@ -210,6 +216,13 @@ class ChannelSelector:
 
     def _poll(self) -> None:
         self.sim.schedule(self.poll_interval_s, self._poll)
+        tel = _obs_runtime.active()
+        if tel is not None:
+            tel.gauge("paws.in_grace", 1.0 if self.in_grace else 0.0)
+            tel.gauge(
+                "paws.channel_held", 1.0 if self.current_channel is not None else 0.0
+            )
+            tel.tick(self.sim.now)
         if self._inflight:
             # The previous cycle is still retrying/backing off (or its
             # reply is in flight); don't pile a second request onto it.
@@ -238,13 +251,41 @@ class ChannelSelector:
             location=self.location,
             request_time=self.sim.now,
         )
+        tel = _obs_runtime.active()
+        span = (
+            tel.span(
+                "paws.request",
+                cat="paws",
+                args={
+                    "attempt": attempt,
+                    "transport": transport.name,
+                    "device": self.device.serial_number,
+                },
+            )
+            if tel is not None
+            else None
+        )
+        if span is not None:
+            span.__enter__()
+            tel.inc("paws.requests")
         try:
             reply = transport.available_spectrum(
                 request, timeout_s=self.retry.timeout_s
             )
         except TransportError as error:
+            if span is not None:
+                span.__exit__(None, None, None)
+                tel.inc("paws.transport_errors")
+                tel.observe(
+                    "paws.latency_s",
+                    max(float(getattr(error, "elapsed_s", 0.0)), 0.0),
+                    edges=PAWS_LATENCY_EDGES,
+                )
             self._attempt_failed(attempt, idx, fallbacks, error)
             return
+        if span is not None:
+            span.__exit__(None, None, None)
+            tel.observe("paws.latency_s", reply.latency_s, edges=PAWS_LATENCY_EDGES)
         response = reply.response
         if response.error_code is not None and response.error_code not in (
             AUTHORITATIVE_DENIALS
@@ -450,6 +491,15 @@ class ChannelSelector:
 
     def _log(self, kind: str, detail: str) -> None:
         self.events.append(SelectorEvent(time=self.sim.now, kind=kind, detail=detail))
+        tel = _obs_runtime.active()
+        if tel is not None:
+            tel.inc(f"selector.{kind}")
+            tel.event(
+                f"selector.{kind}",
+                cat="selector",
+                t=self.sim.now,
+                args={"device": self.device.serial_number, "detail": detail},
+            )
 
     def _log_no_spectrum(self, detail: str) -> None:
         """Log ``no-spectrum`` once per dry spell, not once per poll.

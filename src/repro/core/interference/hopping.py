@@ -30,6 +30,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Set
 
 import numpy as np
 
+from repro.obs import runtime as _obs_runtime
 from repro.phy.mcs import efficiency_from_cqi
 
 
@@ -138,6 +139,8 @@ class SubchannelHopper:
             self._initialize(target_share)
             return self.holdings
 
+        hops_before = self.hop_count
+        reuse_before = self.reuse_moves
         self._update_free_streaks(senses)
         self._drain_buckets(senses)
         self._hop_empty_buckets(senses)
@@ -145,6 +148,19 @@ class SubchannelHopper:
         if self.config.reuse_enabled:
             self._pack_downwards(senses)
         self._remember_recent_clients(senses)
+        tel = _obs_runtime.active()
+        if tel is not None:
+            hops = self.hop_count - hops_before
+            tel.inc("hopping.steps")
+            if hops:
+                tel.inc("hopping.hops", hops)
+            if self.reuse_moves > reuse_before:
+                tel.inc("hopping.reuse_moves", self.reuse_moves - reuse_before)
+            tel.observe(
+                "hopping.hops_per_step",
+                hops,
+                edges=(0.0, 1.0, 2.0, 3.0, 5.0, 8.0, 13.0),
+            )
         return self.holdings
 
     # -- Phase 0: initial random pick ----------------------------------------------

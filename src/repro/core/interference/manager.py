@@ -17,6 +17,7 @@ from typing import Dict, Mapping, Optional, Sequence, Set
 from repro.core.interference.hopping import ClientSense, HopperConfig, SubchannelHopper
 from repro.core.interference.share import compute_share
 from repro.lte.network import ApObservation
+from repro.obs import runtime as _obs_runtime
 from repro.sim.rng import RngStreams
 
 
@@ -84,6 +85,19 @@ class CellFiInterferenceManager:
 
         decisions: Dict[int, Set[int]] = {}
         self.stats.epochs += 1
+        tel = _obs_runtime.active()
+        hops_epoch_before = self.stats.total_hops
+        span = (
+            tel.span(
+                "hopping.decide",
+                cat="hopping",
+                args={"epoch": epoch_index, "aps": len(self.hoppers)},
+            )
+            if tel is not None
+            else None
+        )
+        if span is not None:
+            span.__enter__()
         for ap_id, hopper in self.hoppers.items():
             obs = observations.get(ap_id)
             if obs is None:
@@ -105,6 +119,26 @@ class CellFiInterferenceManager:
             self.stats.total_hops += hopper.hop_count - hops_before
             self.stats.total_reuse_moves += hopper.reuse_moves - reuse_before
             self.stats.last_shares[ap_id] = share
+            if tel is not None:
+                tel.gauge(f"hopping.share.ap{ap_id}", share)
+                if hopper.hop_count > hops_before:
+                    tel.event(
+                        "hopping.hop",
+                        cat="hopping",
+                        args={
+                            "ap": ap_id,
+                            "hops": hopper.hop_count - hops_before,
+                            "epoch": epoch_index,
+                        },
+                    )
+        if span is not None:
+            span.__exit__(None, None, None)
+            tel.inc("hopping.decide_epochs")
+            tel.observe(
+                "hopping.hops_per_epoch",
+                self.stats.total_hops - hops_epoch_before,
+                edges=(0.0, 1.0, 2.0, 3.0, 5.0, 8.0, 13.0, 21.0),
+            )
         return decisions
 
     def _share_for(self, ap_id: int, obs: ApObservation) -> int:

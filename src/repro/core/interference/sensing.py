@@ -20,6 +20,8 @@ from typing import Dict, List, Optional, Set
 
 import numpy as np
 
+from repro.obs import runtime as _obs_runtime
+
 #: Measured detector quality (paper Section 6.3.2): "less than 2% false
 #: positives" and "when interference is strong, our detector correctly
 #: reports interference with 80% probability".
@@ -46,6 +48,9 @@ class PrachContentionEstimator:
     def hear(self, client_id: int, now: float) -> None:
         """Record a detected preamble from ``client_id`` at time ``now``."""
         self._last_heard[client_id] = now
+        tel = _obs_runtime.active()
+        if tel is not None:
+            tel.inc("prach.preambles_heard")
 
     def estimate(self, now: float) -> int:
         """Active-client estimate: preambles heard within the last TTL."""
@@ -95,9 +100,19 @@ class CqiDropDetector:
         self.false_positive = false_positive
 
     def verdict(self, truly_interfered: bool) -> bool:
-        """One noisy detector decision."""
+        """One noisy detector decision.
+
+        Telemetry here counts outcomes only -- it must never draw from
+        ``rng``, or instrumented runs would diverge from clean ones.
+        """
         threshold = self.true_positive if truly_interfered else self.false_positive
-        return bool(self.rng.random() < threshold)
+        flagged = bool(self.rng.random() < threshold)
+        tel = _obs_runtime.active()
+        if tel is not None:
+            tel.inc("cqi.detector_verdicts")
+            if flagged:
+                tel.inc("cqi.detector_flags")
+        return flagged
 
     def verdicts(self, truth: List[bool]) -> List[bool]:
         """Vectorised verdicts for a list of ground-truth flags."""

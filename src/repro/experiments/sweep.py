@@ -211,9 +211,14 @@ class TaskRecord:
     error: Optional[str] = None
     worker_pid: Optional[int] = None
     cached: bool = False
+    telemetry: Optional[Dict[str, Any]] = None
 
     def to_json(self) -> str:
-        """One canonical JSONL line (``cached`` is runtime-only state)."""
+        """One canonical JSONL line (``cached`` is runtime-only state).
+
+        The ``telemetry`` key only appears when a snapshot was collected,
+        so logs from plain sweeps stay byte-identical to older ones.
+        """
         payload = {
             "task_id": self.task_id,
             "config_hash": self.config_hash,
@@ -226,6 +231,8 @@ class TaskRecord:
             "error": self.error,
             "worker_pid": self.worker_pid,
         }
+        if self.telemetry is not None:
+            payload["telemetry"] = self.telemetry
         return canonical_json(payload)
 
     @staticmethod
@@ -242,6 +249,7 @@ class TaskRecord:
             metrics=payload.get("metrics", {}),
             error=payload.get("error"),
             worker_pid=payload.get("worker_pid"),
+            telemetry=payload.get("telemetry"),
         )
 
 
@@ -304,18 +312,48 @@ def load_records(path: Union[str, pathlib.Path]) -> List[TaskRecord]:
     return records
 
 
-def _worker_entry(conn, scenario_name: str, params: Dict[str, Any]) -> None:
+def _run_cell(
+    scenario_name: str, params: Dict[str, Any], collect_telemetry: bool
+) -> Tuple[Dict[str, Any], float, Optional[Dict[str, Any]]]:
+    """Run one cell; returns (metrics, wall_s, telemetry-or-None).
+
+    With ``collect_telemetry`` the cell runs under its *own* cell-local
+    :class:`~repro.obs.Telemetry` (metrics only -- no tracer, no
+    profiler), so the snapshot it ships back depends only on the cell's
+    params, never on which worker ran it or what ran before.  Metrics
+    and snapshot both round-trip through canonical JSON so parent-side
+    values are exactly what a resume would read back from the log.
+    """
+    fn = get_scenario(scenario_name)
+    telemetry: Optional[Dict[str, Any]] = None
+    start = time.perf_counter()
+    if collect_telemetry:
+        from repro.obs import Telemetry, activated
+
+        cell_tel = Telemetry()
+        with activated(cell_tel):
+            metrics = fn(**params)
+        telemetry = json.loads(canonical_json(cell_tel.snapshot()))
+    else:
+        metrics = fn(**params)
+    wall = time.perf_counter() - start
+    return json.loads(canonical_json(dict(metrics))), wall, telemetry
+
+
+def _worker_entry(
+    conn,
+    scenario_name: str,
+    params: Dict[str, Any],
+    collect_telemetry: bool = False,
+) -> None:
     """Run one cell in a worker process and ship the outcome back."""
     try:
-        fn = get_scenario(scenario_name)
-        start = time.perf_counter()
-        metrics = fn(**params)
-        wall = time.perf_counter() - start
-        # Round-trip through canonical JSON so parent-side metrics are
-        # exactly what a resume would read back from the log.
-        conn.send((STATUS_OK, json.loads(canonical_json(dict(metrics))), wall))
+        metrics, wall, telemetry = _run_cell(
+            scenario_name, params, collect_telemetry
+        )
+        conn.send((STATUS_OK, metrics, wall, telemetry))
     except BaseException as error:  # noqa: BLE001 - report, don't crash silently
-        conn.send((STATUS_FAILED, f"{type(error).__name__}: {error}", 0.0))
+        conn.send((STATUS_FAILED, f"{type(error).__name__}: {error}", 0.0, None))
     finally:
         conn.close()
 
@@ -340,9 +378,15 @@ class _Active:
 
 
 def _run_inline(
-    spec: SweepSpec, skip: Dict[str, TaskRecord]
+    spec: SweepSpec,
+    skip: Dict[str, TaskRecord],
+    collect_telemetry: bool = False,
 ) -> Iterable[TaskRecord]:
-    """In-process execution (``jobs=0``): no isolation, no timeouts."""
+    """In-process execution (``jobs=0``): no isolation, no timeouts.
+
+    Telemetry collection uses the same cell-local instance as the worker
+    path, so inline and pooled sweeps produce identical snapshots.
+    """
     for task_id, task in enumerate(spec.tasks):
         key = task.config_hash
         if key in skip:
@@ -350,7 +394,9 @@ def _run_inline(
             continue
         start = time.perf_counter()
         try:
-            metrics = get_scenario(task.scenario)(**task.params_dict)
+            metrics, wall, telemetry = _run_cell(
+                task.scenario, task.params_dict, collect_telemetry
+            )
             yield TaskRecord(
                 task_id=task_id,
                 config_hash=key,
@@ -358,9 +404,10 @@ def _run_inline(
                 params=task.params_dict,
                 status=STATUS_OK,
                 attempts=1,
-                wall_time_s=time.perf_counter() - start,
-                metrics=json.loads(canonical_json(dict(metrics))),
+                wall_time_s=wall,
+                metrics=metrics,
                 worker_pid=os.getpid(),
+                telemetry=telemetry,
             )
         except Exception as error:  # noqa: BLE001
             yield TaskRecord(
@@ -391,6 +438,7 @@ def _as_cached(task_id: int, prior: TaskRecord) -> TaskRecord:
         error=prior.error,
         worker_pid=prior.worker_pid,
         cached=True,
+        telemetry=prior.telemetry,
     )
 
 
@@ -402,6 +450,7 @@ def _run_pool(
     retries: int,
     ctx: mp.context.BaseContext,
     join_grace_s: float = 5.0,
+    collect_telemetry: bool = False,
 ) -> Iterable[TaskRecord]:
     """Process-per-task pool: up to ``jobs`` cells in flight at once.
 
@@ -427,7 +476,7 @@ def _run_pool(
         recv, send = ctx.Pipe(duplex=False)
         process = ctx.Process(
             target=_worker_entry,
-            args=(send, task.scenario, task.params_dict),
+            args=(send, task.scenario, task.params_dict, collect_telemetry),
             daemon=True,
         )
         process.start()
@@ -444,9 +493,9 @@ def _run_pool(
             )
         )
 
-    def _reap(worker: _Active) -> Tuple[str, Any, float]:
-        """Collect (status, payload, wall) from a finished/late worker."""
-        outcome: Tuple[str, Any, float]
+    def _reap(worker: _Active) -> Tuple[str, Any, float, Optional[Dict[str, Any]]]:
+        """Collect (status, payload, wall, telemetry) from a worker."""
+        outcome: Tuple[str, Any, float, Optional[Dict[str, Any]]]
         if worker.conn.poll():
             try:
                 outcome = worker.conn.recv()
@@ -457,12 +506,14 @@ def _run_pool(
                     "worker died without reporting "
                     f"(exit code {worker.process.exitcode})",
                     time.monotonic() - worker.started,
+                    None,
                 )
         elif worker.deadline is not None and time.monotonic() >= worker.deadline:
             outcome = (
                 STATUS_TIMEOUT,
                 f"exceeded timeout of {timeout_s:g} s",
                 time.monotonic() - worker.started,
+                None,
             )
             worker.process.terminate()
         else:
@@ -471,6 +522,7 @@ def _run_pool(
                 STATUS_FAILED,
                 f"worker exited without reporting (exit code {code})",
                 time.monotonic() - worker.started,
+                None,
             )
         worker.process.join(join_grace_s)
         if worker.process.is_alive():
@@ -508,7 +560,7 @@ def _run_pool(
                 if not done:
                     still_active.append(worker)
                     continue
-                status, payload, wall = _reap(worker)
+                status, payload, wall, telemetry = _reap(worker)
                 task = spec.tasks[worker.task_id]
                 if status == STATUS_OK:
                     yield TaskRecord(
@@ -521,6 +573,7 @@ def _run_pool(
                         wall_time_s=wall,
                         metrics=payload,
                         worker_pid=worker.process.pid,
+                        telemetry=telemetry,
                     )
                 elif worker.attempt <= retries:
                     errors[worker.task_id] = payload
@@ -556,6 +609,7 @@ def run_sweep(
     out_path: Optional[Union[str, pathlib.Path]] = None,
     resume: bool = False,
     start_method: Optional[str] = None,
+    collect_telemetry: bool = False,
 ) -> SweepResult:
     """Evaluate every cell of ``spec`` and return the ordered records.
 
@@ -574,6 +628,10 @@ def run_sweep(
             unsuccessful cells are recomputed.
         start_method: multiprocessing start method override
             (default: ``fork`` where available, else ``spawn``).
+        collect_telemetry: run each cell under a cell-local metrics-only
+            :class:`~repro.obs.Telemetry` and embed its snapshot in the
+            record (and the JSONL log, under a ``telemetry`` key).
+            Snapshots are deterministic: identical at any ``jobs`` level.
     """
     skip: Dict[str, TaskRecord] = {}
     wanted = {task.config_hash for task in spec.tasks}
@@ -583,12 +641,15 @@ def run_sweep(
                 skip[record.config_hash] = record
 
     if jobs <= 0:
-        produced = _run_inline(spec, skip)
+        produced = _run_inline(spec, skip, collect_telemetry=collect_telemetry)
     else:
         ctx = (
             mp.get_context(start_method) if start_method else _default_context()
         )
-        produced = _run_pool(spec, skip, jobs, timeout_s, retries, ctx)
+        produced = _run_pool(
+            spec, skip, jobs, timeout_s, retries, ctx,
+            collect_telemetry=collect_telemetry,
+        )
 
     records: List[TaskRecord] = []
     log_handle = None

@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.obs import runtime as _obs_runtime
 from repro.phy.mcs import cqi_from_sinr
 
 #: Bits for the wideband CQI field (TS 36.213).
@@ -101,6 +102,9 @@ def measure_report(
     if measurement_noise_db > 0.0:
         noise = rng.normal(0.0, measurement_noise_db, size=len(noisy))
         noisy = [s + n for s, n in zip(noisy, noise)]
+    tel = _obs_runtime.active()
+    if tel is not None:
+        tel.inc("cqi.reports")
     subband_cqi = [cqi_from_sinr(s) for s in noisy]
     # Wideband CQI reflects average link quality in the linear domain.
     mean_sinr = 10.0 * np.log10(np.mean(np.power(10.0, np.asarray(noisy) / 10.0)))
@@ -161,6 +165,9 @@ class SubbandCqiReporter:
         self._history.append(report)
         if len(self._history) > self.max_window:
             self._history.pop(0)
+        tel = _obs_runtime.active()
+        if tel is not None:
+            tel.inc("cqi.reports_ingested")
         for k in range(self.n_subbands):
             cqi = report.subband_cqi[k]
             self._max_cqi[k] = max(
@@ -169,6 +176,17 @@ class SubbandCqiReporter:
             threshold = self.drop_fraction * self._max_cqi[k]
             if self._max_cqi[k] > 0 and cqi < threshold:
                 self._low_streak[k] += 1
+                if (
+                    tel is not None
+                    and self._low_streak[k] == self.consecutive_required
+                ):
+                    tel.inc("cqi.drop_detections")
+                    tel.event(
+                        "cqi.drop_detected",
+                        cat="cqi",
+                        t=report.time,
+                        args={"subchannel": k, "max_cqi": self._max_cqi[k]},
+                    )
             else:
                 self._low_streak[k] = 0
 

@@ -40,6 +40,7 @@ from typing import Callable, Dict, List, Optional, Protocol, Sequence, Set, Tupl
 import numpy as np
 
 from repro.lte.scheduler import Allocation, ProportionalFairScheduler, Scheduler
+from repro.obs import runtime as _obs_runtime
 from repro.phy.harq import harq_goodput_scale
 from repro.phy.mcs import (
     CQI_OUT_OF_RANGE,
@@ -475,6 +476,15 @@ class LteNetworkSimulator:
             The epoch outcome including the sensing observations a policy
             needs for the next decision.
         """
+        tel = _obs_runtime.active()
+        span = None
+        if tel is not None:
+            # Epoch drivers have no event engine, so the telemetry clock
+            # follows the epoch boundary here.
+            tel.set_time(epoch_index * self.epoch_s)
+            span = tel.span("lte.epoch", cat="sim", args={"epoch": epoch_index})
+            span.__enter__()
+
         active_aps = {
             ap.ap_id
             for ap in self.topology.aps
@@ -566,6 +576,36 @@ class LteNetworkSimulator:
                     connected[client.client_id] = True
 
             observations[ap.ap_id] = links.observe(allocation, detector_rng)
+
+        if tel is not None:
+            span.__exit__(None, None, None)
+            tel.inc("lte.epochs")
+            tel.inc("lte.served_bits", sum(served_bits.values()))
+            tel.inc(
+                "lte.starved_clients",
+                sum(1 for ok in connected.values() if not ok),
+            )
+            tel.gauge(
+                "lte.connected_clients",
+                sum(1 for ok in connected.values() if ok),
+            )
+            for obs in observations.values():
+                tel.inc("prach.estimations")
+                tel.observe(
+                    "prach.estimated_contenders",
+                    obs.estimated_contenders,
+                    edges=(0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0),
+                )
+                tel.inc("cqi.reports", len(obs.clients))
+                tel.inc(
+                    "cqi.interference_flags",
+                    sum(
+                        sum(1 for hit in c.interference_detected if hit)
+                        for c in obs.clients.values()
+                    ),
+                )
+            # One series point per epoch, keyed by sim-time.
+            tel.tick((epoch_index + 1) * self.epoch_s)
 
         return EpochResult(
             epoch_index=epoch_index,

@@ -20,6 +20,8 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Sequence, Tuple
 
+from repro.obs import runtime as _obs_runtime
+
 #: Mini-slots per scheduling epoch.  50 slots x 1 s epoch = 20 ms granularity,
 #: fine enough for fairness yet ~20x cheaper than per-TTI simulation.
 MINISLOTS_PER_EPOCH = 50
@@ -97,6 +99,21 @@ class Scheduler(ABC):
         ``pick(subchannel, remaining_demand, served_so_far)`` returns the
         client to serve, or -1 for none.
         """
+        tel = _obs_runtime.active()
+        span = (
+            tel.span(
+                "scheduler.allocate",
+                cat="scheduler",
+                args={
+                    "clients": len(demands_bits),
+                    "subchannels": len(allowed_subchannels),
+                },
+            )
+            if tel is not None
+            else None
+        )
+        if span is not None:
+            span.__enter__()
         allocation = Allocation(epoch_s=epoch_s)
         remaining = dict(demands_bits)
         served: Dict[int, float] = {c: 0.0 for c in demands_bits}
@@ -116,6 +133,14 @@ class Scheduler(ABC):
                     allocation.time_fraction.get(key, 0.0) + 1.0 / MINISLOTS_PER_EPOCH
                 )
         allocation.served_bits = served
+        if span is not None:
+            span.__exit__(None, None, None)
+            tel.inc("scheduler.allocations")
+            tel.inc("scheduler.served_bits", sum(served.values()))
+            tel.inc(
+                "scheduler.clients_served",
+                sum(1 for bits in served.values() if bits > 0.0),
+            )
         return allocation
 
 

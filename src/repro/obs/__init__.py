@@ -1,0 +1,53 @@
+"""repro.obs — sim-clock-aware telemetry: metrics, tracing, profiling.
+
+The observability layer for the CellFi reproduction (docs/OBSERVABILITY.md):
+
+* :class:`MetricsRegistry` / :class:`Telemetry` — counters, gauges and
+  fixed-edge histograms obtained via named scopes, plus a sim-time-keyed
+  series of per-epoch ticks.
+* :class:`Tracer` — structured trace records carrying sim-time; exports
+  to JSONL and to Chrome ``trace_event`` JSON (Perfetto-loadable).
+* :class:`Profiler` — wall-time attribution per event-callback site,
+  rendered by the CLI's ``--profile`` table.
+* :func:`active` / :func:`activated` — the process-global activation
+  switch.  Disabled (the default) costs one global read and one branch
+  at each instrumentation site; fault-free runs stay bit-identical
+  because nothing in this package touches RNG streams or float paths.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    DEFAULT_EDGES,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    merge_snapshots,
+    percentile_from_hist,
+)
+from repro.obs.profile import Profiler, callback_site
+from repro.obs.record import EventLog, Record
+from repro.obs.runtime import activated, active, disable, enable
+from repro.obs.telemetry import Telemetry
+from repro.obs.trace import Tracer, TraceRecord, strip_wall
+
+__all__ = [
+    "Counter",
+    "DEFAULT_EDGES",
+    "EventLog",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Profiler",
+    "Record",
+    "Telemetry",
+    "TraceRecord",
+    "Tracer",
+    "activated",
+    "active",
+    "callback_site",
+    "disable",
+    "enable",
+    "merge_snapshots",
+    "percentile_from_hist",
+    "strip_wall",
+]

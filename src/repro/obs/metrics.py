@@ -1,0 +1,241 @@
+"""Deterministic metrics primitives: counters, gauges, histograms.
+
+Design constraints (see docs/OBSERVABILITY.md):
+
+* **Determinism** -- histograms use *fixed* bucket edges chosen at
+  creation time, never adaptive ones, so two runs with the same seed
+  produce byte-identical snapshots regardless of value order or worker
+  count.  Snapshots sort every mapping by key.
+* **No RNG, no wall clock** -- nothing in this module reads entropy or
+  ``time``; sim-time is always passed in by the caller.  Instrumented
+  code therefore cannot perturb a seeded run.
+* **Cheap when idle** -- metric objects are plain ``__slots__`` holders;
+  the disabled fast path never reaches this module at all (see
+  ``repro.obs.runtime``).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+#: Default histogram bucket edges: a coarse log-ish ladder that suits
+#: counts (hops per epoch, contenders) and sub-second latencies alike.
+DEFAULT_EDGES: Tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 2.0, 5.0, 10.0, 30.0, 60.0,
+)
+
+
+class Counter:
+    """Monotonically increasing total."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """Last-write-wins instantaneous value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Fixed-edge histogram with total sum/count for mean and percentiles.
+
+    ``counts[i]`` tallies observations ``v <= edges[i]`` (first matching
+    bucket); ``counts[-1]`` is the overflow bucket for ``v > edges[-1]``.
+    """
+
+    __slots__ = ("name", "edges", "counts", "total", "count")
+
+    def __init__(self, name: str, edges: Sequence[float] = DEFAULT_EDGES) -> None:
+        if not edges or list(edges) != sorted(edges):
+            raise ValueError(f"histogram edges must be sorted and non-empty: {edges!r}")
+        self.name = name
+        self.edges = tuple(float(e) for e in edges)
+        self.counts = [0] * (len(self.edges) + 1)
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        # First bucket whose upper edge is >= value; past the last edge
+        # lands in the overflow bucket counts[len(edges)].
+        self.counts[bisect_left(self.edges, value)] += 1
+        self.total += value
+        self.count += 1
+
+    def percentile(self, q: float) -> float:
+        """Approximate q-th percentile (0..100) by bucket interpolation."""
+        return percentile_from_hist(self.edges, self.counts, q)
+
+
+def percentile_from_hist(
+    edges: Sequence[float], counts: Sequence[int], q: float
+) -> float:
+    """Percentile estimate from bucket counts via linear interpolation.
+
+    Works on live histograms and on snapshot dicts alike (reportgen uses
+    the latter).  Returns 0.0 for an empty histogram.
+    """
+    total = sum(counts)
+    if total == 0:
+        return 0.0
+    target = max(0.0, min(100.0, q)) / 100.0 * total
+    cumulative = 0
+    for i, bucket_count in enumerate(counts):
+        if bucket_count == 0:
+            continue
+        lower = edges[i - 1] if i > 0 else 0.0
+        upper = edges[i] if i < len(edges) else edges[-1]
+        if cumulative + bucket_count >= target:
+            if bucket_count == 0 or upper == lower:
+                return upper
+            fraction = (target - cumulative) / bucket_count
+            return lower + fraction * (upper - lower)
+        cumulative += bucket_count
+    return edges[-1]
+
+
+class Scope:
+    """Named view onto a registry: metrics become ``<prefix>.<name>``."""
+
+    __slots__ = ("_registry", "_prefix")
+
+    def __init__(self, registry: "MetricsRegistry", prefix: str) -> None:
+        self._registry = registry
+        self._prefix = prefix
+
+    def counter(self, name: str) -> Counter:
+        return self._registry.counter(f"{self._prefix}.{name}")
+
+    def gauge(self, name: str) -> Gauge:
+        return self._registry.gauge(f"{self._prefix}.{name}")
+
+    def histogram(
+        self, name: str, edges: Sequence[float] = DEFAULT_EDGES
+    ) -> Histogram:
+        return self._registry.histogram(f"{self._prefix}.{name}", edges)
+
+
+class MetricsRegistry:
+    """All metrics for one run, plus a sim-time-keyed series of ticks.
+
+    ``tick(sim_time)`` appends a point capturing every counter and gauge
+    at that sim-time; calling it twice at the same time overwrites the
+    earlier point, so re-entrant instrumentation stays deterministic.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._series: List[Dict[str, object]] = []
+
+    def counter(self, name: str) -> Counter:
+        metric = self._counters.get(name)
+        if metric is None:
+            metric = self._counters[name] = Counter(name)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._gauges.get(name)
+        if metric is None:
+            metric = self._gauges[name] = Gauge(name)
+        return metric
+
+    def histogram(
+        self, name: str, edges: Sequence[float] = DEFAULT_EDGES
+    ) -> Histogram:
+        metric = self._histograms.get(name)
+        if metric is None:
+            metric = self._histograms[name] = Histogram(name, edges)
+        return metric
+
+    def scope(self, prefix: str) -> Scope:
+        return Scope(self, prefix)
+
+    def tick(self, sim_time: float) -> None:
+        """Record a series point of all counters and gauges at ``sim_time``."""
+        point = {
+            "t": sim_time,
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+        }
+        if self._series and self._series[-1]["t"] == sim_time:
+            self._series[-1] = point
+        else:
+            self._series.append(point)
+
+    def snapshot(self) -> Dict[str, object]:
+        """Deterministic plain-dict state: sorted keys, no wall-time."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "histograms": {
+                n: {
+                    "edges": list(h.edges),
+                    "counts": list(h.counts),
+                    "sum": h.total,
+                    "count": h.count,
+                }
+                for n, h in sorted(self._histograms.items())
+            },
+            "series": [dict(point) for point in self._series],
+        }
+
+
+def merge_snapshots(snapshots: Iterable[Mapping[str, object]]) -> Dict[str, object]:
+    """Aggregate per-cell snapshots (e.g. from sweep workers) into one.
+
+    Counters and histogram bucket counts/sums add; gauges keep the last
+    value seen (they are instantaneous, summing would be meaningless);
+    per-cell series are dropped -- each cell has its own sim timeline.
+    """
+    counters: Dict[str, float] = {}
+    gauges: Dict[str, float] = {}
+    histograms: Dict[str, Dict[str, object]] = {}
+    merged_cells = 0
+    for snap in snapshots:
+        if not snap:
+            continue
+        merged_cells += 1
+        for name, value in snap.get("counters", {}).items():
+            counters[name] = counters.get(name, 0.0) + value
+        for name, value in snap.get("gauges", {}).items():
+            gauges[name] = value
+        for name, hist in snap.get("histograms", {}).items():
+            existing = histograms.get(name)
+            if existing is None:
+                histograms[name] = {
+                    "edges": list(hist["edges"]),
+                    "counts": list(hist["counts"]),
+                    "sum": hist["sum"],
+                    "count": hist["count"],
+                }
+            elif list(existing["edges"]) == list(hist["edges"]):
+                existing["counts"] = [
+                    a + b for a, b in zip(existing["counts"], hist["counts"])
+                ]
+                existing["sum"] += hist["sum"]
+                existing["count"] += hist["count"]
+            # Mismatched edges: keep the first histogram untouched rather
+            # than guessing a rebinning (never happens with fixed edges).
+    return {
+        "cells": merged_cells,
+        "counters": dict(sorted(counters.items())),
+        "gauges": dict(sorted(gauges.items())),
+        "histograms": dict(sorted(histograms.items())),
+    }

@@ -1,0 +1,89 @@
+"""Wall-time attribution per event-callback site.
+
+The simulator feeds every fired callback's wall-time here keyed by the
+callback's qualified name (:func:`callback_site`); subsystem spans feed
+their site names too, so epoch-driven experiments that never touch the
+event engine still produce a useful ``--profile`` table.
+
+Wall-time is inherently nondeterministic, so profile data is kept out
+of metric snapshots used in determinism comparisons (see
+``Telemetry.snapshot(include_profile=False)``).
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Callable, Dict, List
+
+
+def callback_site(callback: Callable[..., object]) -> str:
+    """Stable human-readable name for a callback: ``module.qualname``.
+
+    Unwraps ``functools.partial`` chains and names bound methods by the
+    class that defines them, which is what you want in a profile table
+    (``wifi.csma.CsmaMac._on_backoff_expiry`` rather than
+    ``<bound method ...>``).
+    """
+    while isinstance(callback, functools.partial):
+        callback = callback.func
+    func = getattr(callback, "__func__", callback)  # unwrap bound methods
+    qualname = getattr(func, "__qualname__", None)
+    if qualname is None:
+        return repr(callback)
+    module = getattr(func, "__module__", None)
+    return f"{module}.{qualname}" if module else qualname
+
+
+class Profiler:
+    """Accumulates call count, total and max wall seconds per site."""
+
+    def __init__(self) -> None:
+        self._sites: Dict[str, List[float]] = {}
+
+    def record(self, site: str, wall_s: float) -> None:
+        stats = self._sites.get(site)
+        if stats is None:
+            self._sites[site] = [1, wall_s, wall_s]
+        else:
+            stats[0] += 1
+            stats[1] += wall_s
+            if wall_s > stats[2]:
+                stats[2] = wall_s
+
+    def rows(self) -> List[Dict[str, object]]:
+        """Per-site stats sorted by total wall time, hottest first."""
+        rows = [
+            {
+                "site": site,
+                "calls": int(stats[0]),
+                "total_s": stats[1],
+                "mean_us": (stats[1] / stats[0]) * 1e6 if stats[0] else 0.0,
+                "max_us": stats[2] * 1e6,
+            }
+            for site, stats in self._sites.items()
+        ]
+        rows.sort(key=lambda r: (-r["total_s"], r["site"]))
+        return rows
+
+    def table(self, top: int = 10) -> str:
+        """Rendered top-N table of the hottest callback sites."""
+        from repro.utils.render import format_table  # lazy: avoids cycles
+
+        rows = self.rows()[:top]
+        return format_table(
+            ["site", "calls", "total s", "mean us", "max us"],
+            [
+                [
+                    r["site"],
+                    r["calls"],
+                    f"{r['total_s']:.4f}",
+                    f"{r['mean_us']:.1f}",
+                    f"{r['max_us']:.1f}",
+                ]
+                for r in rows
+            ],
+            title=f"Profile — top {min(top, len(rows))} wall-time sites",
+        )
+
+    def __len__(self) -> int:
+        return len(self._sites)

@@ -1,0 +1,87 @@
+"""The common structured-event record shared across the stack.
+
+``Record`` generalises the PAWS path's ``RobustnessEvent`` (PR 3) into
+the one record type every subsystem logs through: a sim-time stamp, a
+source identifier, an event kind, and free-form detail.  ``EventLog``
+is the append-only container; ``repro.tvws.transport.RobustnessLog``
+is now a thin subclass (scope ``"robustness"``) so existing consumers
+-- ``reportgen.robustness_summary``, the db-outage digests -- keep
+working on the exact same rows while the events also flow into any
+active telemetry sink.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
+
+from repro.obs import runtime
+
+
+@dataclass(frozen=True)
+class Record:
+    """One structured event: what happened, where, at what sim-time."""
+
+    time: float
+    source: str
+    kind: str
+    detail: str = ""
+
+    def to_row(self) -> Dict[str, object]:
+        """Plain-dict form for JSONL export and report aggregation."""
+        return {
+            "time": self.time,
+            "source": self.source,
+            "kind": self.kind,
+            "detail": self.detail,
+        }
+
+
+class EventLog:
+    """Append-only log of :class:`Record` entries.
+
+    Subclasses set :attr:`scope` to name the metric/trace namespace the
+    events are mirrored into when telemetry is active; recording stays
+    a pure list-append when it is not.
+    """
+
+    #: Metric and trace-category prefix for mirrored events.
+    scope = "events"
+
+    def __init__(self) -> None:
+        self._events: List[Record] = []
+
+    def record(self, time: float, source: str, kind: str, detail: str = "") -> Record:
+        """Append one event; mirrors it into active telemetry, if any."""
+        event = Record(time=time, source=source, kind=kind, detail=detail)
+        self._events.append(event)
+        tel = runtime.active()
+        if tel is not None:
+            tel.inc(f"{self.scope}.{kind}")
+            tel.event(
+                f"{self.scope}.{kind}",
+                cat=self.scope,
+                t=time,
+                args={"source": source, "detail": detail},
+            )
+        return event
+
+    @property
+    def events(self) -> Tuple[Record, ...]:
+        return tuple(self._events)
+
+    def counts(self) -> Dict[str, int]:
+        """Event counts per kind (sorted by kind for stable output)."""
+        tally: Dict[str, int] = {}
+        for event in self._events:
+            tally[event.kind] = tally.get(event.kind, 0) + 1
+        return dict(sorted(tally.items()))
+
+    def to_rows(self) -> List[Dict[str, object]]:
+        return [event.to_row() for event in self._events]
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Record]:
+        return iter(self._events)

@@ -1,0 +1,144 @@
+"""The telemetry facade instrumentation sites talk to.
+
+One :class:`Telemetry` instance bundles a metrics registry, an optional
+tracer, an optional profiler, and a settable sim clock.  The clock
+matters because the stack has two kinds of drivers: event-driven
+experiments advance a ``Simulator`` (which pushes its clock in here as
+events fire), while the fig9a/fig9b epoch loops have no event engine --
+they call :meth:`set_time` once per epoch so their metrics series and
+trace records still carry sim-time.
+
+Everything here is RNG-free and allocation-light; the disabled path
+never reaches this module (see ``repro.obs.runtime``).
+"""
+
+from __future__ import annotations
+
+from time import perf_counter_ns
+from typing import Dict, Optional, Sequence
+
+from repro.obs.metrics import DEFAULT_EDGES, MetricsRegistry
+from repro.obs.profile import Profiler
+from repro.obs.trace import Tracer
+
+
+class _Span:
+    """Context manager recording one span into tracer and/or profiler."""
+
+    __slots__ = ("_tel", "name", "cat", "args", "_t0", "_wall0")
+
+    def __init__(
+        self,
+        tel: "Telemetry",
+        name: str,
+        cat: str,
+        args: Optional[Dict[str, object]],
+    ) -> None:
+        self._tel = tel
+        self.name = name
+        self.cat = cat
+        self.args = args
+
+    def __enter__(self) -> "_Span":
+        self._t0 = self._tel.now
+        self._wall0 = perf_counter_ns()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        wall1 = perf_counter_ns()
+        tel = self._tel
+        t1 = tel.now
+        if tel.tracer is not None:
+            tel.tracer.complete(
+                self.name,
+                self.cat,
+                self._t0,
+                t1 - self._t0,
+                args=self.args,
+                wall_ns=self._wall0,
+                wall_dur_ns=wall1 - self._wall0,
+            )
+        if tel.profiler is not None:
+            tel.profiler.record(self.name, (wall1 - self._wall0) / 1e9)
+
+
+class Telemetry:
+    """Metrics + tracing + profiling behind one sim-clock-aware handle."""
+
+    def __init__(
+        self,
+        trace: bool = False,
+        profile: bool = False,
+    ) -> None:
+        self.registry = MetricsRegistry()
+        self.tracer: Optional[Tracer] = Tracer() if trace else None
+        self.profiler: Optional[Profiler] = Profiler() if profile else None
+        self.now = 0.0
+
+    # -- sim clock ---------------------------------------------------------
+
+    def set_time(self, sim_time: float) -> None:
+        """Advance the telemetry clock (epoch drivers; Simulator does this)."""
+        self.now = sim_time
+
+    # -- metrics -----------------------------------------------------------
+
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        self.registry.counter(name).inc(amount)
+
+    def gauge(self, name: str, value: float) -> None:
+        self.registry.gauge(name).set(value)
+
+    def observe(
+        self, name: str, value: float, edges: Sequence[float] = DEFAULT_EDGES
+    ) -> None:
+        self.registry.histogram(name, edges).observe(value)
+
+    def tick(self, sim_time: Optional[float] = None) -> None:
+        """Append a series point at ``sim_time`` (defaults to the clock)."""
+        self.registry.tick(self.now if sim_time is None else sim_time)
+
+    # -- tracing -----------------------------------------------------------
+
+    def event(
+        self,
+        name: str,
+        cat: str = "event",
+        t: Optional[float] = None,
+        args: Optional[Dict[str, object]] = None,
+    ) -> None:
+        """Record an instant trace event (no-op when tracing is off)."""
+        if self.tracer is not None:
+            self.tracer.instant(
+                name,
+                cat,
+                self.now if t is None else t,
+                args=args,
+                wall_ns=perf_counter_ns(),
+            )
+
+    def span(
+        self,
+        name: str,
+        cat: str = "span",
+        args: Optional[Dict[str, object]] = None,
+    ) -> _Span:
+        """Context manager timing a subsystem section (sim + wall)."""
+        return _Span(self, name, cat, args)
+
+    @property
+    def tracing(self) -> bool:
+        return self.tracer is not None
+
+    # -- export ------------------------------------------------------------
+
+    def snapshot(self, include_profile: bool = False) -> Dict[str, object]:
+        """Metrics snapshot; optionally with (nondeterministic) profile rows.
+
+        The default excludes profile data so snapshots embedded in sweep
+        records stay byte-identical across worker counts and machines.
+        """
+        snap = self.registry.snapshot()
+        if include_profile and self.profiler is not None:
+            snap["profile"] = self.profiler.rows()
+        return snap

@@ -1,0 +1,189 @@
+"""Structured tracing: sim-time records, JSONL and Chrome trace export.
+
+Every record carries the *simulation* clock (``t``/``dur``, seconds);
+wall-clock measurements ride along in ``wall_ns``/``wall_dur_ns`` fields
+so determinism checks can strip them (:func:`strip_wall`) and compare
+the rest byte-for-byte.
+
+The Chrome export follows the ``trace_event`` JSON format understood by
+Perfetto and ``chrome://tracing``: spans become phase-``"X"`` (complete)
+events with ``ts``/``dur`` in microseconds of *sim-time*, instants
+become phase-``"i"`` events, and each category is mapped to its own
+``tid`` with a thread-name metadata record so subsystems appear as
+separate tracks.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional
+
+#: Keys holding wall-clock data, excluded from determinism comparisons.
+WALL_KEYS = ("wall_ns", "wall_dur_ns")
+
+
+class TraceRecord:
+    """One trace entry; ``ph`` is ``"X"`` (span) or ``"i"`` (instant)."""
+
+    __slots__ = ("name", "cat", "ph", "t", "dur", "args", "wall_ns", "wall_dur_ns")
+
+    def __init__(
+        self,
+        name: str,
+        cat: str,
+        ph: str,
+        t: float,
+        dur: float = 0.0,
+        args: Optional[Dict[str, object]] = None,
+        wall_ns: int = 0,
+        wall_dur_ns: int = 0,
+    ) -> None:
+        self.name = name
+        self.cat = cat
+        self.ph = ph
+        self.t = t
+        self.dur = dur
+        self.args = args or {}
+        self.wall_ns = wall_ns
+        self.wall_dur_ns = wall_dur_ns
+
+    def to_dict(self) -> Dict[str, object]:
+        row: Dict[str, object] = {
+            "name": self.name,
+            "cat": self.cat,
+            "ph": self.ph,
+            "t": self.t,
+        }
+        if self.ph == "X":
+            row["dur"] = self.dur
+        if self.args:
+            row["args"] = self.args
+        row["wall_ns"] = self.wall_ns
+        row["wall_dur_ns"] = self.wall_dur_ns
+        return row
+
+
+def strip_wall(row: Dict[str, object]) -> Dict[str, object]:
+    """Copy of a JSONL trace row without its wall-clock fields."""
+    return {k: v for k, v in row.items() if k not in WALL_KEYS}
+
+
+class Tracer:
+    """Append-only trace buffer with JSONL and Chrome exporters."""
+
+    def __init__(self) -> None:
+        self._records: List[TraceRecord] = []
+
+    def instant(
+        self,
+        name: str,
+        cat: str,
+        t: float,
+        args: Optional[Dict[str, object]] = None,
+        wall_ns: int = 0,
+    ) -> None:
+        self._records.append(
+            TraceRecord(name, cat, "i", t, args=args, wall_ns=wall_ns)
+        )
+
+    def complete(
+        self,
+        name: str,
+        cat: str,
+        t: float,
+        dur: float,
+        args: Optional[Dict[str, object]] = None,
+        wall_ns: int = 0,
+        wall_dur_ns: int = 0,
+    ) -> None:
+        self._records.append(
+            TraceRecord(
+                name, cat, "X", t, dur=dur, args=args,
+                wall_ns=wall_ns, wall_dur_ns=wall_dur_ns,
+            )
+        )
+
+    @property
+    def records(self) -> List[TraceRecord]:
+        return self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def to_jsonl(self, include_wall: bool = True) -> str:
+        """One compact JSON object per line, in record order."""
+        lines = []
+        for record in self._records:
+            row = record.to_dict()
+            if not include_wall:
+                row = strip_wall(row)
+            lines.append(json.dumps(row, sort_keys=True, separators=(",", ":")))
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def chrome_trace(self) -> Dict[str, object]:
+        """Chrome ``trace_event`` JSON (open in Perfetto / chrome://tracing).
+
+        ``ts`` and ``dur`` are sim-time microseconds so the Perfetto
+        timeline reads in simulated seconds; the wall-clock measurement
+        of each span is preserved under ``args.wall_us``.
+        """
+        categories = []
+        for record in self._records:
+            if record.cat not in categories:
+                categories.append(record.cat)
+        tids = {cat: i + 1 for i, cat in enumerate(sorted(categories))}
+        events: List[Dict[str, object]] = [
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": tid,
+                "args": {"name": cat},
+            }
+            for cat, tid in sorted(tids.items(), key=lambda kv: kv[1])
+        ]
+        for record in self._records:
+            entry: Dict[str, object] = {
+                "name": record.name,
+                "cat": record.cat,
+                "ph": record.ph,
+                "ts": record.t * 1e6,
+                "pid": 1,
+                "tid": tids[record.cat],
+            }
+            args = dict(record.args)
+            if record.ph == "X":
+                entry["dur"] = record.dur * 1e6
+                if record.wall_dur_ns:
+                    args["wall_us"] = record.wall_dur_ns / 1e3
+            elif record.ph == "i":
+                entry["s"] = "t"  # instant scope: thread
+            if args:
+                entry["args"] = args
+            events.append(entry)
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def write_jsonl(self, path: str, include_wall: bool = True) -> None:
+        with open(path, "w") as handle:
+            handle.write(self.to_jsonl(include_wall=include_wall))
+
+    def write_chrome(self, path: str) -> None:
+        with open(path, "w") as handle:
+            json.dump(self.chrome_trace(), handle)
+            handle.write("\n")
+
+
+def load_jsonl(path: str) -> List[Dict[str, object]]:
+    """Parse a trace JSONL file back into row dicts."""
+    rows: List[Dict[str, object]] = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                rows.append(json.loads(line))
+    return rows
+
+
+def jsonl_without_wall(rows: Iterable[Dict[str, object]]) -> List[Dict[str, object]]:
+    """Rows with wall-clock fields removed (for determinism comparisons)."""
+    return [strip_wall(row) for row in rows]

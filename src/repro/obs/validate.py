@@ -1,0 +1,155 @@
+"""Validate Chrome ``trace_event`` files and trace JSONL lines.
+
+Used by ``make trace-smoke`` (and CI) to assert that a traced run
+produced a Perfetto-loadable file.  The structural rules mirror
+``benchmarks/trace_event.schema.json``; validation is implemented with
+stdlib checks so the repo carries no new dependency — when the optional
+``jsonschema`` package is importable the file is *additionally* checked
+against the schema document.
+
+Usage::
+
+    python -m repro.obs.validate trace.json [trace.jsonl ...]
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+from typing import Dict, List, Sequence
+
+#: Phases we emit (Perfetto accepts more; we only ever write these).
+_ALLOWED_PHASES = {"X", "i", "M"}
+
+#: Repo-relative location of the schema document.
+SCHEMA_PATH = (
+    pathlib.Path(__file__).resolve().parents[3]
+    / "benchmarks"
+    / "trace_event.schema.json"
+)
+
+
+class TraceValidationError(ValueError):
+    """A trace file violated the trace_event structural rules."""
+
+
+def _fail(message: str) -> None:
+    raise TraceValidationError(message)
+
+
+def validate_trace_event(entry: Dict[str, object], index: int) -> None:
+    """Check one ``traceEvents`` entry."""
+    if not isinstance(entry, dict):
+        _fail(f"traceEvents[{index}]: not an object: {entry!r}")
+    for key in ("name", "ph", "pid", "tid"):
+        if key not in entry:
+            _fail(f"traceEvents[{index}]: missing required key {key!r}")
+    if not isinstance(entry["name"], str):
+        _fail(f"traceEvents[{index}]: name must be a string")
+    ph = entry["ph"]
+    if ph not in _ALLOWED_PHASES:
+        _fail(f"traceEvents[{index}]: unexpected phase {ph!r}")
+    for key in ("pid", "tid"):
+        if not isinstance(entry[key], int):
+            _fail(f"traceEvents[{index}]: {key} must be an integer")
+    if ph in ("X", "i"):
+        if "ts" not in entry:
+            _fail(f"traceEvents[{index}]: phase {ph!r} requires ts")
+        if not isinstance(entry["ts"], (int, float)):
+            _fail(f"traceEvents[{index}]: ts must be a number")
+    if ph == "X":
+        if "dur" not in entry:
+            _fail(f"traceEvents[{index}]: complete event requires dur")
+        if not isinstance(entry["dur"], (int, float)) or entry["dur"] < 0:
+            _fail(f"traceEvents[{index}]: dur must be a non-negative number")
+    if "args" in entry and not isinstance(entry["args"], dict):
+        _fail(f"traceEvents[{index}]: args must be an object")
+
+
+def validate_chrome_trace(payload: object) -> int:
+    """Validate a parsed Chrome trace document; returns the event count."""
+    if not isinstance(payload, dict):
+        _fail("top level must be a JSON object with a traceEvents array")
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        _fail("traceEvents must be an array")
+    if not events:
+        _fail("traceEvents is empty — tracing produced no records")
+    for index, entry in enumerate(events):
+        validate_trace_event(entry, index)
+    _maybe_jsonschema(payload)
+    return len(events)
+
+
+def validate_jsonl_row(row: Dict[str, object], index: int) -> None:
+    """Check one line of our sim-time trace JSONL export."""
+    for key in ("name", "cat", "ph", "t"):
+        if key not in row:
+            _fail(f"line {index + 1}: missing required key {key!r}")
+    if row["ph"] not in ("X", "i"):
+        _fail(f"line {index + 1}: unexpected phase {row['ph']!r}")
+    if not isinstance(row["t"], (int, float)):
+        _fail(f"line {index + 1}: t must be a number (sim seconds)")
+    if row["ph"] == "X" and "dur" not in row:
+        _fail(f"line {index + 1}: span rows require dur")
+
+
+def validate_jsonl_file(path: pathlib.Path) -> int:
+    """Validate a trace JSONL file; returns the row count."""
+    count = 0
+    with open(path) as handle:
+        for index, line in enumerate(handle):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError as exc:
+                _fail(f"line {index + 1}: invalid JSON: {exc}")
+            validate_jsonl_row(row, index)
+            count += 1
+    if count == 0:
+        _fail(f"{path}: no trace rows")
+    return count
+
+
+def _maybe_jsonschema(payload: Dict[str, object]) -> None:
+    """Extra schema-document check when jsonschema happens to be present."""
+    try:
+        import jsonschema  # type: ignore
+    except ImportError:
+        return
+    if not SCHEMA_PATH.exists():
+        return
+    schema = json.loads(SCHEMA_PATH.read_text())
+    jsonschema.validate(payload, schema)
+
+
+def validate_file(path: pathlib.Path) -> int:
+    """Dispatch on extension: ``.jsonl`` rows vs Chrome trace JSON."""
+    path = pathlib.Path(path)
+    if path.suffix == ".jsonl":
+        return validate_jsonl_file(path)
+    with open(path) as handle:
+        payload = json.load(handle)
+    return validate_chrome_trace(payload)
+
+
+def main(argv: Sequence[str]) -> int:
+    if not argv:
+        print("usage: python -m repro.obs.validate TRACE [TRACE ...]")
+        return 2
+    for arg in argv:
+        path = pathlib.Path(arg)
+        try:
+            count = validate_file(path)
+        except (TraceValidationError, OSError, json.JSONDecodeError) as exc:
+            print(f"{path}: INVALID — {exc}")
+            return 1
+        print(f"{path}: ok ({count} events)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via make trace-smoke
+    sys.exit(main(sys.argv[1:]))

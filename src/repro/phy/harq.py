@@ -19,6 +19,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.obs import runtime as _obs_runtime
 from repro.phy.mcs import CQI_OUT_OF_RANGE, entry_for_cqi
 from repro.utils.dbmath import db_to_linear, linear_to_db
 
@@ -95,6 +96,9 @@ class HarqProcess:
     def deliver_block(self, sinr_db: float, cqi: int) -> HarqResult:
         """Attempt delivery of one block; draws errors from ``rng``."""
         self.blocks_sent += 1
+        tel = _obs_runtime.active()
+        if tel is not None:
+            tel.inc("harq.blocks")
         sinr_linear = db_to_linear(sinr_db)
         for attempt in range(1, MAX_TRANSMISSIONS + 1):
             combined_db = linear_to_db(sinr_linear * attempt)
@@ -102,9 +106,20 @@ class HarqProcess:
                 self.blocks_delivered += 1
                 self.retransmissions += attempt - 1
                 self._attempts_histogram[attempt - 1] += 1
+                if tel is not None:
+                    tel.inc("harq.retransmissions", attempt - 1)
+                    tel.observe(
+                        "harq.attempts", attempt, edges=(1.0, 2.0, 3.0, 4.0)
+                    )
                 return HarqResult(delivered=True, transmissions=attempt)
         self.retransmissions += MAX_TRANSMISSIONS - 1
         self._attempts_histogram[MAX_TRANSMISSIONS - 1] += 1
+        if tel is not None:
+            tel.inc("harq.retransmissions", MAX_TRANSMISSIONS - 1)
+            tel.inc("harq.delivery_failures")
+            tel.observe(
+                "harq.attempts", MAX_TRANSMISSIONS, edges=(1.0, 2.0, 3.0, 4.0)
+            )
         return HarqResult(delivered=False, transmissions=MAX_TRANSMISSIONS)
 
     @property
@@ -153,7 +168,17 @@ def harq_goodput_scale(sinr_db: float, cqi: int) -> float:
     """
     if cqi == CQI_OUT_OF_RANGE:
         return 0.0
-    return delivery_probability(sinr_db, cqi) / expected_attempts(sinr_db, cqi)
+    delivered = delivery_probability(sinr_db, cqi)
+    attempts = expected_attempts(sinr_db, cqi)
+    tel = _obs_runtime.active()
+    if tel is not None:
+        tel.inc("harq.evaluations")
+        tel.observe(
+            "harq.expected_attempts",
+            attempts,
+            edges=(1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0),
+        )
+    return delivered / attempts
 
 
 def first_attempt_failure_rate(sinr_db: float, cqi: Optional[int] = None) -> float:

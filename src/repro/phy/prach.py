@@ -28,6 +28,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.obs import runtime as _obs_runtime
 from repro.utils.dbmath import db_to_linear
 
 #: Zadoff-Chu sequence length for PRACH preamble formats 0-3 (TS 36.211).
@@ -178,6 +179,12 @@ class NaivePrachDetector:
                     root=root,
                 )
         best.complex_macs = total_macs
+        tel = _obs_runtime.active()
+        if tel is not None:
+            tel.inc("prach.windows")
+            tel.inc("prach.complex_macs", total_macs)
+            if best.detected:
+                tel.inc("prach.detections")
         return best
 
 
@@ -209,8 +216,15 @@ class FastPrachDetector:
         # IFFT, plus the N-point peak scan: ~ 2 * (N/2) log2 N + 2N MACs.
         log_n = max(1, int(np.ceil(np.log2(n))))
         macs = 2 * (n // 2) * log_n + 2 * n
+        detected = papr >= DETECTION_THRESHOLD_PAPR
+        tel = _obs_runtime.active()
+        if tel is not None:
+            tel.inc("prach.windows")
+            tel.inc("prach.complex_macs", macs)
+            if detected:
+                tel.inc("prach.detections")
         return DetectionResult(
-            detected=papr >= DETECTION_THRESHOLD_PAPR,
+            detected=detected,
             metric=papr,
             cyclic_shift=peak_index,
             complex_macs=macs,
@@ -243,7 +257,12 @@ class FastPrachDetector:
         peak_power = power.max(axis=1)
         with np.errstate(divide="ignore", invalid="ignore"):
             papr = np.where(mean_power > 0.0, peak_power / mean_power, 0.0)
-        return papr >= DETECTION_THRESHOLD_PAPR
+        flags = papr >= DETECTION_THRESHOLD_PAPR
+        tel = _obs_runtime.active()
+        if tel is not None:
+            tel.inc("prach.windows", len(flags))
+            tel.inc("prach.detections", int(flags.sum()))
+        return flags
 
 
 def detection_probability(

@@ -19,7 +19,11 @@ from __future__ import annotations
 
 import heapq
 import itertools
+from time import perf_counter_ns
 from typing import Callable, List, Optional
+
+from repro.obs import runtime as _obs_runtime
+from repro.obs.profile import callback_site
 
 
 class Event:
@@ -58,9 +62,12 @@ class Event:
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
 
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+    def __repr__(self) -> str:
         state = "cancelled" if self._cancelled else "pending"
-        return f"Event(t={self.time:.6f}, seq={self.seq}, {state})"
+        return (
+            f"Event(t={self.time:.6f}, seq={self.seq}, {state}, "
+            f"cb={callback_site(self.callback)})"
+        )
 
 
 class Simulator:
@@ -69,8 +76,16 @@ class Simulator:
     Typical use::
 
         sim = Simulator()
-        sim.schedule(1.0, lambda: print("one second in"))
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(sim.now))
         sim.run(until=10.0)
+
+    When a telemetry sink is active at construction time (see
+    ``repro.obs``), the simulator counts scheduled/fired/cancelled
+    events, attributes per-callback wall-time to the profiler, and --
+    when tracing is enabled -- emits a sim-time trace record for every
+    event lifecycle transition.  With no sink active (the default) the
+    run loop is the original tight loop.
     """
 
     #: Queues smaller than this are never compacted (heapify overhead is
@@ -83,6 +98,9 @@ class Simulator:
         self._now = 0.0
         self._running = False
         self._cancelled_in_queue = [0]
+        # Captured once: instrumentation must not appear mid-run, or two
+        # otherwise-identical simulations could diverge in queue state.
+        self._telemetry = _obs_runtime.active()
 
     @property
     def now(self) -> float:
@@ -101,14 +119,35 @@ class Simulator:
 
         Raises:
             ValueError: if ``delay`` is negative (scheduling into the past
-                would silently reorder causality).
+                would silently reorder causality) or NaN (NaN compares
+                false against everything, which would corrupt the heap
+                invariant and make events fire in arbitrary order).
         """
-        if delay < 0.0:
+        # `not (delay >= 0)` also catches NaN, which `delay < 0` lets through.
+        if not (delay >= 0.0):
+            if delay != delay:
+                raise ValueError(
+                    "cannot schedule at a NaN delay (NaN breaks heap ordering)"
+                )
             raise ValueError(f"cannot schedule into the past (delay={delay!r})")
         event = Event(self._now + delay, next(self._seq), callback)
         event._tally = self._cancelled_in_queue
         heapq.heappush(self._queue, event)
         self._maybe_compact()
+        tel = self._telemetry
+        if tel is not None:
+            tel.inc("sim.events_scheduled")
+            if tel.tracer is not None:
+                tel.event(
+                    "sim.schedule",
+                    cat="sim",
+                    t=self._now,
+                    args={
+                        "seq": event.seq,
+                        "fire_at": event.time,
+                        "cb": callback_site(callback),
+                    },
+                )
         return event
 
     def _maybe_compact(self) -> None:
@@ -118,14 +157,19 @@ class Simulator:
             and 2 * self._cancelled_in_queue[0] > len(self._queue)
         ):
             survivors = []
+            dropped = 0
             for event in self._queue:
                 if event.cancelled:
                     event._tally = None
+                    dropped += 1
                 else:
                     survivors.append(event)
             self._queue = survivors
             heapq.heapify(self._queue)
             self._cancelled_in_queue[0] = 0
+            tel = self._telemetry
+            if tel is not None and dropped:
+                tel.inc("sim.events_cancelled", dropped)
 
     def _pop_event(self) -> Event:
         """Pop the earliest event, maintaining the cancelled-entry count."""
@@ -182,12 +226,22 @@ class Simulator:
             raise RuntimeError("Simulator.run is not re-entrant")
         self._running = True
         try:
-            while self._queue and self._queue[0].time <= until:
-                event = self._pop_event()
-                if event.cancelled:
-                    continue
-                self._now = event.time
-                event.callback()
+            if self._telemetry is None:
+                # The original tight loop: zero telemetry overhead.
+                while self._queue and self._queue[0].time <= until:
+                    event = self._pop_event()
+                    if event.cancelled:
+                        continue
+                    self._now = event.time
+                    event.callback()
+            else:
+                while self._queue and self._queue[0].time <= until:
+                    event = self._pop_event()
+                    if event.cancelled:
+                        self._telemetry.inc("sim.events_cancelled")
+                        continue
+                    self._now = event.time
+                    self._fire_instrumented(event)
             self._now = until
         finally:
             self._running = False
@@ -205,16 +259,52 @@ class Simulator:
             raise RuntimeError("Simulator.run is not re-entrant")
         self._running = True
         try:
-            while self._queue and self._queue[0].time <= max_time:
-                event = self._pop_event()
-                if event.cancelled:
-                    continue
-                self._now = event.time
-                event.callback()
+            if self._telemetry is None:
+                while self._queue and self._queue[0].time <= max_time:
+                    event = self._pop_event()
+                    if event.cancelled:
+                        continue
+                    self._now = event.time
+                    event.callback()
+            else:
+                while self._queue and self._queue[0].time <= max_time:
+                    event = self._pop_event()
+                    if event.cancelled:
+                        self._telemetry.inc("sim.events_cancelled")
+                        continue
+                    self._now = event.time
+                    self._fire_instrumented(event)
             if max_time != float("inf"):
                 self._now = max(self._now, max_time)
         finally:
             self._running = False
+
+    def _fire_instrumented(self, event: Event) -> None:
+        """Fire one event under telemetry: count, profile, trace.
+
+        Wall-time goes to the profiler keyed by the callback's qualified
+        name; the trace record (when tracing) carries sim-time as ``t``
+        and the wall measurement in the strippable ``wall_*`` fields.
+        """
+        tel = self._telemetry
+        tel.set_time(event.time)
+        tel.inc("sim.events_fired")
+        site = callback_site(event.callback)
+        wall0 = perf_counter_ns()
+        event.callback()
+        wall1 = perf_counter_ns()
+        if tel.profiler is not None:
+            tel.profiler.record(site, (wall1 - wall0) / 1e9)
+        if tel.tracer is not None:
+            tel.tracer.complete(
+                site,
+                "sim",
+                event.time,
+                0.0,
+                args={"seq": event.seq},
+                wall_ns=wall0,
+                wall_dur_ns=wall1 - wall0,
+            )
 
     def pending_events(self) -> int:
         """Number of not-yet-cancelled events still queued."""

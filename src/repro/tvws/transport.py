@@ -36,6 +36,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.obs import runtime as _obs_runtime
+from repro.obs.record import EventLog, Record
 from repro.tvws.paws import (
     AvailableSpectrumRequest,
     AvailableSpectrumResponse,
@@ -83,68 +85,31 @@ class TransportReply:
     latency_s: float = 0.0
 
 
-@dataclass(frozen=True)
-class RobustnessEvent:
-    """One structured robustness-log entry.
-
-    Attributes:
-        time: simulation time of the event.
-        source: who reported it (device serial or transport name).
-        kind: event class ("fault-injected", "retry", "backoff",
-            "grace-entered", "grace-exited", "failover", "forced-vacate",
-            ...).
-        detail: human-readable specifics.
-    """
-
-    time: float
-    source: str
-    kind: str
-    detail: str = ""
+#: The robustness log's entry type is the stack-wide common record
+#: (:class:`repro.obs.record.Record`); the historical name is kept so
+#: PR-3 era consumers and tests keep importing it from here.
+RobustnessEvent = Record
 
 
-class RobustnessLog:
+class RobustnessLog(EventLog):
     """Append-only structured log of robustness events.
 
-    Shared between transports and clients so one log tells the whole
-    story of a run; :func:`repro.utils.reportgen.robustness_summary`
-    renders it into the report.
+    A thin subclass of the common :class:`repro.obs.record.EventLog`
+    under the ``robustness`` metric scope: rows, counts and digests are
+    unchanged from PR 3, and when telemetry is active every recorded
+    event additionally shows up as a ``robustness.<kind>`` counter and
+    a trace instant.  Shared between transports and clients so one log
+    tells the whole story of a run;
+    :func:`repro.utils.reportgen.robustness_summary` renders it into
+    the report.
     """
 
-    def __init__(self) -> None:
-        self._events: List[RobustnessEvent] = []
-
-    def record(self, time: float, source: str, kind: str, detail: str = "") -> None:
-        """Append one event."""
-        self._events.append(
-            RobustnessEvent(time=time, source=source, kind=kind, detail=detail)
-        )
+    scope = "robustness"
 
     @property
     def events(self) -> List[RobustnessEvent]:
-        """All events so far (copy)."""
+        """All events so far (copy; historically a list)."""
         return list(self._events)
-
-    def counts(self) -> Dict[str, int]:
-        """Number of events per kind."""
-        tally: Dict[str, int] = {}
-        for event in self._events:
-            tally[event.kind] = tally.get(event.kind, 0) + 1
-        return tally
-
-    def to_rows(self) -> List[Dict[str, object]]:
-        """JSON-able dict rows (for digests, sweep metrics, reports)."""
-        return [
-            {
-                "time": event.time,
-                "source": event.source,
-                "kind": event.kind,
-                "detail": event.detail,
-            }
-            for event in self._events
-        ]
-
-    def __len__(self) -> int:
-        return len(self._events)
 
 
 @dataclass(frozen=True)
@@ -329,6 +294,9 @@ class FaultyTransport(PawsTransport):
         self.fault_log.append((now, method, kind))
         if self.log is not None:
             self.log.record(now, self.name, "fault-injected", f"{method}: {detail}")
+        tel = _obs_runtime.active()
+        if tel is not None:
+            tel.inc(f"paws.fault.{kind}")
 
     def _timeout(self, method: str, kind: str, detail: str, timeout_s: Optional[float]):
         self._inject(method, kind, detail)

@@ -32,6 +32,7 @@ SECTIONS: Tuple[Tuple[str, str], ...] = (
     ("overhead", "Section 6.3.4 — signalling overhead"),
     ("uplink", "Extensions — uplink protection"),
     ("ablations", "Extensions — design ablations"),
+    ("telemetry", "Telemetry — event counts, latency percentiles, profile"),
 )
 
 
@@ -215,26 +216,129 @@ def robustness_summary(rows: Sequence[dict]) -> str:
     )
 
 
+def telemetry_summary(snapshot: dict) -> str:
+    """Render a metrics snapshot (``--metrics-out`` JSON) as report text.
+
+    Four blocks, each skipped when its data is absent: per-scope event
+    counts (counters), histogram percentiles (e.g. hopping rounds, HARQ
+    attempts), PAWS latency percentiles, and the top wall-time profile
+    sites when the snapshot was taken with profiling on.
+    """
+    from repro.obs.metrics import percentile_from_hist
+
+    parts: List[str] = []
+
+    # Sweep --metrics-out snapshots nest the merged per-cell data under
+    # "sweep_cells" (the top level is the mostly-idle parent process);
+    # fold it in so the table shows the cells' counters.
+    nested = snapshot.get("sweep_cells")
+    if nested:
+        from repro.obs.metrics import merge_snapshots
+
+        profile = snapshot.get("profile")
+        snapshot = merge_snapshots(
+            [
+                {k: v for k, v in snapshot.items() if k != "sweep_cells"},
+                nested,
+            ]
+        )
+        if profile:
+            snapshot["profile"] = profile
+
+    counters = snapshot.get("counters", {})
+    if counters:
+        rows = [[name, f"{value:g}"] for name, value in sorted(counters.items())]
+        parts.append(format_table(["counter", "count"], rows,
+                                  title="Telemetry counters"))
+
+    histograms = snapshot.get("histograms", {})
+    if histograms:
+        rows = []
+        for name in sorted(histograms):
+            hist = histograms[name]
+            edges, counts = hist.get("edges", []), hist.get("counts", [])
+            n = int(hist.get("count", 0))
+            mean = hist.get("sum", 0.0) / n if n else 0.0
+            rows.append([
+                name,
+                n,
+                f"{mean:.3g}",
+                f"{percentile_from_hist(edges, counts, 50.0):.3g}",
+                f"{percentile_from_hist(edges, counts, 95.0):.3g}",
+                f"{percentile_from_hist(edges, counts, 99.0):.3g}",
+            ])
+        parts.append(format_table(
+            ["histogram", "n", "mean", "p50", "p95", "p99"], rows,
+            title="Telemetry histograms (percentiles interpolated)",
+        ))
+
+    profile = snapshot.get("profile")
+    if profile:
+        rows = [
+            [site["site"], site["calls"], f"{site['total_s']:.4f}",
+             f"{site['mean_us']:.1f}"]
+            for site in profile[:10]
+        ]
+        parts.append(format_table(
+            ["site", "calls", "total [s]", "mean [us]"], rows,
+            title="Top wall-time callback sites",
+        ))
+
+    if not parts:
+        return format_table(["(empty snapshot)"], [], title="Telemetry")
+    return "\n\n".join(parts)
+
+
+def load_telemetry_snapshot(path: pathlib.Path) -> dict:
+    """Read a ``--metrics-out`` JSON snapshot from disk."""
+    path = pathlib.Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"no telemetry snapshot at {path}")
+    with path.open() as handle:
+        return json.load(handle)
+
+
 def render_sweep_summary(path: pathlib.Path) -> str:
-    """The full aggregation of one sweep log: outcomes plus metric means."""
+    """The full aggregation of one sweep log: outcomes plus metric means.
+
+    When the log was produced by a telemetry-enabled sweep (records
+    carry a ``telemetry`` key), the per-cell snapshots are merged and
+    summarised too.
+    """
     records = load_sweep_records(path)
-    return sweep_outcome_summary(records) + "\n\n" + sweep_metric_table(records)
+    parts = [sweep_outcome_summary(records), sweep_metric_table(records)]
+    snapshots = [
+        r["telemetry"] for r in records if r.get("telemetry") is not None
+    ]
+    if snapshots:
+        from repro.obs import merge_snapshots
+
+        parts.append(telemetry_summary(merge_snapshots(snapshots)))
+    return "\n\n".join(parts)
 
 
 def write_report(
     results_dir: pathlib.Path,
     output_path: Optional[pathlib.Path] = None,
     sweep_logs: Sequence[pathlib.Path] = (),
+    telemetry_files: Sequence[pathlib.Path] = (),
 ) -> pathlib.Path:
     """Collect, render and write the report; returns the output path.
 
     ``sweep_logs`` are JSONL results logs from ``repro.cli sweep``; each
     is aggregated into a ``sweep-<name>`` artefact section.
+    ``telemetry_files`` are ``--metrics-out`` snapshots; each becomes a
+    ``telemetry-<name>`` section of counter/histogram/profile tables.
     """
     artefacts = collect_results(results_dir)
     for log in sweep_logs:
         log = pathlib.Path(log)
         artefacts[f"sweep-{log.stem}"] = render_sweep_summary(log)
+    for snap_path in telemetry_files:
+        snap_path = pathlib.Path(snap_path)
+        artefacts[f"telemetry-{snap_path.stem}"] = telemetry_summary(
+            load_telemetry_snapshot(snap_path)
+        )
     output = output_path or results_dir.parent / "REPORT.md"
     output.write_text(render_report(artefacts) + "\n")
     return output

@@ -1,0 +1,102 @@
+"""End-to-end telemetry through the CLI: flags, files, report section."""
+
+import json
+
+from repro.cli import main
+from repro.obs import active
+from repro.obs.validate import validate_chrome_trace, validate_file
+from repro.utils.reportgen import telemetry_summary
+
+
+class TestRunFlags:
+    def test_traced_fig9a_produces_all_artefacts(self, tmp_path, capsys):
+        trace = tmp_path / "t.json"
+        jsonl = tmp_path / "t.jsonl"
+        metrics = tmp_path / "m.json"
+        rc = main([
+            "fig9a", "--densities", "4", "--seeds", "1", "--epochs", "2",
+            "--trace", str(trace), "--trace-jsonl", str(jsonl),
+            "--metrics-out", str(metrics), "--profile",
+        ])
+        assert rc == 0
+        # (a) a valid Chrome trace_event file.
+        payload = json.loads(trace.read_text())
+        assert validate_chrome_trace(payload) > 0
+        assert validate_file(jsonl) > 0
+        # (b) metrics snapshot covering the instrumented subsystems,
+        # with series points keyed by sim-time.
+        snap = json.loads(metrics.read_text())
+        scopes = {key.split(".")[0] for key in snap["counters"]}
+        assert {"scheduler", "harq", "cqi", "prach", "hopping", "lte", "sim"} \
+            <= scopes
+        assert snap["series"] and all("t" in point for point in snap["series"])
+        # (c) the profile table of top wall-time callback sites.
+        out = capsys.readouterr().out
+        assert "top 10 wall-time sites" in out or "Profile" in out
+
+    def test_db_outage_covers_paws_scope(self, tmp_path):
+        metrics = tmp_path / "m.json"
+        main([
+            "db-outage", "--seed", "1", "--outages", "60:30",
+            "--timeout-prob", "0.1", "--metrics-out", str(metrics),
+        ])
+        snap = json.loads(metrics.read_text())
+        scopes = {key.split(".")[0] for key in snap["counters"]}
+        assert "paws" in scopes
+        assert "robustness" in scopes
+        assert "paws.latency_s" in snap["histograms"]
+
+    def test_runtime_deactivated_after_run(self, tmp_path):
+        main([
+            "fig6", "--metrics-out", str(tmp_path / "m.json"),
+        ])
+        assert active() is None
+
+    def test_no_flags_means_no_telemetry_files(self, tmp_path, capsys):
+        rc = main(["fig6"])
+        assert rc == 0
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestSweepFlags:
+    def test_sweep_embeds_and_merges_cell_telemetry(self, tmp_path):
+        out = tmp_path / "cells.jsonl"
+        metrics = tmp_path / "m.json"
+        rc = main([
+            "sweep", "convergence", "--sizes", "8", "--replications", "1",
+            "--jobs", "0", "--out", str(out), "--metrics-out", str(metrics),
+        ])
+        assert rc == 0
+        logged = [json.loads(line) for line in out.read_text().splitlines()]
+        assert all("telemetry" in row for row in logged)
+        snap = json.loads(metrics.read_text())
+        assert snap["sweep_cells"]["cells"] == len(logged)
+
+
+class TestReportSection:
+    def test_snapshot_renders_tables(self, tmp_path):
+        metrics = tmp_path / "m.json"
+        main([
+            "db-outage", "--seed", "1", "--outages", "60:30",
+            "--timeout-prob", "0.1", "--metrics-out", str(metrics),
+        ])
+        text = telemetry_summary(json.loads(metrics.read_text()))
+        assert "Telemetry counters" in text
+        assert "paws.requests" in text
+        assert "p95" in text
+
+    def test_report_cli_includes_telemetry_section(self, tmp_path):
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "fig1.txt").write_text("stub")
+        metrics = tmp_path / "m.json"
+        main([
+            "fig6", "--metrics-out", str(metrics),
+        ])
+        rc = main([
+            "report", "--results-dir", str(results),
+            "--telemetry", str(metrics),
+        ])
+        assert rc == 0
+        report = (tmp_path / "REPORT.md").read_text()
+        assert "telemetry-m" in report

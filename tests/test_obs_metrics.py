@@ -1,0 +1,138 @@
+"""Metrics registry: counters, gauges, fixed-bucket histograms, series."""
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_EDGES,
+    MetricsRegistry,
+    merge_snapshots,
+    percentile_from_hist,
+)
+
+
+class TestCounterGauge:
+    def test_counter_starts_at_zero_and_accumulates(self):
+        reg = MetricsRegistry()
+        counter = reg.counter("sim.events")
+        assert counter.value == 0.0
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_same_name_returns_same_counter(self):
+        reg = MetricsRegistry()
+        reg.counter("x").inc()
+        reg.counter("x").inc()
+        assert reg.counter("x").value == 2.0
+
+    def test_gauge_keeps_last_value(self):
+        reg = MetricsRegistry()
+        reg.gauge("load").set(0.3)
+        reg.gauge("load").set(0.9)
+        assert reg.gauge("load").value == 0.9
+
+
+class TestHistogram:
+    def test_observe_lands_in_correct_bucket(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("lat", edges=(1.0, 2.0, 4.0))
+        hist.observe(0.5)   # <= 1.0
+        hist.observe(1.5)   # <= 2.0
+        hist.observe(3.0)   # <= 4.0
+        hist.observe(100.0)  # overflow
+        assert list(hist.counts) == [1, 1, 1, 1]
+        assert hist.count == 4
+
+    def test_boundary_value_goes_to_lower_bucket(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("h", edges=(1.0, 2.0))
+        hist.observe(1.0)
+        assert list(hist.counts) == [1, 0, 0]
+
+    def test_unsorted_edges_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.histogram("bad", edges=(2.0, 1.0))
+
+    def test_percentile_empty_histogram_is_zero(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("h", edges=(1.0, 2.0))
+        assert hist.percentile(50.0) == 0.0
+
+    def test_percentile_interpolates_within_bucket(self):
+        # 100 observations uniformly counted in the (0, 10] bucket:
+        # the median interpolates to the bucket midpoint.
+        p = percentile_from_hist([10.0], [100, 0], 50.0)
+        assert p == pytest.approx(5.0, abs=0.2)
+
+    def test_percentile_monotone_in_q(self):
+        edges = [1.0, 2.0, 4.0, 8.0]
+        counts = [5, 10, 3, 1, 0]
+        values = [percentile_from_hist(edges, counts, q) for q in (10, 50, 90, 99)]
+        assert values == sorted(values)
+
+
+class TestSeriesAndSnapshot:
+    def test_tick_appends_series_point(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.tick(1.0)
+        reg.counter("c").inc()
+        reg.tick(2.0)
+        snap = reg.snapshot()
+        assert [pt["t"] for pt in snap["series"]] == [1.0, 2.0]
+        assert snap["series"][0]["counters"]["c"] == 1.0
+        assert snap["series"][1]["counters"]["c"] == 2.0
+
+    def test_same_time_tick_overwrites(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.tick(1.0)
+        reg.counter("c").inc()
+        reg.tick(1.0)
+        snap = reg.snapshot()
+        assert len(snap["series"]) == 1
+        assert snap["series"][0]["counters"]["c"] == 2.0
+
+    def test_snapshot_keys_sorted_for_determinism(self):
+        reg = MetricsRegistry()
+        for name in ("zeta", "alpha", "mid"):
+            reg.counter(name).inc()
+        snap = reg.snapshot()
+        assert list(snap["counters"]) == sorted(snap["counters"])
+
+    def test_default_edges_are_sorted(self):
+        assert list(DEFAULT_EDGES) == sorted(DEFAULT_EDGES)
+
+
+class TestScope:
+    def test_scope_prefixes_names(self):
+        reg = MetricsRegistry()
+        scope = reg.scope("harq")
+        scope.counter("blocks").inc()
+        assert reg.counter("harq.blocks").value == 1.0
+
+
+class TestMergeSnapshots:
+    def _snap(self, n):
+        reg = MetricsRegistry()
+        reg.counter("events").inc(n)
+        reg.gauge("load").set(n)
+        reg.histogram("lat", edges=(1.0, 2.0)).observe(n)
+        return reg.snapshot()
+
+    def test_counters_add_and_gauges_keep_last(self):
+        merged = merge_snapshots([self._snap(1), self._snap(2)])
+        assert merged["cells"] == 2
+        assert merged["counters"]["events"] == 3.0
+        assert merged["gauges"]["load"] == 2.0
+
+    def test_histogram_buckets_add(self):
+        merged = merge_snapshots([self._snap(0.5), self._snap(1.5)])
+        hist = merged["histograms"]["lat"]
+        assert hist["counts"] == [1, 1, 0]
+        assert hist["count"] == 2
+
+    def test_empty_snapshots_skipped(self):
+        merged = merge_snapshots([None, {}, self._snap(1)])
+        assert merged["cells"] == 1

@@ -1,0 +1,253 @@
+"""Telemetry facade, runtime activation, engine integration, EventLog."""
+
+import ast
+import functools
+import pathlib
+
+from repro.obs import (
+    EventLog,
+    Record,
+    Telemetry,
+    activated,
+    active,
+    callback_site,
+    disable,
+    enable,
+)
+from repro.sim.engine import Simulator
+
+SRC_ROOT = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+class TestRuntime:
+    def teardown_method(self):
+        disable()
+
+    def test_inactive_by_default(self):
+        assert active() is None
+
+    def test_enable_disable(self):
+        tel = Telemetry()
+        enable(tel)
+        assert active() is tel
+        disable()
+        assert active() is None
+
+    def test_activated_restores_previous(self):
+        outer, inner = Telemetry(), Telemetry()
+        with activated(outer):
+            with activated(inner):
+                assert active() is inner
+            assert active() is outer
+        assert active() is None
+
+    def test_activated_restores_on_exception(self):
+        tel = Telemetry()
+        try:
+            with activated(tel):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert active() is None
+
+
+class TestTelemetryFacade:
+    def test_counters_gauges_histograms(self):
+        tel = Telemetry()
+        tel.inc("a.events")
+        tel.inc("a.events", 2)
+        tel.gauge("a.load", 0.5)
+        tel.observe("a.lat", 0.02, edges=(0.01, 0.1, 1.0))
+        snap = tel.snapshot()
+        assert snap["counters"]["a.events"] == 3.0
+        assert snap["gauges"]["a.load"] == 0.5
+        assert snap["histograms"]["a.lat"]["count"] == 1
+
+    def test_event_is_noop_without_tracer(self):
+        tel = Telemetry(trace=False)
+        tel.event("x", cat="sim")  # must not raise
+        assert tel.tracer is None
+
+    def test_span_records_sim_and_wall_time(self):
+        tel = Telemetry(trace=True, profile=True)
+        tel.set_time(10.0)
+        with tel.span("work", cat="sim"):
+            tel.set_time(12.5)
+        record = tel.tracer.records[0]
+        assert record.t == 10.0
+        assert record.dur == 2.5
+        assert record.wall_dur_ns >= 0
+        sites = {row["site"] for row in tel.profiler.rows()}
+        assert "work" in sites
+
+    def test_snapshot_profile_opt_in(self):
+        tel = Telemetry(profile=True)
+        with tel.span("s"):
+            pass
+        assert "profile" not in tel.snapshot()
+        assert "profile" in tel.snapshot(include_profile=True)
+
+    def test_tick_uses_clock_by_default(self):
+        tel = Telemetry()
+        tel.inc("c")
+        tel.set_time(7.0)
+        tel.tick()
+        assert tel.snapshot()["series"][0]["t"] == 7.0
+
+
+class TestCallbackSite:
+    def test_plain_function(self):
+        def cb():
+            pass
+
+        site = callback_site(cb)
+        assert site.endswith("test_plain_function.<locals>.cb")
+
+    def test_partial_unwrapped(self):
+        def cb(x):
+            pass
+
+        assert "cb" in callback_site(functools.partial(cb, 1))
+
+    def test_bound_method(self):
+        class Thing:
+            def go(self):
+                pass
+
+        assert "Thing.go" in callback_site(Thing().go)
+
+    def test_non_function_falls_back_to_repr(self):
+        class Weird:
+            def __call__(self):
+                pass
+
+        assert callback_site(Weird())  # non-empty, no crash
+
+
+class TestEngineIntegration:
+    def teardown_method(self):
+        disable()
+
+    def test_event_lifecycle_counters(self):
+        tel = Telemetry()
+        with activated(tel):
+            sim = Simulator()
+            sim.schedule(1.0, lambda: None)
+            victim = sim.schedule(2.0, lambda: None)
+            victim.cancel()
+            sim.run(until=3.0)
+        counters = tel.snapshot()["counters"]
+        assert counters["sim.events_scheduled"] == 2.0
+        assert counters["sim.events_fired"] == 1.0
+        assert counters["sim.events_cancelled"] == 1.0
+
+    def test_fired_callbacks_are_traced_at_sim_time(self):
+        tel = Telemetry(trace=True)
+        with activated(tel):
+            sim = Simulator()
+            sim.schedule(1.5, lambda: None)
+            sim.run(until=2.0)
+        fired = [r for r in tel.tracer.records if r.ph == "X"]
+        assert fired and fired[0].t == 1.5
+        assert tel.now == 1.5
+
+    def test_profiler_attributes_wall_time_to_sites(self):
+        tel = Telemetry(profile=True)
+
+        def busy():
+            sum(range(1000))
+
+        with activated(tel):
+            sim = Simulator()
+            sim.schedule(1.0, busy)
+            sim.run(until=2.0)
+        sites = {row["site"] for row in tel.profiler.rows()}
+        assert any("busy" in site for site in sites)
+
+    def test_telemetry_captured_at_init(self):
+        # Enabling telemetry after the Simulator is built must not
+        # change its run loop mid-flight (determinism guarantee).
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        tel = Telemetry()
+        with activated(tel):
+            sim.run(until=2.0)
+        assert tel.snapshot()["counters"] == {}
+
+    def test_results_identical_with_and_without_telemetry(self):
+        def run():
+            sim = Simulator()
+            seen = []
+            sim.schedule_every(0.5, lambda: seen.append(sim.now))
+            sim.run(until=5.0)
+            return seen
+
+        bare = run()
+        with activated(Telemetry(trace=True, profile=True)):
+            instrumented = run()
+        assert bare == instrumented
+
+
+class TestEventLog:
+    def teardown_method(self):
+        disable()
+
+    def test_record_row_shape(self):
+        log = EventLog()
+        log.record(1.0, "ap0", "hop", "ch 3 -> 5")
+        assert log.to_rows() == [
+            {"time": 1.0, "source": "ap0", "kind": "hop", "detail": "ch 3 -> 5"}
+        ]
+
+    def test_counts_sorted_by_kind(self):
+        log = EventLog()
+        log.record(1.0, "x", "b")
+        log.record(2.0, "x", "a")
+        log.record(3.0, "x", "a")
+        assert log.counts() == {"a": 2, "b": 1}
+
+    def test_mirrors_into_active_telemetry(self):
+        tel = Telemetry(trace=True)
+        log = EventLog()
+        with activated(tel):
+            log.record(4.0, "ap1", "retry", "attempt 2")
+        counters = tel.snapshot()["counters"]
+        assert counters["events.retry"] == 1.0
+        assert tel.tracer.records[0].t == 4.0
+
+    def test_records_are_immutable(self):
+        record = Record(1.0, "s", "k")
+        try:
+            record.time = 2.0
+            raised = False
+        except AttributeError:
+            raised = True
+        assert raised
+
+
+def _print_calls(path):
+    tree = ast.parse(path.read_text())
+    return [
+        node.lineno
+        for node in ast.walk(tree)
+        if isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "print"
+    ]
+
+
+class TestNoStrayPrints:
+    #: Modules allowed to print: the CLI itself, and the trace validator
+    #: (a ``python -m`` entry point used by make trace-smoke).
+    ALLOWED = {"cli.py", str(pathlib.Path("obs") / "validate.py")}
+
+    def test_only_cli_and_validator_print(self):
+        offenders = {}
+        for path in sorted(SRC_ROOT.rglob("*.py")):
+            rel = str(path.relative_to(SRC_ROOT))
+            if rel in self.ALLOWED:
+                continue
+            lines = _print_calls(path)
+            if lines:
+                offenders[rel] = lines
+        assert offenders == {}, f"print() outside the CLI: {offenders}"

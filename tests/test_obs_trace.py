@@ -1,0 +1,130 @@
+"""Tracer exports: JSONL rows, Chrome trace_event JSON, validation."""
+
+import json
+
+import pytest
+
+from repro.obs import Tracer, strip_wall
+from repro.obs.trace import jsonl_without_wall, load_jsonl
+from repro.obs.validate import (
+    TraceValidationError,
+    validate_chrome_trace,
+    validate_file,
+    validate_jsonl_row,
+)
+
+
+def _sample_tracer():
+    tracer = Tracer()
+    tracer.instant("sim.schedule", cat="sim", t=0.0, wall_ns=111)
+    tracer.complete(
+        "scheduler.allocate", cat="scheduler", t=1.0, dur=0.5,
+        args={"clients": 3}, wall_ns=222, wall_dur_ns=333,
+    )
+    tracer.instant("cqi.drop_detected", cat="cqi", t=2.0)
+    return tracer
+
+
+class TestJsonl:
+    def test_one_compact_line_per_record(self):
+        text = _sample_tracer().to_jsonl()
+        lines = text.strip().split("\n")
+        assert len(lines) == 3
+        rows = [json.loads(line) for line in lines]
+        assert rows[0]["name"] == "sim.schedule"
+        assert rows[1]["dur"] == 0.5
+        assert rows[1]["args"] == {"clients": 3}
+
+    def test_strip_wall_removes_only_wall_fields(self):
+        row = json.loads(_sample_tracer().to_jsonl().split("\n")[1])
+        stripped = strip_wall(row)
+        assert "wall_ns" not in stripped
+        assert "wall_dur_ns" not in stripped
+        assert stripped["name"] == "scheduler.allocate"
+
+    def test_wall_fields_vary_but_rest_is_stable(self):
+        a = jsonl_without_wall([json.loads(l) for l in
+                                _sample_tracer().to_jsonl().strip().split("\n")])
+        b = jsonl_without_wall([json.loads(l) for l in
+                                _sample_tracer().to_jsonl().strip().split("\n")])
+        assert a == b
+
+    def test_round_trip_through_file(self, tmp_path):
+        tracer = _sample_tracer()
+        path = tmp_path / "trace.jsonl"
+        tracer.write_jsonl(str(path))
+        rows = load_jsonl(str(path))
+        assert len(rows) == 3
+        assert rows[2]["t"] == 2.0
+
+
+class TestChromeTrace:
+    def test_sim_time_becomes_microseconds(self):
+        payload = _sample_tracer().chrome_trace()
+        spans = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        assert spans[0]["ts"] == 1.0 * 1e6
+        assert spans[0]["dur"] == 0.5 * 1e6
+
+    def test_each_category_gets_named_thread(self):
+        payload = _sample_tracer().chrome_trace()
+        meta = [e for e in payload["traceEvents"] if e["ph"] == "M"]
+        names = {e["args"]["name"] for e in meta}
+        assert names == {"sim", "scheduler", "cqi"}
+        tids = {e["tid"] for e in meta}
+        assert len(tids) == len(meta)
+
+    def test_wall_time_preserved_in_args(self):
+        payload = _sample_tracer().chrome_trace()
+        span = next(e for e in payload["traceEvents"] if e["ph"] == "X")
+        assert span["args"]["wall_us"] == pytest.approx(0.333)
+
+    def test_instants_carry_thread_scope(self):
+        payload = _sample_tracer().chrome_trace()
+        instant = next(e for e in payload["traceEvents"] if e["ph"] == "i")
+        assert instant["s"] == "t"
+
+
+class TestValidation:
+    def test_valid_chrome_trace_passes(self):
+        count = validate_chrome_trace(_sample_tracer().chrome_trace())
+        assert count == 6  # 3 records + 3 thread-name metadata
+
+    def test_valid_files_pass(self, tmp_path):
+        tracer = _sample_tracer()
+        chrome = tmp_path / "trace.json"
+        jsonl = tmp_path / "trace.jsonl"
+        tracer.write_chrome(str(chrome))
+        tracer.write_jsonl(str(jsonl))
+        assert validate_file(str(chrome)) == 6
+        assert validate_file(str(jsonl)) == 3
+
+    def test_missing_trace_events_key_rejected(self):
+        with pytest.raises(TraceValidationError):
+            validate_chrome_trace({"events": []})
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(TraceValidationError):
+            validate_chrome_trace({"traceEvents": []})
+
+    def test_unknown_phase_rejected(self):
+        payload = _sample_tracer().chrome_trace()
+        payload["traceEvents"][-1]["ph"] = "Z"
+        with pytest.raises(TraceValidationError):
+            validate_chrome_trace(payload)
+
+    def test_span_without_dur_rejected(self):
+        payload = _sample_tracer().chrome_trace()
+        span = next(e for e in payload["traceEvents"] if e["ph"] == "X")
+        del span["dur"]
+        with pytest.raises(TraceValidationError):
+            validate_chrome_trace(payload)
+
+    def test_jsonl_row_requires_time(self):
+        with pytest.raises(TraceValidationError):
+            validate_jsonl_row({"name": "x", "cat": "sim", "ph": "i"}, 0)
+
+    def test_malformed_jsonl_file_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"name": "x"\n')
+        with pytest.raises(TraceValidationError):
+            validate_file(str(path))

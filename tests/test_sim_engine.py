@@ -252,3 +252,43 @@ class TestLazyDeletionBounds:
         event.cancel()  # Late cancel of an already-fired event.
         assert sim.pending_events() == 0
         assert sim.queue_size() == 0
+
+
+class TestScheduleGuards:
+    def test_nan_delay_raises_with_clear_message(self):
+        with pytest.raises(ValueError, match="NaN"):
+            Simulator().schedule(float("nan"), lambda: None)
+
+    def test_negative_delay_message_mentions_past(self):
+        with pytest.raises(ValueError, match="past"):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_nan_schedule_at_raises(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule_at(float("nan"), lambda: None)
+
+
+class TestEventRepr:
+    def test_repr_shows_callback_site_and_pending_state(self):
+        sim = Simulator()
+
+        def my_callback():
+            pass
+
+        event = sim.schedule(1.5, my_callback)
+        text = repr(event)
+        assert "my_callback" in text
+        assert "pending" in text
+        assert "t=1.500000" in text
+
+    def test_repr_shows_cancelled_state(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        event.cancel()
+        assert "cancelled" in repr(event)
+
+    def test_repr_shows_fired_state(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.run(until=2.0)
+        assert "fired" in repr(event)

@@ -1,0 +1,109 @@
+"""Telemetry must never perturb results and must itself be deterministic.
+
+Three guarantees, each load-bearing for reproducibility claims:
+
+* identical seeds produce byte-identical metrics snapshots and trace
+  JSONL (modulo the wall-clock fields);
+* sweep-embedded telemetry snapshots are identical at any ``--jobs``
+  level (cell-local collection, no cross-worker state);
+* enabling telemetry leaves the simulation's own outputs bit-identical.
+"""
+
+import json
+
+from repro.experiments.db_outage import run_db_outage
+from repro.experiments.large_scale import fig9a_sweep_spec
+from repro.experiments.sweep import canonical_json, run_sweep
+from repro.obs import Telemetry, activated, disable
+from repro.obs.trace import jsonl_without_wall
+
+
+def teardown_module(module):
+    disable()
+
+
+def _traced_outage():
+    tel = Telemetry(trace=True)
+    with activated(tel):
+        result = run_db_outage(seed=7, outages=[(60.0, 30.0)], timeout_prob=0.1)
+    return tel, result
+
+
+def _tiny_spec():
+    return fig9a_sweep_spec(
+        densities=(4,), seeds=(1,), techs=("LTE",), clients_per_ap=2, epochs=2
+    )
+
+
+class TestRunDeterminism:
+    def test_metrics_snapshots_byte_identical(self):
+        tel_a, _ = _traced_outage()
+        tel_b, _ = _traced_outage()
+        assert canonical_json(tel_a.snapshot()) == canonical_json(tel_b.snapshot())
+
+    def test_trace_jsonl_identical_modulo_wall(self):
+        tel_a, _ = _traced_outage()
+        tel_b, _ = _traced_outage()
+        rows_a = [json.loads(l) for l in tel_a.tracer.to_jsonl().strip().split("\n")]
+        rows_b = [json.loads(l) for l in tel_b.tracer.to_jsonl().strip().split("\n")]
+        assert jsonl_without_wall(rows_a) == jsonl_without_wall(rows_b)
+
+    def test_wall_free_export_is_directly_identical(self):
+        tel_a, _ = _traced_outage()
+        tel_b, _ = _traced_outage()
+        assert (
+            tel_a.tracer.to_jsonl(include_wall=False)
+            == tel_b.tracer.to_jsonl(include_wall=False)
+        )
+
+
+class TestTelemetryDoesNotPerturb:
+    def test_db_outage_digest_bit_identical_under_telemetry(self):
+        bare = run_db_outage(seed=3, outages=[(60.0, 30.0)], timeout_prob=0.2)
+        with activated(Telemetry(trace=True, profile=True)):
+            traced = run_db_outage(seed=3, outages=[(60.0, 30.0)], timeout_prob=0.2)
+        assert traced.digest == bare.digest
+        assert traced.timeline == bare.timeline
+
+    def test_sweep_metrics_unchanged_by_collection(self):
+        plain = run_sweep(_tiny_spec(), jobs=0)
+        collected = run_sweep(_tiny_spec(), jobs=0, collect_telemetry=True)
+        assert [r.metrics for r in plain.records] == [
+            r.metrics for r in collected.records
+        ]
+        assert all(r.telemetry is None for r in plain.records)
+        assert all(r.telemetry is not None for r in collected.records)
+
+
+class TestSweepJobsInvariance:
+    def test_snapshots_identical_inline_vs_two_workers(self, tmp_path):
+        inline = run_sweep(_tiny_spec(), jobs=0, collect_telemetry=True)
+        pooled = run_sweep(_tiny_spec(), jobs=2, collect_telemetry=True)
+        snaps_inline = [canonical_json(r.telemetry) for r in inline.records]
+        snaps_pooled = [canonical_json(r.telemetry) for r in pooled.records]
+        assert snaps_inline == snaps_pooled
+        # The instrumented scopes actually showed up in the cells.
+        counters = inline.records[0].telemetry["counters"]
+        assert any(k.startswith("scheduler.") for k in counters)
+        assert any(k.startswith("lte.") for k in counters)
+
+    def test_telemetry_survives_log_round_trip(self, tmp_path):
+        out = tmp_path / "cells.jsonl"
+        first = run_sweep(
+            _tiny_spec(), jobs=0, collect_telemetry=True, out_path=out
+        )
+        logged = [json.loads(line) for line in out.read_text().splitlines()]
+        assert logged[0]["telemetry"] == first.records[0].telemetry
+        # Resume reuses the cached cell, telemetry included.
+        resumed = run_sweep(
+            _tiny_spec(), jobs=0, collect_telemetry=True, out_path=out,
+            resume=True,
+        )
+        assert resumed.reused == len(resumed.records)
+        assert resumed.records[0].telemetry == first.records[0].telemetry
+
+    def test_plain_sweep_log_has_no_telemetry_key(self, tmp_path):
+        out = tmp_path / "plain.jsonl"
+        run_sweep(_tiny_spec(), jobs=0, out_path=out)
+        logged = [json.loads(line) for line in out.read_text().splitlines()]
+        assert all("telemetry" not in row for row in logged)
