@@ -1,11 +1,41 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-full bench-obs sweep-smoke faults-smoke trace-smoke
+.PHONY: test coverage checkpoint-smoke bench bench-full bench-obs sweep-smoke faults-smoke trace-smoke
 
 # Tier-1 test suite (must stay green).
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Tier-1 suite under coverage: terminal summary plus coverage.xml (the CI
+# artifact).  Gated on pytest-cov so machines without the plugin still get
+# a meaningful (plain) run instead of a usage error.
+coverage:
+	@if $(PYTHON) -c "import pytest_cov" 2>/dev/null; then \
+		$(PYTHON) -m pytest -q --cov=repro --cov-report=term --cov-report=xml; \
+	else \
+		echo "pytest-cov not installed; running the plain suite instead"; \
+		$(PYTHON) -m pytest -q; \
+	fi
+
+# Checkpoint/restore smoke: halt a checkpointed outage run mid-flight,
+# resume from the newest snapshot, and require the resumed run digest to
+# be byte-identical to the same scenario run straight through.  Then the
+# divergence replayer must pinpoint a deliberately injected mutation.
+checkpoint-smoke:
+	rm -rf ckpt-smoke ckpt-resumed.txt ckpt-straight.txt
+	$(PYTHON) -m repro.cli db-outage --seed 3 --timeout-prob 0.05 \
+		--drop-prob 0.05 --checkpoint-dir ckpt-smoke \
+		--checkpoint-every 60 --halt-at 250
+	$(PYTHON) -m repro.cli db-outage \
+		--restore-from "$$(ls ckpt-smoke/ckpt_*.json | sort | tail -n 1)" \
+		| grep "run digest" | tee ckpt-resumed.txt
+	$(PYTHON) -m repro.cli db-outage --seed 3 --timeout-prob 0.05 \
+		--drop-prob 0.05 | grep "run digest" | tee ckpt-straight.txt
+	cmp ckpt-resumed.txt ckpt-straight.txt
+	$(PYTHON) -m repro.cli replay-diff \
+		"$$(ls ckpt-smoke/ckpt_*.json | sort | head -n 1)" \
+		--mutate selector.poll_interval_s=9.0 --max-events 5000
 
 # 2-cell sweep through the multiprocessing runner (the CI smoke test).
 sweep-smoke:

@@ -173,7 +173,17 @@ def _cmd_db_outage(args: argparse.Namespace) -> int:
         poll_interval_s=args.poll_interval,
         withdraw_in_outage=args.withdraw_in_outage,
         secondary=args.secondary,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every=args.checkpoint_every,
+        restore_from=args.restore_from,
+        halt_at=args.halt_at,
     )
+    if result is None:
+        # Halted before the measurement window closed; the final snapshot
+        # (written just before the halt) is the handoff to --restore-from.
+        where = args.checkpoint_dir or "(no --checkpoint-dir: state discarded)"
+        print(f"halted at t={args.halt_at:.1f}s; snapshots in {where}")
+        return 0
     rows = [[f"{t:8.1f}", event] for t, event in result.timeline]
     shown = rows if args.full_timeline else rows[:40]
     print(format_table(["t [s]", "event"], shown,
@@ -192,6 +202,23 @@ def _cmd_db_outage(args: argparse.Namespace) -> int:
           f"({len(result.violations)} violation(s))")
     print(f"run digest         : {result.digest}")
     return 0 if result.compliant else 1
+
+
+def _cmd_replay_diff(args: argparse.Namespace) -> int:
+    from repro.sim.replay import replay_diff
+
+    report = replay_diff(
+        args.snapshot,
+        mutations=args.mutate,
+        stride=args.stride,
+        max_events=args.max_events,
+    )
+    print(report.describe())
+    # Divergence is the *expected* outcome when mutations were injected,
+    # and a defect when they were not -- exit status says which happened.
+    if args.mutate:
+        return 0 if report.diverged else 1
+    return 1 if report.diverged else 0
 
 
 def _cmd_fig9a(args: argparse.Namespace) -> int:
@@ -390,6 +417,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         out_path=args.out,
         resume=args.resume,
         collect_telemetry=tel is not None,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every=args.checkpoint_every,
     )
     if tel is not None:
         # Fold worker-side snapshots into the run-level outputs: merged
@@ -495,6 +524,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="add a reliable secondary database endpoint (failover)",
     )
     p.add_argument("--full-timeline", action="store_true")
+    p.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="write periodic ckpt_*.json snapshots into this directory",
+    )
+    p.add_argument(
+        "--checkpoint-every",
+        type=float,
+        default=None,
+        help="snapshot period in simulation seconds (needs --checkpoint-dir)",
+    )
+    p.add_argument(
+        "--restore-from",
+        default=None,
+        help="resume from a snapshot file (scenario flags are then ignored)",
+    )
+    p.add_argument(
+        "--halt-at",
+        type=float,
+        default=None,
+        help="stop at this simulation time (with a final snapshot) and exit",
+    )
     _add_telemetry_flags(p)
     p.set_defaults(fn=_cmd_db_outage)
 
@@ -586,8 +637,46 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--outage-durations", type=float, nargs="+", default=None)
     p.add_argument("--withdraw", action="store_true")
     p.add_argument("--secondary", action="store_true")
+    p.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="per-cell snapshot root; retried cells resume mid-run",
+    )
+    p.add_argument(
+        "--checkpoint-every",
+        type=float,
+        default=None,
+        help="snapshot period (driver units: sim seconds / epochs / reps)",
+    )
     _add_telemetry_flags(p)
     p.set_defaults(fn=_cmd_sweep)
+
+    p = sub.add_parser(
+        "replay-diff",
+        help="restore two runs from one snapshot and bisect their divergence",
+    )
+    p.add_argument("snapshot", help="a ckpt_*.json written by --checkpoint-dir")
+    p.add_argument(
+        "--mutate",
+        action="append",
+        default=[],
+        metavar="NAME.KEY=JSON",
+        help="edit run B's serialized state before restoring "
+        "(e.g. driver.held=41); repeatable",
+    )
+    p.add_argument(
+        "--stride",
+        type=int,
+        default=32,
+        help="events between full state-hash comparisons",
+    )
+    p.add_argument(
+        "--max-events",
+        type=int,
+        default=200_000,
+        help="give up declaring 'no divergence' after this many events",
+    )
+    p.set_defaults(fn=_cmd_replay_diff)
 
     return parser
 

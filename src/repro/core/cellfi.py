@@ -10,8 +10,9 @@ because LTE uplink is grant-based -- no explicit signalling needed.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.core.channel_selection import ChannelSelector, OccupancyProbe
 from repro.lte.enb import EnodeB
@@ -19,6 +20,7 @@ from repro.lte.rrc import ReacquisitionTiming
 from repro.lte.scheduler import ProportionalFairScheduler
 from repro.lte.ue import UserEquipment
 from repro.phy.resource_grid import ResourceGrid
+from repro.sim.checkpoint import BoundCall
 from repro.sim.engine import Event, Simulator
 from repro.tvws.paws import DeviceDescriptor, GeoLocation, PawsServer, SpectrumSpec
 from repro.tvws.regulatory import EtsiComplianceRules
@@ -76,8 +78,14 @@ class CellFiAccessPoint:
         self.carrier_bandwidth_hz = carrier_bandwidth_hz
         self.timing = timing or ReacquisitionTiming()
         self.compliance = compliance
+        # PCI derived from the serial with a stable hash: ``hash(str)`` is
+        # randomized per process, which would break cross-process
+        # checkpoint digests.
+        pci = int.from_bytes(
+            hashlib.sha256(serial.encode()).digest()[:4], "little"
+        ) % 504
         self.enb = EnodeB(
-            cell_id=abs(hash(serial)) % 504,  # PCI range.
+            cell_id=pci,
             node=_Position(x, y),
             scheduler=ProportionalFairScheduler(),
         )
@@ -100,6 +108,8 @@ class CellFiAccessPoint:
         self.robustness = self.selector.robustness
         self.clients: List[UserEquipment] = []
         self._pending_start: Optional[Event] = None
+        # Event seq stashed by load_state until link_events re-binds it.
+        self._pending_start_seq: Optional[int] = None
         self._ever_started = False
         #: (time, event) pairs for timeline reconstruction.
         self.timeline: List[Tuple[float, str]] = []
@@ -131,31 +141,33 @@ class CellFiAccessPoint:
 
     def _on_channel_granted(self, channel: int, spec: SpectrumSpec) -> None:
         """Bring the radio up after the (re)configuration reboot."""
-        delay = self.timing.ap_reboot_s if self._ever_started else self.timing.ap_reboot_s
+        delay = self.timing.ap_reboot_s
         self._log(f"reboot-begin channel={channel}")
-
-        def radio_up() -> None:
-            self._pending_start = None
-            grid = ResourceGrid(self.carrier_bandwidth_hz)
-            center = (spec.low_hz + spec.high_hz) / 2.0
-            # Snap to the 100 kHz EARFCN raster.
-            center = round(center / 1e5) * 1e5
-            self.enb.start_radio(center, grid, max_ue_power_dbm=20.0)
-            self._ever_started = True
-            if self.compliance is not None:
-                self.compliance.transmission_started(
-                    self.device.serial_number,
-                    self.sim.now,
-                    eirp_dbm=min(spec.max_eirp_dbm, 36.0),
-                    max_eirp_dbm=spec.max_eirp_dbm,
-                )
-            self._log("radio-on")
-            for ue in self.clients:
-                self._schedule_attach(ue)
-
         if self._pending_start is not None:
             self._pending_start.cancel()
-        self._pending_start = self.sim.schedule(delay, radio_up)
+        self._pending_start = self.sim.schedule(
+            delay, BoundCall(self, "_radio_up", spec)
+        )
+
+    def _radio_up(self, spec: SpectrumSpec) -> None:
+        """Reboot finished: configure the carrier and start transmitting."""
+        self._pending_start = None
+        grid = ResourceGrid(self.carrier_bandwidth_hz)
+        center = (spec.low_hz + spec.high_hz) / 2.0
+        # Snap to the 100 kHz EARFCN raster.
+        center = round(center / 1e5) * 1e5
+        self.enb.start_radio(center, grid, max_ue_power_dbm=20.0)
+        self._ever_started = True
+        if self.compliance is not None:
+            self.compliance.transmission_started(
+                self.device.serial_number,
+                self.sim.now,
+                eirp_dbm=min(spec.max_eirp_dbm, 36.0),
+                max_eirp_dbm=spec.max_eirp_dbm,
+            )
+        self._log("radio-on")
+        for ue in self.clients:
+            self._schedule_attach(ue)
 
     def _on_channel_lost(self) -> None:
         """Silence the carrier immediately; clients stop instantly."""
@@ -170,13 +182,53 @@ class CellFiAccessPoint:
         """Model the client cell search before it can reattach."""
         ue.start_cell_search()
         self._log(f"ue-{ue.ue_id}-search")
+        self.sim.schedule(
+            self.timing.cell_search_s, BoundCall(self, "_attach", ue.ue_id)
+        )
 
-        def attach() -> None:
-            if self.enb.radio_on and ue.serving_cell_id is None:
-                self.enb.admit(ue)
-                self._log(f"ue-{ue.ue_id}-connected")
-
-        self.sim.schedule(self.timing.cell_search_s, attach)
+    def _attach(self, ue_id: int) -> None:
+        """Cell search finished: attach if the carrier is (still) up."""
+        ue = next((u for u in self.clients if u.ue_id == ue_id), None)
+        if ue is None:
+            return
+        if self.enb.radio_on and ue.serving_cell_id is None:
+            self.enb.admit(ue)
+            self._log(f"ue-{ue.ue_id}-connected")
 
     def _log(self, event: str) -> None:
         self.timeline.append((self.sim.now, event))
+
+    # -- Checkpointing ----------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, Any]:
+        """AP-side state: reboot timer, timeline, cell and client state.
+
+        The channel selector is its own checkpointable subsystem and is
+        intentionally not nested here.
+        """
+        pending_seq = None
+        if self._pending_start is not None and not self._pending_start.cancelled:
+            pending_seq = self._pending_start.seq
+        return {
+            "ever_started": self._ever_started,
+            "pending_start_seq": pending_seq,
+            "timeline": [list(entry) for entry in self.timeline],
+            "enb": self.enb.state_dict(),
+            "clients": {ue.ue_id: ue.state_dict() for ue in self.clients},
+        }
+
+    def load_state(self, state: Dict[str, Any]) -> None:
+        self._ever_started = state["ever_started"]
+        self._pending_start = None
+        self._pending_start_seq = state["pending_start_seq"]
+        self.timeline = [tuple(entry) for entry in state["timeline"]]
+        ues = {ue.ue_id: ue for ue in self.clients}
+        for ue_id, ue_state in state["clients"].items():
+            ues[ue_id].load_state(ue_state)
+        self.enb.load_state(state["enb"], ues=ues)
+
+    def link_events(self, lookup: Dict[int, Event]) -> None:
+        """Re-bind the pending reboot timer to the restored event heap."""
+        if self._pending_start_seq is not None:
+            self._pending_start = lookup[self._pending_start_seq]
+        self._pending_start_seq = None

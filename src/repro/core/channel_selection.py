@@ -45,9 +45,10 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.obs import runtime as _obs_runtime
+from repro.sim.checkpoint import BoundCall, register_dataclass
 from repro.sim.engine import Event, Simulator
 from repro.tvws.paws import (
     AUTHORITATIVE_DENIALS,
@@ -111,6 +112,9 @@ class SelectorEvent:
     time: float
     kind: str
     detail: str = ""
+
+
+register_dataclass(SelectorEvent)
 
 
 class ChannelSelector:
@@ -185,6 +189,8 @@ class ChannelSelector:
         #: When the database became unreachable with a channel held.
         self._grace_since: Optional[float] = None
         self._grace_event: Optional[Event] = None
+        # Event seq stashed by load_state until link_events re-binds it.
+        self._grace_event_seq: Optional[int] = None
         #: Last time the database confirmed our channel was still ours.
         #: The ETSI grace deadline anchors here, not at grace entry, so a
         #: withdrawal that lands just before the outage is still vacated
@@ -301,7 +307,7 @@ class ChannelSelector:
             return
         if reply.latency_s > 0.0:
             self.sim.schedule(
-                reply.latency_s, lambda: self._handle_response(response)
+                reply.latency_s, BoundCall(self, "_handle_response", response)
             )
         else:
             self._handle_response(response)
@@ -316,7 +322,7 @@ class ChannelSelector:
             )
             self._robust("backoff", f"{error}; retry in {delay:.3f}s")
             self.sim.schedule(
-                delay, lambda: self._attempt(attempt + 1, idx, fallbacks)
+                delay, BoundCall(self, "_attempt", attempt + 1, idx, fallbacks)
             )
             return
         if fallbacks > 0:
@@ -328,7 +334,7 @@ class ChannelSelector:
                 f"after {error}",
             )
             self.sim.schedule(
-                elapsed, lambda: self._attempt(0, nxt, fallbacks - 1)
+                elapsed, BoundCall(self, "_attempt", 0, nxt, fallbacks - 1)
             )
             return
         self._cycle_failed(error)
@@ -530,3 +536,61 @@ class ChannelSelector:
     def timeline(self) -> List[Tuple[float, str, str]]:
         """The (time, kind, detail) event list, e.g. for Figure 6."""
         return [(e.time, e.kind, e.detail) for e in self.events]
+
+    # -- Checkpointing -----------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Mutable selector state.
+
+        The grace-deadline event is stored by its queue ``seq``;
+        :meth:`link_events` re-binds the live handle after the engine's
+        heap has been restored.  A ``random.Random`` jitter source is
+        serialized inline; a shared numpy generator is restored by the
+        owning :class:`repro.sim.rng.RngStreams` subsystem instead.
+        """
+        rng_state: Optional[List[Any]] = None
+        if isinstance(self._rng, random.Random):
+            version, internal, gauss = self._rng.getstate()
+            rng_state = [version, list(internal), gauss]
+        grace_seq = None
+        if self._grace_event is not None and not self._grace_event.cancelled:
+            grace_seq = self._grace_event.seq
+        return {
+            "active_idx": self._active_idx,
+            "current_channel": self.current_channel,
+            "current_spec": self.current_spec,
+            "events": list(self.events),
+            "started": self._started,
+            "registered": self._registered,
+            "inflight": self._inflight,
+            "grace_since": self._grace_since,
+            "grace_event_seq": grace_seq,
+            "last_confirmed_s": self._last_confirmed_s,
+            "no_spectrum_streak": self._no_spectrum_streak,
+            "poll_interval_s": self.poll_interval_s,
+            "rng": rng_state,
+        }
+
+    def load_state(self, state: Dict[str, Any]) -> None:
+        self._active_idx = state["active_idx"]
+        self.current_channel = state["current_channel"]
+        self.current_spec = state["current_spec"]
+        self.events = list(state["events"])
+        self._started = state["started"]
+        self._registered = state["registered"]
+        self._inflight = state["inflight"]
+        self._grace_since = state["grace_since"]
+        self._grace_event = None
+        self._grace_event_seq = state["grace_event_seq"]
+        self._last_confirmed_s = state["last_confirmed_s"]
+        self._no_spectrum_streak = state["no_spectrum_streak"]
+        self.poll_interval_s = state["poll_interval_s"]
+        if state["rng"] is not None and isinstance(self._rng, random.Random):
+            version, internal, gauss = state["rng"]
+            self._rng.setstate((version, tuple(internal), gauss))
+
+    def link_events(self, lookup: Dict[int, Event]) -> None:
+        """Re-bind the grace-deadline handle to the restored event heap."""
+        if self._grace_event_seq is not None:
+            self._grace_event = lookup[self._grace_event_seq]
+        self._grace_event_seq = None

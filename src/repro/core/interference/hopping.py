@@ -26,7 +26,7 @@ Section 5.3:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Set
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Set
 
 import numpy as np
 
@@ -305,6 +305,34 @@ class SubchannelHopper:
         self._recent_clients.pop(highest, None)
         self._free_streak[target] = 0
         self.reuse_moves += 1
+
+    # -- Checkpointing ----------------------------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Hopping state.
+
+        The RNG is excluded: it is one of the shared
+        :class:`repro.sim.rng.RngStreams` generators and is restored in
+        place by that subsystem, preserving the aliasing.
+        """
+        return {
+            "buckets": dict(self.buckets),
+            "recent_clients": dict(self._recent_clients),
+            "free_streak": dict(self._free_streak),
+            "hop_count": self.hop_count,
+            "reuse_moves": self.reuse_moves,
+            "initialized_empty": self._initialized_empty,
+        }
+
+    def load_state(self, state: Dict[str, Any]) -> None:
+        self.buckets = {int(k): float(v) for k, v in state["buckets"].items()}
+        self._recent_clients = {
+            int(k): set(v) for k, v in state["recent_clients"].items()
+        }
+        self._free_streak = {int(k): int(v) for k, v in state["free_streak"].items()}
+        self.hop_count = state["hop_count"]
+        self.reuse_moves = state["reuse_moves"]
+        self._initialized_empty = state["initialized_empty"]
 
     # -- Bookkeeping ------------------------------------------------------------------------------
 

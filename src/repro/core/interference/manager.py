@@ -12,7 +12,7 @@ emergent, as the paper requires.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional, Sequence, Set
+from typing import Any, Dict, Mapping, Optional, Sequence, Set
 
 from repro.core.interference.hopping import ClientSense, HopperConfig, SubchannelHopper
 from repro.core.interference.share import compute_share
@@ -60,6 +60,8 @@ class CellFiInterferenceManager:
     ) -> None:
         self.n_subchannels = n_subchannels
         self.share_override = dict(share_override) if share_override else None
+        #: Kept so checkpointing drivers can register the hopper streams.
+        self.rngs = rngs
         config = HopperConfig(
             n_subchannels=n_subchannels,
             bucket_mean=bucket_mean,
@@ -151,3 +153,32 @@ class CellFiInterferenceManager:
     def holdings(self) -> Dict[int, Set[int]]:
         """Current subchannel holdings per AP (diagnostics)."""
         return {ap_id: hopper.holdings for ap_id, hopper in self.hoppers.items()}
+
+    # -- Checkpointing ------------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Aggregate stats plus every per-AP hopper (hopper RNGs live in
+        the shared :class:`~repro.sim.rng.RngStreams` subsystem)."""
+        return {
+            "stats": {
+                "epochs": self.stats.epochs,
+                "total_hops": self.stats.total_hops,
+                "total_reuse_moves": self.stats.total_reuse_moves,
+                "last_shares": dict(self.stats.last_shares),
+            },
+            "hoppers": {
+                ap_id: hopper.state_dict()
+                for ap_id, hopper in self.hoppers.items()
+            },
+        }
+
+    def load_state(self, state: Dict[str, Any]) -> None:
+        stats = state["stats"]
+        self.stats = ManagerStats(
+            epochs=stats["epochs"],
+            total_hops=stats["total_hops"],
+            total_reuse_moves=stats["total_reuse_moves"],
+            last_shares={int(k): int(v) for k, v in stats["last_shares"].items()},
+        )
+        for ap_id, hopper_state in state["hoppers"].items():
+            self.hoppers[int(ap_id)].load_state(hopper_state)

@@ -17,8 +17,9 @@ Two studies:
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -33,6 +34,13 @@ from repro.experiments.sweep import SweepSpec, run_sweep
 from repro.lte.network import LteNetworkSimulator
 from repro.phy.propagation import CompositeChannel, UrbanHataPathLoss
 from repro.phy.resource_grid import ResourceGrid
+from repro.sim.checkpoint import (
+    CheckpointRegistry,
+    Snapshot,
+    from_jsonable,
+    latest_checkpoint,
+    to_jsonable,
+)
 from repro.sim.rng import RngStreams
 from repro.sim.topology import AccessPointSite, ClientSite, Topology
 
@@ -59,6 +67,154 @@ class ConvergencePoint:
 SCENARIO_CONVERGENCE = "convergence"
 
 
+class ConvergenceRun:
+    """Resumable replication-boundary runner for one Theorem-1 grid cell.
+
+    The unit of progress is one hopping game: a snapshot after replication
+    ``k`` captures the shared RNG stream plus the accumulated rounds, so a
+    restored run replays replications ``k+1..n`` with the exact draws an
+    uninterrupted run would have made.
+    """
+
+    def __init__(
+        self,
+        n_nodes: int,
+        fading_p: float,
+        m_subchannels: int = 13,
+        gamma: float = 0.25,
+        replications: int = 10,
+        mean_degree: float = 3.0,
+        seed: int = 17,
+    ) -> None:
+        self.config: Dict[str, Any] = {
+            "n_nodes": n_nodes,
+            "fading_p": fading_p,
+            "m_subchannels": m_subchannels,
+            "gamma": gamma,
+            "replications": replications,
+            "mean_degree": mean_degree,
+            "seed": seed,
+        }
+        self.n_nodes = n_nodes
+        self.fading_p = fading_p
+        self.m_subchannels = m_subchannels
+        self.gamma = gamma
+        self.replications = replications
+        self.mean_degree = mean_degree
+        self.rngs = RngStreams(seed)
+        self._rng = self.rngs.stream(f"convergence:{n_nodes}:{fading_p}")
+        self._completed = 0
+        self._rounds: List[int] = []
+        self._all_converged = True
+        self.registry = CheckpointRegistry()
+        self.registry.register("rng", self.rngs)
+        self.registry.register("driver", self)
+
+    # -- Replication loop -------------------------------------------------------
+
+    def step_replication(self) -> None:
+        """Run one hopping game to convergence (or the round cap)."""
+        if self._completed >= self.replications:
+            raise RuntimeError(
+                f"run already finished its {self.replications} replications"
+            )
+        graph = random_conflict_graph(self.n_nodes, self.mean_degree, self._rng)
+        demands = feasible_uniform_demands(graph, self.m_subchannels, self.gamma)
+        game = HoppingGame(
+            graph, demands, self.m_subchannels, self.fading_p, self._rng
+        )
+        outcome = game.run(max_rounds=2000)
+        self._all_converged = bool(self._all_converged and outcome.converged)
+        if outcome.rounds_to_converge is not None:
+            self._rounds.append(int(outcome.rounds_to_converge))
+        self._completed += 1
+
+    def run(
+        self,
+        checkpoint_dir: Optional[str] = None,
+        checkpoint_every: Optional[int] = None,
+        halt_at: Optional[int] = None,
+    ) -> Optional[Dict[str, object]]:
+        """Run to completion (or to replication ``halt_at``), checkpointing.
+
+        Returns the cell metrics, or ``None`` when halted early.
+        """
+        stop = (
+            self.replications
+            if halt_at is None
+            else min(int(halt_at), self.replications)
+        )
+        while self._completed < stop:
+            self.step_replication()
+            if (
+                checkpoint_dir is not None
+                and checkpoint_every
+                and self._completed % int(checkpoint_every) == 0
+            ):
+                self.save_checkpoint(checkpoint_dir)
+        if stop < self.replications:
+            if checkpoint_dir is not None:
+                self.save_checkpoint(checkpoint_dir)
+            return None
+        return self.result()
+
+    def result(self) -> Dict[str, object]:
+        """The cell metrics dict the sweep records."""
+        return {
+            "mean_rounds": (
+                float(np.mean(self._rounds)) if self._rounds else float("nan")
+            ),
+            "bound_rounds": theorem1_round_bound(
+                self.n_nodes, self.m_subchannels, self.gamma, self.fading_p
+            ),
+            "converged_all": bool(self._all_converged),
+        }
+
+    # -- Checkpointing ----------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, Any]:
+        return {
+            "completed": self._completed,
+            "rounds": list(self._rounds),
+            "all_converged": self._all_converged,
+        }
+
+    def load_state(self, state: Dict[str, Any]) -> None:
+        self._completed = state["completed"]
+        self._rounds = [int(r) for r in state["rounds"]]
+        self._all_converged = state["all_converged"]
+
+    def save_checkpoint(self, directory: str) -> str:
+        """Write a snapshot named by the replication just finished."""
+        os.makedirs(directory, exist_ok=True)
+        snapshot = self.registry.snapshot(
+            meta={
+                "driver": SCENARIO_CONVERGENCE,
+                "config": to_jsonable(self.config),
+            }
+        )
+        path = os.path.join(directory, f"ckpt_rep_{self._completed:06d}.json")
+        snapshot.save(path)
+        return path
+
+    def run_digest(self) -> str:
+        """Canonical digest over all registered state (for replay checks)."""
+        return self.registry.run_digest()
+
+    @classmethod
+    def from_snapshot(cls, snapshot: Snapshot) -> "ConvergenceRun":
+        """Build-then-load: reconstruct from the embedded config, restore."""
+        config = from_jsonable(snapshot.meta["config"])
+        run = cls(**config)
+        run.registry.restore(snapshot)
+        return run
+
+    @classmethod
+    def restore(cls, path: str) -> "ConvergenceRun":
+        """Load a snapshot file and restore a run from it."""
+        return cls.from_snapshot(Snapshot.load(path))
+
+
 def convergence_cell(
     n_nodes: int,
     fading_p: float,
@@ -67,29 +223,40 @@ def convergence_cell(
     replications: int = 10,
     mean_degree: float = 3.0,
     seed: int = 17,
+    checkpoint: Optional[Dict[str, object]] = None,
 ) -> Dict[str, object]:
     """One Theorem-1 grid cell: ``replications`` games at (n, p).
 
     The cell's generator derives from (seed, n, p) via
     :class:`~repro.sim.rng.RngStreams`, so every cell is independent of
     its position in the grid and of which worker evaluates it.
+
+    ``checkpoint`` (injected by the sweep runner) carries ``dir`` and
+    optional ``every`` (replications); a re-executed cell resumes from the
+    latest snapshot in ``dir``.
     """
-    rng = RngStreams(seed).stream(f"convergence:{n_nodes}:{fading_p}")
-    rounds: List[int] = []
-    all_converged = True
-    for _ in range(replications):
-        graph = random_conflict_graph(n_nodes, mean_degree, rng)
-        demands = feasible_uniform_demands(graph, m_subchannels, gamma)
-        game = HoppingGame(graph, demands, m_subchannels, fading_p, rng)
-        outcome = game.run(max_rounds=2000)
-        all_converged &= outcome.converged
-        if outcome.rounds_to_converge is not None:
-            rounds.append(outcome.rounds_to_converge)
-    return {
-        "mean_rounds": float(np.mean(rounds)) if rounds else float("nan"),
-        "bound_rounds": theorem1_round_bound(n_nodes, m_subchannels, gamma, fading_p),
-        "converged_all": bool(all_converged),
-    }
+    ckpt_dir = checkpoint.get("dir") if checkpoint else None
+    ckpt_every = checkpoint.get("every", 5) if checkpoint else None
+    resume_from = latest_checkpoint(ckpt_dir) if ckpt_dir else None
+    if resume_from is not None:
+        run = ConvergenceRun.restore(resume_from)
+    else:
+        run = ConvergenceRun(
+            n_nodes,
+            fading_p,
+            m_subchannels=m_subchannels,
+            gamma=gamma,
+            replications=replications,
+            mean_degree=mean_degree,
+            seed=seed,
+        )
+    metrics = run.run(checkpoint_dir=ckpt_dir, checkpoint_every=ckpt_every)
+    metrics = dict(metrics)
+    metrics["run_digest"] = run.run_digest()
+    return metrics
+
+
+convergence_cell.supports_checkpoint = True
 
 
 def convergence_sweep_spec(

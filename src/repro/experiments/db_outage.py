@@ -25,12 +25,20 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.cellfi import CellFiAccessPoint
 from repro.lte.rrc import ReacquisitionTiming
 from repro.lte.ue import UserEquipment
+from repro.sim.checkpoint import (
+    CheckpointRegistry,
+    Snapshot,
+    from_jsonable,
+    latest_checkpoint,
+    to_jsonable,
+)
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngStreams
 from repro.tvws.channels import US_CHANNEL_PLAN
@@ -132,6 +140,292 @@ def _radio_downtime_s(
     return downtime
 
 
+class DbOutageRun:
+    """One outage scenario as a checkpointable run object.
+
+    The constructor builds the *entire* object graph from the config and
+    schedules nothing, so a restore can rebuild it identically and then
+    overwrite the mutable state in place (the build-then-load protocol of
+    :mod:`repro.sim.checkpoint`).  :meth:`run` executes the scenario,
+    optionally writing periodic snapshots; :meth:`from_snapshot`
+    reconstructs a run mid-flight from one.
+
+    Args:
+        seed: drives the fault RNG and backoff jitter.
+        outages: ``(start_offset_s, duration_s)`` windows, offsets from
+            the end of boot, during which the database is unreachable.
+        timeout_prob / drop_prob / error_prob / malformed_prob /
+        latency_spike_prob: probabilistic wire faults outside outages.
+        withdraw_in_outage: index of the outage during which the held
+            channel is *actually* withdrawn from the database (and
+            restored at outage end) -- exercises the case where the
+            unreachable database really did revoke the channel; the
+            compliance monitor is fed the ground-truth loss time.
+        secondary: add a reliable secondary database endpoint; the
+            selector fails over to it instead of entering grace mode.
+        tail_s: measurement continues this long after the last outage.
+    """
+
+    def __init__(
+        self,
+        seed: int = 1,
+        outages: Sequence[Tuple[float, float]] = DEFAULT_OUTAGES,
+        timeout_prob: float = 0.0,
+        drop_prob: float = 0.0,
+        error_prob: float = 0.0,
+        malformed_prob: float = 0.0,
+        latency_s: float = 0.02,
+        latency_spike_prob: float = 0.0,
+        latency_spike_s: float = 2.0,
+        poll_interval_s: float = 2.0,
+        lease_duration_s: float = 3600.0,
+        withdraw_in_outage: Optional[int] = None,
+        secondary: bool = False,
+        tail_s: float = TAIL_S,
+        timing: Optional[ReacquisitionTiming] = None,
+        retry: Optional[RetryPolicy] = None,
+    ) -> None:
+        # Everything needed to rebuild this object graph; embedded in
+        # snapshot metadata so from_snapshot() works in a fresh process.
+        self.config: Dict[str, object] = {
+            "seed": seed,
+            "outages": [list(window) for window in outages],
+            "timeout_prob": timeout_prob,
+            "drop_prob": drop_prob,
+            "error_prob": error_prob,
+            "malformed_prob": malformed_prob,
+            "latency_s": latency_s,
+            "latency_spike_prob": latency_spike_prob,
+            "latency_spike_s": latency_spike_s,
+            "poll_interval_s": poll_interval_s,
+            "lease_duration_s": lease_duration_s,
+            "withdraw_in_outage": withdraw_in_outage,
+            "secondary": secondary,
+            "tail_s": tail_s,
+            "timing": timing,
+            "retry": retry,
+        }
+        self.timing = timing or ReacquisitionTiming()
+        self.sim = Simulator()
+        self.database = SpectrumDatabase(
+            US_CHANNEL_PLAN, lease_duration_s=lease_duration_s
+        )
+        self.paws = PawsServer(self.database)
+        self.compliance = EtsiComplianceRules()
+        self.robustness = RobustnessLog()
+        self.streams = RngStreams(seed)
+
+        self.boot = self.timing.time_to_resume() + BOOT_MARGIN_S
+        self.abs_outages: Tuple[Tuple[float, float], ...] = tuple(
+            (self.boot + start, self.boot + start + duration)
+            for start, duration in outages
+        )
+        fault_spec = FaultSpec(
+            timeout_prob=timeout_prob,
+            drop_prob=drop_prob,
+            error_prob=error_prob,
+            malformed_prob=malformed_prob,
+            latency_s=latency_s,
+            latency_spike_prob=latency_spike_prob,
+            latency_spike_s=latency_spike_s,
+            outages=self.abs_outages,
+        )
+        self.transport = FaultyTransport(
+            inner=DirectTransport(self.paws, name="primary-db"),
+            clock=lambda: self.sim.now,
+            rng=self.streams.stream("transport-faults"),
+            spec=fault_spec,
+            log=self.robustness,
+            name="primary-db",
+        )
+        secondary_transport = None
+        if secondary:
+            secondary_transport = DirectTransport(self.paws, name="secondary-db")
+
+        self.ap = CellFiAccessPoint(
+            sim=self.sim,
+            paws=self.paws,
+            x=1000.0,
+            y=1000.0,
+            serial="outage-ap",
+            timing=self.timing,
+            compliance=self.compliance,
+            transport=self.transport,
+            secondary=secondary_transport,
+            retry=retry,
+            robustness=self.robustness,
+            rng=self.streams.stream("retry-jitter"),
+        )
+        self.ap.selector.poll_interval_s = poll_interval_s
+        self.client = UserEquipment(
+            ue_id=0, node=type("N", (), {"x": 1200.0, "y": 1000.0})()
+        )
+        self.ap.register_client(self.client)
+
+        self.withdraw_in_outage = withdraw_in_outage
+        self.tail_s = tail_s
+        self.end = (
+            self.abs_outages[-1][1] if self.abs_outages else self.boot
+        ) + tail_s
+        self._held: Optional[int] = None
+        self._booted = False
+
+        self.registry = CheckpointRegistry(self.sim)
+        self.registry.register("rng", self.streams)
+        self.registry.register("database", self.database)
+        self.registry.register("paws", self.paws)
+        self.registry.register("compliance", self.compliance)
+        self.registry.register("robustness", self.robustness)
+        self.registry.register("transport", self.transport)
+        self.registry.register("ap", self.ap)
+        self.registry.register("selector", self.ap.selector)
+        self.registry.register("driver", self)
+
+    # -- Driver checkpoint state ---------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        return {"held": self._held, "booted": self._booted}
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        self._held = state["held"]
+        self._booted = state["booted"]
+
+    # -- Scheduled callbacks (checkpointable bound methods) -------------------
+
+    def _withdraw(self) -> None:
+        channel = self.ap.selector.current_channel
+        if channel is None:
+            return
+        self.database.withdraw_channel(channel)
+        # Ground truth for the monitor: the channel ceased to be
+        # available *now*, whatever the unreachable client believes.
+        self.compliance.channel_lost(self.ap.device.serial_number, self.sim.now)
+
+    def _restore_held(self) -> None:
+        self.database.restore_channel(self._held)
+
+    def _compliance_tick(self) -> None:
+        self.compliance.check_time(self.sim.now)
+
+    # -- Execution ------------------------------------------------------------
+
+    def run_to_boot(self) -> None:
+        """Bring the AP up and arm the measurement-window schedule."""
+        if self._booted:
+            raise RuntimeError("run_to_boot() called twice")
+        self.ap.start()
+        self.sim.run(until=self.boot)
+        if self.ap.selector.current_channel is None or not self.ap.radio_on:
+            raise RuntimeError("AP failed to come up before the measurement window")
+
+        # The paper's site had effectively one usable channel: remove all
+        # others so a withdrawal leaves the AP with no spectrum at all.
+        self._held = self.ap.selector.current_channel
+        for tv_channel in self.database.plan.channels:
+            if tv_channel.number != self._held:
+                self.database.withdraw_channel(tv_channel.number)
+
+        if self.withdraw_in_outage is not None:
+            start, end_w = self.abs_outages[self.withdraw_in_outage]
+            # The withdrawal lands shortly after the outage begins -- the
+            # client cannot observe it, only ride its cached lease.
+            withdraw_at = start + min(5.0, (end_w - start) / 2.0)
+            self.sim.schedule_at(withdraw_at, self._withdraw)
+            self.sim.schedule_at(end_w, self._restore_held)
+        # Scheduled after the withdraw/restore events: the restore can tie
+        # with a compliance tick and must keep its lower event seq.
+        self.sim.schedule_every(5.0, self._compliance_tick)
+        self._booted = True
+
+    def run(
+        self,
+        checkpoint_dir: Optional[str] = None,
+        checkpoint_every: Optional[float] = None,
+        halt_at: Optional[float] = None,
+    ) -> Optional[DbOutageResult]:
+        """Execute (or continue) the scenario.
+
+        Args:
+            checkpoint_dir: write periodic snapshots into this directory.
+            checkpoint_every: snapshot period in simulation seconds
+                (measured from the current time; requires
+                ``checkpoint_dir``).
+            halt_at: stop at this simulation time instead of the end of
+                the measurement window -- the deterministic "preemption"
+                the resume smoke tests use.
+
+        Returns:
+            The result, or ``None`` when halted before the window closed.
+        """
+        if not self._booted:
+            self.run_to_boot()
+        stop = self.end if halt_at is None else min(float(halt_at), self.end)
+        if checkpoint_dir is not None and checkpoint_every:
+            while self.sim.now < stop:
+                self.sim.run(until=min(self.sim.now + checkpoint_every, stop))
+                self.save_checkpoint(checkpoint_dir)
+        else:
+            self.sim.run(until=stop)
+        if stop < self.end:
+            return None
+        return self.result()
+
+    # -- Snapshots ------------------------------------------------------------
+
+    def save_checkpoint(self, directory: str) -> str:
+        """Snapshot the full run state into ``directory``; returns the path."""
+        os.makedirs(directory, exist_ok=True)
+        snapshot = self.registry.snapshot(
+            meta={"driver": "db_outage", "config": to_jsonable(self.config)}
+        )
+        path = os.path.join(directory, f"ckpt_{self.sim.now:012.3f}.json")
+        snapshot.save(path)
+        return path
+
+    @classmethod
+    def from_snapshot(cls, snapshot: Snapshot) -> "DbOutageRun":
+        """Rebuild the object graph from the embedded config, then load."""
+        config = from_jsonable(snapshot.meta["config"])
+        run = cls(**config)
+        run.registry.restore(snapshot)
+        return run
+
+    @classmethod
+    def restore(cls, path: str) -> "DbOutageRun":
+        """Load a snapshot file and resume-construct the run from it."""
+        return cls.from_snapshot(Snapshot.load(path))
+
+    def run_digest(self) -> str:
+        """Current full-state digest (engine + every registered subsystem)."""
+        return self.registry.run_digest()
+
+    # -- Result assembly -------------------------------------------------------
+
+    def result(self) -> DbOutageResult:
+        selector_timeline = self.ap.selector.timeline()
+        robustness_rows = self.robustness.to_rows()
+        timeline = self.ap.timeline + [
+            (t, f"{kind}:{detail}") for t, kind, detail in selector_timeline
+        ]
+        timeline.sort(key=lambda item: item[0])
+        window = self.end - self.boot
+        downtime = _radio_downtime_s(self.ap.timeline, self.boot, self.end)
+        return DbOutageResult(
+            boot_s=self.boot,
+            window_s=window,
+            outages=self.abs_outages,
+            downtime_s=downtime,
+            loss_fraction=downtime / window if window > 0 else 0.0,
+            counts=self.robustness.counts(),
+            violations=list(self.compliance.violations),
+            compliant=self.compliance.compliant,
+            timeline=timeline,
+            selector_timeline=selector_timeline,
+            robustness_rows=robustness_rows,
+            digest=_canonical_digest(selector_timeline, robustness_rows),
+        )
+
+
 def run_db_outage(
     seed: int = 1,
     outages: Sequence[Tuple[float, float]] = DEFAULT_OUTAGES,
@@ -149,131 +443,43 @@ def run_db_outage(
     tail_s: float = TAIL_S,
     timing: Optional[ReacquisitionTiming] = None,
     retry: Optional[RetryPolicy] = None,
-) -> DbOutageResult:
+    checkpoint_dir: Optional[str] = None,
+    checkpoint_every: Optional[float] = None,
+    restore_from: Optional[str] = None,
+    halt_at: Optional[float] = None,
+) -> Optional[DbOutageResult]:
     """Run the outage scenario and collect the robustness story.
 
-    Args:
-        seed: drives the fault RNG and backoff jitter.
-        outages: ``(start_offset_s, duration_s)`` windows, offsets from
-            the end of boot, during which the database is unreachable.
-        timeout_prob / drop_prob / error_prob / malformed_prob /
-        latency_spike_prob: probabilistic wire faults outside outages.
-        withdraw_in_outage: index of the outage during which the held
-            channel is *actually* withdrawn from the database (and
-            restored at outage end) -- exercises the case where the
-            unreachable database really did revoke the channel; the
-            compliance monitor is fed the ground-truth loss time.
-        secondary: add a reliable secondary database endpoint; the
-            selector fails over to it instead of entering grace mode.
-        tail_s: measurement continues this long after the last outage.
+    A thin wrapper over :class:`DbOutageRun`.  With ``restore_from`` the
+    scenario configuration comes from the snapshot and every other
+    scenario argument is ignored; the checkpoint arguments still apply.
+    Returns ``None`` only when ``halt_at`` stops the run early.
     """
-    timing = timing or ReacquisitionTiming()
-    sim = Simulator()
-    database = SpectrumDatabase(US_CHANNEL_PLAN, lease_duration_s=lease_duration_s)
-    paws = PawsServer(database)
-    compliance = EtsiComplianceRules()
-    robustness = RobustnessLog()
-    streams = RngStreams(seed)
-
-    boot = timing.time_to_resume() + BOOT_MARGIN_S
-    abs_outages = tuple(
-        (boot + start, boot + start + duration) for start, duration in outages
-    )
-    fault_spec = FaultSpec(
-        timeout_prob=timeout_prob,
-        drop_prob=drop_prob,
-        error_prob=error_prob,
-        malformed_prob=malformed_prob,
-        latency_s=latency_s,
-        latency_spike_prob=latency_spike_prob,
-        latency_spike_s=latency_spike_s,
-        outages=abs_outages,
-    )
-    transport = FaultyTransport(
-        inner=DirectTransport(paws, name="primary-db"),
-        clock=lambda: sim.now,
-        rng=streams.stream("transport-faults"),
-        spec=fault_spec,
-        log=robustness,
-        name="primary-db",
-    )
-    secondary_transport = None
-    if secondary:
-        secondary_transport = DirectTransport(paws, name="secondary-db")
-
-    ap = CellFiAccessPoint(
-        sim=sim,
-        paws=paws,
-        x=1000.0,
-        y=1000.0,
-        serial="outage-ap",
-        timing=timing,
-        compliance=compliance,
-        transport=transport,
-        secondary=secondary_transport,
-        retry=retry,
-        robustness=robustness,
-        rng=streams.stream("retry-jitter"),
-    )
-    ap.selector.poll_interval_s = poll_interval_s
-    client = UserEquipment(ue_id=0, node=type("N", (), {"x": 1200.0, "y": 1000.0})())
-    ap.register_client(client)
-    ap.start()
-
-    sim.run(until=boot)
-    if ap.selector.current_channel is None or not ap.radio_on:
-        raise RuntimeError("AP failed to come up before the measurement window")
-
-    # The paper's site had effectively one usable channel: remove all
-    # others so a withdrawal leaves the AP with no spectrum at all.
-    held = ap.selector.current_channel
-    for tv_channel in database.plan.channels:
-        if tv_channel.number != held:
-            database.withdraw_channel(tv_channel.number)
-
-    if withdraw_in_outage is not None:
-        start, end_w = abs_outages[withdraw_in_outage]
-        # The withdrawal lands shortly after the outage begins -- the
-        # client cannot observe it, only ride its cached lease.
-        withdraw_at = start + min(5.0, (end_w - start) / 2.0)
-
-        def _withdraw() -> None:
-            channel = ap.selector.current_channel
-            if channel is None:
-                return
-            database.withdraw_channel(channel)
-            # Ground truth for the monitor: the channel ceased to be
-            # available *now*, whatever the unreachable client believes.
-            compliance.channel_lost(ap.device.serial_number, sim.now)
-
-        sim.schedule_at(withdraw_at, _withdraw)
-        sim.schedule_at(end_w, lambda: database.restore_channel(held))
-
-    sim.schedule_every(5.0, lambda: compliance.check_time(sim.now))
-    end = (abs_outages[-1][1] if abs_outages else boot) + tail_s
-    sim.run(until=end)
-
-    selector_timeline = ap.selector.timeline()
-    robustness_rows = robustness.to_rows()
-    timeline = ap.timeline + [
-        (t, f"{kind}:{detail}") for t, kind, detail in selector_timeline
-    ]
-    timeline.sort(key=lambda item: item[0])
-    window = end - boot
-    downtime = _radio_downtime_s(ap.timeline, boot, end)
-    return DbOutageResult(
-        boot_s=boot,
-        window_s=window,
-        outages=abs_outages,
-        downtime_s=downtime,
-        loss_fraction=downtime / window if window > 0 else 0.0,
-        counts=robustness.counts(),
-        violations=list(compliance.violations),
-        compliant=compliance.compliant,
-        timeline=timeline,
-        selector_timeline=selector_timeline,
-        robustness_rows=robustness_rows,
-        digest=_canonical_digest(selector_timeline, robustness_rows),
+    if restore_from is not None:
+        run = DbOutageRun.restore(restore_from)
+    else:
+        run = DbOutageRun(
+            seed=seed,
+            outages=outages,
+            timeout_prob=timeout_prob,
+            drop_prob=drop_prob,
+            error_prob=error_prob,
+            malformed_prob=malformed_prob,
+            latency_s=latency_s,
+            latency_spike_prob=latency_spike_prob,
+            latency_spike_s=latency_spike_s,
+            poll_interval_s=poll_interval_s,
+            lease_duration_s=lease_duration_s,
+            withdraw_in_outage=withdraw_in_outage,
+            secondary=secondary,
+            tail_s=tail_s,
+            timing=timing,
+            retry=retry,
+        )
+    return run.run(
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_every=checkpoint_every,
+        halt_at=halt_at,
     )
 
 
@@ -291,25 +497,37 @@ def db_outage_cell(
     withdraw: bool = False,
     secondary: bool = False,
     tail_s: float = 200.0,
+    checkpoint: Optional[Dict[str, object]] = None,
 ) -> Dict[str, object]:
     """One sweep cell: a single outage of ``outage_s`` seconds.
 
     Returns scalar metrics (throughput loss, event counts, compliance)
     plus the run digest, so determinism across ``--jobs`` levels is
     checkable cell by cell.
+
+    ``checkpoint`` (injected by the sweep runner) carries ``dir`` and
+    optional ``every`` (sim seconds); a re-executed cell resumes from the
+    latest snapshot in ``dir`` instead of replaying from t=0.
     """
-    result = run_db_outage(
-        seed=seed,
-        outages=((60.0, outage_s),),
-        timeout_prob=timeout_prob,
-        drop_prob=drop_prob,
-        error_prob=error_prob,
-        malformed_prob=malformed_prob,
-        latency_spike_prob=latency_spike_prob,
-        withdraw_in_outage=0 if withdraw else None,
-        secondary=secondary,
-        tail_s=tail_s,
-    )
+    ckpt_dir = checkpoint.get("dir") if checkpoint else None
+    ckpt_every = checkpoint.get("every", 60.0) if checkpoint else None
+    resume_from = latest_checkpoint(ckpt_dir) if ckpt_dir else None
+    if resume_from is not None:
+        run = DbOutageRun.restore(resume_from)
+    else:
+        run = DbOutageRun(
+            seed=seed,
+            outages=((60.0, outage_s),),
+            timeout_prob=timeout_prob,
+            drop_prob=drop_prob,
+            error_prob=error_prob,
+            malformed_prob=malformed_prob,
+            latency_spike_prob=latency_spike_prob,
+            withdraw_in_outage=0 if withdraw else None,
+            secondary=secondary,
+            tail_s=tail_s,
+        )
+    result = run.run(checkpoint_dir=ckpt_dir, checkpoint_every=ckpt_every)
     counts = result.counts
     return {
         "outage_s": outage_s,
@@ -326,6 +544,11 @@ def db_outage_cell(
         "compliant": result.compliant,
         "digest": result.digest,
     }
+
+
+#: The sweep runner injects ``checkpoint={"dir": ..., "every": ...}`` into
+#: cell functions that advertise support.
+db_outage_cell.supports_checkpoint = True
 
 
 def db_outage_sweep_spec(

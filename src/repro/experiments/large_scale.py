@@ -16,8 +16,9 @@ repeated over multiple seeds, as in the paper ("every scenario is repeated
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -27,6 +28,13 @@ from repro.core.interference.manager import CellFiInterferenceManager
 from repro.experiments.common import Scenario, build_scenario
 from repro.experiments.sweep import SweepSpec, run_sweep
 from repro.lte.network import BACKEND_VECTORIZED, LteNetworkSimulator
+from repro.sim.checkpoint import (
+    CheckpointRegistry,
+    Snapshot,
+    from_jsonable,
+    latest_checkpoint,
+    to_jsonable,
+)
 from repro.traffic.backlogged import saturated_demand_fn
 from repro.traffic.flows import Flow, FlowTracker
 from repro.traffic.web import WebPage, WebWorkloadConfig, generate_web_sessions
@@ -86,6 +94,180 @@ class SaturatedRun:
     connected_fraction: float
 
 
+class SaturatedLteRun:
+    """Resumable epoch-boundary runner for one LTE-family saturated cell.
+
+    Checkpoint granularity is the epoch: a snapshot after epoch ``k``
+    captures everything the loop carries across the boundary -- the
+    network's cross-epoch state, every RNG stream, the policy (for CellFi:
+    stats and per-AP hoppers), the inter-epoch observations and the metric
+    accumulators.  Restore follows the build-then-load protocol of
+    :mod:`repro.sim.checkpoint`: the constructor rebuilds the object graph
+    from ``config`` exactly as a fresh run would, then
+    :meth:`CheckpointRegistry.restore` overwrites the mutable state.
+
+    A custom prebuilt ``scenario`` may be injected for tests, but snapshot
+    reconstruction always rebuilds via :func:`build_scenario` with default
+    geometry, so only default-geometry scenarios restore faithfully.
+    """
+
+    def __init__(
+        self,
+        tech: str,
+        seed: int,
+        n_aps: int,
+        clients_per_ap: int = 6,
+        epochs: int = 15,
+        backend: str = BACKEND_VECTORIZED,
+        scenario: Optional[Scenario] = None,
+    ) -> None:
+        if tech == TECH_WIFI:
+            raise ValueError(
+                "the Wi-Fi comparison is event-driven; only LTE-family "
+                "technologies support epoch checkpointing"
+            )
+        self.tech = tech
+        self.epochs = epochs
+        self.config: Dict[str, Any] = {
+            "tech": tech,
+            "seed": seed,
+            "n_aps": n_aps,
+            "clients_per_ap": clients_per_ap,
+            "epochs": epochs,
+            "backend": backend,
+        }
+        self.scenario = (
+            scenario
+            if scenario is not None
+            else build_scenario(seed, n_aps, clients_per_ap)
+        )
+        self.net = _make_lte_net(self.scenario, f"net-{tech}", backend=backend)
+        self.policy = _make_policy(tech, self.scenario, self.net)
+        self._demand_fn = saturated_demand_fn(self.scenario.topology)
+        self._epoch = 0
+        self._observations = None
+        self._throughput_epochs: List[Dict[int, float]] = []
+        self._connected_epochs: List[Dict[int, bool]] = []
+
+        self.registry = CheckpointRegistry()
+        self.registry.register("rng", self.scenario.rngs)
+        self.registry.register("net-rng", self.net.rngs)
+        self.registry.register("net", self.net)
+        if hasattr(self.policy, "state_dict"):
+            # CellFi: hopper/stats state plus the manager's stream fork.
+            # The baselines compute their allocation at construction time
+            # and carry nothing across epochs.
+            self.registry.register("policy", self.policy)
+            self.registry.register("policy-rng", self.policy.rngs)
+        self.registry.register("driver", self)
+
+    # -- Epoch loop -------------------------------------------------------------
+
+    def step_epoch(self):
+        """Run exactly one epoch; returns its :class:`EpochResult`."""
+        if self._epoch >= self.epochs:
+            raise RuntimeError(f"run already finished its {self.epochs} epochs")
+        allowed = self.policy.decide(self._epoch, self._observations)
+        result = self.net.run_epoch(
+            self._epoch, allowed, self._demand_fn(self._epoch)
+        )
+        self._observations = result.observations
+        self._throughput_epochs.append(dict(result.throughput_bps))
+        self._connected_epochs.append(dict(result.connected))
+        self._epoch += 1
+        return result
+
+    def run(
+        self,
+        checkpoint_dir: Optional[str] = None,
+        checkpoint_every: Optional[int] = None,
+        halt_at: Optional[int] = None,
+    ) -> Optional[SaturatedRun]:
+        """Run to completion (or to epoch ``halt_at``), checkpointing.
+
+        Returns the :class:`SaturatedRun`, or ``None`` when halted early.
+        """
+        stop = self.epochs if halt_at is None else min(int(halt_at), self.epochs)
+        while self._epoch < stop:
+            self.step_epoch()
+            if (
+                checkpoint_dir is not None
+                and checkpoint_every
+                and self._epoch % int(checkpoint_every) == 0
+            ):
+                self.save_checkpoint(checkpoint_dir)
+        if stop < self.epochs:
+            if checkpoint_dir is not None:
+                self.save_checkpoint(checkpoint_dir)
+            return None
+        return self.result()
+
+    def result(self) -> SaturatedRun:
+        """Aggregate the per-epoch accumulators (post-warmup epochs only)."""
+        measured_from = min(WARMUP_EPOCHS, self.epochs - 1)
+        clients = [c.client_id for c in self.scenario.topology.clients]
+        measured_t = self._throughput_epochs[measured_from:]
+        measured_c = self._connected_epochs[measured_from:]
+        throughput = [
+            float(np.mean([t[cid] for t in measured_t])) for cid in clients
+        ]
+        connected = float(
+            np.mean([np.mean([c[cid] for cid in clients]) for c in measured_c])
+        )
+        return SaturatedRun(
+            tech=self.tech,
+            throughput_bps=throughput,
+            connected_fraction=connected,
+        )
+
+    # -- Checkpointing ----------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, Any]:
+        """The loop-carried state: position, observations, accumulators."""
+        return {
+            "epoch": self._epoch,
+            "observations": self._observations,
+            "throughput_epochs": self._throughput_epochs,
+            "connected_epochs": self._connected_epochs,
+        }
+
+    def load_state(self, state: Dict[str, Any]) -> None:
+        self._epoch = state["epoch"]
+        self._observations = state["observations"]
+        self._throughput_epochs = list(state["throughput_epochs"])
+        self._connected_epochs = list(state["connected_epochs"])
+
+    def save_checkpoint(self, directory: str) -> str:
+        """Write a snapshot named by the epoch just finished."""
+        os.makedirs(directory, exist_ok=True)
+        snapshot = self.registry.snapshot(
+            meta={
+                "driver": SCENARIO_SATURATED,
+                "config": to_jsonable(self.config),
+            }
+        )
+        path = os.path.join(directory, f"ckpt_epoch_{self._epoch:06d}.json")
+        snapshot.save(path)
+        return path
+
+    def run_digest(self) -> str:
+        """Canonical digest over all registered state (for replay checks)."""
+        return self.registry.run_digest()
+
+    @classmethod
+    def from_snapshot(cls, snapshot: Snapshot) -> "SaturatedLteRun":
+        """Build-then-load: reconstruct from the embedded config, restore."""
+        config = from_jsonable(snapshot.meta["config"])
+        run = cls(**config)
+        run.registry.restore(snapshot)
+        return run
+
+    @classmethod
+    def restore(cls, path: str) -> "SaturatedLteRun":
+        """Load a snapshot file and restore a run from it."""
+        return cls.from_snapshot(Snapshot.load(path))
+
+
 def run_lte_family_saturated(
     tech: str,
     scenario: Scenario,
@@ -93,20 +275,16 @@ def run_lte_family_saturated(
     backend: str = BACKEND_VECTORIZED,
 ) -> SaturatedRun:
     """Run CellFi / plain LTE / Oracle with backlogged traffic."""
-    net = _make_lte_net(scenario, f"net-{tech}", backend=backend)
-    policy = _make_policy(tech, scenario, net)
-    results = net.run(epochs, policy, saturated_demand_fn(scenario.topology))
-    measured = results[min(WARMUP_EPOCHS, epochs - 1):]
-    clients = [c.client_id for c in scenario.topology.clients]
-    throughput = [
-        float(np.mean([r.throughput_bps[cid] for r in measured])) for cid in clients
-    ]
-    connected = float(
-        np.mean([np.mean([r.connected[cid] for cid in clients]) for r in measured])
+    run = SaturatedLteRun(
+        tech,
+        scenario.seed,
+        scenario.n_aps,
+        scenario.clients_per_ap,
+        epochs=epochs,
+        backend=backend,
+        scenario=scenario,
     )
-    return SaturatedRun(
-        tech=tech, throughput_bps=throughput, connected_fraction=connected
-    )
+    return run.run()
 
 
 def run_wifi_saturated(
@@ -150,25 +328,51 @@ def large_scale_saturated_cell(
     clients_per_ap: int = 6,
     epochs: int = 15,
     wifi_duration_s: float = 6.0,
+    checkpoint: Optional[Dict[str, object]] = None,
 ) -> Dict[str, object]:
     """One Figure 9(a)/9(b) grid cell: a single (seed, density, tech) run.
 
     All randomness derives from ``seed`` via the scenario's
     :class:`~repro.sim.rng.RngStreams`, so the metrics are identical no
     matter which worker process (or how many) evaluates the cell.
+
+    ``checkpoint`` (injected by the sweep runner when checkpointing is on)
+    is a dict with ``dir`` and optional ``every`` (epochs): LTE-family
+    cells then snapshot mid-run and resume from the latest snapshot in
+    ``dir`` when re-executed after a crash or timeout.  Wi-Fi cells are
+    event-driven and ignore it.
     """
-    scenario = build_scenario(seed, n_aps, clients_per_ap)
+    ckpt_dir = checkpoint.get("dir") if checkpoint else None
+    ckpt_every = checkpoint.get("every", 5) if checkpoint else None
     if tech == TECH_WIFI:
+        scenario = build_scenario(seed, n_aps, clients_per_ap)
         run = run_wifi_saturated(scenario, duration_s=wifi_duration_s)
+        digest = None
     else:
-        run = run_lte_family_saturated(tech, scenario, epochs=epochs)
+        resume_from = latest_checkpoint(ckpt_dir) if ckpt_dir else None
+        if resume_from is not None:
+            sat = SaturatedLteRun.restore(resume_from)
+        else:
+            sat = SaturatedLteRun(
+                tech, seed, n_aps, clients_per_ap, epochs=epochs
+            )
+        run = sat.run(checkpoint_dir=ckpt_dir, checkpoint_every=ckpt_every)
+        digest = sat.run_digest()
     throughput = [float(t) for t in run.throughput_bps]
-    return {
+    metrics: Dict[str, object] = {
         "tech": run.tech,
         "connected_fraction": float(run.connected_fraction),
         "throughput_bps": throughput,
         "median_bps": float(np.median(throughput)),
     }
+    if digest is not None:
+        metrics["run_digest"] = digest
+    return metrics
+
+
+#: The sweep runner injects ``checkpoint={"dir": ..., "every": ...}`` into
+#: cell functions that advertise support.
+large_scale_saturated_cell.supports_checkpoint = True
 
 
 def fig9a_sweep_spec(

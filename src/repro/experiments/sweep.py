@@ -312,8 +312,31 @@ def load_records(path: Union[str, pathlib.Path]) -> List[TaskRecord]:
     return records
 
 
+def _task_checkpoint(
+    checkpoint_dir: Optional[Union[str, pathlib.Path]],
+    checkpoint_every: Optional[float],
+    task: SweepTask,
+) -> Optional[Dict[str, Any]]:
+    """Per-cell checkpoint spec: a subdirectory keyed by the config hash.
+
+    The key is the same stable hash the results cache uses, so a retried
+    or resumed cell always finds its own snapshots and never a sibling's.
+    """
+    if checkpoint_dir is None:
+        return None
+    spec: Dict[str, Any] = {
+        "dir": os.path.join(str(checkpoint_dir), task.config_hash)
+    }
+    if checkpoint_every is not None:
+        spec["every"] = checkpoint_every
+    return spec
+
+
 def _run_cell(
-    scenario_name: str, params: Dict[str, Any], collect_telemetry: bool
+    scenario_name: str,
+    params: Dict[str, Any],
+    collect_telemetry: bool,
+    checkpoint: Optional[Dict[str, Any]] = None,
 ) -> Tuple[Dict[str, Any], float, Optional[Dict[str, Any]]]:
     """Run one cell; returns (metrics, wall_s, telemetry-or-None).
 
@@ -323,8 +346,15 @@ def _run_cell(
     params, never on which worker ran it or what ran before.  Metrics
     and snapshot both round-trip through canonical JSON so parent-side
     values are exactly what a resume would read back from the log.
+
+    ``checkpoint`` is only forwarded to cell functions that advertise
+    ``supports_checkpoint``; it stays out of the cell's params so the
+    config hash (the cache key) is unaffected.
     """
     fn = get_scenario(scenario_name)
+    kwargs = dict(params)
+    if checkpoint is not None and getattr(fn, "supports_checkpoint", False):
+        kwargs["checkpoint"] = checkpoint
     telemetry: Optional[Dict[str, Any]] = None
     start = time.perf_counter()
     if collect_telemetry:
@@ -332,10 +362,10 @@ def _run_cell(
 
         cell_tel = Telemetry()
         with activated(cell_tel):
-            metrics = fn(**params)
+            metrics = fn(**kwargs)
         telemetry = json.loads(canonical_json(cell_tel.snapshot()))
     else:
-        metrics = fn(**params)
+        metrics = fn(**kwargs)
     wall = time.perf_counter() - start
     return json.loads(canonical_json(dict(metrics))), wall, telemetry
 
@@ -345,11 +375,12 @@ def _worker_entry(
     scenario_name: str,
     params: Dict[str, Any],
     collect_telemetry: bool = False,
+    checkpoint: Optional[Dict[str, Any]] = None,
 ) -> None:
     """Run one cell in a worker process and ship the outcome back."""
     try:
         metrics, wall, telemetry = _run_cell(
-            scenario_name, params, collect_telemetry
+            scenario_name, params, collect_telemetry, checkpoint=checkpoint
         )
         conn.send((STATUS_OK, metrics, wall, telemetry))
     except BaseException as error:  # noqa: BLE001 - report, don't crash silently
@@ -381,6 +412,8 @@ def _run_inline(
     spec: SweepSpec,
     skip: Dict[str, TaskRecord],
     collect_telemetry: bool = False,
+    checkpoint_dir: Optional[Union[str, pathlib.Path]] = None,
+    checkpoint_every: Optional[float] = None,
 ) -> Iterable[TaskRecord]:
     """In-process execution (``jobs=0``): no isolation, no timeouts.
 
@@ -395,7 +428,12 @@ def _run_inline(
         start = time.perf_counter()
         try:
             metrics, wall, telemetry = _run_cell(
-                task.scenario, task.params_dict, collect_telemetry
+                task.scenario,
+                task.params_dict,
+                collect_telemetry,
+                checkpoint=_task_checkpoint(
+                    checkpoint_dir, checkpoint_every, task
+                ),
             )
             yield TaskRecord(
                 task_id=task_id,
@@ -451,6 +489,8 @@ def _run_pool(
     ctx: mp.context.BaseContext,
     join_grace_s: float = 5.0,
     collect_telemetry: bool = False,
+    checkpoint_dir: Optional[Union[str, pathlib.Path]] = None,
+    checkpoint_every: Optional[float] = None,
 ) -> Iterable[TaskRecord]:
     """Process-per-task pool: up to ``jobs`` cells in flight at once.
 
@@ -459,6 +499,10 @@ def _run_pool(
     times; one that outlives ``timeout_s`` is terminated and retried the
     same way.  Either way the final record carries the outcome instead
     of propagating into the sweep.
+
+    With ``checkpoint_dir`` set, a checkpoint-capable cell snapshots
+    mid-run; its retry after a crash or timeout then restores from the
+    latest snapshot instead of replaying the cell from the start.
     """
     for task_id, task in enumerate(spec.tasks):
         if task.config_hash in skip:
@@ -476,7 +520,13 @@ def _run_pool(
         recv, send = ctx.Pipe(duplex=False)
         process = ctx.Process(
             target=_worker_entry,
-            args=(send, task.scenario, task.params_dict, collect_telemetry),
+            args=(
+                send,
+                task.scenario,
+                task.params_dict,
+                collect_telemetry,
+                _task_checkpoint(checkpoint_dir, checkpoint_every, task),
+            ),
             daemon=True,
         )
         process.start()
@@ -610,6 +660,8 @@ def run_sweep(
     resume: bool = False,
     start_method: Optional[str] = None,
     collect_telemetry: bool = False,
+    checkpoint_dir: Optional[Union[str, pathlib.Path]] = None,
+    checkpoint_every: Optional[float] = None,
 ) -> SweepResult:
     """Evaluate every cell of ``spec`` and return the ordered records.
 
@@ -632,6 +684,15 @@ def run_sweep(
             :class:`~repro.obs.Telemetry` and embed its snapshot in the
             record (and the JSONL log, under a ``telemetry`` key).
             Snapshots are deterministic: identical at any ``jobs`` level.
+        checkpoint_dir: root directory for mid-cell snapshots.  Each
+            checkpoint-capable cell writes to ``<dir>/<config_hash>/``
+            and, when re-executed (a retry after a crash/timeout, or a
+            fresh sweep over the same directory), resumes from the latest
+            snapshot found there.  Cells without checkpoint support run
+            unchanged.
+        checkpoint_every: snapshot cadence, in each driver's own unit
+            (sim seconds, epochs or replications); drivers default it
+            when omitted.
     """
     skip: Dict[str, TaskRecord] = {}
     wanted = {task.config_hash for task in spec.tasks}
@@ -641,7 +702,13 @@ def run_sweep(
                 skip[record.config_hash] = record
 
     if jobs <= 0:
-        produced = _run_inline(spec, skip, collect_telemetry=collect_telemetry)
+        produced = _run_inline(
+            spec,
+            skip,
+            collect_telemetry=collect_telemetry,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_every=checkpoint_every,
+        )
     else:
         ctx = (
             mp.get_context(start_method) if start_method else _default_context()
@@ -649,6 +716,8 @@ def run_sweep(
         produced = _run_pool(
             spec, skip, jobs, timeout_s, retries, ctx,
             collect_telemetry=collect_telemetry,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_every=checkpoint_every,
         )
 
     records: List[TaskRecord] = []

@@ -10,7 +10,7 @@ scheduling and the PDCCH-order RACH solicitation CellFi's sensing uses.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set
+from typing import Any, Dict, List, Optional, Sequence, Set
 
 from repro.lte.rrc import SibMessage, earfcn_from_frequency
 from repro.lte.scheduler import Allocation, RateFn, Scheduler
@@ -180,6 +180,46 @@ class EnodeB:
             if allocation.served_bits.get(client, 0.0) > 0.0:
                 self.attached[client].grant_uplink()
         return allocation
+
+    # -- Checkpointing -------------------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Cell state; attached clients are stored by id and re-linked on load."""
+        return {
+            "cell_id": self.cell_id,
+            "radio_on": self.radio_on,
+            "sib": self.sib,
+            "grid_bandwidth_hz": None if self.grid is None else self.grid.bandwidth_hz,
+            "attached_ids": sorted(self.attached),
+            "allowed_subchannels": self._allowed_subchannels,
+            "rach_solicitations": self.rach_solicitations,
+            "scheduler": (
+                self.scheduler.state_dict()
+                if hasattr(self.scheduler, "state_dict")
+                else None
+            ),
+        }
+
+    def load_state(
+        self,
+        state: Dict[str, Any],
+        ues: Optional[Dict[int, UserEquipment]] = None,
+    ) -> None:
+        """Restore cell state; ``ues`` maps client ids to live UE objects."""
+        self.cell_id = state["cell_id"]
+        self.radio_on = state["radio_on"]
+        self.sib = state["sib"]
+        bandwidth = state["grid_bandwidth_hz"]
+        self.grid = None if bandwidth is None else ResourceGrid(bandwidth)
+        allowed = state["allowed_subchannels"]
+        self._allowed_subchannels = None if allowed is None else set(allowed)
+        self.rach_solicitations = state["rach_solicitations"]
+        if state["scheduler"] is not None and hasattr(self.scheduler, "load_state"):
+            self.scheduler.load_state(state["scheduler"])
+        self.attached = {}
+        if ues is not None:
+            for ue_id in state["attached_ids"]:
+                self.attached[ue_id] = ues[ue_id]
 
     # -- Sensing hooks -------------------------------------------------------------------
 

@@ -35,7 +35,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Protocol, Sequence, Set, Tuple
+from typing import Any, Callable, Dict, List, Optional, Protocol, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -50,6 +50,7 @@ from repro.phy.mcs import (
 )
 from repro.phy.propagation import CompositeChannel, GainMatrixCache
 from repro.phy.resource_grid import RB_BANDWIDTH_HZ, ResourceGrid
+from repro.sim.checkpoint import register_dataclass
 from repro.sim.rng import RngStreams
 from repro.sim.topology import Topology
 from repro.utils.dbmath import dbm_to_watt, linear_to_db, thermal_noise_dbm
@@ -159,6 +160,12 @@ class ApObservation:
     n_active_clients: int
     estimated_contenders: int
     clients: Dict[int, ClientObservation] = field(default_factory=dict)
+
+
+# Observations cross epoch boundaries (this epoch's sensing feeds the next
+# decision), so epoch-granular checkpoints must serialize them.
+register_dataclass(ClientObservation)
+register_dataclass(ApObservation)
 
 
 @dataclass
@@ -964,3 +971,44 @@ class LteNetworkSimulator:
             observations = result.observations
             results.append(result)
         return results
+
+    # -- Checkpointing -------------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Cross-epoch mutable state.
+
+        ``_harq_cache`` is excluded on purpose: it memoises a deterministic
+        function, so a cold cache recomputes identical values.  The epoch
+        RNG streams ("cqi-detector", "rlf") belong to the shared
+        :class:`~repro.sim.rng.RngStreams` subsystem and are restored
+        there.  ``max_cqi_state`` is tuple-keyed, so it is flattened into
+        sorted ``[client, subchannel, cqi]`` triples.
+        """
+        return {
+            "schedulers": {
+                ap_id: (
+                    scheduler.state_dict()
+                    if hasattr(scheduler, "state_dict")
+                    else None
+                )
+                for ap_id, scheduler in self.schedulers.items()
+            },
+            "max_cqi_state": [
+                [cid, sub, cqi]
+                for (cid, sub), cqi in sorted(self._max_cqi_state.items())
+            ],
+            "max_cqi_vec": self._max_cqi_vec,
+        }
+
+    def load_state(self, state: Dict[str, Any]) -> None:
+        for ap_id, sched_state in state["schedulers"].items():
+            scheduler = self.schedulers[int(ap_id)]
+            if sched_state is not None and hasattr(scheduler, "load_state"):
+                scheduler.load_state(sched_state)
+        self._max_cqi_state = {
+            (int(cid), int(sub)): int(cqi)
+            for cid, sub, cqi in state["max_cqi_state"]
+        }
+        self._max_cqi_vec = np.asarray(
+            state["max_cqi_vec"], dtype=np.int64
+        ).reshape(self._max_cqi_vec.shape)

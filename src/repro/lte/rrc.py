@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.sim.checkpoint import register_dataclass
+
 #: EARFCN granularity (3GPP 36.101): 100 kHz channel raster.
 EARFCN_RASTER_HZ = 100_000.0
 
@@ -112,6 +114,12 @@ class ReacquisitionTiming:
     def time_to_resume(self) -> float:
         """Seconds from channel restoration to client traffic flowing."""
         return self.ap_reboot_s + self.cell_search_s
+
+
+# SIBs appear in eNodeB/UE checkpoint state; the timing model appears in
+# driver configs embedded in snapshot metadata.
+register_dataclass(SibMessage)
+register_dataclass(ReacquisitionTiming)
 
 
 def cell_search_time_s(

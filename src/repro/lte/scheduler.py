@@ -154,6 +154,13 @@ class RoundRobinScheduler(Scheduler):
     def __init__(self) -> None:
         self._cursor: Dict[int, int] = {}
 
+    def state_dict(self) -> Dict[str, object]:
+        """Per-subchannel cursor positions (the only cross-epoch state)."""
+        return {"cursor": dict(self._cursor)}
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        self._cursor = dict(state["cursor"])
+
     def allocate(
         self,
         allowed_subchannels: Sequence[int],
@@ -192,6 +199,13 @@ class ProportionalFairScheduler(Scheduler):
         self.smoothing = smoothing
         self.floor_bps = floor_bps
         self._average_bps: Dict[int, float] = {}
+
+    def state_dict(self) -> Dict[str, object]:
+        """Smoothed per-client averages (the fairness memory)."""
+        return {"average_bps": dict(self._average_bps)}
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        self._average_bps = dict(state["average_bps"])
 
     def allocate(
         self,

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Any, Dict, Optional
 
 import numpy as np
 
@@ -95,6 +95,27 @@ class UserEquipment:
         self.serving_cell_id = None
         self.sib = None
         self._uplink_granted = False
+
+    # -- Checkpointing --------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Mutable connection state (identity/topology come from config)."""
+        return {
+            "tx_power_dbm": self.tx_power_dbm,
+            "state": self.state.value,
+            "serving_cell_id": self.serving_cell_id,
+            "sib": self.sib,
+            "uplink_granted": self._uplink_granted,
+            "prach_sent_count": self.prach_sent_count,
+        }
+
+    def load_state(self, state: Dict[str, Any]) -> None:
+        self.tx_power_dbm = state["tx_power_dbm"]
+        self.state = ConnectionState(state["state"])
+        self.serving_cell_id = state["serving_cell_id"]
+        self.sib = state["sib"]
+        self._uplink_granted = state["uplink_granted"]
+        self.prach_sent_count = state["prach_sent_count"]
 
     # -- PRACH ----------------------------------------------------------------
 

@@ -70,6 +70,13 @@ class EventLog:
     def events(self) -> Tuple[Record, ...]:
         return tuple(self._events)
 
+    def state_dict(self) -> Dict[str, object]:
+        """All recorded rows (the ``Record`` dataclass is whitelisted)."""
+        return {"events": list(self._events)}
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        self._events = list(state["events"])
+
     def counts(self) -> Dict[str, int]:
         """Event counts per kind (sorted by kind for stable output)."""
         tally: Dict[str, int] = {}

@@ -18,9 +18,8 @@ Design notes
 from __future__ import annotations
 
 import heapq
-import itertools
 from time import perf_counter_ns
-from typing import Callable, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.obs import runtime as _obs_runtime
 from repro.obs.profile import callback_site
@@ -70,6 +69,31 @@ class Event:
         )
 
 
+class _PeriodicCallback:
+    """The self-rescheduling wrapper behind :meth:`Simulator.schedule_every`.
+
+    A class (rather than a closure) so checkpoints can serialize a pending
+    periodic event as ``(interval, inner-callback)`` and rebuild it on
+    restore -- closures have no stable identity across processes.
+
+    The instance-level ``__qualname__`` keeps :func:`callback_site` (and
+    therefore traces and profiles) deterministic; without it the site name
+    would fall back to ``repr`` and leak a memory address.
+    """
+
+    def __init__(
+        self, sim: "Simulator", interval: float, callback: Callable[[], None]
+    ) -> None:
+        self.sim = sim
+        self.interval = interval
+        self.callback = callback
+        self.__qualname__ = f"periodic({callback_site(callback)})"
+
+    def __call__(self) -> None:
+        self.callback()
+        self.sim.schedule(self.interval, self)
+
+
 class Simulator:
     """Event queue with a virtual clock.
 
@@ -94,7 +118,7 @@ class Simulator:
 
     def __init__(self) -> None:
         self._queue: List[Event] = []
-        self._seq = itertools.count()
+        self._next_seq = 0
         self._now = 0.0
         self._running = False
         self._cancelled_in_queue = [0]
@@ -130,7 +154,8 @@ class Simulator:
                     "cannot schedule at a NaN delay (NaN breaks heap ordering)"
                 )
             raise ValueError(f"cannot schedule into the past (delay={delay!r})")
-        event = Event(self._now + delay, next(self._seq), callback)
+        event = Event(self._now + delay, self._next_seq, callback)
+        self._next_seq += 1
         event._tally = self._cancelled_in_queue
         heapq.heappush(self._queue, event)
         self._maybe_compact()
@@ -202,12 +227,7 @@ class Simulator:
             raise ValueError(f"interval must be > 0, got {interval!r}")
 
         first_delay = interval if start_delay is None else start_delay
-
-        def fire() -> None:
-            callback()
-            self.schedule(interval, fire)
-
-        return self.schedule(first_delay, fire)
+        return self.schedule(first_delay, _PeriodicCallback(self, interval, callback))
 
     def run(self, until: float) -> None:
         """Advance the clock, firing events, until time ``until``.
@@ -305,6 +325,72 @@ class Simulator:
                 wall_ns=wall0,
                 wall_dur_ns=wall1 - wall0,
             )
+
+    def step(self) -> Optional[Event]:
+        """Fire exactly one live event and return it (``None`` if idle).
+
+        The lockstep primitive behind ``repro.cli replay-diff``: two
+        restored simulators stepped together can be hash-compared after
+        every single event to find the first divergence.
+        """
+        if self._running:
+            raise RuntimeError("Simulator.step is not re-entrant")
+        self._running = True
+        try:
+            while self._queue:
+                event = self._pop_event()
+                if event.cancelled:
+                    if self._telemetry is not None:
+                        self._telemetry.inc("sim.events_cancelled")
+                    continue
+                self._now = event.time
+                if self._telemetry is None:
+                    event.callback()
+                else:
+                    self._fire_instrumented(event)
+                return event
+            return None
+        finally:
+            self._running = False
+
+    def state_dict(self, encode_callback: Callable[[Callable], Any]) -> Dict[str, Any]:
+        """Serializable engine state: clock, sequence counter, live events.
+
+        ``encode_callback`` (normally ``CheckpointRegistry.encode_callback``)
+        turns each pending callback into a token; cancelled heap entries
+        are dropped, which is safe because cancellation is observable only
+        through the :class:`Event` handle -- and handles are re-linked from
+        live events only (see ``CheckpointRegistry.restore``).
+        """
+        events = []
+        for event in sorted(self._queue):
+            if event.cancelled:
+                continue
+            events.append([event.time, event.seq, encode_callback(event.callback)])
+        return {"now": self._now, "next_seq": self._next_seq, "events": events}
+
+    def load_state(
+        self,
+        state: Dict[str, Any],
+        decode_callback: Callable[[Any], Callable[[], None]],
+    ) -> Dict[int, Event]:
+        """Overwrite clock and heap from :meth:`state_dict` output.
+
+        Returns a ``seq -> Event`` lookup so subsystems that stored event
+        handles (grace timers, pending starts) can re-bind them.
+        """
+        self._now = state["now"]
+        self._next_seq = state["next_seq"]
+        self._cancelled_in_queue[0] = 0
+        self._queue = []
+        lookup: Dict[int, Event] = {}
+        for time, seq, token in state["events"]:
+            event = Event(time, seq, decode_callback(token))
+            event._tally = self._cancelled_in_queue
+            self._queue.append(event)
+            lookup[seq] = event
+        heapq.heapify(self._queue)
+        return lookup
 
     def pending_events(self) -> int:
         """Number of not-yet-cancelled events still queued."""

@@ -1,0 +1,302 @@
+"""Divergence replay: lockstep two restored runs and find the first split.
+
+``replay_diff`` restores **two** driver instances from one snapshot --
+optionally mutating the serialized state of instance B first, to inject a
+deliberate divergence -- then fires events in lockstep on both simulators
+and reports the first event at which the executions part ways.
+
+Divergence is detected two ways:
+
+* **Event mismatch** -- the two simulators fire events that differ in
+  time, sequence number, or callback site.  This is the definitive signal
+  that the heaps have forked.
+* **State spread** -- the set of subsystems whose hashes differ *grows*.
+  A ``--mutate`` edit makes some subsystem differ from the very start;
+  that baseline set is recorded, and the run is flagged the moment any
+  *other* subsystem's hash starts differing (the mutation has propagated).
+
+Full per-subsystem hashing after every event is expensive, so hashes are
+compared every ``stride`` events with in-memory boundary snapshots taken
+at each clean boundary.  When a strided check trips, the window is
+replayed from the last clean boundary one event at a time (fresh
+instances restored from the boundary snapshots) to pinpoint the exact
+first diverging event, which is reported with the
+:class:`~repro.sim.engine.Event` repr context (time, seq, callback site).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.sim.checkpoint import CheckpointError, Snapshot
+
+__all__ = [
+    "DivergenceReport",
+    "apply_mutation",
+    "load_driver",
+    "replay_diff",
+]
+
+
+# Driver name (snapshot ``meta["driver"]``) -> "module:class".  Classes are
+# imported lazily so loading this module never drags in the experiment
+# stack.  Only event-driven drivers (those that register a Simulator with
+# their CheckpointRegistry) can be replayed in lockstep; the epoch- and
+# replication-granular drivers are listed so the error message can say
+# *why* they are not replayable rather than just "unknown driver".
+DRIVERS: Dict[str, str] = {
+    "db_outage": "repro.experiments.db_outage:DbOutageRun",
+    "large_scale_saturated": "repro.experiments.large_scale:SaturatedLteRun",
+    "convergence": "repro.experiments.convergence:ConvergenceRun",
+}
+
+
+@dataclass
+class DivergenceReport:
+    """Outcome of a lockstep replay.
+
+    ``event_index`` counts fired events after the restore point, 1-based;
+    it is 0 when the runs never diverged.  ``event_a``/``event_b`` are the
+    ``repr`` of the events fired at the diverging step (``None`` when that
+    simulator had drained).  ``subsystems`` lists the subsystem hashes
+    that differ at the divergence point; ``baseline`` lists those that
+    already differed at the restore point (i.e. the injected mutations).
+    """
+
+    diverged: bool
+    events_replayed: int
+    event_index: int = 0
+    time: float = 0.0
+    event_a: Optional[str] = None
+    event_b: Optional[str] = None
+    subsystems: List[str] = field(default_factory=list)
+    baseline: List[str] = field(default_factory=list)
+
+    def describe(self) -> str:
+        """Human-readable multi-line summary (what the CLI prints)."""
+        lines: List[str] = []
+        if self.baseline:
+            lines.append(
+                "mutated at restore: " + ", ".join(sorted(self.baseline))
+            )
+        if not self.diverged:
+            lines.append(
+                f"no divergence in {self.events_replayed} events "
+                "(runs are lockstep-identical)"
+            )
+            return "\n".join(lines)
+        lines.append(
+            f"first diverging event: #{self.event_index} "
+            f"at t={self.time:.6f}s"
+        )
+        lines.append(f"  run A fired: {self.event_a}")
+        lines.append(f"  run B fired: {self.event_b}")
+        if self.subsystems:
+            lines.append(
+                "  subsystem hashes differing: "
+                + ", ".join(sorted(self.subsystems))
+            )
+        return "\n".join(lines)
+
+
+def apply_mutation(snapshot: Snapshot, spec: str) -> None:
+    """Edit one serialized subsystem field in place.
+
+    ``spec`` is ``name.key[.subkey...]=json``, e.g.
+    ``driver.held=41`` or ``selector.poll_interval_s=9.0``.  The path is
+    resolved inside ``snapshot.subsystems[name]`` (string keys only --
+    canonical-encoded containers like ``__map__`` are addressed through
+    their encoding) and the payload is parsed as JSON.
+    """
+    target, sep, payload = spec.partition("=")
+    if not sep:
+        raise CheckpointError(f"mutation {spec!r} has no '=value' part")
+    parts = target.split(".")
+    if len(parts) < 2:
+        raise CheckpointError(
+            f"mutation target {target!r} must be subsystem.key[...]"
+        )
+    name, path = parts[0], parts[1:]
+    if name not in snapshot.subsystems:
+        known = ", ".join(sorted(snapshot.subsystems))
+        raise CheckpointError(
+            f"snapshot has no subsystem {name!r} (has: {known})"
+        )
+    try:
+        value = json.loads(payload)
+    except json.JSONDecodeError as exc:
+        raise CheckpointError(
+            f"mutation value {payload!r} is not valid JSON: {exc}"
+        ) from exc
+    node: Any = snapshot.subsystems[name]
+    for key in path[:-1]:
+        if not isinstance(node, dict) or key not in node:
+            raise CheckpointError(
+                f"mutation path {target!r}: no key {key!r} along the way"
+            )
+        node = node[key]
+    if not isinstance(node, dict) or path[-1] not in node:
+        raise CheckpointError(
+            f"mutation path {target!r}: no field {path[-1]!r} "
+            f"(fields: {', '.join(sorted(node)) if isinstance(node, dict) else node!r})"
+        )
+    node[path[-1]] = value
+
+
+def load_driver(snapshot: Snapshot) -> Any:
+    """Rebuild the driver object a snapshot came from (build-then-load)."""
+    name = snapshot.meta.get("driver")
+    if name not in DRIVERS:
+        known = ", ".join(sorted(DRIVERS))
+        raise CheckpointError(
+            f"snapshot meta names unknown driver {name!r} (known: {known})"
+        )
+    module_name, _, class_name = DRIVERS[name].partition(":")
+    module = __import__(module_name, fromlist=[class_name])
+    return getattr(module, class_name).from_snapshot(snapshot)
+
+
+def _event_key(event: Any) -> Optional[Tuple[float, int, str]]:
+    if event is None:
+        return None
+    return (event.time, event.seq, repr(event))
+
+
+def _differing(run_a: Any, run_b: Any) -> List[str]:
+    """Subsystem names whose state hashes differ between the two runs."""
+    hashes_a = run_a.registry.state_hashes()
+    hashes_b = run_b.registry.state_hashes()
+    return sorted(
+        name
+        for name in set(hashes_a) | set(hashes_b)
+        if hashes_a.get(name) != hashes_b.get(name)
+    )
+
+
+def _step_pair(run_a: Any, run_b: Any) -> Tuple[Any, Any]:
+    return run_a.sim.step(), run_b.sim.step()
+
+
+def _fine_replay(
+    snap_a: Snapshot,
+    snap_b: Snapshot,
+    start_index: int,
+    window: int,
+    baseline: List[str],
+) -> DivergenceReport:
+    """Re-run one strided window event by event to find the exact split.
+
+    Fresh instances are restored from the boundary snapshots (checkpoint
+    fidelity guarantees they retrace the window identically), then every
+    event gets a full hash comparison.
+    """
+    run_a = load_driver(snap_a)
+    run_b = load_driver(snap_b)
+    base = set(baseline)
+    index = start_index
+    for _ in range(window):
+        event_a, event_b = _step_pair(run_a, run_b)
+        index += 1
+        differing = _differing(run_a, run_b)
+        if _event_key(event_a) != _event_key(event_b) or set(differing) != base:
+            when = event_a.time if event_a is not None else (
+                event_b.time if event_b is not None else run_a.sim.now
+            )
+            return DivergenceReport(
+                diverged=True,
+                events_replayed=index,
+                event_index=index,
+                time=when,
+                event_a=repr(event_a) if event_a is not None else None,
+                event_b=repr(event_b) if event_b is not None else None,
+                subsystems=differing,
+                baseline=baseline,
+            )
+    # The strided check tripped but the replayed window did not: the
+    # boundary snapshots failed to reproduce the window.  That is itself a
+    # checkpoint-fidelity bug worth failing loudly over.
+    raise CheckpointError(
+        "fine replay could not reproduce the divergence found by the "
+        f"strided check in events {start_index + 1}..{start_index + window}"
+    )
+
+
+def replay_diff(
+    snapshot_path: str,
+    mutations: Sequence[str] = (),
+    stride: int = 32,
+    max_events: int = 200_000,
+) -> DivergenceReport:
+    """Restore two runs from ``snapshot_path`` and bisect their divergence.
+
+    Args:
+        snapshot_path: a ``ckpt_*.json`` written by a checkpointable run.
+        mutations: ``name.key=json`` edits applied to instance B's
+            serialized state before restoring it (deliberate divergence
+            injection); empty means both instances restore identically.
+        stride: events between full hash comparisons during the coarse
+            phase.  1 hashes after every event (slow, never needs the
+            fine-replay pass).
+        max_events: stop declaring "no divergence" after this many events
+            even if neither simulator has drained.
+
+    Returns:
+        A :class:`DivergenceReport`; ``diverged`` is False when the runs
+        stayed in lockstep until both drained (or ``max_events``).
+    """
+    if stride < 1:
+        raise ValueError(f"stride must be >= 1, got {stride}")
+    snapshot_a = Snapshot.load(snapshot_path)
+    if snapshot_a.sim is None:
+        raise CheckpointError(
+            f"snapshot from driver {snapshot_a.meta.get('driver')!r} has no "
+            "event heap; replay-diff needs an event-driven run (db_outage)"
+        )
+    snapshot_b = Snapshot.load(snapshot_path)
+    for spec in mutations:
+        apply_mutation(snapshot_b, spec)
+
+    run_a = load_driver(snapshot_a)
+    run_b = load_driver(snapshot_b)
+    baseline = _differing(run_a, run_b)
+    base = set(baseline)
+    meta = dict(snapshot_a.meta)
+
+    # Clean boundary: snapshots of both runs plus the event count there.
+    boundary: Tuple[Snapshot, Snapshot, int] = (
+        run_a.registry.snapshot(meta=meta),
+        run_b.registry.snapshot(meta=meta),
+        0,
+    )
+    index = 0
+    while index < max_events:
+        event_a, event_b = _step_pair(run_a, run_b)
+        if event_a is None and event_b is None:
+            return DivergenceReport(
+                diverged=False, events_replayed=index, baseline=baseline
+            )
+        index += 1
+        if _event_key(event_a) != _event_key(event_b):
+            # The heaps themselves forked.  A *state* divergence may have
+            # slipped through earlier in this window (hashes are only
+            # compared at stride boundaries), so replay the window from
+            # the last clean boundary to find the true first divergence.
+            snap_a, snap_b, start = boundary
+            return _fine_replay(snap_a, snap_b, start, index - start, baseline)
+        if index % stride == 0:
+            differing = _differing(run_a, run_b)
+            if set(differing) != base:
+                snap_a, snap_b, start = boundary
+                return _fine_replay(
+                    snap_a, snap_b, start, index - start, baseline
+                )
+            boundary = (
+                run_a.registry.snapshot(meta=meta),
+                run_b.registry.snapshot(meta=meta),
+                index,
+            )
+    return DivergenceReport(
+        diverged=False, events_replayed=index, baseline=baseline
+    )

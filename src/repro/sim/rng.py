@@ -10,7 +10,7 @@ code changes, which keeps recorded experiment outputs comparable.
 from __future__ import annotations
 
 import hashlib
-from typing import Dict
+from typing import Any, Dict
 
 import numpy as np
 
@@ -43,6 +43,32 @@ class RngStreams:
     def _derive_seed(self, name: str) -> int:
         digest = hashlib.sha256(f"{self._master_seed}:{name}".encode()).digest()
         return int.from_bytes(digest[:8], "little")
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Master seed plus every created stream's bit-generator state."""
+        return {
+            "master_seed": self._master_seed,
+            "streams": {
+                name: gen.bit_generator.state
+                for name, gen in self._streams.items()
+            },
+        }
+
+    def load_state(self, state: Dict[str, Any]) -> None:
+        """Restore stream states *in place*.
+
+        Existing generator objects are mutated (``bit_generator.state = ...``)
+        rather than replaced, so subsystems holding a reference to a stream
+        keep drawing from the restored sequence.  Streams the snapshot knows
+        but this factory has not created yet are created first.
+        """
+        if state["master_seed"] != self._master_seed:
+            raise ValueError(
+                f"snapshot master_seed {state['master_seed']} != "
+                f"{self._master_seed}; restore requires the original config"
+            )
+        for name, gen_state in state["streams"].items():
+            self.stream(name).bit_generator.state = gen_state
 
     def fork(self, label: str) -> "RngStreams":
         """Create a child factory, e.g. one per topology replication.

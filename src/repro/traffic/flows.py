@@ -10,7 +10,9 @@ epoch).  Completion records feed the page-load-time CDFs of Figure 9(c).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
+
+from repro.sim.checkpoint import register_dataclass
 
 
 @dataclass
@@ -42,6 +44,11 @@ class Flow:
         if self.completed_s is None:
             return None
         return self.completed_s - self.arrival_s
+
+
+# Checkpoint reconstruction force-sets every field, so a partially
+# drained flow round-trips without __post_init__ resetting remaining_bits.
+register_dataclass(Flow)
 
 
 class FlowTracker:
@@ -118,3 +125,16 @@ class FlowTracker:
     def in_flight(self) -> int:
         """Number of flows still queued (for drain checks in tests)."""
         return sum(len(q) for q in self._queues.values())
+
+    # -- Checkpointing -----------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Queued and completed flows (the ``Flow`` dataclass is whitelisted)."""
+        return {
+            "queues": {cid: list(q) for cid, q in self._queues.items()},
+            "completed": list(self.completed),
+        }
+
+    def load_state(self, state: Dict[str, Any]) -> None:
+        self._queues = {cid: list(q) for cid, q in state["queues"].items()}
+        self.completed = list(state["completed"])

@@ -14,8 +14,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
+from repro.sim.checkpoint import register_dataclass
 from repro.tvws.channels import ChannelPlan
 
 
@@ -77,6 +78,10 @@ class ChannelLease:
     def valid_at(self, now: float) -> bool:
         """Whether the lease is still valid at ``now``."""
         return self.granted_at <= now < self.expires_at
+
+
+register_dataclass(Incumbent)
+register_dataclass(ChannelLease)
 
 
 class SpectrumDatabase:
@@ -236,3 +241,20 @@ class SpectrumDatabase:
     def query_count(self) -> int:
         """Number of lease grants served (for overhead accounting)."""
         return len(self._query_log)
+
+    # -- Checkpointing --------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Incumbents, withdrawals, the lease table and the query log."""
+        return {
+            "incumbents": list(self._incumbents),
+            "withdrawn": dict(self._withdrawn),
+            "leases": list(self._leases),
+            "query_log": [list(entry) for entry in self._query_log],
+        }
+
+    def load_state(self, state: Dict[str, Any]) -> None:
+        self._incumbents = list(state["incumbents"])
+        self._withdrawn = dict(state["withdrawn"])
+        self._leases = list(state["leases"])
+        self._query_log = [tuple(entry) for entry in state["query_log"]]

@@ -14,8 +14,9 @@ names, so a wire transport could be substituted without touching callers.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
+from repro.sim.checkpoint import register_dataclass
 from repro.tvws.database import ChannelLease, SpectrumDatabase
 
 #: PAWS method names (RFC 7545 Section 4).
@@ -147,6 +148,18 @@ class AvailableSpectrumResponse:
         return None
 
 
+# PAWS messages ride inside snapshots (pending-response event arguments,
+# server registration tables), so the whole family is whitelisted.
+for _cls in (
+    GeoLocation,
+    DeviceDescriptor,
+    SpectrumSpec,
+    AvailableSpectrumRequest,
+    AvailableSpectrumResponse,
+):
+    register_dataclass(_cls)
+
+
 class PawsServer:
     """An in-process PAWS endpoint fronting a :class:`SpectrumDatabase`.
 
@@ -254,3 +267,18 @@ class PawsServer:
     def use_notifications(self) -> List[Dict]:
         """All SPECTRUM_USE_NOTIFY messages received (copy)."""
         return list(self._use_notifications)
+
+    # -- Checkpointing --------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Registration table, notify history and per-device in-use map."""
+        return {
+            "registered": dict(self._registered),
+            "use_notifications": [dict(n) for n in self._use_notifications],
+            "in_use": dict(self._in_use),
+        }
+
+    def load_state(self, state: Dict[str, Any]) -> None:
+        self._registered = dict(state["registered"])
+        self._use_notifications = [dict(n) for n in state["use_notifications"]]
+        self._in_use = dict(state["in_use"])

@@ -18,7 +18,9 @@ no violation was recorded.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
+
+from repro.sim.checkpoint import register_dataclass
 
 #: ETSI EN 301 598: maximum time to vacate after channel loss, seconds.
 VACATE_DEADLINE_S = 60.0
@@ -43,6 +45,10 @@ class _DeviceState:
     lease_expiry: Optional[float] = None
     channel_lost_at: Optional[float] = None
     transmitting: bool = False
+
+
+register_dataclass(ComplianceViolation)
+register_dataclass(_DeviceState)
 
 
 class EtsiComplianceRules:
@@ -137,6 +143,19 @@ class EtsiComplianceRules:
     def compliant(self) -> bool:
         """True when no violation has been recorded."""
         return not self.violations
+
+    # -- Checkpointing --------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Per-device monitor state plus the recorded violations."""
+        return {
+            "devices": dict(self._devices),
+            "violations": list(self.violations),
+        }
+
+    def load_state(self, state: Dict[str, Any]) -> None:
+        self._devices = dict(state["devices"])
+        self.violations = list(state["violations"])
 
 
 def max_eirp_for_device_type(device_type: str) -> float:

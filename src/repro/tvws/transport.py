@@ -38,6 +38,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.obs import runtime as _obs_runtime
 from repro.obs.record import EventLog, Record
+from repro.sim.checkpoint import register_dataclass
 from repro.tvws.paws import (
     AvailableSpectrumRequest,
     AvailableSpectrumResponse,
@@ -252,6 +253,11 @@ class FaultSpec:
         return any(start <= now < end for start, end in self.outages)
 
 
+# Both appear inside driver configs embedded in snapshot metadata.
+register_dataclass(RetryPolicy)
+register_dataclass(FaultSpec)
+
+
 class FaultyTransport(PawsTransport):
     """Wrap another transport and inject wire faults deterministically.
 
@@ -286,6 +292,18 @@ class FaultyTransport(PawsTransport):
         self.name = name
         #: (time, method, kind) tuples of every injected fault.
         self.fault_log: List[Tuple[float, str, str]] = []
+
+    def state_dict(self) -> Dict[str, object]:
+        """The injected-fault history.
+
+        The RNG is excluded: it is one of the shared
+        :class:`repro.sim.rng.RngStreams` generators and is restored in
+        place by that subsystem, preserving the aliasing.
+        """
+        return {"fault_log": [list(entry) for entry in self.fault_log]}
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        self.fault_log = [tuple(entry) for entry in state["fault_log"]]
 
     # -- Fault bookkeeping ----------------------------------------------------
 

@@ -214,6 +214,186 @@ class TestHopperProperties:
         assert len(holdings) == len(set(holdings))
 
 
+class TestShareFormulaProperties:
+    """The Section 5.2 share formula, checked against the paper's algebra."""
+
+    @given(
+        st.integers(min_value=1, max_value=50),
+        st.integers(min_value=1, max_value=40),
+        st.integers(min_value=0, max_value=400),
+    )
+    def test_matches_paper_formula(self, total, own, est):
+        # S_i = floor(N_i * S / NP_i), NP_i clamped up to N_i (an AP always
+        # hears its own clients), result clamped into [1, S].
+        contenders = max(est, own)
+        expected = max(1, min(math.floor(own * total / contenders), total))
+        assert compute_share(total, own, est) == expected
+
+    @given(
+        st.integers(min_value=1, max_value=50),
+        st.integers(min_value=1, max_value=40),
+        st.integers(min_value=0, max_value=400),
+    )
+    def test_monotone_in_own_clients(self, total, own, est):
+        assert compute_share(total, own + 1, est) >= compute_share(total, own, est)
+
+    @given(
+        st.integers(min_value=1, max_value=50),
+        st.integers(min_value=1, max_value=40),
+        st.integers(min_value=0, max_value=400),
+    )
+    def test_antitone_in_contenders(self, total, own, est):
+        # Hearing more contenders can only shrink the share: imperfect
+        # sensing under-estimates, never over-grabs (Section 5.4).
+        assert compute_share(total, own, est + 1) <= compute_share(total, own, est)
+
+    @given(
+        st.integers(min_value=2, max_value=13),
+        st.lists(st.integers(min_value=1, max_value=8), min_size=1, max_size=5),
+    )
+    def test_demand_slack_keeps_shares_feasible(self, total, client_counts):
+        # Under the demand assumption (neighbourhood demand leaves slack:
+        # every AP entitled to >= 1 full subchannel), the computed shares
+        # pack into the carrier with no at-least-one inflation at all.
+        everyone = sum(client_counts)
+        shares = [compute_share(total, n, everyone) for n in client_counts]
+        if total >= everyone:  # demand assumption holds
+            assert shares_feasible(shares, total)
+
+
+def _epoch_senses(n_subchannels=13):
+    """Strategy: one epoch's ``{client_id: ClientSense}`` sensing input."""
+    flags = st.lists(
+        st.booleans(), min_size=n_subchannels, max_size=n_subchannels
+    )
+    cqi = st.lists(
+        st.integers(min_value=0, max_value=15),
+        min_size=n_subchannels,
+        max_size=n_subchannels,
+    )
+    fracs = st.dictionaries(
+        st.integers(min_value=0, max_value=n_subchannels - 1),
+        st.floats(min_value=0.01, max_value=1.0),
+        max_size=4,
+    )
+    sense = st.builds(
+        lambda c, f, s: ClientSense(
+            subband_cqi=c,
+            max_subband_cqi=c,
+            interference_detected=f,
+            scheduled_fraction=s,
+        ),
+        cqi,
+        flags,
+        fracs,
+    )
+    return st.dictionaries(
+        st.integers(min_value=0, max_value=9), sense, max_size=3
+    )
+
+
+class _RecordingHopper(SubchannelHopper):
+    """Records every exponential bucket draw for the ladder invariant."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.draws = []
+
+    def _draw_bucket(self):
+        value = super()._draw_bucket()
+        self.draws.append(value)
+        return value
+
+
+class TestBucketProperties:
+    @given(
+        st.integers(min_value=0, max_value=2**31 - 1),
+        st.integers(min_value=1, max_value=13),
+        st.lists(_epoch_senses(), min_size=1, max_size=6),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_buckets_stay_within_the_exponential_ladder(
+        self, seed, share, epochs
+    ):
+        # Buckets are born as exponential draws and only ever decremented;
+        # a drained bucket is hopped away the same epoch.  So after any
+        # step sequence every held bucket is non-negative and no larger
+        # than the biggest draw so far.
+        hopper = _RecordingHopper(
+            HopperConfig(n_subchannels=13), np.random.default_rng(seed)
+        )
+        for senses in epochs:
+            hopper.step(share, senses)
+            assert hopper.draws, "holding subchannels implies draws happened"
+            ceiling = max(hopper.draws) + 1e-9
+            for bucket in hopper.buckets.values():
+                assert 0.0 <= bucket <= ceiling
+
+    @given(
+        st.integers(min_value=0, max_value=2**31 - 1),
+        st.integers(min_value=1, max_value=13),
+        st.lists(_epoch_senses(), min_size=1, max_size=6),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_share_tracked_through_arbitrary_sensing(self, seed, share, epochs):
+        # Whatever the interference reports, the hopper ends every epoch
+        # holding exactly its target share (candidates always exist while
+        # share <= carrier size).
+        hopper = SubchannelHopper(
+            HopperConfig(n_subchannels=13), np.random.default_rng(seed)
+        )
+        for senses in epochs:
+            holdings = hopper.step(share, senses)
+            assert len(holdings) == share
+            assert holdings <= set(range(13))
+
+
+class TestReusePackingProperties:
+    @given(
+        st.integers(min_value=1, max_value=13),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_packing_never_leaves_a_usable_lower_subchannel(self, share, seed):
+        # With every subchannel persistently interference-free, re-use
+        # packing must walk the holdings down until they occupy exactly
+        # the lowest-index subchannels -- holding a higher subchannel
+        # while a persistently-free lower one exists is the bug the rule
+        # forbids.
+        config = HopperConfig(n_subchannels=13, reuse_persistence_epochs=2)
+        hopper = SubchannelHopper(config, np.random.default_rng(seed))
+        clean = ClientSense(
+            subband_cqi=[10] * 13,
+            max_subband_cqi=[10] * 13,
+            interference_detected=[False] * 13,
+            scheduled_fraction={},
+        )
+        hopper.step(share, {})  # initial random pick
+        for _ in range(config.reuse_persistence_epochs + 13 + 2):
+            hopper.step(share, {0: clean})
+        assert hopper.holdings == set(range(share))
+
+    @given(
+        st.integers(min_value=2, max_value=13),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_packing_disabled_means_no_moves(self, share, seed):
+        config = HopperConfig(n_subchannels=13, reuse_enabled=False)
+        hopper = SubchannelHopper(config, np.random.default_rng(seed))
+        clean = ClientSense(
+            subband_cqi=[10] * 13,
+            max_subband_cqi=[10] * 13,
+            interference_detected=[False] * 13,
+            scheduled_fraction={},
+        )
+        initial = set(hopper.step(share, {}))
+        for _ in range(8):
+            hopper.step(share, {0: clean})
+        assert hopper.reuse_moves == 0
+        assert hopper.holdings == initial  # nothing drains, nothing moves
+
+
 class TestFlowTrackerProperties:
     @given(
         st.lists(

@@ -1,0 +1,102 @@
+"""Divergence replay: lockstep restore, mutation injection, bisection."""
+
+import pytest
+
+from repro.experiments.convergence import ConvergenceRun
+from repro.experiments.db_outage import DbOutageRun
+from repro.sim.checkpoint import CheckpointError, Snapshot
+from repro.sim.replay import apply_mutation, load_driver, replay_diff
+
+
+@pytest.fixture(scope="module")
+def outage_snapshot(tmp_path_factory):
+    """A mid-run snapshot of a small withdraw-scenario outage run."""
+    directory = tmp_path_factory.mktemp("replay")
+    run = DbOutageRun(
+        seed=5,
+        outages=((30.0, 25.0),),
+        timeout_prob=0.05,
+        withdraw_in_outage=0,
+        tail_s=80.0,
+    )
+    run.run_to_boot()
+    return run.save_checkpoint(str(directory))
+
+
+class TestReplayDiff:
+    def test_identical_restores_never_diverge(self, outage_snapshot):
+        report = replay_diff(outage_snapshot, max_events=400)
+        assert not report.diverged
+        assert report.baseline == []
+        assert report.events_replayed > 0
+
+    def test_mutation_is_pinpointed_to_first_event(self, outage_snapshot):
+        # Stretching the poll interval makes run B schedule its next poll
+        # later; the first diverging event must be a concrete Event with
+        # callback context, not just "hashes differ somewhere".
+        report = replay_diff(
+            outage_snapshot,
+            mutations=["selector.poll_interval_s=9.0"],
+            max_events=4000,
+        )
+        assert "selector" in report.baseline
+        assert report.diverged
+        assert report.event_index >= 1
+        assert report.event_a is not None and "Event(" in report.event_a
+        assert "cb=" in report.event_a
+
+    def test_state_spread_found_through_identical_events(self, outage_snapshot):
+        # Mutating the remembered held channel changes nothing about the
+        # event heap until _restore_held fires; the bisection must find
+        # that event even though both runs fire identical events there.
+        report = replay_diff(
+            outage_snapshot,
+            mutations=["driver.held=41"],
+            stride=64,
+            max_events=20000,
+        )
+        assert report.baseline == ["driver"]
+        assert report.diverged
+        assert report.event_a == report.event_b  # same event, new state split
+        assert "_restore_held" in report.event_a
+        assert "database" in report.subsystems
+
+    def test_describe_mentions_the_verdict(self, outage_snapshot):
+        report = replay_diff(outage_snapshot, max_events=50)
+        assert "no divergence" in report.describe()
+
+
+class TestMutationSpecs:
+    def test_bad_specs_are_rejected(self, outage_snapshot):
+        snapshot = Snapshot.load(outage_snapshot)
+        with pytest.raises(CheckpointError, match="no '=value'"):
+            apply_mutation(snapshot, "driver.held")
+        with pytest.raises(CheckpointError, match="subsystem.key"):
+            apply_mutation(snapshot, "driver=1")
+        with pytest.raises(CheckpointError, match="no subsystem"):
+            apply_mutation(snapshot, "nonsense.held=1")
+        with pytest.raises(CheckpointError, match="not valid JSON"):
+            apply_mutation(snapshot, "driver.held=nope")
+        with pytest.raises(CheckpointError, match="no field"):
+            apply_mutation(snapshot, "driver.missing_field=1")
+
+    def test_mutation_edits_serialized_state(self, outage_snapshot):
+        snapshot = Snapshot.load(outage_snapshot)
+        apply_mutation(snapshot, "driver.booted=false")
+        assert snapshot.subsystems["driver"]["booted"] is False
+
+
+class TestDriverResolution:
+    def test_unknown_driver_is_rejected(self, outage_snapshot):
+        snapshot = Snapshot.load(outage_snapshot)
+        snapshot.meta["driver"] = "not-a-driver"
+        with pytest.raises(CheckpointError, match="unknown driver"):
+            load_driver(snapshot)
+
+    def test_epoch_snapshots_are_rejected(self, tmp_path):
+        # Replication-granular drivers have no event heap to lockstep.
+        run = ConvergenceRun(n_nodes=8, fading_p=0.3, replications=3, seed=17)
+        run.step_replication()
+        path = run.save_checkpoint(str(tmp_path))
+        with pytest.raises(CheckpointError, match="no\\s+event heap"):
+            replay_diff(path)

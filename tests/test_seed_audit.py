@@ -1,0 +1,80 @@
+"""Seed audit: no unseeded randomness anywhere in the tree.
+
+Reproducibility rests on every random draw tracing back to an explicit
+seed (usually through :class:`repro.sim.rng.RngStreams`).  Two patterns
+break that chain silently:
+
+* ``default_rng()`` with no argument -- seeded from the OS entropy pool,
+  different every process;
+* the legacy ``np.random`` module-level API (``np.random.rand``,
+  ``np.random.seed``, ...) -- hidden global state shared across the whole
+  interpreter, so one caller reseeding perturbs every other caller.
+
+This is a lint rather than a runtime check so a violation names the exact
+file and line in the failure message.  A line may opt out with a
+``# seed-audit: ok`` comment (none currently need to).
+"""
+
+import pathlib
+import re
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+SCANNED_ROOTS = ("src", "tests")
+
+_SEEDLESS_DEFAULT_RNG = re.compile(r"default_rng\(\s*\)")
+_MODULE_LEVEL_NP_RANDOM = re.compile(r"\bnp\.random\.([A-Za-z_][A-Za-z_0-9]*)")
+#: np.random attributes that are constructors/types, not global-state draws.
+_ALLOWED_NP_RANDOM = {"default_rng", "Generator", "SeedSequence", "PCG64"}
+_OPT_OUT = "# seed-audit: ok"
+
+
+def _python_files():
+    # The audit file itself must spell out the forbidden patterns (docs
+    # and self-tests), so it is the one file exempt from its own scan.
+    me = pathlib.Path(__file__).resolve()
+    for root in SCANNED_ROOTS:
+        for path in sorted((REPO / root).rglob("*.py")):
+            if path.resolve() != me:
+                yield path
+
+
+def _violations():
+    found = []
+    for path in _python_files():
+        for lineno, line in enumerate(
+            path.read_text().splitlines(), start=1
+        ):
+            if _OPT_OUT in line:
+                continue
+            where = f"{path.relative_to(REPO)}:{lineno}"
+            if _SEEDLESS_DEFAULT_RNG.search(line):
+                found.append(f"{where}: seedless default_rng(): {line.strip()}")
+            for match in _MODULE_LEVEL_NP_RANDOM.finditer(line):
+                if match.group(1) not in _ALLOWED_NP_RANDOM:
+                    found.append(
+                        f"{where}: legacy global np.random API: {line.strip()}"
+                    )
+    return found
+
+
+class TestSeedAudit:
+    def test_scan_actually_sees_the_tree(self):
+        files = list(_python_files())
+        assert len(files) > 50, "seed audit is scanning a near-empty tree"
+        assert any(p.name == "rng.py" for p in files)
+
+    def test_no_seedless_or_global_randomness(self):
+        violations = _violations()
+        assert violations == [], "\n".join(
+            ["unseeded randomness found:"] + violations
+        )
+
+    def test_the_patterns_catch_what_they_claim(self):
+        # The audit is only as good as its regexes; pin their behaviour.
+        assert _SEEDLESS_DEFAULT_RNG.search("rng = default_rng()")
+        assert _SEEDLESS_DEFAULT_RNG.search("rng = np.random.default_rng( )")
+        assert not _SEEDLESS_DEFAULT_RNG.search("np.random.default_rng(seed)")
+        bad = _MODULE_LEVEL_NP_RANDOM.search("x = np.random.rand(3)")
+        assert bad and bad.group(1) == "rand"
+        ok = _MODULE_LEVEL_NP_RANDOM.search("g = np.random.default_rng(1)")
+        assert ok and ok.group(1) in _ALLOWED_NP_RANDOM

@@ -8,6 +8,7 @@ recomputes exactly the missing cells.
 """
 
 import json
+import os
 
 import pytest
 
@@ -196,3 +197,105 @@ class TestFigureGridDeterminism:
         inline = run_sweep(grid, jobs=0)
         forked = run_sweep(grid, jobs=2)
         assert inline.metrics_by_hash() == forked.metrics_by_hash()
+
+
+@sweep.scenario("_ckpt_probe")
+def _ckpt_probe(seed, checkpoint=None):
+    """Reports what checkpoint spec (if any) the runner injected."""
+    return {
+        "seed": seed,
+        "has_checkpoint": checkpoint is not None,
+        "dir_tail": (
+            None if checkpoint is None
+            else os.path.basename(checkpoint["dir"])
+        ),
+        "every": None if checkpoint is None else checkpoint.get("every"),
+    }
+
+
+_ckpt_probe.supports_checkpoint = True
+
+
+@sweep.scenario("_ckpt_preempted")
+def _ckpt_preempted(seed, checkpoint=None):
+    """Dies after writing a snapshot; a retry resumes from it."""
+    assert checkpoint is not None, "runner must inject the checkpoint spec"
+    os.makedirs(checkpoint["dir"], exist_ok=True)
+    marker = os.path.join(checkpoint["dir"], "ckpt_000001.json")
+    if not os.path.exists(marker):
+        with open(marker, "w") as handle:
+            handle.write("{}\n")
+        raise RuntimeError("simulated preemption right after a snapshot")
+    return {"seed": seed, "resumed": True}
+
+
+_ckpt_preempted.supports_checkpoint = True
+
+
+class TestCheckpointInjection:
+    """run_sweep(checkpoint_dir=...) wires per-cell snapshot specs."""
+
+    def _probe_spec(self, n=2):
+        return SweepSpec(
+            "ckpt-probe",
+            [
+                SweepTask.make("_ckpt_probe", {"seed": seed})
+                for seed in range(n)
+            ],
+        )
+
+    def test_cells_get_a_config_hash_keyed_directory(self, tmp_path):
+        spec = self._probe_spec()
+        result = run_sweep(
+            spec, jobs=0, checkpoint_dir=tmp_path, checkpoint_every=5.0
+        )
+        for record, task in zip(result.records, spec.tasks):
+            assert record.metrics["has_checkpoint"] is True
+            assert record.metrics["dir_tail"] == task.config_hash
+            assert record.metrics["every"] == 5.0
+
+    def test_no_checkpoint_dir_means_no_injection(self):
+        result = run_sweep(self._probe_spec(), jobs=0)
+        for record in result.records:
+            assert record.metrics["has_checkpoint"] is False
+
+    def test_unsupporting_cells_are_left_alone(self, tmp_path):
+        # _runner_cell has no supports_checkpoint attribute and no
+        # checkpoint parameter; injecting would TypeError the cell.
+        result = run_sweep(
+            _spec(2), jobs=0, checkpoint_dir=tmp_path, checkpoint_every=1.0
+        )
+        assert all(r.status == STATUS_OK for r in result.records)
+
+    def test_checkpoint_spec_does_not_perturb_cache_keys(self, tmp_path):
+        out = tmp_path / "log.jsonl"
+        run_sweep(
+            self._probe_spec(),
+            jobs=0,
+            out_path=out,
+            checkpoint_dir=tmp_path / "snaps",
+            checkpoint_every=2.0,
+        )
+        resumed = run_sweep(
+            self._probe_spec(), jobs=0, out_path=out, resume=True
+        )
+        assert resumed.computed == 0  # same hashes with and without ckpt
+
+    def test_retry_resumes_from_the_snapshot(self, tmp_path):
+        # retries exist only in the pool path (jobs=0 is single-attempt),
+        # so this runs through real worker processes.
+        spec = SweepSpec(
+            "ckpt-preempt",
+            [SweepTask.make("_ckpt_preempted", {"seed": 4})],
+        )
+        result = run_sweep(
+            spec,
+            jobs=2,
+            retries=1,
+            checkpoint_dir=tmp_path,
+            checkpoint_every=1.0,
+        )
+        record = result.records[0]
+        assert record.status == STATUS_OK
+        assert record.attempts == 2
+        assert record.metrics["resumed"] is True
