@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test coverage checkpoint-smoke bench bench-full bench-obs sweep-smoke faults-smoke trace-smoke
+.PHONY: test coverage checkpoint-smoke bench bench-full bench-obs bench-incremental bench-incremental-smoke sweep-smoke faults-smoke trace-smoke
 
 # Tier-1 test suite (must stay green).
 test:
@@ -71,3 +71,14 @@ bench-full:
 # stays within 3% of the BENCH_epoch.json reference; writes BENCH_obs.json.
 bench-obs:
 	$(PYTHON) benchmarks/bench_obs_overhead.py
+
+# Activity sweep: incremental vs dense vectorized backend at 200 cells;
+# writes BENCH_incremental.json.
+bench-incremental:
+	$(PYTHON) benchmarks/bench_epoch.py --activity-sweep --epochs 10
+
+# CI-sized activity sweep (20 cells) with the scalar oracle in the loop:
+# fails if the incremental digests diverge from the scalar digests or the
+# dirty counters exceed the number of moved cells.
+bench-incremental-smoke:
+	$(PYTHON) benchmarks/bench_epoch.py --activity-sweep --smoke

@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Benchmark the LTE epoch hot path: scalar vs vectorized backend.
+"""Benchmark the LTE epoch hot path: scalar vs vectorized vs incremental.
 
 Times ``LteNetworkSimulator.run_epoch`` under saturated demand on seeded
 random deployments at several cell counts, and writes the measurements to
@@ -11,26 +11,39 @@ becomes very slow past ~50 cells, so by default it is only timed up to
 alone.  Both backends are bit-identical for the same seeds
 (``tests/test_lte_network_vectorized.py``), so the speedup is free.
 
+``--activity-sweep`` instead benchmarks the *incremental* backend against
+the dense vectorized backend while sweeping per-epoch activity (the
+fraction of cells whose clients move and carry traffic each epoch),
+writing ``BENCH_incremental.json``.  With ``--smoke`` the sweep also runs
+the scalar oracle with the same culling horizon and asserts per-epoch
+digest equality plus dirty-counter sanity (the CI job).
+
 Usage::
 
-    PYTHONPATH=src python benchmarks/bench_epoch.py            # full run
-    PYTHONPATH=src python benchmarks/bench_epoch.py --smoke    # quick CI run
+    PYTHONPATH=src python benchmarks/bench_epoch.py                    # full run
+    PYTHONPATH=src python benchmarks/bench_epoch.py --smoke            # quick CI run
+    PYTHONPATH=src python benchmarks/bench_epoch.py --activity-sweep   # incremental
 """
 
 from __future__ import annotations
 
 import argparse
+import gc
+import hashlib
 import json
 import pathlib
+import statistics
 import time
-from typing import Dict, List
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.lte.network import (
+    BACKEND_INCREMENTAL,
     BACKEND_SCALAR,
     BACKEND_VECTORIZED,
     AllSubchannelsPolicy,
+    EpochResult,
     LteNetworkSimulator,
 )
 from repro.phy.propagation import (
@@ -44,20 +57,36 @@ from repro.sim.topology import random_topology, reassociate_strongest
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 OUTPUT_PATH = REPO_ROOT / "BENCH_epoch.json"
+INCREMENTAL_OUTPUT_PATH = REPO_ROOT / "BENCH_incremental.json"
 
 DEFAULT_SIZES = (10, 50, 200)
+DEFAULT_ACTIVITIES = (0.05, 0.10, 0.25, 1.00)
+SWEEP_CELLS = 200
+SMOKE_SWEEP_CELLS = 20
 CLIENTS_PER_AP = 6
 SEED = 2017
+AREA_M = 2000.0
+#: Path-loss horizon for the sweep's incremental arm: at 600 MHz urban
+#: Hata ~135 dB is ~1.7 km, so distant cells across the 2 km area are
+#: culled while every plausible interferer stays live.
+SWEEP_CULL_LOSS_DB = 135.0
+#: Offered load per active client in the sweep (bits per 1 s epoch).  The
+#: activity sweep models a lightly loaded network -- bounded demand, not
+#: saturation -- so the scheduler serves the backlog and goes quiet
+#: instead of burning every mini-slot (in both arms alike).
+SWEEP_DEMAND_BITS = 1e5
 
 
-def build_network(n_cells: int, backend: str) -> LteNetworkSimulator:
+def build_network(
+    n_cells: int, backend: str, cull_loss_db: Optional[float] = None
+) -> LteNetworkSimulator:
     """A seeded deployment identical across backends."""
     rng = np.random.default_rng(SEED)
     topology = random_topology(
         rng,
         n_aps=n_cells,
         clients_per_ap=CLIENTS_PER_AP,
-        area_m=2000.0,
+        area_m=AREA_M,
         client_range_m=600.0,
     )
     channel = CompositeChannel(
@@ -70,6 +99,7 @@ def build_network(n_cells: int, backend: str) -> LteNetworkSimulator:
         channel=channel,
         rngs=RngStreams(SEED),
         backend=backend,
+        cull_loss_db=cull_loss_db,
     )
 
 
@@ -136,6 +166,231 @@ def run_benchmark(
     }
 
 
+def epoch_digest(result: EpochResult) -> str:
+    """Order-independent digest of every client-visible epoch output.
+
+    ``repr`` of a float round-trips the exact IEEE-754 value, so two
+    backends hash equal iff they are bit-identical.
+    """
+    payload = repr(
+        (
+            sorted(result.served_bits.items()),
+            sorted(result.connected.items()),
+            [
+                (
+                    ap_id,
+                    obs.n_active_clients,
+                    obs.estimated_contenders,
+                    [
+                        (
+                            cid,
+                            c.subband_cqi,
+                            c.max_subband_cqi,
+                            c.interference_detected,
+                            sorted(c.scheduled_fraction.items()),
+                        )
+                        for cid, c in sorted(obs.clients.items())
+                    ],
+                )
+                for ap_id, obs in sorted(result.observations.items())
+            ],
+        )
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def _sweep_scenario(
+    n_cells: int, activity: float
+) -> Tuple[List[int], Dict[int, float], List[int]]:
+    """Deterministic (active AP ids, demands, mover client ids).
+
+    ``activity`` is the fraction of cells that are active: their clients
+    carry saturated traffic and one client per active cell moves every
+    epoch.  Everything else is idle, which is the regime the incremental
+    backend targets (most cells unchanged epoch over epoch).
+    """
+    n_active = max(1, int(round(activity * n_cells)))
+    rng = np.random.default_rng(SEED + 1)
+    active_aps = sorted(rng.choice(n_cells, size=n_active, replace=False).tolist())
+    reference = build_network(n_cells, BACKEND_VECTORIZED)
+    demands: Dict[int, float] = {}
+    movers: List[int] = []
+    for ap_id in active_aps:
+        clients = reference.topology.clients_of(ap_id)
+        for client in clients:
+            demands[client.client_id] = SWEEP_DEMAND_BITS
+        if clients:
+            movers.append(clients[0].client_id)
+    return active_aps, demands, movers
+
+
+def _movement_schedule(
+    net: LteNetworkSimulator, movers: List[int], n_epochs: int
+) -> List[List[Tuple[int, float, float]]]:
+    """Per-epoch absolute positions for the movers, identical across arms."""
+    rng = np.random.default_rng(SEED + 2)
+    base = {cid: (net.topology.client(cid).x, net.topology.client(cid).y) for cid in movers}
+    schedule: List[List[Tuple[int, float, float]]] = []
+    for _ in range(n_epochs):
+        step = []
+        for cid in movers:
+            bx, by = base[cid]
+            x = min(max(bx + rng.uniform(-50.0, 50.0), 0.0), AREA_M)
+            y = min(max(by + rng.uniform(-50.0, 50.0), 0.0), AREA_M)
+            step.append((cid, x, y))
+        schedule.append(step)
+    return schedule
+
+
+def _run_sweep_arm(
+    n_cells: int,
+    backend: str,
+    cull_loss_db: Optional[float],
+    demands: Dict[int, float],
+    schedule: List[List[Tuple[int, float, float]]],
+    collect_digests: bool,
+) -> Dict:
+    """Time the epoch loop for one backend under the activity scenario.
+
+    Each timed epoch first applies that epoch's client movements (part of
+    the workload: the incremental backend pays its row refresh here), then
+    runs the epoch.  Epoch 0 is an untimed warm-up so caches are hot in
+    every arm.
+    """
+    net = build_network(n_cells, backend, cull_loss_db=cull_loss_db)
+    policy = AllSubchannelsPolicy(
+        [ap.ap_id for ap in net.topology.aps], net.grid.n_subchannels
+    )
+    allowed = policy.decide(0, None)
+    net.run_epoch(0, allowed, demands)  # warm-up, not timed
+    digests: List[str] = []
+    dirty_aps: List[int] = []
+    epoch_times: List[float] = []
+    event_apply = 0.0
+    # Collect once up front, then keep the collector out of the timed
+    # region: generational GC pauses scale with the cached-block heap and
+    # would otherwise dominate run-to-run variance.
+    gc.collect()
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    for epoch, moves in enumerate(schedule, start=1):
+        # Event application (mobility + link refresh) is identical physics
+        # in every arm; it is timed separately so ``per_epoch_s`` compares
+        # the epoch engines themselves.
+        start = time.perf_counter()
+        for cid, x, y in moves:
+            net.move_client(cid, x, y)
+        mid = time.perf_counter()
+        result = net.run_epoch(epoch, allowed, demands)
+        event_apply += mid - start
+        epoch_times.append(time.perf_counter() - mid)
+        if collect_digests:
+            digests.append(epoch_digest(result))
+        if backend == BACKEND_INCREMENTAL:
+            dirty_aps.append(net.last_epoch_stats["dirty_aps"])
+    if gc_was_enabled:
+        gc.enable()
+    arm: Dict = {
+        "total_s": sum(epoch_times),
+        # Median epoch time: one preempted epoch should not skew the
+        # backend comparison on a shared machine.
+        "per_epoch_s": statistics.median(epoch_times),
+        "event_apply_s": event_apply,
+        "event_apply_per_epoch_s": event_apply / len(schedule),
+        "epochs": len(schedule),
+    }
+    if collect_digests:
+        arm["digests"] = digests
+    if backend == BACKEND_INCREMENTAL:
+        arm["dirty_aps_per_epoch"] = dirty_aps
+        arm["last_epoch_stats"] = dict(net.last_epoch_stats)
+    return arm
+
+
+def run_activity_sweep(
+    n_cells: int,
+    activities: List[float],
+    n_epochs: int,
+    check: bool,
+    cull_loss_db: float = SWEEP_CULL_LOSS_DB,
+) -> Dict:
+    """Benchmark incremental vs dense vectorized across activity levels.
+
+    With ``check=True`` a scalar arm with the *same* culling horizon runs
+    as the bit-identity oracle: its per-epoch digests must equal the
+    incremental arm's, and the incremental dirty counters must match the
+    number of cells whose clients moved.
+    """
+    results = []
+    for activity in activities:
+        active_aps, demands, movers = _sweep_scenario(n_cells, activity)
+        reference = build_network(n_cells, BACKEND_VECTORIZED)
+        schedule = _movement_schedule(reference, movers, n_epochs)
+        entry: Dict = {
+            "activity": activity,
+            "active_cells": len(active_aps),
+            "moving_clients": len(movers),
+        }
+        entry["vectorized"] = _run_sweep_arm(
+            n_cells, BACKEND_VECTORIZED, None, demands, schedule, check
+        )
+        entry["incremental"] = _run_sweep_arm(
+            n_cells, BACKEND_INCREMENTAL, cull_loss_db, demands, schedule, check
+        )
+        entry["speedup_vs_vectorized"] = (
+            entry["vectorized"]["per_epoch_s"]
+            / entry["incremental"]["per_epoch_s"]
+        )
+        if check:
+            scalar = _run_sweep_arm(
+                n_cells, BACKEND_SCALAR, cull_loss_db, demands, schedule, True
+            )
+            entry["digest_match"] = (
+                scalar["digests"] == entry["incremental"]["digests"]
+            )
+            if not entry["digest_match"]:
+                raise SystemExit(
+                    f"digest mismatch at activity {activity}: incremental "
+                    "backend diverged from the culled scalar oracle"
+                )
+            dirty = entry["incremental"]["dirty_aps_per_epoch"]
+            # After warm-up only moved clients dirty their serving cell,
+            # so the dirty count is bounded by the mover count.
+            if any(d > len(movers) for d in dirty):
+                raise SystemExit(
+                    f"dirty-counter sanity failed at activity {activity}: "
+                    f"{dirty} dirty APs for {len(movers)} movers"
+                )
+            if dirty and max(dirty) == 0:
+                raise SystemExit(
+                    f"dirty-counter sanity failed at activity {activity}: "
+                    "movers never dirtied any AP"
+                )
+            entry["dirty_counter_ok"] = True
+            # Digest payloads served their purpose; keep the JSON small.
+            for arm in (entry["vectorized"], entry["incremental"]):
+                arm.pop("digests", None)
+        results.append(entry)
+        check_note = "  digests ok" if check else ""
+        print(
+            f"activity {activity:5.2f}  ({len(active_aps):3d} cells)  "
+            f"vectorized {entry['vectorized']['per_epoch_s'] * 1e3:8.1f} ms  "
+            f"incremental {entry['incremental']['per_epoch_s'] * 1e3:8.1f} ms  "
+            f"speedup {entry['speedup_vs_vectorized']:5.1f}x{check_note}"
+        )
+    return {
+        "benchmark": "lte-epoch-incremental",
+        "seed": SEED,
+        "cells": n_cells,
+        "clients": n_cells * CLIENTS_PER_AP,
+        "clients_per_ap": CLIENTS_PER_AP,
+        "cull_loss_db": cull_loss_db,
+        "epochs_timed": n_epochs,
+        "digest_checked": check,
+        "results": results,
+    }
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -160,21 +415,69 @@ def main() -> None:
         help="largest size at which the scalar backend is also timed",
     )
     parser.add_argument(
+        "--activity-sweep",
+        action="store_true",
+        help=(
+            "benchmark the incremental backend against dense vectorized "
+            f"across activity levels; writes {INCREMENTAL_OUTPUT_PATH.name}"
+        ),
+    )
+    parser.add_argument(
+        "--activities",
+        type=float,
+        nargs="+",
+        default=None,
+        help=(
+            "per-epoch activity fractions for --activity-sweep "
+            f"(default {list(DEFAULT_ACTIVITIES)})"
+        ),
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help=(
+            "with --activity-sweep: also run the culled scalar oracle and "
+            "assert digest equality (implied by --smoke)"
+        ),
+    )
+    parser.add_argument(
         "--output",
         type=pathlib.Path,
-        default=OUTPUT_PATH,
-        help=f"result file (default {OUTPUT_PATH})",
+        default=None,
+        help=f"result file (default {OUTPUT_PATH} / {INCREMENTAL_OUTPUT_PATH})",
     )
     args = parser.parse_args()
-    if args.smoke:
-        sizes = args.sizes or [10, 20]
-        n_epochs = args.epochs or 2
+    if args.activity_sweep:
+        if args.smoke:
+            n_cells = SMOKE_SWEEP_CELLS
+            n_epochs = args.epochs or 3
+            activities = args.activities or [0.10, 0.50]
+        else:
+            n_cells = args.sizes[0] if args.sizes else SWEEP_CELLS
+            n_epochs = args.epochs or 5
+            activities = args.activities or list(DEFAULT_ACTIVITIES)
+        payload = run_activity_sweep(
+            n_cells, activities, n_epochs, check=args.check or args.smoke
+        )
+        # Smoke mode is a correctness gate, not a performance record: keep
+        # it from clobbering the full-scale BENCH_incremental.json.
+        if args.smoke:
+            output = args.output or (
+                REPO_ROOT / "BENCH_incremental_smoke.json"
+            )
+        else:
+            output = args.output or INCREMENTAL_OUTPUT_PATH
     else:
-        sizes = args.sizes or list(DEFAULT_SIZES)
-        n_epochs = args.epochs or 5
-    payload = run_benchmark(sizes, n_epochs, args.max_scalar_cells)
-    args.output.write_text(json.dumps(payload, indent=2) + "\n")
-    print(f"wrote {args.output}")
+        if args.smoke:
+            sizes = args.sizes or [10, 20]
+            n_epochs = args.epochs or 2
+        else:
+            sizes = args.sizes or list(DEFAULT_SIZES)
+            n_epochs = args.epochs or 5
+        payload = run_benchmark(sizes, n_epochs, args.max_scalar_cells)
+        output = args.output or OUTPUT_PATH
+    output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {output}")
 
 
 if __name__ == "__main__":

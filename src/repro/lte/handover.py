@@ -8,9 +8,13 @@ neighbour cell's RSRP exceeds the serving cell's by a hysteresis margin
 for a sustained time-to-trigger, which suppresses ping-pong at cell edges.
 
 :class:`MobileNetworkRunner` glues mobility, handover and the epoch
-simulator: each epoch it moves the clients, applies handover decisions,
-rebuilds the link caches and runs the scheduler -- CellFi's interference
-manager rides along unchanged.
+simulator: each epoch it moves the clients through the simulator's
+incremental mobility API (:meth:`LteNetworkSimulator.move_client`),
+applies handover decisions through
+:meth:`LteNetworkSimulator.reattach_client` and runs the scheduler --
+CellFi's interference manager rides along unchanged.  Only the rows of
+moved/handed-over clients are refreshed; everything else (gain cache,
+schedulers, CQI tracking) persists across epochs.
 """
 
 from __future__ import annotations
@@ -115,14 +119,15 @@ class MobileNetworkRunner:
         self.rngs = rngs
         self.mobility = mobility
         self.controller = controller or HandoverController()
-        self.topology = topology
         self.handovers: List[HandoverEvent] = []
         for client in topology.clients:
             mobility.add_client(client.client_id, client.x, client.y)
-        self._net_kwargs = net_kwargs
         self.net = LteNetworkSimulator(
             topology, grid, channel, rngs, **net_kwargs
         )
+        # The runner mutates the simulator's topology in place (moves and
+        # re-attachments); expose that single live object.
+        self.topology = self.net.topology
 
     def _rsrp(self, topology: Topology) -> Dict[int, Dict[int, float]]:
         levels: Dict[int, Dict[int, float]] = {}
@@ -133,30 +138,6 @@ class MobileNetworkRunner:
             }
         return levels
 
-    def _rebuild(self, positions, serving: Mapping[int, int]) -> None:
-        clients = [
-            ClientSite(
-                client_id=c.client_id,
-                x=positions[c.client_id][0],
-                y=positions[c.client_id][1],
-                ap_id=serving[c.client_id],
-            )
-            for c in self.topology.clients
-        ]
-        self.topology = Topology(
-            area_m=self.topology.area_m,
-            aps=list(self.topology.aps),
-            clients=clients,
-        )
-        # Preserve scheduler and CQI-tracking state; refresh the radio
-        # caches for the new positions.
-        old_net = self.net
-        self.net = LteNetworkSimulator(
-            self.topology, self.grid, self.channel, self.rngs, **self._net_kwargs
-        )
-        self.net.schedulers = old_net.schedulers
-        self.net._max_cqi_state = old_net._max_cqi_state
-
     def run(
         self,
         n_epochs: int,
@@ -164,13 +145,24 @@ class MobileNetworkRunner:
         demand_fn,
         epoch_s: float = 1.0,
     ) -> List[EpochResult]:
-        """Run with per-epoch movement and handover."""
+        """Run with per-epoch movement and handover.
+
+        Each epoch: move every walker through the simulator's incremental
+        mobility path, evaluate A3 measurements against the refreshed
+        links, apply qualifying handovers via ``reattach_client``, then
+        run the epoch.  No caches are rebuilt wholesale -- the dirty-row
+        machinery refreshes exactly the touched rows, so the incremental
+        epoch backend sees precisely the cells events touched.
+        """
         results: List[EpochResult] = []
         observations = None
         serving = {c.client_id: c.ap_id for c in self.topology.clients}
         for epoch in range(n_epochs):
             positions = self.mobility.step(epoch_s)
-            self._rebuild(positions, serving)
+            for client_id, (x, y) in positions.items():
+                site = self.topology.client(client_id)
+                if site.x != x or site.y != y:
+                    self.net.move_client(client_id, x, y)
             rsrp = self._rsrp(self.topology)
             for client_id, target in self.controller.decide(serving, rsrp).items():
                 self.handovers.append(
@@ -182,7 +174,7 @@ class MobileNetworkRunner:
                     )
                 )
                 serving[client_id] = target
-            self._rebuild(positions, serving)
+                self.net.reattach_client(client_id, target)
             allowed = policy.decide(epoch, observations)
             result = self.net.run_epoch(epoch, allowed, demand_fn(epoch))
             observations = result.observations

@@ -216,29 +216,8 @@ class ProportionalFairScheduler(Scheduler):
     ) -> Allocation:
         for client in demands_bits:
             self._average_bps.setdefault(client, self.floor_bps)
-
-        def pick(sub: int, remaining: Dict[int, float], served: Dict[int, float]) -> int:
-            best_client = -1
-            best_metric = 0.0
-            for client, demand in remaining.items():
-                if demand <= 0.0:
-                    continue
-                rate = rate_fn(client, sub)
-                if rate <= 0.0:
-                    continue
-                # Denominator mixes historical average with bits already
-                # served *this epoch*, so fairness acts within the epoch
-                # too (otherwise one client would win every mini-slot).
-                history_bits = self.smoothing * self._average_bps[client] * epoch_s
-                denom = max(served[client] + history_bits, self.floor_bps * epoch_s / 100.0)
-                metric = rate / denom
-                if metric > best_metric:
-                    best_metric = metric
-                    best_client = client
-            return best_client
-
-        allocation = self._slot_allocate(
-            allowed_subchannels, demands_bits, rate_fn, epoch_s, pick
+        allocation = self._fast_allocate(
+            allowed_subchannels, demands_bits, rate_fn, epoch_s
         )
         # Update the smoothed averages from realised epoch throughput.
         for client in demands_bits:
@@ -246,5 +225,138 @@ class ProportionalFairScheduler(Scheduler):
             self._average_bps[client] = (
                 (1.0 - self.smoothing) * self._average_bps[client]
                 + self.smoothing * max(realised, self.floor_bps)
+            )
+        return allocation
+
+    def _fast_allocate(
+        self,
+        allowed_subchannels: Sequence[int],
+        demands_bits: Dict[int, float],
+        rate_fn: RateFn,
+        epoch_s: float,
+    ) -> Allocation:
+        """Inlined mini-slot engine for the PF pick rule.
+
+        The scheduler is the hottest per-epoch loop of the system-level
+        simulator (one pick per mini-slot per subchannel per AP), so the
+        generic :meth:`Scheduler._slot_allocate` + pick-closure pair is
+        specialised here: ``rate_fn`` is constant within an epoch and is
+        prefetched once per (subchannel, client), and the per-pick history
+        term is hoisted out of the slot loop.  Every floating-point
+        expression, iteration order and tie-break below replicates the
+        classic pick closure running inside ``_slot_allocate`` exactly --
+        ``tests/test_lte_scheduler.py`` pins the bit-identity against a
+        reference copy of that closure.
+        """
+        tel = _obs_runtime.active()
+        span = (
+            tel.span(
+                "scheduler.allocate",
+                cat="scheduler",
+                args={
+                    "clients": len(demands_bits),
+                    "subchannels": len(allowed_subchannels),
+                },
+            )
+            if tel is not None
+            else None
+        )
+        if span is not None:
+            span.__enter__()
+        allocation = Allocation(epoch_s=epoch_s)
+        remaining = dict(demands_bits)
+        served: Dict[int, float] = {c: 0.0 for c in demands_bits}
+        slot_s = epoch_s / MINISLOTS_PER_EPOCH
+        slot_fraction = 1.0 / MINISLOTS_PER_EPOCH
+        floor_denom = self.floor_bps * epoch_s / 100.0
+        # Denominator mixes historical average with bits already served
+        # *this epoch*, so fairness acts within the epoch too (otherwise
+        # one client would win every mini-slot).
+        averages = self._average_bps
+        history = {
+            client: self.smoothing * averages[client] * epoch_s
+            for client in remaining
+        }
+        # Backends that precompute per-client rate rows expose them as an
+        # attribute on the closure; prefetching from the table skips one
+        # function call per (subchannel, client) pair.  The table holds
+        # the exact floats ``rate_fn`` would return, so the allocation is
+        # unchanged.
+        rate_rows = getattr(rate_fn, "rate_rows", None)
+        per_sub = []
+        if rate_rows is None:
+            for sub in allowed_subchannels:
+                pairs = []
+                for client in remaining:
+                    rate = rate_fn(client, sub)
+                    if rate > 0.0:
+                        pairs.append((client, rate))
+                per_sub.append((sub, pairs))
+        else:
+            client_rows = [(c, rate_rows[c]) for c in remaining]
+            for sub in allowed_subchannels:
+                pairs = []
+                for client, row in client_rows:
+                    rate = row[sub]
+                    if rate > 0.0:
+                        pairs.append((client, rate))
+                per_sub.append((sub, pairs))
+        time_fraction = allocation.time_fraction
+        # A mini-slot that allocates nothing leaves (served, remaining)
+        # untouched, so every later slot would be the same no-op: the
+        # remaining slots are skipped wholesale.  This triggers once all
+        # demand is exhausted (or only zero-rate backlog is left), so
+        # finite-demand epochs stop paying for empty slots while the
+        # produced allocation stays identical.
+        n_live = sum(1 for left in remaining.values() if left > 0.0)
+        progressed = True
+        for _ in range(MINISLOTS_PER_EPOCH):
+            if n_live == 0 or not progressed:
+                break
+            progressed = False
+            for sub, pairs in per_sub:
+                best_client = -1
+                best_rate = 0.0
+                best_metric = 0.0
+                for client, rate in pairs:
+                    if remaining[client] <= 0.0:
+                        continue
+                    denom = served[client] + history[client]
+                    if denom < floor_denom:
+                        denom = floor_denom
+                    metric = rate / denom
+                    if metric > best_metric:
+                        best_metric = metric
+                        best_client = client
+                        best_rate = rate
+                if best_client < 0:
+                    continue
+                left = remaining[best_client]
+                bits = best_rate * slot_s
+                if bits > left:
+                    bits = left
+                if bits <= 0.0:
+                    continue
+                left -= bits
+                remaining[best_client] = left
+                if left <= 0.0:
+                    n_live -= 1
+                progressed = True
+                served[best_client] += bits
+                key = (best_client, sub)
+                got = time_fraction.get(key)
+                time_fraction[key] = (
+                    slot_fraction if got is None else got + slot_fraction
+                )
+                if n_live == 0:
+                    break
+        allocation.served_bits = served
+        if span is not None:
+            span.__exit__(None, None, None)
+            tel.inc("scheduler.allocations")
+            tel.inc("scheduler.served_bits", sum(served.values()))
+            tel.inc(
+                "scheduler.clients_served",
+                sum(1 for bits in served.values() if bits > 0.0),
             )
         return allocation

@@ -217,6 +217,11 @@ class GainMatrixCache:
         ap_antennas: optional per-AP antenna (``ap_id`` -> antenna); its
             bearing-dependent gain toward each client is subtracted from
             the loss.  Omitted APs radiate isotropically.
+        cull_loss_db: optional neighbor-culling horizon.  Links whose total
+            loss exceeds this are *culled*: consumers treat them as carrying
+            exactly zero power (no signal, no interference, no PRACH
+            audibility).  ``None`` (the default) disables culling and keeps
+            every link live, matching historic behaviour.
     """
 
     def __init__(
@@ -225,11 +230,17 @@ class GainMatrixCache:
         aps: Sequence,
         clients: Sequence,
         ap_antennas: Optional[Dict[int, "object"]] = None,
+        cull_loss_db: Optional[float] = None,
     ) -> None:
+        if cull_loss_db is not None and not cull_loss_db > 0.0:
+            raise ValueError(
+                f"cull_loss_db must be > 0 dB or None, got {cull_loss_db!r}"
+            )
         self.channel = channel
         self._aps = list(aps)
         self._clients = list(clients)
         self.ap_antennas = dict(ap_antennas or {})
+        self.cull_loss_db = cull_loss_db
         self.ap_index: Dict[int, int] = {
             ap.ap_id: j for j, ap in enumerate(self._aps)
         }
@@ -238,6 +249,8 @@ class GainMatrixCache:
         }
         self._loss = np.zeros((len(self._clients), len(self._aps)))
         self._row_valid = np.zeros(len(self._clients), dtype=bool)
+        self._readonly = self._loss.view()
+        self._readonly.setflags(write=False)
 
     def _fill_row(self, row: int) -> None:
         client = self._clients[row]
@@ -257,13 +270,38 @@ class GainMatrixCache:
         return float(self._loss[row, self.ap_index[ap_id]])
 
     def matrix(self) -> np.ndarray:
-        """The full (n_clients, n_aps) loss matrix in dB.
+        """The full (n_clients, n_aps) loss matrix in dB, read-only.
 
-        The returned array is the live cache -- callers must not mutate it.
+        Fills any stale rows first, then returns a non-writeable view of
+        the cache so callers cannot corrupt it.  Callers that only need a
+        few rows should prefer :meth:`rows`, which leaves the rest of the
+        cache lazy.
         """
         for row in np.flatnonzero(~self._row_valid):
             self._fill_row(int(row))
-        return self._loss
+        return self._readonly
+
+    def rows(self, client_ids: Sequence[int]) -> np.ndarray:
+        """Loss rows for a subset of clients, in the order given.
+
+        Only the requested rows are (re)computed -- unlike :meth:`matrix`
+        this does not eagerly fill the whole cache, which is what the
+        incremental epoch backend needs when only a few clients moved.
+        Returns a read-only ``(len(client_ids), n_aps)`` array.
+        """
+        indices = [self.client_index[cid] for cid in client_ids]
+        for row in indices:
+            if not self._row_valid[row]:
+                self._fill_row(row)
+        subset = self._loss[np.asarray(indices, dtype=np.intp)]
+        subset.setflags(write=False)
+        return subset
+
+    def is_culled(self, client_id: int, ap_id: int) -> bool:
+        """True when the link exceeds the culling horizon (if one is set)."""
+        if self.cull_loss_db is None:
+            return False
+        return self.loss_db(client_id, ap_id) > self.cull_loss_db
 
     def invalidate_client(self, client_id: int, site=None) -> None:
         """Mark one client's links stale, e.g. after a mobility step.

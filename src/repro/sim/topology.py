@@ -129,6 +129,43 @@ class Topology:
         siblings[siblings.index(old)] = new
         return new
 
+    def reattach_client(self, client_id: int, new_ap_id: int) -> ClientSite:
+        """Move a client's association to another AP (handover/re-attach).
+
+        Sites are immutable, so the client is replaced by a new
+        :class:`ClientSite` with ``ap_id=new_ap_id`` at the same position.
+        The per-AP client lists of *both* the old and the new serving AP
+        are rebuilt by filtering ``self.clients``, which keeps them in
+        canonical ``clients``-list order -- the same order a freshly built
+        topology would produce.  Simulators iterate (and draw RNG values)
+        in that order, so preserving it keeps incremental runs bit-
+        identical to rebuilt ones.
+
+        Returns:
+            The new site (unchanged if already attached to ``new_ap_id``).
+
+        Raises:
+            KeyError: for an unknown client or AP id.
+        """
+        old = self.client(client_id)
+        if new_ap_id not in self._clients_by_ap:
+            raise KeyError(f"no access point with id {new_ap_id}")
+        if old.ap_id == new_ap_id:
+            return old
+        new = ClientSite(
+            client_id=old.client_id,
+            x=old.x,
+            y=old.y,
+            ap_id=new_ap_id,
+            height_m=old.height_m,
+        )
+        self.clients[self.clients.index(old)] = new
+        for ap_id in (old.ap_id, new_ap_id):
+            self._clients_by_ap[ap_id] = [
+                c for c in self.clients if c.ap_id == ap_id
+            ]
+        return new
+
     def interference_graph(
         self, interferes: Callable[[AccessPointSite, ClientSite], bool]
     ) -> Dict[int, set]:

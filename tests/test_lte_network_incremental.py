@@ -1,0 +1,597 @@
+"""Incremental epoch backend: bit-identity, dirty tracking and culling.
+
+The incremental backend reuses cached per-AP blocks across epochs and
+skips interference from culled neighbours, so these tests hold it to the
+same standard as the vectorized backend: *exact* equality with the scalar
+oracle (no tolerances) under seeded mobility, handover and hopping churn
+-- including zero-activity epochs, where the cache does all the work.
+
+Also pinned here: the hot-path bugfix sweep that rode along with the
+backend -- the ``_rows_of_ap`` handover staleness fix, the read-only
+gain-matrix accessors, the zero-signal CQI clamp, and the PF scheduler
+fast path.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.lte.network import (
+    BACKEND_INCREMENTAL,
+    BACKEND_SCALAR,
+    BACKEND_VECTORIZED,
+    ZERO_SIGNAL_SINR_DB,
+    AllSubchannelsPolicy,
+    LteNetworkSimulator,
+    _elementwise_db,
+)
+from repro.lte.scheduler import (
+    MINISLOTS_PER_EPOCH,
+    ProportionalFairScheduler,
+    Scheduler,
+)
+from repro.phy.mcs import CQI_OUT_OF_RANGE, cqi_from_sinr
+from repro.phy.propagation import (
+    CompositeChannel,
+    GainMatrixCache,
+    LogNormalShadowing,
+    UrbanHataPathLoss,
+)
+from repro.phy.resource_grid import ResourceGrid
+from repro.sim.rng import RngStreams
+from repro.sim.topology import random_topology, reassociate_strongest
+
+N_CELLS = 20
+CLIENTS_PER_AP = 4
+SEED = 42
+CULL_DB = 135.0
+
+
+def make_channel():
+    return CompositeChannel(
+        UrbanHataPathLoss(), LogNormalShadowing(sigma_db=7.0, seed=SEED)
+    )
+
+
+def make_topology(channel):
+    rng = np.random.default_rng(SEED)
+    topology = random_topology(
+        rng,
+        n_aps=N_CELLS,
+        clients_per_ap=CLIENTS_PER_AP,
+        area_m=2000.0,
+        client_range_m=600.0,
+    )
+    return reassociate_strongest(topology, channel.loss_db)
+
+
+def make_net(backend, cull_loss_db=None):
+    channel = make_channel()
+    topology = make_topology(channel)
+    return LteNetworkSimulator(
+        topology=topology,
+        grid=ResourceGrid(5e6),
+        channel=channel,
+        rngs=RngStreams(SEED),
+        backend=backend,
+        cull_loss_db=cull_loss_db,
+    )
+
+
+class RotatingSubsetPolicy:
+    """Partial, shifting subchannel sets: hopping-style churn."""
+
+    def __init__(self, ap_ids, n_subchannels):
+        self.ap_ids = list(ap_ids)
+        self.n_subchannels = n_subchannels
+
+    def decide(self, epoch_index, observations):
+        return {
+            ap: {
+                (ap + epoch_index + k) % self.n_subchannels
+                for k in range(3 + ap % 4)
+            }
+            for ap in self.ap_ids
+        }
+
+
+def assert_epochs_identical(results_a, results_b):
+    assert len(results_a) == len(results_b)
+    for a, b in zip(results_a, results_b):
+        assert a.epoch_index == b.epoch_index
+        assert a.served_bits == b.served_bits
+        assert a.throughput_bps == b.throughput_bps
+        assert a.connected == b.connected
+        assert a.allocations.keys() == b.allocations.keys()
+        for ap_id in a.allocations:
+            assert a.allocations[ap_id].served_bits == b.allocations[ap_id].served_bits
+            assert (
+                a.allocations[ap_id].time_fraction
+                == b.allocations[ap_id].time_fraction
+            )
+        assert a.observations.keys() == b.observations.keys()
+        for ap_id in a.observations:
+            oa, ob = a.observations[ap_id], b.observations[ap_id]
+            assert oa.n_active_clients == ob.n_active_clients
+            assert oa.estimated_contenders == ob.estimated_contenders
+            assert oa.clients.keys() == ob.clients.keys()
+            for cid in oa.clients:
+                ca, cb = oa.clients[cid], ob.clients[cid]
+                assert ca.subband_cqi == cb.subband_cqi
+                assert ca.max_subband_cqi == cb.max_subband_cqi
+                assert ca.interference_detected == cb.interference_detected
+                assert ca.scheduled_fraction == cb.scheduled_fraction
+
+
+def churn_run(net, n_epochs):
+    """Seeded mobility + handover + hopping churn with zero-activity epochs.
+
+    Every stochastic choice comes from dedicated generators seeded
+    identically per backend, so all backends replay the same event
+    sequence in lockstep.
+    """
+    policy = RotatingSubsetPolicy(
+        [ap.ap_id for ap in net.topology.aps], net.grid.n_subchannels
+    )
+    churn_rng = np.random.default_rng(7)
+    results = []
+    for epoch in range(n_epochs):
+        if epoch % 4 == 3:
+            demands = {c.client_id: 0.0 for c in net.topology.clients}
+        else:
+            demands = {}
+            for c in net.topology.clients:
+                cid = c.client_id
+                if cid % 5 == 0:
+                    demands[cid] = 0.0
+                elif cid % 3 == 0:
+                    demands[cid] = 2e6
+                else:
+                    demands[cid] = float("inf")
+        allowed = policy.decide(epoch, None)
+        results.append(net.run_epoch(epoch, allowed, demands))
+        # Mobility: jitter a couple of clients.
+        for _ in range(2):
+            mover = net.topology.clients[
+                int(churn_rng.integers(len(net.topology.clients)))
+            ]
+            net.move_client(
+                mover.client_id,
+                float(churn_rng.uniform(0.0, net.topology.area_m)),
+                float(churn_rng.uniform(0.0, net.topology.area_m)),
+            )
+        # Handover: re-attach one client to a random cell.
+        roamer = net.topology.clients[
+            int(churn_rng.integers(len(net.topology.clients)))
+        ]
+        net.reattach_client(roamer.client_id, int(churn_rng.integers(N_CELLS)))
+    return results
+
+
+class TestBackendSelection:
+    def test_incremental_backend_accepted(self):
+        assert make_net(BACKEND_INCREMENTAL).backend == BACKEND_INCREMENTAL
+
+    def test_cull_conflict_with_injected_cache_rejected(self):
+        channel = make_channel()
+        topology = make_topology(channel)
+        cache = GainMatrixCache(
+            channel, topology.aps, topology.clients, cull_loss_db=140.0
+        )
+        with pytest.raises(ValueError):
+            LteNetworkSimulator(
+                topology=topology,
+                grid=ResourceGrid(5e6),
+                channel=channel,
+                rngs=RngStreams(SEED),
+                gain_cache=cache,
+                cull_loss_db=150.0,
+            )
+
+
+class TestBitForBitFuzz:
+    """Scalar vs vectorized vs incremental in lockstep over seeded churn."""
+
+    def test_three_backends_identical_under_churn(self):
+        results = {
+            backend: churn_run(make_net(backend), 8)
+            for backend in (
+                BACKEND_SCALAR,
+                BACKEND_VECTORIZED,
+                BACKEND_INCREMENTAL,
+            )
+        }
+        assert_epochs_identical(
+            results[BACKEND_SCALAR], results[BACKEND_VECTORIZED]
+        )
+        assert_epochs_identical(
+            results[BACKEND_SCALAR], results[BACKEND_INCREMENTAL]
+        )
+
+    def test_culled_incremental_matches_culled_scalar_oracle(self):
+        # Culling changes the physics (dead links carry nothing), so the
+        # oracle is the *scalar backend with the same horizon*.
+        results = {
+            backend: churn_run(make_net(backend, cull_loss_db=CULL_DB), 8)
+            for backend in (BACKEND_SCALAR, BACKEND_INCREMENTAL)
+        }
+        assert_epochs_identical(
+            results[BACKEND_SCALAR], results[BACKEND_INCREMENTAL]
+        )
+
+    def test_culling_horizon_actually_culls(self):
+        net = make_net(BACKEND_INCREMENTAL, cull_loss_db=CULL_DB)
+        policy = AllSubchannelsPolicy(
+            [ap.ap_id for ap in net.topology.aps], net.grid.n_subchannels
+        )
+        demands = {c.client_id: float("inf") for c in net.topology.clients}
+        net.run_epoch(0, policy.decide(0, None), demands)
+        assert net.last_epoch_stats["culled_columns"] > 0
+        dead = [
+            (cid, ap_id)
+            for (cid, ap_id), w in net._rx_rb_w.items()
+            if w == 0.0
+        ]
+        assert dead
+        for cid, ap_id in dead:
+            assert net.rx_rb_power_dbm(cid, ap_id) == float("-inf")
+            assert not net.prach_audible(cid, ap_id)
+
+
+class TestDirtyTracking:
+    def _run_one(self, net, policy, epoch, demands):
+        return net.run_epoch(epoch, policy.decide(epoch, None), demands)
+
+    def test_quiescent_epochs_are_fully_clean(self):
+        net = make_net(BACKEND_INCREMENTAL)
+        policy = AllSubchannelsPolicy(
+            [ap.ap_id for ap in net.topology.aps], net.grid.n_subchannels
+        )
+        demands = {c.client_id: float("inf") for c in net.topology.clients}
+        self._run_one(net, policy, 0, demands)
+        assert net.last_epoch_stats["dirty_aps"] == N_CELLS
+        self._run_one(net, policy, 1, demands)
+        assert net.last_epoch_stats["dirty_aps"] == 0
+        assert net.last_epoch_stats["clean_aps"] == N_CELLS
+        assert net.last_epoch_stats["dirty_rows"] == 0
+
+    def test_mobility_dirties_exactly_the_serving_ap(self):
+        net = make_net(BACKEND_INCREMENTAL)
+        policy = AllSubchannelsPolicy(
+            [ap.ap_id for ap in net.topology.aps], net.grid.n_subchannels
+        )
+        demands = {c.client_id: float("inf") for c in net.topology.clients}
+        self._run_one(net, policy, 0, demands)
+        moved = net.topology.clients[0]
+        net.move_client(moved.client_id, 500.0, 500.0)
+        self._run_one(net, policy, 1, demands)
+        assert net.last_epoch_stats["dirty_aps"] == 1
+        assert net.last_epoch_stats["clean_aps"] == N_CELLS - 1
+
+    def test_reattach_dirties_both_cells(self):
+        net = make_net(BACKEND_INCREMENTAL)
+        policy = AllSubchannelsPolicy(
+            [ap.ap_id for ap in net.topology.aps], net.grid.n_subchannels
+        )
+        demands = {c.client_id: float("inf") for c in net.topology.clients}
+        self._run_one(net, policy, 0, demands)
+        roamer = net.topology.clients[0]
+        target = next(
+            ap.ap_id for ap in net.topology.aps if ap.ap_id != roamer.ap_id
+        )
+        net.reattach_client(roamer.client_id, target)
+        self._run_one(net, policy, 1, demands)
+        assert net.last_epoch_stats["dirty_aps"] == 2
+        assert net.last_epoch_stats["clean_aps"] == N_CELLS - 2
+
+    def test_hopping_decision_change_dirties_affected_cells(self):
+        net = make_net(BACKEND_INCREMENTAL)
+        policy = RotatingSubsetPolicy(
+            [ap.ap_id for ap in net.topology.aps], net.grid.n_subchannels
+        )
+        demands = {c.client_id: float("inf") for c in net.topology.clients}
+        self._run_one(net, policy, 0, demands)
+        # The rotating policy shifts every AP's subchannel set each epoch,
+        # so every cached block's decision signature misses.
+        self._run_one(net, policy, 1, demands)
+        assert net.last_epoch_stats["dirty_aps"] == N_CELLS
+
+
+class TestReattachRegression:
+    """The ``_rows_of_ap`` handover-staleness bug (diverged before the fix)."""
+
+    def test_reattach_matches_fresh_simulator(self):
+        net = make_net(BACKEND_VECTORIZED)
+        roamer = net.topology.clients[0]
+        target = next(
+            ap.ap_id for ap in net.topology.aps if ap.ap_id != roamer.ap_id
+        )
+        net.reattach_client(roamer.client_id, target)
+
+        channel = make_channel()
+        topology = make_topology(channel)
+        topology.reattach_client(roamer.client_id, target)
+        fresh = LteNetworkSimulator(
+            topology=topology,
+            grid=ResourceGrid(5e6),
+            channel=channel,
+            rngs=RngStreams(SEED),
+            backend=BACKEND_VECTORIZED,
+        )
+        for ap_id in net._rows_of_ap:
+            assert np.array_equal(
+                net._rows_of_ap[ap_id], fresh._rows_of_ap[ap_id]
+            ), f"stale row mapping for AP {ap_id}"
+        assert net._rx_rb_dbm == fresh._rx_rb_dbm
+        assert net._prach_audible == fresh._prach_audible
+        assert np.array_equal(net._rx_w_mat, fresh._rx_w_mat)
+        assert np.array_equal(net._prach_mat, fresh._prach_mat)
+
+    def test_epochs_after_reattach_match_fresh_simulator(self):
+        nets = {}
+        for flavor in ("reattached", "fresh"):
+            channel = make_channel()
+            topology = make_topology(channel)
+            roamer_id = topology.clients[0].client_id
+            target = next(
+                ap.ap_id
+                for ap in topology.aps
+                if ap.ap_id != topology.clients[0].ap_id
+            )
+            if flavor == "fresh":
+                topology.reattach_client(roamer_id, target)
+            net = LteNetworkSimulator(
+                topology=topology,
+                grid=ResourceGrid(5e6),
+                channel=channel,
+                rngs=RngStreams(SEED),
+                backend=BACKEND_VECTORIZED,
+            )
+            if flavor == "reattached":
+                net.reattach_client(roamer_id, target)
+            nets[flavor] = net
+        demands = {
+            c.client_id: float("inf")
+            for c in nets["fresh"].topology.clients
+        }
+        results = {}
+        for flavor, net in nets.items():
+            policy = RotatingSubsetPolicy(
+                [ap.ap_id for ap in net.topology.aps], net.grid.n_subchannels
+            )
+            results[flavor] = net.run(2, policy, lambda e: dict(demands))
+        assert_epochs_identical(results["reattached"], results["fresh"])
+
+    def test_topology_reattach_preserves_canonical_order(self):
+        channel = make_channel()
+        topology = make_topology(channel)
+        mover = topology.clients[0]
+        target = next(
+            ap.ap_id for ap in topology.aps if ap.ap_id != mover.ap_id
+        )
+        topology.reattach_client(mover.client_id, target)
+        for ap in topology.aps:
+            expected = [
+                c for c in topology.clients if c.ap_id == ap.ap_id
+            ]
+            assert topology.clients_of(ap.ap_id) == expected
+
+
+class TestZeroSignalClamp:
+    """``log10(0)`` must clamp, not leak NaN into the highest CQI bin."""
+
+    def test_elementwise_db_clamps_zero(self):
+        out = _elementwise_db(np.array([[1.0, 0.0], [0.0, 100.0]]))
+        assert out[0, 0] == 0.0
+        assert out[0, 1] == ZERO_SIGNAL_SINR_DB
+        assert out[1, 0] == ZERO_SIGNAL_SINR_DB
+        assert out[1, 1] == 20.0
+        assert np.isfinite(out).all()
+
+    def test_clamped_sinr_maps_to_cqi_zero_both_quantisers(self):
+        assert cqi_from_sinr(ZERO_SIGNAL_SINR_DB) == CQI_OUT_OF_RANGE
+        table = np.array(
+            [e.min_sinr_db for e in __import__("repro.phy.mcs", fromlist=["LTE_CQI_TABLE"]).LTE_CQI_TABLE]
+        )
+        assert (
+            int(np.searchsorted(table, ZERO_SIGNAL_SINR_DB, side="right"))
+            == CQI_OUT_OF_RANGE
+        )
+
+    def test_scalar_sinr_queries_clamp_on_dead_links(self):
+        net = make_net(BACKEND_SCALAR, cull_loss_db=CULL_DB)
+        dead = next(
+            (cid, ap_id)
+            for (cid, ap_id), w in net._rx_rb_w.items()
+            if w == 0.0
+        )
+        cid, ap_id = dead
+        assert net.sinr_db(cid, ap_id, ()) == ZERO_SIGNAL_SINR_DB
+        assert net.clean_sinr_db(cid, ap_id) == ZERO_SIGNAL_SINR_DB
+        assert (
+            net._weighted_sinr_db(cid, ap_id, [ap_id], [0.5])
+            == ZERO_SIGNAL_SINR_DB
+        )
+
+
+class TestGainCacheAccessors:
+    def test_matrix_is_read_only(self):
+        channel = make_channel()
+        topology = make_topology(channel)
+        cache = GainMatrixCache(channel, topology.aps, topology.clients)
+        matrix = cache.matrix()
+        with pytest.raises(ValueError):
+            matrix[0, 0] = 0.0
+
+    def test_rows_subset_fills_lazily(self):
+        channel = make_channel()
+        topology = make_topology(channel)
+        cache = GainMatrixCache(channel, topology.aps, topology.clients)
+        wanted = [c.client_id for c in topology.clients[:3]]
+        subset = cache.rows(wanted)
+        assert subset.shape == (3, len(topology.aps))
+        # Only the requested rows were materialised.
+        filled = int(cache._row_valid.sum())
+        assert filled == 3
+        with pytest.raises(ValueError):
+            subset[0, 0] = 0.0
+        for i, cid in enumerate(wanted):
+            for ap in topology.aps:
+                assert subset[i, cache.ap_index[ap.ap_id]] == cache.loss_db(
+                    cid, ap.ap_id
+                )
+
+    def test_is_culled_matches_horizon(self):
+        channel = make_channel()
+        topology = make_topology(channel)
+        cache = GainMatrixCache(
+            channel, topology.aps, topology.clients, cull_loss_db=CULL_DB
+        )
+        culled = live = 0
+        for client in topology.clients[:8]:
+            for ap in topology.aps:
+                expected = cache.loss_db(client.client_id, ap.ap_id) > CULL_DB
+                assert cache.is_culled(client.client_id, ap.ap_id) == expected
+                culled += expected
+                live += not expected
+        assert live > 0
+
+    def test_bad_horizon_rejected(self):
+        channel = make_channel()
+        topology = make_topology(channel)
+        with pytest.raises(ValueError):
+            GainMatrixCache(
+                channel, topology.aps, topology.clients, cull_loss_db=-3.0
+            )
+
+
+class _ReferencePfScheduler(ProportionalFairScheduler):
+    """The pre-fast-path PF scheduler: pick closure + generic slot engine.
+
+    Kept verbatim as the reference for the bit-identity test of the
+    inlined fast path.
+    """
+
+    def allocate(self, allowed_subchannels, demands_bits, rate_fn, epoch_s=1.0):
+        for client in demands_bits:
+            self._average_bps.setdefault(client, self.floor_bps)
+
+        def pick(sub, remaining, served):
+            best_client = -1
+            best_metric = 0.0
+            for client, demand in remaining.items():
+                if demand <= 0.0:
+                    continue
+                rate = rate_fn(client, sub)
+                if rate <= 0.0:
+                    continue
+                history_bits = self.smoothing * self._average_bps[client] * epoch_s
+                denom = max(
+                    served[client] + history_bits,
+                    self.floor_bps * epoch_s / 100.0,
+                )
+                metric = rate / denom
+                if metric > best_metric:
+                    best_metric = metric
+                    best_client = client
+            return best_client
+
+        allocation = self._slot_allocate(
+            allowed_subchannels, demands_bits, rate_fn, epoch_s, pick
+        )
+        for client in demands_bits:
+            realised = allocation.served_bits.get(client, 0.0) / epoch_s
+            self._average_bps[client] = (
+                (1.0 - self.smoothing) * self._average_bps[client]
+                + self.smoothing * max(realised, self.floor_bps)
+            )
+        return allocation
+
+
+class TestPfFastPathEquivalence:
+    def test_fast_path_matches_reference_closure(self):
+        rng = np.random.default_rng(11)
+        rates = {
+            (c, s): float(rng.uniform(0.0, 5e6)) if rng.random() > 0.1 else 0.0
+            for c in range(9)
+            for s in range(6)
+        }
+
+        def rate_fn(client, sub):
+            return rates[(client, sub)]
+
+        fast = ProportionalFairScheduler()
+        reference = _ReferencePfScheduler()
+        demand_cases = [
+            {c: float("inf") for c in range(9)},
+            {c: 3e5 * (c + 1) for c in range(9)},
+            {0: 0.0, 1: float("inf"), 2: 1e4, 5: 2e6, 8: float("inf")},
+            {},
+        ]
+        for epoch, demands in enumerate(demand_cases * 3):
+            a = fast.allocate(list(range(6)), dict(demands), rate_fn)
+            b = reference.allocate(list(range(6)), dict(demands), rate_fn)
+            assert a.served_bits == b.served_bits, f"case {epoch}"
+            assert a.time_fraction == b.time_fraction, f"case {epoch}"
+            assert fast._average_bps == reference._average_bps, f"case {epoch}"
+
+
+class TestCheckpointState:
+    def test_positions_and_serving_roundtrip(self):
+        net = make_net(BACKEND_INCREMENTAL)
+        moved = net.topology.clients[0]
+        net.move_client(moved.client_id, 123.0, 456.0)
+        roamer = net.topology.clients[1]
+        target = next(
+            ap.ap_id for ap in net.topology.aps if ap.ap_id != roamer.ap_id
+        )
+        net.reattach_client(roamer.client_id, target)
+
+        state = net.state_dict()
+        restored = make_net(BACKEND_INCREMENTAL)
+        restored.load_state(state)
+        assert restored.topology.client(moved.client_id).x == 123.0
+        assert restored.topology.client(moved.client_id).y == 456.0
+        assert restored.topology.client(roamer.client_id).ap_id == target
+        assert restored._rx_rb_dbm == net._rx_rb_dbm
+        for ap_id in net._rows_of_ap:
+            assert np.array_equal(
+                restored._rows_of_ap[ap_id], net._rows_of_ap[ap_id]
+            )
+        # Volatile caches restart cold.
+        assert restored._ap_blocks == {}
+        assert restored._harq_cache == {}
+
+    def test_resumed_run_digest_matches_straight_through(self):
+        def epoch_pass(net, start, n):
+            policy = RotatingSubsetPolicy(
+                [ap.ap_id for ap in net.topology.aps], net.grid.n_subchannels
+            )
+            demands = {
+                c.client_id: float("inf") for c in net.topology.clients
+            }
+            out = []
+            for epoch in range(start, start + n):
+                out.append(
+                    net.run_epoch(epoch, policy.decide(epoch, None), demands)
+                )
+                mover = net.topology.clients[epoch % len(net.topology.clients)]
+                net.move_client(
+                    mover.client_id, 100.0 + 37.0 * epoch, 900.0 - 11.0 * epoch
+                )
+            return out
+
+        straight = make_net(BACKEND_INCREMENTAL)
+        full = epoch_pass(straight, 0, 4)
+
+        first = make_net(BACKEND_INCREMENTAL)
+        head = epoch_pass(first, 0, 2)
+        net_state = first.state_dict()
+        rng_state = first.rngs.state_dict()
+
+        resumed = make_net(BACKEND_INCREMENTAL)
+        resumed.load_state(net_state)
+        resumed.rngs.load_state(rng_state)
+        tail = epoch_pass(resumed, 2, 2)
+        assert_epochs_identical(full, head + tail)
