@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test coverage checkpoint-smoke bench bench-full bench-obs bench-incremental bench-incremental-smoke sweep-smoke faults-smoke trace-smoke
+.PHONY: test coverage checkpoint-smoke bench bench-full bench-obs bench-incremental bench-incremental-smoke bench-city shard-smoke sweep-smoke faults-smoke trace-smoke
 
 # Tier-1 test suite (must stay green).
 test:
@@ -82,3 +82,14 @@ bench-incremental:
 # dirty counters exceed the number of moved cells.
 bench-incremental-smoke:
 	$(PYTHON) benchmarks/bench_epoch.py --activity-sweep --smoke
+
+# City-scale shard sweep: 1000 APs x 10000 UEs across 1/2/4 worker
+# shards with cross-arm digest equality enforced; writes BENCH_city.json.
+bench-city:
+	$(PYTHON) benchmarks/bench_epoch.py --city
+
+# CI-sized shard gate: a 2-shard process-mode run under mobility and
+# cross-shard handover churn must digest-equal the unsharded incremental
+# backend; writes BENCH_shard_smoke.json.
+shard-smoke:
+	$(PYTHON) benchmarks/bench_epoch.py --shard-smoke

@@ -18,11 +18,21 @@ writing ``BENCH_incremental.json``.  With ``--smoke`` the sweep also runs
 the scalar oracle with the same culling horizon and asserts per-epoch
 digest equality plus dirty-counter sanity (the CI job).
 
+``--city`` benchmarks the spatial shard engine
+(:class:`repro.sim.shard.ShardedNetwork`) on a city-scale deployment
+(1000 APs x 10000 UEs) across shard counts, asserting cross-arm digest
+equality and writing ``BENCH_city.json``.  ``--shard-smoke`` is the
+CI-sized variant: a 2-shard process-mode run with mobility *and*
+cross-shard handover churn whose per-epoch digests must equal the
+unsharded incremental backend's.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_epoch.py                    # full run
     PYTHONPATH=src python benchmarks/bench_epoch.py --smoke            # quick CI run
     PYTHONPATH=src python benchmarks/bench_epoch.py --activity-sweep   # incremental
+    PYTHONPATH=src python benchmarks/bench_epoch.py --city             # shard sweep
+    PYTHONPATH=src python benchmarks/bench_epoch.py --shard-smoke      # shard CI gate
 """
 
 from __future__ import annotations
@@ -31,10 +41,12 @@ import argparse
 import gc
 import hashlib
 import json
+import math
+import os
 import pathlib
 import statistics
 import time
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -53,11 +65,19 @@ from repro.phy.propagation import (
 )
 from repro.phy.resource_grid import ResourceGrid
 from repro.sim.rng import RngStreams
-from repro.sim.topology import random_topology, reassociate_strongest
+from repro.sim.shard import ShardedNetwork
+from repro.sim.topology import (
+    Topology,
+    grid_partition,
+    random_topology,
+    reassociate_strongest,
+)
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 OUTPUT_PATH = REPO_ROOT / "BENCH_epoch.json"
 INCREMENTAL_OUTPUT_PATH = REPO_ROOT / "BENCH_incremental.json"
+CITY_OUTPUT_PATH = REPO_ROOT / "BENCH_city.json"
+SHARD_SMOKE_OUTPUT_PATH = REPO_ROOT / "BENCH_shard_smoke.json"
 
 DEFAULT_SIZES = (10, 50, 200)
 DEFAULT_ACTIVITIES = (0.05, 0.10, 0.25, 1.00)
@@ -76,11 +96,26 @@ SWEEP_CULL_LOSS_DB = 135.0
 #: instead of burning every mini-slot (in both arms alike).
 SWEEP_DEMAND_BITS = 1e5
 
+#: City shard sweep: 1000 APs x 10 clients = 10000 UEs at the same AP
+#: density as the 200-cell activity sweep (50 APs per km^2), so per-cell
+#: physics (audible-interferer counts under the cull horizon) match.
+CITY_CELLS = 1000
+CITY_CLIENTS_PER_AP = 10
+CITY_DENSITY_PER_KM2 = 50.0
+CITY_SHARDS = (1, 2, 4)
 
-def build_network(
-    n_cells: int, backend: str, cull_loss_db: Optional[float] = None
-) -> LteNetworkSimulator:
-    """A seeded deployment identical across backends."""
+
+def _city_area_m(n_cells: int) -> float:
+    return math.sqrt(n_cells / CITY_DENSITY_PER_KM2) * 1000.0
+
+
+def _bench_channel() -> CompositeChannel:
+    return CompositeChannel(
+        UrbanHataPathLoss(), LogNormalShadowing(sigma_db=7.0, seed=SEED)
+    )
+
+
+def _bench_topology(n_cells: int) -> Topology:
     rng = np.random.default_rng(SEED)
     topology = random_topology(
         rng,
@@ -89,17 +124,24 @@ def build_network(
         area_m=AREA_M,
         client_range_m=600.0,
     )
-    channel = CompositeChannel(
-        UrbanHataPathLoss(), LogNormalShadowing(sigma_db=7.0, seed=SEED)
-    )
-    topology = reassociate_strongest(topology, channel.loss_db)
+    return reassociate_strongest(topology, _bench_channel().loss_db)
+
+
+def build_network(
+    n_cells: int,
+    backend: str,
+    cull_loss_db: Optional[float] = None,
+    shard_ap_ids: Optional[Sequence[int]] = None,
+) -> LteNetworkSimulator:
+    """A seeded deployment identical across backends (and shard views)."""
     return LteNetworkSimulator(
-        topology=topology,
+        topology=_bench_topology(n_cells),
         grid=ResourceGrid(5e6),
-        channel=channel,
+        channel=_bench_channel(),
         rngs=RngStreams(SEED),
         backend=backend,
         cull_loss_db=cull_loss_db,
+        shard_ap_ids=shard_ap_ids,
     )
 
 
@@ -225,18 +267,21 @@ def _sweep_scenario(
 
 
 def _movement_schedule(
-    net: LteNetworkSimulator, movers: List[int], n_epochs: int
+    topology: Topology,
+    movers: List[int],
+    n_epochs: int,
+    area_m: float = AREA_M,
 ) -> List[List[Tuple[int, float, float]]]:
     """Per-epoch absolute positions for the movers, identical across arms."""
     rng = np.random.default_rng(SEED + 2)
-    base = {cid: (net.topology.client(cid).x, net.topology.client(cid).y) for cid in movers}
+    base = {cid: (topology.client(cid).x, topology.client(cid).y) for cid in movers}
     schedule: List[List[Tuple[int, float, float]]] = []
     for _ in range(n_epochs):
         step = []
         for cid in movers:
             bx, by = base[cid]
-            x = min(max(bx + rng.uniform(-50.0, 50.0), 0.0), AREA_M)
-            y = min(max(by + rng.uniform(-50.0, 50.0), 0.0), AREA_M)
+            x = min(max(bx + rng.uniform(-50.0, 50.0), 0.0), area_m)
+            y = min(max(by + rng.uniform(-50.0, 50.0), 0.0), area_m)
             step.append((cid, x, y))
         schedule.append(step)
     return schedule
@@ -324,8 +369,7 @@ def run_activity_sweep(
     results = []
     for activity in activities:
         active_aps, demands, movers = _sweep_scenario(n_cells, activity)
-        reference = build_network(n_cells, BACKEND_VECTORIZED)
-        schedule = _movement_schedule(reference, movers, n_epochs)
+        schedule = _movement_schedule(_bench_topology(n_cells), movers, n_epochs)
         entry: Dict = {
             "activity": activity,
             "active_cells": len(active_aps),
@@ -391,6 +435,304 @@ def run_activity_sweep(
     }
 
 
+# ---------------------------------------------------------------------------
+# City-scale shard sweep (--city) and the CI shard gate (--shard-smoke)
+# ---------------------------------------------------------------------------
+
+
+def _city_topology(n_cells: int, clients_per_ap: int, area_m: float) -> Topology:
+    # No reassociate_strongest at city scale: re-attachment evaluates every
+    # (client, AP) channel gain up front -- n_clients * n_aps shadowing
+    # draws in one process before any shard worker exists -- which dwarfs
+    # the epochs being measured.  Clients stay with their spawning AP.
+    rng = np.random.default_rng(SEED)
+    return random_topology(
+        rng,
+        n_aps=n_cells,
+        clients_per_ap=clients_per_ap,
+        area_m=area_m,
+        client_range_m=600.0,
+    )
+
+
+def build_city_network(
+    n_shards: int,
+    n_cells: int,
+    clients_per_ap: int,
+    area_m: float,
+    cull_loss_db: float,
+    mode: str,
+) -> ShardedNetwork:
+    def factory(ap_ids):
+        return LteNetworkSimulator(
+            topology=_city_topology(n_cells, clients_per_ap, area_m),
+            grid=ResourceGrid(5e6),
+            channel=_bench_channel(),
+            rngs=RngStreams(SEED),
+            backend=BACKEND_INCREMENTAL,
+            cull_loss_db=cull_loss_db,
+            shard_ap_ids=ap_ids,
+        )
+
+    topology = _city_topology(n_cells, clients_per_ap, area_m)
+    return ShardedNetwork(
+        topology,
+        grid_partition(topology, n_shards),
+        factory,
+        RngStreams(SEED),
+        ResourceGrid(5e6),
+        mode=mode,
+    )
+
+
+def _run_city_arm(
+    n_shards: int,
+    n_cells: int,
+    clients_per_ap: int,
+    area_m: float,
+    cull_loss_db: float,
+    mode: str,
+    schedule: List[List[Tuple[int, float, float]]],
+) -> Dict:
+    """Time the city epoch loop for one shard count.
+
+    ``wall_s`` is what the parent waits on ``run_epoch`` (barrier IPC and
+    in-worker event application included); ``critical_s`` is the slowest
+    worker's in-worker ``run_epoch`` CPU seconds for that barrier, i.e.
+    the epoch latency a host with one core per shard would observe
+    (process_time, so workers time-slicing one core don't inflate it).
+    """
+    build_start = time.perf_counter()
+    net = build_city_network(
+        n_shards, n_cells, clients_per_ap, area_m, cull_loss_db, mode
+    )
+    try:
+        policy = AllSubchannelsPolicy(
+            [ap.ap_id for ap in net.topology.aps], net.grid.n_subchannels
+        )
+        demands = {c.client_id: float("inf") for c in net.topology.clients}
+        allowed = policy.decide(0, None)
+        net.run_epoch(0, allowed, demands)  # warm-up fills every worker cache
+        build_s = time.perf_counter() - build_start
+        worker_mode = net.mode
+        digests: List[str] = []
+        walls: List[float] = []
+        criticals: List[float] = []
+        event_send = 0.0
+        gc.collect()
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            for epoch, moves in enumerate(schedule, start=1):
+                start = time.perf_counter()
+                for cid, x, y in moves:
+                    net.move_client(cid, x, y)
+                mid = time.perf_counter()
+                result = net.run_epoch(epoch, allowed, demands)
+                walls.append(time.perf_counter() - mid)
+                event_send += mid - start
+                criticals.append(max(net.last_epoch_compute_s))
+                digests.append(epoch_digest(result))
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+    finally:
+        net.close()
+    return {
+        "shards": n_shards,
+        "worker_mode": worker_mode,
+        "build_and_warmup_s": build_s,
+        "per_epoch_wall_s": statistics.median(walls),
+        "per_epoch_critical_s": statistics.median(criticals),
+        "wall_s": walls,
+        "critical_s": criticals,
+        "event_send_s": event_send,
+        "epochs": len(schedule),
+        "digests": digests,
+    }
+
+
+def run_city_bench(
+    shard_counts: Sequence[int],
+    n_epochs: int,
+    n_cells: int = CITY_CELLS,
+    clients_per_ap: int = CITY_CLIENTS_PER_AP,
+    cull_loss_db: float = SWEEP_CULL_LOSS_DB,
+    mode: str = "auto",
+) -> Dict:
+    """Benchmark the shard engine across shard counts on one city map.
+
+    Every arm runs the identical scenario -- saturated demand plus a small
+    mobile cohort -- and every arm's per-epoch digests must be bitwise
+    equal, so the sweep doubles as a large-scale identity check.
+    """
+    area_m = _city_area_m(n_cells)
+    topology = _city_topology(n_cells, clients_per_ap, area_m)
+    stride = max(1, n_cells // 20)
+    movers = [
+        topology.clients_of(ap_id)[0].client_id
+        for ap_id in range(0, n_cells, stride)
+        if topology.clients_of(ap_id)
+    ]
+    schedule = _movement_schedule(topology, movers, n_epochs, area_m=area_m)
+    arms: List[Dict] = []
+    for n_shards in shard_counts:
+        arm = _run_city_arm(
+            n_shards, n_cells, clients_per_ap, area_m, cull_loss_db, mode,
+            schedule,
+        )
+        arms.append(arm)
+        print(
+            f"{n_shards} shard(s) ({arm['worker_mode']:7s})  "
+            f"wall {arm['per_epoch_wall_s'] * 1e3:8.1f} ms/epoch  "
+            f"critical-path {arm['per_epoch_critical_s'] * 1e3:8.1f} ms/epoch  "
+            f"(build+warmup {arm['build_and_warmup_s']:.1f} s)"
+        )
+    reference = arms[0]
+    for arm in arms[1:]:
+        if arm["digests"] != reference["digests"]:
+            raise SystemExit(
+                f"city digest mismatch: the {arm['shards']}-shard arm "
+                f"diverged from the {reference['shards']}-shard arm"
+            )
+    base = next((a for a in arms if a["shards"] == 1), arms[0])
+    for arm in arms:
+        arm["speedup_wall_vs_1shard"] = (
+            base["per_epoch_wall_s"] / arm["per_epoch_wall_s"]
+        )
+        arm["speedup_critical_vs_1shard"] = (
+            base["per_epoch_critical_s"] / arm["per_epoch_critical_s"]
+        )
+        arm.pop("digests", None)
+        print(
+            f"{arm['shards']} shard(s)  speedup vs 1-shard: "
+            f"wall {arm['speedup_wall_vs_1shard']:.2f}x  "
+            f"critical-path {arm['speedup_critical_vs_1shard']:.2f}x"
+        )
+    return {
+        "benchmark": "lte-epoch-shards",
+        "seed": SEED,
+        "cells": n_cells,
+        "clients": n_cells * clients_per_ap,
+        "clients_per_ap": clients_per_ap,
+        "area_m": area_m,
+        "cull_loss_db": cull_loss_db,
+        "epochs_timed": n_epochs,
+        "moving_clients": len(movers),
+        "host_cpu_count": os.cpu_count(),
+        "digest_match": True,
+        "timing_note": (
+            "per_epoch_critical_s is the slowest worker's in-worker "
+            "run_epoch CPU seconds per barrier (process_time, immune to "
+            "workers time-slicing a shared core) -- the epoch latency on "
+            "a host with one core per shard; per_epoch_wall_s "
+            "additionally includes barrier IPC, result pickling and, on "
+            "hosts with fewer cores than shards, time-slicing between "
+            "workers"
+        ),
+        "results": arms,
+    }
+
+
+def run_shard_smoke(
+    n_cells: int = SMOKE_SWEEP_CELLS,
+    n_shards: int = 2,
+    n_epochs: int = 6,
+    cull_loss_db: float = SWEEP_CULL_LOSS_DB,
+    mode: str = "auto",
+) -> Dict:
+    """CI gate: a sharded run must digest-equal the unsharded incremental.
+
+    Drives identical churn through both engines -- mobility every epoch
+    plus one forced re-attachment per epoch, some crossing shard
+    boundaries so the max-CQI row migration travels through real worker
+    pipes -- and requires bitwise-equal per-epoch digests.
+    """
+    _, demands, movers = _sweep_scenario(n_cells, 0.5)
+    topology = _bench_topology(n_cells)
+    schedule = _movement_schedule(topology, movers, n_epochs)
+    plan = grid_partition(topology, n_shards)
+    shard_of_ap = {ap_id: k for k, shard in enumerate(plan) for ap_id in shard}
+    # One forced handover per epoch; never a no-op re-attach to the current
+    # cell, so both engines take the same code path.
+    rng = np.random.default_rng(SEED + 3)
+    serving = {c.client_id: c.ap_id for c in topology.clients}
+    reattaches: List[Tuple[int, int]] = []
+    cross_shard = 0
+    for epoch in range(n_epochs):
+        cid = movers[epoch % len(movers)]
+        new_ap = int(rng.integers(n_cells))
+        if new_ap == serving[cid]:
+            new_ap = (new_ap + 1) % n_cells
+        if shard_of_ap[new_ap] != shard_of_ap[serving[cid]]:
+            cross_shard += 1
+        serving[cid] = new_ap
+        reattaches.append((cid, new_ap))
+    if not cross_shard:
+        raise SystemExit(
+            "shard smoke scenario never crosses a shard boundary; "
+            "row migration would go unexercised"
+        )
+
+    def drive(net) -> List[str]:
+        policy = AllSubchannelsPolicy(
+            [ap.ap_id for ap in net.topology.aps], net.grid.n_subchannels
+        )
+        allowed = policy.decide(0, None)
+        net.run_epoch(0, allowed, demands)  # warm-up
+        digests = []
+        for epoch, moves in enumerate(schedule, start=1):
+            for cid, x, y in moves:
+                net.move_client(cid, x, y)
+            cid, new_ap = reattaches[epoch - 1]
+            net.reattach_client(cid, new_ap)
+            digests.append(epoch_digest(net.run_epoch(epoch, allowed, demands)))
+        return digests
+
+    unsharded = drive(build_network(n_cells, BACKEND_INCREMENTAL, cull_loss_db))
+    sharded_net = ShardedNetwork(
+        _bench_topology(n_cells),
+        plan,
+        lambda ap_ids: build_network(
+            n_cells, BACKEND_INCREMENTAL, cull_loss_db, shard_ap_ids=ap_ids
+        ),
+        RngStreams(SEED),
+        ResourceGrid(5e6),
+        mode=mode,
+    )
+    try:
+        sharded = drive(sharded_net)
+        worker_mode = sharded_net.mode
+    finally:
+        sharded_net.close()
+    if sharded != unsharded:
+        first = next(
+            i for i, (a, b) in enumerate(zip(sharded, unsharded)) if a != b
+        )
+        raise SystemExit(
+            f"shard smoke digest mismatch: the {n_shards}-shard run "
+            f"diverged from the unsharded incremental backend at epoch "
+            f"{first + 1}"
+        )
+    print(
+        f"shard smoke: {n_shards} shards ({worker_mode} workers), "
+        f"{n_cells} cells, {n_epochs} epochs, "
+        f"{cross_shard} cross-shard handovers -- digests ok"
+    )
+    return {
+        "benchmark": "lte-epoch-shard-smoke",
+        "seed": SEED,
+        "cells": n_cells,
+        "clients": n_cells * CLIENTS_PER_AP,
+        "shards": n_shards,
+        "worker_mode": worker_mode,
+        "cull_loss_db": cull_loss_db,
+        "epochs": n_epochs,
+        "cross_shard_handovers": cross_shard,
+        "digest_match": True,
+    }
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -441,13 +783,67 @@ def main() -> None:
         ),
     )
     parser.add_argument(
+        "--city",
+        action="store_true",
+        help=(
+            "benchmark the spatial shard engine on a city-scale deployment "
+            f"({CITY_CELLS} APs x {CITY_CELLS * CITY_CLIENTS_PER_AP} UEs) "
+            f"across shard counts; writes {CITY_OUTPUT_PATH.name}"
+        ),
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        nargs="+",
+        default=None,
+        help=f"shard counts for --city (default {list(CITY_SHARDS)})",
+    )
+    parser.add_argument(
+        "--shard-mode",
+        choices=("auto", "process", "inline"),
+        default="auto",
+        help="worker mode for --city / --shard-smoke workers",
+    )
+    parser.add_argument(
+        "--shard-smoke",
+        action="store_true",
+        help=(
+            "CI gate: a 2-shard run under mobility and cross-shard "
+            "handover churn must digest-equal the unsharded incremental "
+            f"backend; writes {SHARD_SMOKE_OUTPUT_PATH.name}"
+        ),
+    )
+    parser.add_argument(
         "--output",
         type=pathlib.Path,
         default=None,
         help=f"result file (default {OUTPUT_PATH} / {INCREMENTAL_OUTPUT_PATH})",
     )
     args = parser.parse_args()
-    if args.activity_sweep:
+    if args.shard_smoke:
+        payload = run_shard_smoke(
+            n_epochs=args.epochs or 6, mode=args.shard_mode
+        )
+        output = args.output or SHARD_SMOKE_OUTPUT_PATH
+    elif args.city:
+        n_cells = (
+            args.sizes[0]
+            if args.sizes
+            else (100 if args.smoke else CITY_CELLS)
+        )
+        n_epochs = args.epochs or (3 if args.smoke else 5)
+        payload = run_city_bench(
+            args.shards or list(CITY_SHARDS),
+            n_epochs,
+            n_cells=n_cells,
+            mode=args.shard_mode,
+        )
+        output = args.output or (
+            (REPO_ROOT / "BENCH_city_smoke.json")
+            if args.smoke
+            else CITY_OUTPUT_PATH
+        )
+    elif args.activity_sweep:
         if args.smoke:
             n_cells = SMOKE_SWEEP_CELLS
             n_epochs = args.epochs or 3

@@ -226,7 +226,7 @@ def _cmd_fig9a(args: argparse.Namespace) -> int:
 
     result = run_coverage_vs_density(
         args.densities, args.seeds, epochs=args.epochs,
-        wifi_duration_s=args.wifi_duration,
+        wifi_duration_s=args.wifi_duration, shards=args.shards,
     )
     rows = []
     for i, density in enumerate(result.densities):
@@ -246,7 +246,7 @@ def _cmd_fig9b(args: argparse.Namespace) -> int:
 
     result = run_throughput_cdfs(
         args.seeds, n_aps=args.aps, epochs=args.epochs,
-        wifi_duration_s=args.wifi_duration,
+        wifi_duration_s=args.wifi_duration, shards=args.shards,
     )
     rows = []
     for tech in result.samples_bps:
@@ -335,6 +335,7 @@ def build_sweep_spec(args: argparse.Namespace):
                 clients_per_ap=args.clients_per_ap,
                 epochs=args.epochs,
                 wifi_duration_s=args.wifi_duration,
+                shards=args.shards,
             )
         )
     if args.spec == "fig9b":
@@ -349,6 +350,7 @@ def build_sweep_spec(args: argparse.Namespace):
                 clients_per_ap=args.clients_per_ap,
                 epochs=args.epochs,
                 wifi_duration_s=args.wifi_duration,
+                shards=args.shards,
             )
         )
     if args.spec == "fig1":
@@ -554,6 +556,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seeds", type=int, nargs="+", default=[1, 2])
     p.add_argument("--epochs", type=int, default=10)
     p.add_argument("--wifi-duration", type=float, default=3.0)
+    p.add_argument(
+        "--shards", type=int, default=1,
+        help="spatial shards per LTE-family cell (bit-identical results)",
+    )
     _add_telemetry_flags(p)
     p.set_defaults(fn=_cmd_fig9a)
 
@@ -562,6 +568,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--aps", type=int, default=10)
     p.add_argument("--epochs", type=int, default=10)
     p.add_argument("--wifi-duration", type=float, default=3.0)
+    p.add_argument(
+        "--shards", type=int, default=1,
+        help="spatial shards per LTE-family cell (drops the Oracle when > 1)",
+    )
     _add_telemetry_flags(p)
     p.set_defaults(fn=_cmd_fig9b)
 
@@ -629,6 +639,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--clients-per-ap", type=int, default=None)
     p.add_argument("--epochs", type=int, default=None)
     p.add_argument("--wifi-duration", type=float, default=None)
+    p.add_argument("--shards", type=int, default=None)
     p.add_argument("--samples", type=int, default=None)
     p.add_argument("--duration", type=float, default=None)
     p.add_argument("--sizes", type=int, nargs="+", default=None)

@@ -27,7 +27,13 @@ from repro.baselines.plain_lte import PlainLtePolicy
 from repro.core.interference.manager import CellFiInterferenceManager
 from repro.experiments.common import Scenario, build_scenario
 from repro.experiments.sweep import SweepSpec, run_sweep
-from repro.lte.network import BACKEND_VECTORIZED, LteNetworkSimulator
+from repro.lte.network import (
+    BACKEND_INCREMENTAL,
+    BACKEND_VECTORIZED,
+    LteNetworkSimulator,
+)
+from repro.sim.shard import ShardedNetwork
+from repro.sim.topology import grid_partition
 from repro.sim.checkpoint import (
     CheckpointRegistry,
     Snapshot,
@@ -53,14 +59,47 @@ TECH_ORACLE = "Oracle"
 
 
 def _make_lte_net(
-    scenario: Scenario, stream_label: str, backend: str = BACKEND_VECTORIZED
-) -> LteNetworkSimulator:
-    return LteNetworkSimulator(
-        topology=scenario.topology,
-        grid=scenario.grid(),
-        channel=scenario.channel,
-        rngs=scenario.rngs.fork(stream_label),
-        backend=backend,
+    scenario: Scenario,
+    stream_label: str,
+    backend: str = BACKEND_VECTORIZED,
+    shards: int = 1,
+    shard_mode: str = "auto",
+):
+    if shards <= 1:
+        return LteNetworkSimulator(
+            topology=scenario.topology,
+            grid=scenario.grid(),
+            channel=scenario.channel,
+            rngs=scenario.rngs.fork(stream_label),
+            backend=backend,
+        )
+    # Sharded city-scale path: every worker rebuilds the same seeded
+    # scenario (fork() is a pure seed derivation, so the parent's RNG
+    # mirror and each worker's streams are identical objects-by-value) and
+    # owns one rectangular tile of APs.  Only default-geometry scenarios
+    # shard faithfully, matching the snapshot-restore contract below.
+    seed = scenario.seed
+    n_aps = scenario.n_aps
+    clients_per_ap = scenario.clients_per_ap
+
+    def factory(ap_ids):
+        worker_scenario = build_scenario(seed, n_aps, clients_per_ap)
+        return LteNetworkSimulator(
+            topology=worker_scenario.topology,
+            grid=worker_scenario.grid(),
+            channel=worker_scenario.channel,
+            rngs=worker_scenario.rngs.fork(stream_label),
+            backend=BACKEND_INCREMENTAL,
+            shard_ap_ids=ap_ids,
+        )
+
+    return ShardedNetwork(
+        scenario.topology,
+        grid_partition(scenario.topology, shards),
+        factory,
+        scenario.rngs.fork(stream_label),
+        scenario.grid(),
+        mode=shard_mode,
     )
 
 
@@ -120,11 +159,18 @@ class SaturatedLteRun:
         epochs: int = 15,
         backend: str = BACKEND_VECTORIZED,
         scenario: Optional[Scenario] = None,
+        shards: int = 1,
+        shard_mode: str = "auto",
     ) -> None:
         if tech == TECH_WIFI:
             raise ValueError(
                 "the Wi-Fi comparison is event-driven; only LTE-family "
                 "technologies support epoch checkpointing"
+            )
+        if shards > 1 and tech == TECH_ORACLE:
+            raise ValueError(
+                "the Oracle allocator queries live radio state at "
+                "construction; run it unsharded"
             )
         self.tech = tech
         self.epochs = epochs
@@ -135,13 +181,21 @@ class SaturatedLteRun:
             "clients_per_ap": clients_per_ap,
             "epochs": epochs,
             "backend": backend,
+            "shards": shards,
+            "shard_mode": shard_mode,
         }
         self.scenario = (
             scenario
             if scenario is not None
             else build_scenario(seed, n_aps, clients_per_ap)
         )
-        self.net = _make_lte_net(self.scenario, f"net-{tech}", backend=backend)
+        self.net = _make_lte_net(
+            self.scenario,
+            f"net-{tech}",
+            backend=backend,
+            shards=shards,
+            shard_mode=shard_mode,
+        )
         self.policy = _make_policy(tech, self.scenario, self.net)
         self._demand_fn = saturated_demand_fn(self.scenario.topology)
         self._epoch = 0
@@ -254,6 +308,12 @@ class SaturatedLteRun:
         """Canonical digest over all registered state (for replay checks)."""
         return self.registry.run_digest()
 
+    def close(self) -> None:
+        """Release shard worker processes, if the network holds any."""
+        close = getattr(self.net, "close", None)
+        if close is not None:
+            close()
+
     @classmethod
     def from_snapshot(cls, snapshot: Snapshot) -> "SaturatedLteRun":
         """Build-then-load: reconstruct from the embedded config, restore."""
@@ -328,9 +388,16 @@ def large_scale_saturated_cell(
     clients_per_ap: int = 6,
     epochs: int = 15,
     wifi_duration_s: float = 6.0,
+    shards: int = 1,
     checkpoint: Optional[Dict[str, object]] = None,
 ) -> Dict[str, object]:
     """One Figure 9(a)/9(b) grid cell: a single (seed, density, tech) run.
+
+    ``shards > 1`` runs LTE-family cells on the spatial shard engine
+    (:mod:`repro.sim.shard`): worker processes own rectangular tiles of
+    the map, and the merged result -- metrics and run digest alike -- is
+    bitwise identical to the unsharded run.  Wi-Fi cells are event-driven
+    and ignore the setting.
 
     All randomness derives from ``seed`` via the scenario's
     :class:`~repro.sim.rng.RngStreams`, so the metrics are identical no
@@ -354,10 +421,12 @@ def large_scale_saturated_cell(
             sat = SaturatedLteRun.restore(resume_from)
         else:
             sat = SaturatedLteRun(
-                tech, seed, n_aps, clients_per_ap, epochs=epochs
+                tech, seed, n_aps, clients_per_ap, epochs=epochs,
+                shards=shards,
             )
         run = sat.run(checkpoint_dir=ckpt_dir, checkpoint_every=ckpt_every)
         digest = sat.run_digest()
+        sat.close()
     throughput = [float(t) for t in run.throughput_bps]
     metrics: Dict[str, object] = {
         "tech": run.tech,
@@ -382,6 +451,7 @@ def fig9a_sweep_spec(
     clients_per_ap: int = 6,
     epochs: int = 12,
     wifi_duration_s: float = 5.0,
+    shards: int = 1,
 ) -> SweepSpec:
     """The Figure 9(a) grid: density x seed x technology."""
     return SweepSpec.from_grid(
@@ -392,6 +462,7 @@ def fig9a_sweep_spec(
             "clients_per_ap": clients_per_ap,
             "epochs": epochs,
             "wifi_duration_s": wifi_duration_s,
+            "shards": shards,
         },
     )
 
@@ -403,6 +474,7 @@ def fig9b_sweep_spec(
     clients_per_ap: int = 6,
     epochs: int = 15,
     wifi_duration_s: float = 6.0,
+    shards: int = 1,
 ) -> SweepSpec:
     """The Figure 9(b) grid: seed x technology at the densest setting."""
     return SweepSpec.from_grid(
@@ -414,6 +486,7 @@ def fig9b_sweep_spec(
             "clients_per_ap": clients_per_ap,
             "epochs": epochs,
             "wifi_duration_s": wifi_duration_s,
+            "shards": shards,
         },
     )
 
@@ -451,13 +524,16 @@ def run_coverage_vs_density(
     wifi_duration_s: float = 5.0,
     include_wifi: bool = True,
     jobs: int = 0,
+    shards: int = 1,
     **sweep_kwargs,
 ) -> CoverageVsDensity:
     """Sweep AP density and measure coverage for each technology.
 
     The grid is expressed as a sweep spec; ``jobs``/``sweep_kwargs`` pass
     straight to :func:`repro.experiments.sweep.run_sweep` (``jobs=0``
-    keeps the historical serial in-process behaviour).
+    keeps the historical serial in-process behaviour).  ``shards`` runs
+    the LTE-family cells on the spatial shard engine without changing any
+    metric bit.
     """
     result = CoverageVsDensity(densities=list(densities))
     techs = [TECH_WIFI, TECH_LTE, TECH_CELLFI] if include_wifi else [TECH_LTE, TECH_CELLFI]
@@ -468,6 +544,7 @@ def run_coverage_vs_density(
         clients_per_ap=clients_per_ap,
         epochs=epochs,
         wifi_duration_s=wifi_duration_s,
+        shards=shards,
     )
     cells = _metrics_by_cell(spec, jobs, **sweep_kwargs)
     result.coverage = {
@@ -511,15 +588,18 @@ def run_throughput_cdfs(
     wifi_duration_s: float = 6.0,
     include_oracle: bool = True,
     jobs: int = 0,
+    shards: int = 1,
     **sweep_kwargs,
 ) -> ThroughputCdfs:
     """The densest-scenario throughput comparison, pooled over seeds.
 
     Expressed as a sweep spec over (seed, tech); see
-    :func:`run_coverage_vs_density` for the ``jobs`` semantics.
+    :func:`run_coverage_vs_density` for the ``jobs`` semantics.  The
+    Oracle baseline needs live radio-state queries, so ``shards > 1``
+    drops it from the grid.
     """
     techs = [TECH_WIFI, TECH_LTE, TECH_CELLFI] + (
-        [TECH_ORACLE] if include_oracle else []
+        [TECH_ORACLE] if include_oracle and shards <= 1 else []
     )
     spec = fig9b_sweep_spec(
         seeds=seeds,
@@ -528,6 +608,7 @@ def run_throughput_cdfs(
         clients_per_ap=clients_per_ap,
         epochs=epochs,
         wifi_duration_s=wifi_duration_s,
+        shards=shards,
     )
     cells = _metrics_by_cell(spec, jobs, **sweep_kwargs)
     pooled: Dict[str, List[float]] = {t: [] for t in techs}

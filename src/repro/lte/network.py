@@ -316,6 +316,7 @@ class LteNetworkSimulator:
         backend: str = BACKEND_VECTORIZED,
         gain_cache: Optional[GainMatrixCache] = None,
         cull_loss_db: Optional[float] = None,
+        shard_ap_ids: Optional[Sequence[int]] = None,
     ) -> None:
         self.topology = topology
         self.grid = grid
@@ -337,8 +338,39 @@ class LteNetworkSimulator:
             )
         self.detector_true_positive = detector_true_positive
         self.detector_false_positive = detector_false_positive
+        # Shard view: when ``shard_ap_ids`` is given this simulator owns
+        # only those APs and the clients attached to them.  Link rows are
+        # filled (and schedulers instantiated) for owned clients/APs only;
+        # foreign rows stay exact zeros, which the culling contract already
+        # treats as dead links.  ``run_epoch`` then requires externally
+        # merged PRACH counts and fast-forwards the epoch RNG streams over
+        # foreign APs so the shard-local draws land on the same PCG64
+        # offsets as the unsharded run (see repro.sim.shard).
+        if shard_ap_ids is not None:
+            if backend != BACKEND_INCREMENTAL:
+                raise ValueError(
+                    "shard_ap_ids requires the incremental backend, "
+                    f"got {backend!r}"
+                )
+            known = {ap.ap_id for ap in topology.aps}
+            unknown = set(shard_ap_ids) - known
+            if unknown:
+                raise ValueError(
+                    f"shard_ap_ids not in topology: {sorted(unknown)}"
+                )
+            self.shard_ap_ids: Optional[frozenset] = frozenset(shard_ap_ids)
+            self._owned_clients: Optional[Set[int]] = {
+                client.client_id
+                for client in topology.clients
+                if client.ap_id in self.shard_ap_ids
+            }
+        else:
+            self.shard_ap_ids = None
+            self._owned_clients = None
         self.schedulers: Dict[int, Scheduler] = {
-            ap.ap_id: scheduler_factory() for ap in topology.aps
+            ap.ap_id: scheduler_factory()
+            for ap in topology.aps
+            if self._owns_ap(ap.ap_id)
         }
         if gain_cache is not None:
             if (
@@ -389,7 +421,19 @@ class LteNetworkSimulator:
         # the epoch context both match the last rebuild, the signature
         # tuples are reused instead of being rebuilt from the grant maps.
         self._sig_cache: Dict[int, tuple] = {}
+        # Foreign-AP RLF gate cache (shard mode): per epoch context, whether
+        # a foreign AP draws RLF values, so the fast-forward discard count
+        # is not recomputed from the grant maps every epoch.
+        self._foreign_rlf_cache: Tuple[int, Dict[int, bool]] = (-1, {})
         self.last_epoch_stats: Dict[str, int] = {}
+
+    # -- Shard ownership ------------------------------------------------------
+
+    def _owns_ap(self, ap_id: int) -> bool:
+        return self.shard_ap_ids is None or ap_id in self.shard_ap_ids
+
+    def _owns_client(self, client_id: int) -> bool:
+        return self._owned_clients is None or client_id in self._owned_clients
 
     # -- Precomputation -------------------------------------------------------
 
@@ -428,7 +472,8 @@ class LteNetworkSimulator:
         self._rx_w_mat = np.zeros((n_clients, n_aps))
         self._prach_mat = np.zeros((n_clients, n_aps), dtype=bool)
         for client in clients:
-            self._refresh_client_links(client)
+            if self._owns_client(client.client_id):
+                self._refresh_client_links(client)
 
         self._rows_of_ap: Dict[int, np.ndarray] = {}
         for ap in aps:
@@ -519,7 +564,8 @@ class LteNetworkSimulator:
         """
         site = self.topology.move_client(client_id, x, y)
         self.gain_cache.invalidate_client(client_id, site)
-        self._refresh_client_links(site)
+        if self._owns_client(client_id):
+            self._refresh_client_links(site)
         self._mark_rows_dirty(site.ap_id)
         dirty = self._dirty_rows[site.ap_id]
         if dirty is not None:
@@ -537,11 +583,53 @@ class LteNetworkSimulator:
         if old_ap_id == new_ap_id:
             return
         site = self.topology.reattach_client(client_id, new_ap_id)
-        self._refresh_client_links(site)
+        if self._owned_clients is None:
+            self._refresh_client_links(site)
+        else:
+            was_owned = client_id in self._owned_clients
+            now_owned = new_ap_id in self.shard_ap_ids
+            if now_owned and not was_owned:
+                # Adopt: the client migrated in across the shard boundary.
+                # Its cross-epoch max-CQI row travels separately (see
+                # import_client_row / repro.sim.shard).
+                self._owned_clients.add(client_id)
+                self._refresh_client_links(site)
+            elif was_owned and not now_owned:
+                # Disown: zero the link rows back to the dead-link state
+                # the culling contract guarantees for foreign clients.
+                self._owned_clients.discard(client_id)
+                self._clear_client_links(site)
+            elif was_owned:
+                self._refresh_client_links(site)
+            # Foreign-to-foreign handover touches only the replicated
+            # topology and the version stamps below.
         for ap_id in (old_ap_id, new_ap_id):
             self._rebuild_rows_of(ap_id)
             self._mark_rows_dirty(ap_id)
             self._dirty_rows[ap_id] = None
+
+    def _clear_client_links(self, client) -> None:
+        """Reset a disowned client's cached links to the dead-link state."""
+        cid = client.client_id
+        row = self._client_row[cid]
+        for ap in self.topology.aps:
+            self._rx_rb_dbm.pop((cid, ap.ap_id), None)
+            self._rx_rb_w.pop((cid, ap.ap_id), None)
+            self._prach_audible.pop((cid, ap.ap_id), None)
+        self._rx_dbm_mat[row, :] = 0.0
+        self._rx_w_mat[row, :] = 0.0
+        self._prach_mat[row, :] = False
+        self._max_cqi_vec[row, :] = 0
+
+    def export_client_row(self, client_id: int) -> List[int]:
+        """Cross-shard migration: export the client's max-CQI tracker row."""
+        return [int(v) for v in self._max_cqi_vec[self._client_row[client_id]]]
+
+    def import_client_row(self, client_id: int, max_cqi_row: Sequence[int]) -> None:
+        """Cross-shard migration: import a max-CQI row exported by the old owner."""
+        self._max_cqi_vec[self._client_row[client_id]] = np.asarray(
+            max_cqi_row, dtype=np.int64
+        )
 
     # -- Radio queries ----------------------------------------------------------
 
@@ -610,11 +698,57 @@ class LteNetworkSimulator:
 
     # -- Epoch execution -----------------------------------------------------------
 
+    def prach_partial_counts(self, demands_bits: Dict[int, float]) -> np.ndarray:
+        """Per-AP PRACH preamble counts from this shard's owned clients.
+
+        Foreign clients' rows of ``_prach_mat`` are all-``False``, so the
+        partial sums over shards are disjoint and their elementwise total
+        equals the unsharded count exactly -- integer addition, no rounding.
+        """
+        clients = self.topology.clients
+        active = np.fromiter(
+            (demands_bits.get(c.client_id, 0.0) > 0.0 for c in clients),
+            dtype=bool,
+            count=len(clients),
+        )
+        return self._prach_mat[active].sum(axis=0)
+
+    def _foreign_rlf_gate(
+        self,
+        ap_id: int,
+        allowed: Dict[int, Set[int]],
+        active_list: List[int],
+    ) -> bool:
+        """Whether a foreign active AP draws RLF values this epoch.
+
+        Mirrors the ``has_rlf_sources`` computation of the simulated
+        backends: the AP holds grants and at least one *other* active AP
+        overlaps them.  Cached per decision context (``_ctx_serial``).
+        """
+        serial, gates = self._foreign_rlf_cache
+        if serial != self._ctx_serial:
+            gates = {}
+            self._foreign_rlf_cache = (self._ctx_serial, gates)
+        gate = gates.get(ap_id)
+        if gate is None:
+            my_subs = allowed.get(ap_id, set())
+            gate = False
+            if my_subs:
+                for other in active_list:
+                    if other != ap_id and not my_subs.isdisjoint(
+                        allowed.get(other, set())
+                    ):
+                        gate = True
+                        break
+            gates[ap_id] = gate
+        return gate
+
     def run_epoch(
         self,
         epoch_index: int,
         allowed: Dict[int, Set[int]],
         demands_bits: Dict[int, float],
+        prach_counts: Optional[np.ndarray] = None,
     ) -> EpochResult:
         """Simulate one epoch under the given subchannel assignment.
 
@@ -623,11 +757,21 @@ class LteNetworkSimulator:
             allowed: allowed subchannels per AP.
             demands_bits: downlink demand per client for this epoch
                 (``inf`` = saturated).
+            prach_counts: externally merged per-AP PRACH contention counts.
+                Required in shard mode (a shard only sees its own clients'
+                preambles, so the barrier must reduce the partial counts
+                from :meth:`prach_partial_counts` across shards); when
+                omitted, the counts are computed locally as before.
 
         Returns:
             The epoch outcome including the sensing observations a policy
             needs for the next decision.
         """
+        if self.shard_ap_ids is not None and prach_counts is None:
+            raise ValueError(
+                "sharded simulators need externally merged prach_counts "
+                "(drive them through repro.sim.shard.ShardedNetwork)"
+            )
         tel = _obs_runtime.active()
         span = None
         if tel is not None:
@@ -685,7 +829,7 @@ class LteNetworkSimulator:
         detector_rng = self.rngs.stream("cqi-detector")
         rlf_rng = self.rngs.stream("rlf")
 
-        if not scalar:
+        if not scalar and prach_counts is None:
             # Epoch-wide active-client mask in gain-matrix row order (the
             # demand-map pass above iterates the same client order), and
             # the per-AP PRACH contention counts it implies -- computed
@@ -724,7 +868,33 @@ class LteNetworkSimulator:
                 "total_columns": 0,
             }
 
+        # Shard mode walks the full topology-ordered AP sequence but only
+        # simulates owned APs.  Foreign APs contribute no arithmetic (their
+        # interference reaches owned clients through the full gain rows,
+        # and culled links are exact 0.0 no-ops), yet their epoch RNG draws
+        # must still advance the shared streams: the counts are accumulated
+        # and discarded in one batched ``rng.random(n)`` per stream, which
+        # advances PCG64 to exactly the offset n scalar draws would reach.
+        sharded = self.shard_ap_ids is not None
+        pending_rlf = 0
+        pending_det = 0
+        n_subs_total = self.grid.n_subchannels
         for ap in self.topology.aps:
+            if sharded and ap.ap_id not in self.shard_ap_ids:
+                acts = ap_active_map[ap.ap_id]
+                # Mirrors _incremental_links: one RLF draw per demanding
+                # client iff the AP has co-channel RLF sources, and one
+                # detector draw per (attached client, subchannel) always.
+                if acts and self._foreign_rlf_gate(ap.ap_id, allowed, active_list):
+                    pending_rlf += len(acts)
+                pending_det += len(self._rows_of_ap[ap.ap_id]) * n_subs_total
+                continue
+            if pending_rlf:
+                rlf_rng.random(pending_rlf)
+                pending_rlf = 0
+            if pending_det:
+                detector_rng.random(pending_det)
+                pending_det = 0
             clients = self.topology.clients_of(ap.ap_id)
             ap_demands = ap_demand_map[ap.ap_id]
             ap_active_demands = ap_active_map[ap.ap_id]
@@ -791,6 +961,13 @@ class LteNetworkSimulator:
                     connected[cid] = ap_demands[cid] <= 0.0
 
             observations[ap.ap_id] = links.observe(allocation, detector_rng)
+
+        # Flush trailing foreign-AP discards so the stream state at the
+        # epoch barrier matches the unsharded run exactly.
+        if pending_rlf:
+            rlf_rng.random(pending_rlf)
+        if pending_det:
+            detector_rng.random(pending_det)
 
         if tel is not None:
             span.__exit__(None, None, None)
@@ -1660,7 +1837,11 @@ class LteNetworkSimulator:
 
     def load_state(self, state: Dict[str, Any]) -> None:
         for ap_id, sched_state in state["schedulers"].items():
-            scheduler = self.schedulers[int(ap_id)]
+            # Shard views instantiate schedulers for owned APs only, but a
+            # merged snapshot carries every AP's scheduler: skip foreign ones.
+            scheduler = self.schedulers.get(int(ap_id))
+            if scheduler is None:
+                continue
             if sched_state is not None and hasattr(scheduler, "load_state"):
                 scheduler.load_state(sched_state)
         self._max_cqi_state = {
@@ -1689,4 +1870,5 @@ class LteNetworkSimulator:
         self._block_fast.clear()
         self._sig_cache.clear()
         self._epoch_ctx = None
+        self._foreign_rlf_cache = (-1, {})
         self._dirty_rows = {ap.ap_id: set() for ap in self.topology.aps}

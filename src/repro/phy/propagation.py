@@ -288,8 +288,18 @@ class GainMatrixCache:
         this does not eagerly fill the whole cache, which is what the
         incremental epoch backend needs when only a few clients moved.
         Returns a read-only ``(len(client_ids), n_aps)`` array.
+
+        An empty subset normalizes to an explicit ``(0, n_aps)`` array of
+        the cache's float dtype: fancy-indexing with an empty index list
+        is dtype-ambiguous on some NumPy versions (an empty ``asarray``
+        defaults to float64 *indices*), which used to surface as a 0-row
+        view with the wrong dtype.
         """
         indices = [self.client_index[cid] for cid in client_ids]
+        if not indices:
+            subset = np.empty((0, len(self._aps)), dtype=self._loss.dtype)
+            subset.setflags(write=False)
+            return subset
         for row in indices:
             if not self._row_valid[row]:
                 self._fill_row(row)

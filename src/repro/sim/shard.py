@@ -1,0 +1,529 @@
+"""Spatial shard engine: city-scale epochs across worker processes.
+
+The incremental backend (see ``docs/SIMULATION.md``) made per-epoch cost
+proportional to activity, but the map was still one global process.  This
+module partitions the map into rectangular spatial shards (one
+:func:`repro.sim.topology.grid_partition` tile per worker) and runs each
+shard's epoch in its own worker, while keeping the merged result **bitwise
+identical** to the single-process run.  Sharding is a pure execution
+strategy, never a semantics change.
+
+Why bit-identity is even possible
+---------------------------------
+
+Each worker holds the *full* replicated topology but owns only the APs of
+its tile and the clients attached to them (see ``shard_ap_ids`` on
+:class:`repro.lte.network.LteNetworkSimulator`):
+
+* **Downlink interference** at an owned client comes from the client's own
+  gain-matrix row, which spans *every* AP on the map -- owned and foreign
+  alike.  The "halo" is therefore implicit and exact: any foreign AP
+  within the ``cull_loss_db`` horizon contributes its real received power,
+  and anything beyond the horizon is the exact-``0.0`` watt no-op the
+  culling contract already guarantees (adding ``0.0`` is an IEEE-754
+  identity).  No power needs to cross shard boundaries at all.
+* **PRACH contention** (``NP_i`` in the share formula ``S_i = N_i * S /
+  NP_i``) is the one genuinely global quantity: an AP hears preambles from
+  *active* clients of other shards.  Each worker computes partial integer
+  counts over its owned clients (foreign rows of its preamble matrix are
+  all-``False``), and the epoch barrier sums the disjoint partials --
+  integer addition, no rounding -- and broadcasts the exact total.
+* **RNG draws**: the unsharded epoch draws from the shared "rlf" and
+  "cqi-detector" streams in topology AP order.  Workers fast-forward the
+  streams over foreign APs with batched discards (NumPy's batched
+  ``random(n)`` advances PCG64 exactly like ``n`` scalar draws), so every
+  owned AP draws the same doubles at the same stream offsets as the
+  unsharded run.
+
+Epoch barrier protocol (per epoch):
+
+1. parent pushes the epoch RNG stream states and the decision to every
+   worker; each replies with its partial PRACH counts,
+2. parent reduces the partials and broadcasts the exact total,
+3. workers run their epoch slice; the parent merges the per-shard results
+   (disjoint key sets) and adopts the synchronized stream states after
+   asserting all workers ended at identical RNG offsets.
+
+Cross-shard handover is a row migration at the epoch barrier: the old
+owner exports the client's cross-epoch max-CQI row, every replica applies
+the re-attach (disown / adopt on the two owners, topology-only elsewhere),
+and the new owner imports the row.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+import traceback
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set
+
+import numpy as np
+
+from repro.lte.network import (
+    ApObservation,
+    BACKEND_INCREMENTAL,
+    EpochResult,
+    LteNetworkSimulator,
+    SubchannelPolicy,
+)
+from repro.sim.topology import Topology, grid_partition
+
+__all__ = ["EPOCH_STREAMS", "ShardedNetwork", "grid_partition"]
+
+# The only RNG streams the epoch loop draws from; they are pushed to the
+# workers at every barrier and synchronized back afterwards.  Driver-side
+# streams (demand, churn, policy) never enter the workers.
+EPOCH_STREAMS = ("rlf", "cqi-detector")
+
+NetFactory = Callable[[Optional[Sequence[int]]], LteNetworkSimulator]
+
+
+def _epoch_stream_states(rngs) -> Dict[str, Any]:
+    return {
+        name: rngs.stream(name).bit_generator.state for name in EPOCH_STREAMS
+    }
+
+
+def _apply_stream_states(rngs, states: Dict[str, Any]) -> None:
+    for name, state in states.items():
+        rngs.stream(name).bit_generator.state = state
+
+
+class _InlineWorker:
+    """In-process worker: same protocol, no pipes (tests, fallback)."""
+
+    def __init__(self, net_factory: NetFactory, ap_ids: Sequence[int]) -> None:
+        self.net = net_factory(list(ap_ids))
+        self._pending: Optional[tuple] = None
+        self._partial: Optional[np.ndarray] = None
+        self._result: Optional[tuple] = None
+
+    def apply_move(self, client_id: int, x: float, y: float) -> None:
+        self.net.move_client(client_id, x, y)
+
+    def apply_reattach(self, client_id: int, new_ap_id: int) -> None:
+        self.net.reattach_client(client_id, new_ap_id)
+
+    def export_row(self, client_id: int) -> List[int]:
+        return self.net.export_client_row(client_id)
+
+    def import_row(self, client_id: int, row: Sequence[int]) -> None:
+        self.net.import_client_row(client_id, row)
+
+    def begin_epoch(self, epoch_index, allowed, demands_bits, rng_states) -> None:
+        _apply_stream_states(self.net.rngs, rng_states)
+        self._pending = (epoch_index, allowed, demands_bits)
+        self._partial = self.net.prach_partial_counts(demands_bits)
+
+    def read_partial(self) -> np.ndarray:
+        partial, self._partial = self._partial, None
+        return partial
+
+    def commit_epoch(self, prach_total: np.ndarray) -> None:
+        epoch_index, allowed, demands_bits = self._pending
+        self._pending = None
+        start = time.process_time()
+        result = self.net.run_epoch(
+            epoch_index, allowed, demands_bits, prach_counts=prach_total
+        )
+        compute_s = time.process_time() - start
+        self._result = (
+            result,
+            _epoch_stream_states(self.net.rngs),
+            dict(self.net.last_epoch_stats),
+            compute_s,
+        )
+
+    def read_result(self) -> tuple:
+        result, self._result = self._result, None
+        return result
+
+    def state_dict(self) -> Dict[str, Any]:
+        return self.net.state_dict()
+
+    def begin_load_state(self, state: Dict[str, Any]) -> None:
+        self.net.load_state(state)
+
+    def finish_load_state(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+def _worker_main(conn, net_factory: NetFactory, ap_ids: Sequence[int]) -> None:
+    """Worker-process loop: build the shard simulator, serve barrier ops.
+
+    Event ops (``move`` / ``reattach`` / ``import``) are fire-and-forget so
+    the parent can pipeline a whole inter-epoch event batch without a
+    round-trip each; any exception they raise is stashed and reported at
+    the next replying op, which every epoch barrier contains.
+    """
+    net = net_factory(list(ap_ids))
+    pending: Optional[tuple] = None
+    deferred_error: Optional[str] = None
+    while True:
+        try:
+            msg = conn.recv()
+        except EOFError:
+            return
+        op = msg[0]
+        if op == "stop":
+            conn.close()
+            return
+        try:
+            if deferred_error is not None:
+                raise RuntimeError(
+                    f"earlier shard event failed:\n{deferred_error}"
+                )
+            if op == "move":
+                net.move_client(msg[1], msg[2], msg[3])
+            elif op == "reattach":
+                net.reattach_client(msg[1], msg[2])
+            elif op == "import":
+                net.import_client_row(msg[1], msg[2])
+            elif op == "export":
+                conn.send(("ok", net.export_client_row(msg[1])))
+            elif op == "begin":
+                _, epoch_index, allowed, demands_bits, rng_states = msg
+                _apply_stream_states(net.rngs, rng_states)
+                pending = (epoch_index, allowed, demands_bits)
+                conn.send(("ok", net.prach_partial_counts(demands_bits)))
+            elif op == "commit":
+                epoch_index, allowed, demands_bits = pending
+                pending = None
+                start = time.process_time()
+                result = net.run_epoch(
+                    epoch_index, allowed, demands_bits, prach_counts=msg[1]
+                )
+                compute_s = time.process_time() - start
+                conn.send(
+                    (
+                        "ok",
+                        (
+                            result,
+                            _epoch_stream_states(net.rngs),
+                            dict(net.last_epoch_stats),
+                            compute_s,
+                        ),
+                    )
+                )
+            elif op == "state":
+                conn.send(("ok", net.state_dict()))
+            elif op == "load":
+                net.load_state(msg[1])
+                conn.send(("ok", None))
+            else:
+                raise ValueError(f"unknown shard worker op {op!r}")
+        except Exception:
+            if op in ("move", "reattach", "import"):
+                deferred_error = traceback.format_exc()
+            else:
+                conn.send(("error", traceback.format_exc()))
+
+
+class _ProcessWorker:
+    """Pipe-connected worker process (``fork`` start method)."""
+
+    def __init__(self, ctx, net_factory: NetFactory, ap_ids: Sequence[int]) -> None:
+        parent_conn, child_conn = ctx.Pipe()
+        self.proc = ctx.Process(
+            target=_worker_main,
+            args=(child_conn, net_factory, ap_ids),
+            daemon=True,
+        )
+        self.proc.start()
+        child_conn.close()
+        self.conn = parent_conn
+
+    def _recv(self):
+        tag, payload = self.conn.recv()
+        if tag == "error":
+            raise RuntimeError(f"shard worker failed:\n{payload}")
+        return payload
+
+    def apply_move(self, client_id: int, x: float, y: float) -> None:
+        self.conn.send(("move", client_id, x, y))
+
+    def apply_reattach(self, client_id: int, new_ap_id: int) -> None:
+        self.conn.send(("reattach", client_id, new_ap_id))
+
+    def export_row(self, client_id: int) -> List[int]:
+        self.conn.send(("export", client_id))
+        return self._recv()
+
+    def import_row(self, client_id: int, row: Sequence[int]) -> None:
+        self.conn.send(("import", client_id, list(row)))
+
+    def begin_epoch(self, epoch_index, allowed, demands_bits, rng_states) -> None:
+        self.conn.send(("begin", epoch_index, allowed, demands_bits, rng_states))
+
+    def read_partial(self) -> np.ndarray:
+        return self._recv()
+
+    def commit_epoch(self, prach_total: np.ndarray) -> None:
+        self.conn.send(("commit", prach_total))
+
+    def read_result(self) -> tuple:
+        return self._recv()
+
+    def state_dict(self) -> Dict[str, Any]:
+        self.conn.send(("state",))
+        return self._recv()
+
+    def begin_load_state(self, state: Dict[str, Any]) -> None:
+        self.conn.send(("load", state))
+
+    def finish_load_state(self) -> None:
+        self._recv()
+
+    def close(self) -> None:
+        if self.proc.is_alive():
+            try:
+                self.conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+            self.proc.join(timeout=5.0)
+            if self.proc.is_alive():
+                self.proc.terminate()
+        self.conn.close()
+
+
+class ShardedNetwork:
+    """Drive N shard workers so their merged epochs match one simulator.
+
+    Drop-in replacement for :class:`LteNetworkSimulator` from a driver's
+    point of view (``run_epoch`` / ``move_client`` / ``reattach_client`` /
+    ``run`` / ``state_dict`` / ``load_state``), with the same digests.
+
+    Args:
+        topology: the parent's replica of the shared topology (mutated by
+            the same event stream the workers receive).
+        shard_plan: AP-id lists, one per shard -- disjoint and covering
+            every AP (see :func:`repro.sim.topology.grid_partition`).
+        net_factory: builds one shard simulator given its owned AP ids.
+            Must rebuild the *same* deterministic scenario in every worker
+            (same seed-derived topology/channel/RNG streams); with
+            ``None`` it must build the plain unsharded simulator.
+        rngs: the parent's mirror of the simulators' RNG streams (the
+            object a checkpoint registry should register as the network
+            RNG subsystem).
+        grid: the shared resource grid (policy wiring reads it).
+        mode: ``"process"`` (fork workers), ``"inline"`` (in-process, for
+            tests and platforms without fork) or ``"auto"``.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        shard_plan: Sequence[Sequence[int]],
+        net_factory: NetFactory,
+        rngs,
+        grid,
+        mode: str = "auto",
+    ) -> None:
+        self.topology = topology
+        self.grid = grid
+        self.rngs = rngs
+        self.backend = BACKEND_INCREMENTAL
+        plan = [sorted(shard) for shard in shard_plan]
+        flat = [ap_id for shard in plan for ap_id in shard]
+        if len(set(flat)) != len(flat):
+            raise ValueError("shard plan has overlapping AP assignments")
+        if set(flat) != {ap.ap_id for ap in topology.aps}:
+            raise ValueError("shard plan must cover every AP exactly once")
+        self.shard_plan = plan
+        self._shard_of_ap = {
+            ap_id: k for k, shard in enumerate(plan) for ap_id in shard
+        }
+        # Build-time row order: matches every worker's gain-matrix row
+        # mapping (handover mutates attachment, never list positions).
+        self._client_row = {
+            c.client_id: i for i, c in enumerate(topology.clients)
+        }
+        if mode == "auto":
+            mode = (
+                "process"
+                if "fork" in mp.get_all_start_methods()
+                else "inline"
+            )
+        if mode == "process":
+            ctx = mp.get_context("fork")
+            self.workers: List[Any] = [
+                _ProcessWorker(ctx, net_factory, shard) for shard in plan
+            ]
+        elif mode == "inline":
+            self.workers = [_InlineWorker(net_factory, shard) for shard in plan]
+        else:
+            raise ValueError(f"unknown shard mode {mode!r}")
+        self.mode = mode
+        self.last_epoch_stats: Dict[str, int] = {}
+        # Per-worker run_epoch CPU seconds for the last barrier (measured
+        # with process_time, so sibling workers time-slicing on the same
+        # core do not inflate it); max() is the critical-path epoch time
+        # a one-worker-per-core host waits on.
+        self.last_epoch_compute_s: List[float] = []
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.workers)
+
+    def shard_of_client(self, client_id: int) -> int:
+        return self._shard_of_ap[self.topology.client(client_id).ap_id]
+
+    # -- Events (applied between epochs, i.e. at the barrier) ---------------
+
+    def move_client(self, client_id: int, x: float, y: float) -> None:
+        self.topology.move_client(client_id, x, y)
+        for worker in self.workers:
+            worker.apply_move(client_id, x, y)
+
+    def reattach_client(self, client_id: int, new_ap_id: int) -> None:
+        old_ap_id = self.topology.client(client_id).ap_id
+        if old_ap_id == new_ap_id:
+            return
+        old_shard = self._shard_of_ap[old_ap_id]
+        new_shard = self._shard_of_ap[new_ap_id]
+        payload = None
+        if old_shard != new_shard:
+            # Export before the old owner disowns (which zeroes the row).
+            payload = self.workers[old_shard].export_row(client_id)
+        self.topology.reattach_client(client_id, new_ap_id)
+        for worker in self.workers:
+            worker.apply_reattach(client_id, new_ap_id)
+        if payload is not None:
+            self.workers[new_shard].import_row(client_id, payload)
+
+    # -- Epoch barrier ------------------------------------------------------
+
+    def run_epoch(
+        self,
+        epoch_index: int,
+        allowed: Dict[int, Set[int]],
+        demands_bits: Dict[int, float],
+    ) -> EpochResult:
+        # Phase 1: push decision + epoch RNG states, gather PRACH partials.
+        # The push is normally a no-op (workers advanced in lockstep) but
+        # makes a freshly restored parent authoritative for free.
+        rng_states = _epoch_stream_states(self.rngs)
+        for worker in self.workers:
+            worker.begin_epoch(epoch_index, allowed, demands_bits, rng_states)
+        total: Optional[np.ndarray] = None
+        for worker in self.workers:
+            partial = worker.read_partial()
+            total = partial if total is None else total + partial
+        # Phase 2: broadcast the exact global counts, run the epoch slices.
+        for worker in self.workers:
+            worker.commit_epoch(total)
+        outcomes = [worker.read_result() for worker in self.workers]
+        # Phase 3: merge.  Key sets are disjoint by ownership, and every
+        # AP/client is owned by exactly one shard, so the merged dicts have
+        # exactly the unsharded key population.
+        states0 = outcomes[0][1]
+        for _, states, _, _ in outcomes[1:]:
+            if states != states0:
+                raise RuntimeError(
+                    "shard RNG streams diverged at the epoch barrier -- "
+                    "the bit-identity contract is broken"
+                )
+        _apply_stream_states(self.rngs, states0)
+        merged = EpochResult(
+            epoch_index=epoch_index,
+            served_bits={},
+            throughput_bps={},
+            allocations={},
+            observations={},
+            connected={},
+        )
+        stats_sum: Dict[str, int] = {}
+        self.last_epoch_compute_s = [outcome[3] for outcome in outcomes]
+        for result, _, stats, _ in outcomes:
+            merged.served_bits.update(result.served_bits)
+            merged.throughput_bps.update(result.throughput_bps)
+            merged.allocations.update(result.allocations)
+            merged.observations.update(result.observations)
+            merged.connected.update(result.connected)
+            for key, value in stats.items():
+                stats_sum[key] = stats_sum.get(key, 0) + value
+        self.last_epoch_stats = stats_sum
+        return merged
+
+    def run(
+        self,
+        n_epochs: int,
+        policy: SubchannelPolicy,
+        demand_fn: Callable[[int], Dict[int, float]],
+    ) -> List[EpochResult]:
+        """Mirror of :meth:`LteNetworkSimulator.run` over the shard fleet."""
+        results: List[EpochResult] = []
+        observations: Optional[Dict[int, ApObservation]] = None
+        for epoch in range(n_epochs):
+            allowed = policy.decide(epoch, observations)
+            result = self.run_epoch(epoch, allowed, demand_fn(epoch))
+            observations = result.observations
+            results.append(result)
+        return results
+
+    # -- Checkpointing ------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Merged snapshot, byte-identical to the unsharded simulator's.
+
+        Schedulers union disjointly by AP ownership, the max-CQI matrix is
+        assembled from each client's owning shard, and positions/serving
+        come from the parent's replicated topology.  A checkpoint registry
+        therefore produces the same subsystem hash -- and the same run
+        digest -- as the single-process run.
+        """
+        worker_states = [worker.state_dict() for worker in self.workers]
+        schedulers: Dict[Any, Any] = {}
+        cqi_entries: Set[tuple] = set()
+        for state in worker_states:
+            schedulers.update(state["schedulers"])
+            cqi_entries.update(tuple(entry) for entry in state["max_cqi_state"])
+        vec = np.zeros_like(np.asarray(worker_states[0]["max_cqi_vec"]))
+        for client in self.topology.clients:
+            row = self._client_row[client.client_id]
+            owner = self._shard_of_ap[client.ap_id]
+            vec[row] = np.asarray(worker_states[owner]["max_cqi_vec"])[row]
+        clients = sorted(self.topology.clients, key=lambda c: c.client_id)
+        return {
+            "schedulers": schedulers,
+            "max_cqi_state": [list(entry) for entry in sorted(cqi_entries)],
+            "max_cqi_vec": vec,
+            "positions": [[c.client_id, c.x, c.y] for c in clients],
+            "serving": [[c.client_id, c.ap_id] for c in clients],
+        }
+
+    def load_state(self, state: Dict[str, Any]) -> None:
+        # Parent replica first: ownership is derived from serving APs, so
+        # the diff-application below keeps the shard map authoritative.
+        for cid, x, y in state.get("positions", []):
+            cid, x, y = int(cid), float(x), float(y)
+            site = self.topology.client(cid)
+            if site.x != x or site.y != y:
+                self.topology.move_client(cid, x, y)
+        for cid, ap_id in state.get("serving", []):
+            cid, ap_id = int(cid), int(ap_id)
+            if self.topology.client(cid).ap_id != ap_id:
+                self.topology.reattach_client(cid, ap_id)
+        # Every worker gets the full merged state: each applies the same
+        # topology diffs, loads its owned schedulers (foreign entries are
+        # skipped) and the full max-CQI matrix (only owned rows are live).
+        for worker in self.workers:
+            worker.begin_load_state(state)
+        for worker in self.workers:
+            worker.finish_load_state()
+        self.last_epoch_stats = {}
+
+    # -- Lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        for worker in self.workers:
+            worker.close()
+
+    def __enter__(self) -> "ShardedNetwork":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -336,3 +336,64 @@ def grid_topology(
             )
             client_id += 1
     return Topology(area_m=n_aps_side * spacing_m, aps=aps, clients=clients)
+
+
+def _grid_shape(n_shards: int) -> Tuple[int, int]:
+    """Factor ``n_shards`` into the most square ``(cols, rows)`` tiling."""
+    if n_shards <= 0:
+        raise ValueError(f"shard count must be positive, got {n_shards}")
+    rows = int(math.isqrt(n_shards))
+    while n_shards % rows:
+        rows -= 1
+    return n_shards // rows, rows
+
+
+def grid_partition(topology: Topology, n_shards: int) -> List[List[int]]:
+    """Partition the map into ``n_shards`` rectangular tiles of AP ids.
+
+    The square ``area_m x area_m`` map is split into a ``cols x rows``
+    grid of equal rectangles (``cols * rows == n_shards``, as square as
+    the factorization allows) and each AP is assigned to the tile
+    containing its position.  Shards are returned row-major as sorted AP
+    id lists; a tile with no APs yields an empty shard.  Clients are not
+    partitioned here -- a client belongs to the shard owning its serving
+    AP, which is what makes cross-shard handover a row migration rather
+    than a re-partition.
+    """
+    cols, rows = _grid_shape(n_shards)
+    tile_w = topology.area_m / cols
+    tile_h = topology.area_m / rows
+    shards: List[List[int]] = [[] for _ in range(n_shards)]
+    for ap in topology.aps:
+        col = min(int(ap.x / tile_w), cols - 1)
+        row = min(int(ap.y / tile_h), rows - 1)
+        shards[row * cols + col].append(ap.ap_id)
+    return [sorted(shard) for shard in shards]
+
+
+def halo_ap_ids(
+    topology: Topology, shard_ap_ids: Iterable[int], margin_m: float
+) -> List[int]:
+    """Foreign APs within ``margin_m`` of the shard's bounding box.
+
+    A geometric halo estimate for diagnostics and docs: the *authoritative*
+    halo used by the sharded engine is audibility-derived (an AP is in a
+    client's halo iff its links survive the ``cull_loss_db`` horizon), and
+    with log-normal shadowing that set is not a simple disk.  This helper
+    answers "which neighbors could matter" for a median-loss channel where
+    ``margin_m`` is the distance at which path loss crosses the horizon.
+    """
+    members = set(shard_ap_ids)
+    owned = [ap for ap in topology.aps if ap.ap_id in members]
+    if not owned:
+        return []
+    x_lo = min(ap.x for ap in owned) - margin_m
+    x_hi = max(ap.x for ap in owned) + margin_m
+    y_lo = min(ap.y for ap in owned) - margin_m
+    y_hi = max(ap.y for ap in owned) + margin_m
+    halo = [
+        ap.ap_id
+        for ap in topology.aps
+        if ap.ap_id not in members and x_lo <= ap.x <= x_hi and y_lo <= ap.y <= y_hi
+    ]
+    return sorted(halo)

@@ -116,6 +116,49 @@ class TestSaturatedLteRoundtrip:
         assert result.connected_fraction == expected.connected_fraction
         assert resumed.run_digest() == baseline.run_digest()
 
+    @pytest.mark.parametrize("tech", [TECH_LTE, TECH_CELLFI])
+    def test_sharded_resume_matches_unsharded_straight_through(
+        self, tech, tmp_path
+    ):
+        # Kill a 2-shard run at the epoch barrier, restore from the merged
+        # snapshot, and require the resumed digest to equal both its own
+        # straight-through run *and* the plain unsharded run: the snapshot
+        # merge and the restore fan-out are both bit-exact.
+        kwargs = dict(
+            tech=tech,
+            seed=4,
+            n_aps=4,
+            clients_per_ap=3,
+            epochs=6,
+            shards=2,
+            shard_mode="inline",
+        )
+        unsharded = SaturatedLteRun(
+            tech=tech, seed=4, n_aps=4, clients_per_ap=3, epochs=6
+        )
+        expected = unsharded.run()
+
+        baseline = SaturatedLteRun(**kwargs)
+        assert baseline.net.n_shards == 2
+        straight = baseline.run()
+        assert straight.throughput_bps == expected.throughput_bps
+        assert baseline.run_digest() == unsharded.run_digest()
+
+        halted = SaturatedLteRun(**kwargs)
+        out = halted.run(
+            checkpoint_dir=str(tmp_path), checkpoint_every=2, halt_at=3
+        )
+        assert out is None
+
+        resumed = SaturatedLteRun.restore(latest_checkpoint(str(tmp_path)))
+        assert resumed.net.n_shards == 2
+        result = resumed.run()
+        assert result is not None
+        assert result.throughput_bps == expected.throughput_bps
+        assert result.connected_fraction == expected.connected_fraction
+        assert resumed.run_digest() == baseline.run_digest()
+        assert resumed.run_digest() == unsharded.run_digest()
+
 
 class TestConvergenceRoundtrip:
     @pytest.mark.parametrize("seed,n_nodes", [(17, 8), (4, 12)])

@@ -442,6 +442,21 @@ class TestGainCacheAccessors:
                     cid, ap.ap_id
                 )
 
+    def test_rows_empty_subset_normalized(self):
+        # Regression: fancy-indexing with an empty index list is
+        # dtype-ambiguous on some NumPy versions (an empty asarray defaults
+        # to float64 *indices*), which surfaced as a 0-row view with the
+        # wrong dtype.  The empty subset must be an explicit float64
+        # (0, n_aps) read-only array and must not materialise any rows.
+        channel = make_channel()
+        topology = make_topology(channel)
+        cache = GainMatrixCache(channel, topology.aps, topology.clients)
+        subset = cache.rows([])
+        assert subset.shape == (0, len(topology.aps))
+        assert subset.dtype == np.float64
+        assert not subset.flags.writeable
+        assert int(cache._row_valid.sum()) == 0
+
     def test_is_culled_matches_horizon(self):
         channel = make_channel()
         topology = make_topology(channel)
