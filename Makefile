@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test coverage checkpoint-smoke bench bench-full bench-obs bench-incremental bench-incremental-smoke bench-city shard-smoke sweep-smoke faults-smoke trace-smoke
+.PHONY: test coverage checkpoint-smoke bench bench-full bench-obs bench-incremental bench-incremental-smoke bench-city shard-smoke chaos-smoke sweep-smoke faults-smoke trace-smoke
 
 # Tier-1 test suite (must stay green).
 test:
@@ -93,3 +93,11 @@ bench-city:
 # backend; writes BENCH_shard_smoke.json.
 shard-smoke:
 	$(PYTHON) benchmarks/bench_epoch.py --shard-smoke
+
+# Chaos gate: a supervised 2-shard process-mode run with a scheduled
+# worker kill must respawn from checkpoint, replay its journal, and stay
+# digest-equal to the fault-free run; a zero-retry-budget kill must
+# degrade the shard to inline execution with a structured warning.
+# Writes BENCH_chaos_smoke.json (see docs/ROBUSTNESS.md).
+chaos-smoke:
+	$(PYTHON) benchmarks/bench_epoch.py --chaos-smoke

@@ -46,6 +46,7 @@ import os
 import pathlib
 import statistics
 import time
+import warnings
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -65,7 +66,13 @@ from repro.phy.propagation import (
 )
 from repro.phy.resource_grid import ResourceGrid
 from repro.sim.rng import RngStreams
-from repro.sim.shard import ShardedNetwork
+from repro.sim.shard import (
+    ChaosEvent,
+    ChaosPolicy,
+    ShardDegradedWarning,
+    ShardedNetwork,
+    SupervisionConfig,
+)
 from repro.sim.topology import (
     Topology,
     grid_partition,
@@ -78,6 +85,7 @@ OUTPUT_PATH = REPO_ROOT / "BENCH_epoch.json"
 INCREMENTAL_OUTPUT_PATH = REPO_ROOT / "BENCH_incremental.json"
 CITY_OUTPUT_PATH = REPO_ROOT / "BENCH_city.json"
 SHARD_SMOKE_OUTPUT_PATH = REPO_ROOT / "BENCH_shard_smoke.json"
+CHAOS_SMOKE_OUTPUT_PATH = REPO_ROOT / "BENCH_chaos_smoke.json"
 
 DEFAULT_SIZES = (10, 50, 200)
 DEFAULT_ACTIVITIES = (0.05, 0.10, 0.25, 1.00)
@@ -634,20 +642,10 @@ def run_city_bench(
     }
 
 
-def run_shard_smoke(
-    n_cells: int = SMOKE_SWEEP_CELLS,
-    n_shards: int = 2,
-    n_epochs: int = 6,
-    cull_loss_db: float = SWEEP_CULL_LOSS_DB,
-    mode: str = "auto",
-) -> Dict:
-    """CI gate: a sharded run must digest-equal the unsharded incremental.
-
-    Drives identical churn through both engines -- mobility every epoch
-    plus one forced re-attachment per epoch, some crossing shard
-    boundaries so the max-CQI row migration travels through real worker
-    pipes -- and requires bitwise-equal per-epoch digests.
-    """
+def _churn_smoke_scenario(
+    n_cells: int, n_shards: int, n_epochs: int
+) -> Tuple[Dict, List, List, List[Tuple[int, int]], int]:
+    """Mobility + forced-handover churn shared by the shard/chaos gates."""
     _, demands, movers = _sweep_scenario(n_cells, 0.5)
     topology = _bench_topology(n_cells)
     schedule = _movement_schedule(topology, movers, n_epochs)
@@ -673,38 +671,71 @@ def run_shard_smoke(
             "shard smoke scenario never crosses a shard boundary; "
             "row migration would go unexercised"
         )
+    return demands, schedule, plan, reattaches, cross_shard
+
+
+def _drive_churn(net, demands, schedule, reattaches) -> List[str]:
+    """Run the churn scenario on any engine, one digest per measured epoch."""
+    policy = AllSubchannelsPolicy(
+        [ap.ap_id for ap in net.topology.aps], net.grid.n_subchannels
+    )
+    allowed = policy.decide(0, None)
+    net.run_epoch(0, allowed, demands)  # warm-up
+    digests = []
+    for epoch, moves in enumerate(schedule, start=1):
+        for cid, x, y in moves:
+            net.move_client(cid, x, y)
+        cid, new_ap = reattaches[epoch - 1]
+        net.reattach_client(cid, new_ap)
+        digests.append(epoch_digest(net.run_epoch(epoch, allowed, demands)))
+    return digests
+
+
+def run_shard_smoke(
+    n_cells: int = SMOKE_SWEEP_CELLS,
+    n_shards: int = 2,
+    n_epochs: int = 6,
+    cull_loss_db: float = SWEEP_CULL_LOSS_DB,
+    mode: str = "auto",
+) -> Dict:
+    """CI gate: a sharded run must digest-equal the unsharded incremental.
+
+    Drives identical churn through both engines -- mobility every epoch
+    plus one forced re-attachment per epoch, some crossing shard
+    boundaries so the max-CQI row migration travels through real worker
+    pipes -- and requires bitwise-equal per-epoch digests.
+    """
+    demands, schedule, plan, reattaches, cross_shard = _churn_smoke_scenario(
+        n_cells, n_shards, n_epochs
+    )
 
     def drive(net) -> List[str]:
-        policy = AllSubchannelsPolicy(
-            [ap.ap_id for ap in net.topology.aps], net.grid.n_subchannels
-        )
-        allowed = policy.decide(0, None)
-        net.run_epoch(0, allowed, demands)  # warm-up
-        digests = []
-        for epoch, moves in enumerate(schedule, start=1):
-            for cid, x, y in moves:
-                net.move_client(cid, x, y)
-            cid, new_ap = reattaches[epoch - 1]
-            net.reattach_client(cid, new_ap)
-            digests.append(epoch_digest(net.run_epoch(epoch, allowed, demands)))
-        return digests
+        return _drive_churn(net, demands, schedule, reattaches)
 
     unsharded = drive(build_network(n_cells, BACKEND_INCREMENTAL, cull_loss_db))
-    sharded_net = ShardedNetwork(
-        _bench_topology(n_cells),
-        plan,
-        lambda ap_ids: build_network(
-            n_cells, BACKEND_INCREMENTAL, cull_loss_db, shard_ap_ids=ap_ids
-        ),
-        RngStreams(SEED),
-        ResourceGrid(5e6),
-        mode=mode,
-    )
-    try:
-        sharded = drive(sharded_net)
-        worker_mode = sharded_net.mode
-    finally:
-        sharded_net.close()
+
+    def build_sharded(**kwargs) -> ShardedNetwork:
+        return ShardedNetwork(
+            _bench_topology(n_cells),
+            plan,
+            lambda ap_ids: build_network(
+                n_cells, BACKEND_INCREMENTAL, cull_loss_db, shard_ap_ids=ap_ids
+            ),
+            RngStreams(SEED),
+            ResourceGrid(5e6),
+            mode=mode,
+            **kwargs,
+        )
+
+    def timed_drive(net) -> Tuple[List[str], float, str]:
+        try:
+            t0 = time.perf_counter()
+            digests = drive(net)
+            return digests, time.perf_counter() - t0, net.mode
+        finally:
+            net.close()
+
+    sharded, bare_s, worker_mode = timed_drive(build_sharded())
     if sharded != unsharded:
         first = next(
             i for i, (a, b) in enumerate(zip(sharded, unsharded)) if a != b
@@ -714,10 +745,22 @@ def run_shard_smoke(
             f"diverged from the unsharded incremental backend at epoch "
             f"{first + 1}"
         )
+    # Supervised arm: same run under the fault-tolerant supervisor (no
+    # chaos), recording what heartbeat tracking, journaling and periodic
+    # recovery checkpoints cost on top of the bare shard engine.
+    supervised, supervised_s, _ = timed_drive(build_sharded(supervise=True))
+    if supervised != unsharded:
+        raise SystemExit(
+            "shard smoke digest mismatch: the supervised run diverged "
+            "from the unsharded incremental backend"
+        )
+    overhead_frac = supervised_s / bare_s - 1.0 if bare_s > 0 else 0.0
     print(
         f"shard smoke: {n_shards} shards ({worker_mode} workers), "
         f"{n_cells} cells, {n_epochs} epochs, "
-        f"{cross_shard} cross-shard handovers -- digests ok"
+        f"{cross_shard} cross-shard handovers -- digests ok; "
+        f"supervision overhead {overhead_frac * 100:+.1f}% "
+        f"({bare_s:.2f}s -> {supervised_s:.2f}s)"
     )
     return {
         "benchmark": "lte-epoch-shard-smoke",
@@ -730,6 +773,126 @@ def run_shard_smoke(
         "epochs": n_epochs,
         "cross_shard_handovers": cross_shard,
         "digest_match": True,
+        "wall_s": round(bare_s, 4),
+        "supervised": {
+            "digest_match": True,
+            "wall_s": round(supervised_s, 4),
+            "overhead_frac": round(overhead_frac, 4),
+        },
+    }
+
+
+def run_chaos_smoke(
+    n_cells: int = SMOKE_SWEEP_CELLS,
+    n_shards: int = 2,
+    n_epochs: int = 6,
+    cull_loss_db: float = SWEEP_CULL_LOSS_DB,
+    mode: str = "auto",
+) -> Dict:
+    """CI gate: a worker killed mid-run must recover bit-identically.
+
+    Three supervised arms over the same churn scenario as the shard
+    smoke: fault-free (the digest reference), one scheduled worker kill
+    (SIGKILL under process workers) that must respawn from checkpoint and
+    replay its journal, and a zero-retry-budget kill that must degrade
+    the shard to inline execution with a structured warning -- all three
+    digest-equal to the unsharded incremental backend.
+    """
+    demands, schedule, plan, reattaches, cross_shard = _churn_smoke_scenario(
+        n_cells, n_shards, n_epochs
+    )
+    kill_epoch = max(1, n_epochs // 2)
+    chaos = ChaosPolicy(events=(ChaosEvent("kill", kill_epoch, n_shards - 1),))
+
+    def drive_supervised(
+        retry_budget: int, with_chaos: bool
+    ) -> Tuple[List[str], Dict[str, int], str]:
+        net = ShardedNetwork(
+            _bench_topology(n_cells),
+            plan,
+            lambda ap_ids: build_network(
+                n_cells, BACKEND_INCREMENTAL, cull_loss_db, shard_ap_ids=ap_ids
+            ),
+            RngStreams(SEED),
+            ResourceGrid(5e6),
+            mode=mode,
+            supervision=SupervisionConfig(
+                retry_budget=retry_budget, checkpoint_every=2
+            ),
+            chaos=chaos if with_chaos else None,
+        )
+        try:
+            digests = _drive_churn(net, demands, schedule, reattaches)
+            return digests, dict(net.supervisor.stats), net.mode
+        finally:
+            net.close()
+
+    unsharded = _drive_churn(
+        build_network(n_cells, BACKEND_INCREMENTAL, cull_loss_db),
+        demands,
+        schedule,
+        reattaches,
+    )
+    fault_free, _, worker_mode = drive_supervised(3, with_chaos=False)
+    if fault_free != unsharded:
+        raise SystemExit(
+            "chaos smoke: fault-free supervised digests diverged from the "
+            "unsharded incremental backend"
+        )
+    killed, stats, _ = drive_supervised(3, with_chaos=True)
+    if killed != unsharded:
+        first = next(
+            i for i, (a, b) in enumerate(zip(killed, unsharded)) if a != b
+        )
+        raise SystemExit(
+            f"chaos smoke: recovery after the epoch-{kill_epoch} worker "
+            f"kill diverged from the fault-free run at epoch {first + 1}"
+        )
+    if stats["restarts"] < 1 or stats["crashes"] < 1:
+        raise SystemExit(
+            f"chaos smoke: the scheduled kill was not recovered as a "
+            f"crash (stats: {stats})"
+        )
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        degraded, degraded_stats, _ = drive_supervised(0, with_chaos=True)
+    degrade_warned = any(
+        issubclass(w.category, ShardDegradedWarning) for w in caught
+    )
+    if degraded != unsharded:
+        raise SystemExit(
+            "chaos smoke: the degraded-to-inline run diverged from the "
+            "fault-free run"
+        )
+    if degraded_stats["degraded"] < 1 or not degrade_warned:
+        raise SystemExit(
+            f"chaos smoke: exhausting a zero retry budget must degrade "
+            f"the shard inline with a ShardDegradedWarning "
+            f"(stats: {degraded_stats}, warned: {degrade_warned})"
+        )
+    print(
+        f"chaos smoke: {n_shards} shards ({worker_mode} workers), "
+        f"kill@{kill_epoch} recovered (restarts={stats['restarts']}, "
+        f"replayed_ops={stats['replayed_ops']}), budget-0 degraded "
+        f"inline with warning -- digests ok"
+    )
+    return {
+        "benchmark": "lte-epoch-chaos-smoke",
+        "seed": SEED,
+        "cells": n_cells,
+        "clients": n_cells * CLIENTS_PER_AP,
+        "shards": n_shards,
+        "worker_mode": worker_mode,
+        "cull_loss_db": cull_loss_db,
+        "epochs": n_epochs,
+        "cross_shard_handovers": cross_shard,
+        "kill_epoch": kill_epoch,
+        "digest_match": True,
+        "recovery": {key: int(value) for key, value in sorted(stats.items())},
+        "degraded": {
+            key: int(value) for key, value in sorted(degraded_stats.items())
+        },
+        "degrade_warning": True,
     }
 
 
@@ -814,13 +977,28 @@ def main() -> None:
         ),
     )
     parser.add_argument(
+        "--chaos-smoke",
+        action="store_true",
+        help=(
+            "CI gate: a supervised 2-shard run with a scheduled worker "
+            "kill must recover bit-identically, and a zero-retry-budget "
+            "kill must degrade inline with a warning; writes "
+            f"{CHAOS_SMOKE_OUTPUT_PATH.name}"
+        ),
+    )
+    parser.add_argument(
         "--output",
         type=pathlib.Path,
         default=None,
         help=f"result file (default {OUTPUT_PATH} / {INCREMENTAL_OUTPUT_PATH})",
     )
     args = parser.parse_args()
-    if args.shard_smoke:
+    if args.chaos_smoke:
+        payload = run_chaos_smoke(
+            n_epochs=args.epochs or 6, mode=args.shard_mode
+        )
+        output = args.output or CHAOS_SMOKE_OUTPUT_PATH
+    elif args.shard_smoke:
         payload = run_shard_smoke(
             n_epochs=args.epochs or 6, mode=args.shard_mode
         )

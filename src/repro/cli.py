@@ -221,12 +221,93 @@ def _cmd_replay_diff(args: argparse.Namespace) -> int:
     return 1 if report.diverged else 0
 
 
+def _add_shard_flags(p: argparse.ArgumentParser, optional: bool = False) -> None:
+    """Supervision/chaos flags shared by the shard-capable commands.
+
+    ``optional`` leaves every default as ``None`` so the sweep command's
+    kwargs filter can distinguish "not given" from an explicit value.
+    """
+    p.add_argument(
+        "--shard-supervise",
+        action="store_const", const=True,
+        default=None if optional else False,
+        help="wrap shard workers in the fault-tolerant supervisor "
+             "(heartbeats, checkpointed respawn, graceful degradation)",
+    )
+    p.add_argument(
+        "--chaos", default=None, metavar="SPEC",
+        help="chaos-injection schedule, e.g. "
+             "'kill@3:1,stall@5:0:0.3,seed=7,malformed=0.05' "
+             "(implies supervision; see docs/ROBUSTNESS.md)",
+    )
+    p.add_argument(
+        "--shard-retry-budget", type=int, default=None, metavar="N",
+        help="respawn attempts per worker before degrading that shard "
+             "to inline execution (default 3)",
+    )
+
+
+def _validate_shard_args(args: argparse.Namespace) -> None:
+    """Fail fast on bad --shards/--chaos combinations.
+
+    Worker startup happens deep inside the experiment (possibly in a
+    forked process), so argument mistakes are rejected here with a clear
+    message instead.
+    """
+    shards = getattr(args, "shards", None)
+    if shards is not None and shards < 1:
+        raise SystemExit(f"error: --shards must be >= 1 (got {shards})")
+    supervision_requested = bool(
+        getattr(args, "shard_supervise", None)
+        or getattr(args, "chaos", None)
+        or getattr(args, "shard_retry_budget", None) is not None
+    )
+    if supervision_requested and (shards is None or shards <= 1):
+        raise SystemExit(
+            "error: --shard-supervise/--chaos/--shard-retry-budget act on "
+            "the shard engine; pass --shards N with N > 1"
+        )
+    budget = getattr(args, "shard_retry_budget", None)
+    if budget is not None and budget < 0:
+        raise SystemExit(
+            f"error: --shard-retry-budget must be >= 0 (got {budget})"
+        )
+    chaos = getattr(args, "chaos", None)
+    if chaos:
+        from repro.sim.shard import ChaosPolicy
+
+        try:
+            ChaosPolicy.parse(chaos)
+        except ValueError as exc:
+            raise SystemExit(f"error: bad --chaos spec: {exc}")
+    if shards is not None and shards > 1:
+        techs = getattr(args, "techs", None)
+        if techs and "Oracle" in techs:
+            raise SystemExit(
+                "error: the Oracle baseline queries live radio state and "
+                "cannot shard; drop it from --techs or run with --shards 1"
+            )
+        import multiprocessing as mp
+
+        if "fork" not in mp.get_all_start_methods():
+            print(
+                "warning: the 'fork' start method is unavailable on this "
+                "platform; shard workers will run inline (slower, results "
+                "unchanged)",
+                file=sys.stderr,
+            )
+
+
 def _cmd_fig9a(args: argparse.Namespace) -> int:
     from repro.experiments.large_scale import run_coverage_vs_density
 
+    _validate_shard_args(args)
     result = run_coverage_vs_density(
         args.densities, args.seeds, epochs=args.epochs,
         wifi_duration_s=args.wifi_duration, shards=args.shards,
+        shard_supervise=bool(args.shard_supervise),
+        shard_retry_budget=args.shard_retry_budget,
+        chaos=args.chaos,
     )
     rows = []
     for i, density in enumerate(result.densities):
@@ -244,9 +325,13 @@ def _cmd_fig9a(args: argparse.Namespace) -> int:
 def _cmd_fig9b(args: argparse.Namespace) -> int:
     from repro.experiments.large_scale import run_throughput_cdfs
 
+    _validate_shard_args(args)
     result = run_throughput_cdfs(
         args.seeds, n_aps=args.aps, epochs=args.epochs,
         wifi_duration_s=args.wifi_duration, shards=args.shards,
+        shard_supervise=bool(args.shard_supervise),
+        shard_retry_budget=args.shard_retry_budget,
+        chaos=args.chaos,
     )
     rows = []
     for tech in result.samples_bps:
@@ -336,6 +421,9 @@ def build_sweep_spec(args: argparse.Namespace):
                 epochs=args.epochs,
                 wifi_duration_s=args.wifi_duration,
                 shards=args.shards,
+                shard_supervise=args.shard_supervise,
+                shard_retry_budget=args.shard_retry_budget,
+                chaos=args.chaos,
             )
         )
     if args.spec == "fig9b":
@@ -351,6 +439,9 @@ def build_sweep_spec(args: argparse.Namespace):
                 epochs=args.epochs,
                 wifi_duration_s=args.wifi_duration,
                 shards=args.shards,
+                shard_supervise=args.shard_supervise,
+                shard_retry_budget=args.shard_retry_budget,
+                chaos=args.chaos,
             )
         )
     if args.spec == "fig1":
@@ -409,6 +500,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
     from repro.obs import runtime as _obs_runtime
 
+    _validate_shard_args(args)
     spec = build_sweep_spec(args)
     tel = _obs_runtime.active()
     result = run_sweep(
@@ -560,6 +652,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--shards", type=int, default=1,
         help="spatial shards per LTE-family cell (bit-identical results)",
     )
+    _add_shard_flags(p)
     _add_telemetry_flags(p)
     p.set_defaults(fn=_cmd_fig9a)
 
@@ -572,6 +665,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--shards", type=int, default=1,
         help="spatial shards per LTE-family cell (drops the Oracle when > 1)",
     )
+    _add_shard_flags(p)
     _add_telemetry_flags(p)
     p.set_defaults(fn=_cmd_fig9b)
 
@@ -640,6 +734,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--epochs", type=int, default=None)
     p.add_argument("--wifi-duration", type=float, default=None)
     p.add_argument("--shards", type=int, default=None)
+    _add_shard_flags(p, optional=True)
     p.add_argument("--samples", type=int, default=None)
     p.add_argument("--duration", type=float, default=None)
     p.add_argument("--sizes", type=int, nargs="+", default=None)

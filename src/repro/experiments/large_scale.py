@@ -32,7 +32,7 @@ from repro.lte.network import (
     BACKEND_VECTORIZED,
     LteNetworkSimulator,
 )
-from repro.sim.shard import ShardedNetwork
+from repro.sim.shard import ChaosPolicy, ShardedNetwork, SupervisionConfig
 from repro.sim.topology import grid_partition
 from repro.sim.checkpoint import (
     CheckpointRegistry,
@@ -58,12 +58,31 @@ TECH_WIFI = "802.11af"
 TECH_ORACLE = "Oracle"
 
 
+def _supervision_config(
+    shard_retry_budget: Optional[int],
+    shard_checkpoint_every: Optional[int],
+) -> Optional[SupervisionConfig]:
+    """Overrides -> a SupervisionConfig, or None to take the defaults."""
+    if shard_retry_budget is None and shard_checkpoint_every is None:
+        return None
+    kwargs: Dict[str, int] = {}
+    if shard_retry_budget is not None:
+        kwargs["retry_budget"] = int(shard_retry_budget)
+    if shard_checkpoint_every is not None:
+        kwargs["checkpoint_every"] = int(shard_checkpoint_every)
+    return SupervisionConfig(**kwargs)
+
+
 def _make_lte_net(
     scenario: Scenario,
     stream_label: str,
     backend: str = BACKEND_VECTORIZED,
     shards: int = 1,
     shard_mode: str = "auto",
+    shard_supervise: bool = False,
+    shard_retry_budget: Optional[int] = None,
+    shard_checkpoint_every: Optional[int] = None,
+    chaos: Optional[str] = None,
 ):
     if shards <= 1:
         return LteNetworkSimulator(
@@ -100,6 +119,11 @@ def _make_lte_net(
         scenario.rngs.fork(stream_label),
         scenario.grid(),
         mode=shard_mode,
+        supervise=shard_supervise,
+        supervision=_supervision_config(
+            shard_retry_budget, shard_checkpoint_every
+        ),
+        chaos=ChaosPolicy.parse(chaos) if chaos else None,
     )
 
 
@@ -161,6 +185,10 @@ class SaturatedLteRun:
         scenario: Optional[Scenario] = None,
         shards: int = 1,
         shard_mode: str = "auto",
+        shard_supervise: bool = False,
+        shard_retry_budget: Optional[int] = None,
+        shard_checkpoint_every: Optional[int] = None,
+        chaos: Optional[str] = None,
     ) -> None:
         if tech == TECH_WIFI:
             raise ValueError(
@@ -171,6 +199,17 @@ class SaturatedLteRun:
             raise ValueError(
                 "the Oracle allocator queries live radio state at "
                 "construction; run it unsharded"
+            )
+        supervised = bool(
+            shard_supervise
+            or shard_retry_budget is not None
+            or shard_checkpoint_every is not None
+            or chaos
+        )
+        if supervised and shards <= 1:
+            raise ValueError(
+                "shard supervision / chaos injection needs the shard "
+                "engine; pass shards > 1"
             )
         self.tech = tech
         self.epochs = epochs
@@ -184,6 +223,17 @@ class SaturatedLteRun:
             "shards": shards,
             "shard_mode": shard_mode,
         }
+        # Only non-default supervision knobs enter the config: sweep cache
+        # keys and old snapshots hash the config dict, so defaults must
+        # round-trip to the exact historical dict.
+        if shard_supervise:
+            self.config["shard_supervise"] = True
+        if shard_retry_budget is not None:
+            self.config["shard_retry_budget"] = int(shard_retry_budget)
+        if shard_checkpoint_every is not None:
+            self.config["shard_checkpoint_every"] = int(shard_checkpoint_every)
+        if chaos:
+            self.config["chaos"] = chaos
         self.scenario = (
             scenario
             if scenario is not None
@@ -195,6 +245,10 @@ class SaturatedLteRun:
             backend=backend,
             shards=shards,
             shard_mode=shard_mode,
+            shard_supervise=shard_supervise,
+            shard_retry_budget=shard_retry_budget,
+            shard_checkpoint_every=shard_checkpoint_every,
+            chaos=chaos,
         )
         self.policy = _make_policy(tech, self.scenario, self.net)
         self._demand_fn = saturated_demand_fn(self.scenario.topology)
@@ -308,6 +362,13 @@ class SaturatedLteRun:
         """Canonical digest over all registered state (for replay checks)."""
         return self.registry.run_digest()
 
+    def supervision_stats(self) -> Optional[Dict[str, int]]:
+        """Failure/recovery counters, or None when unsupervised."""
+        supervisor = getattr(self.net, "supervisor", None)
+        if supervisor is None:
+            return None
+        return dict(supervisor.stats)
+
     def close(self) -> None:
         """Release shard worker processes, if the network holds any."""
         close = getattr(self.net, "close", None)
@@ -381,6 +442,25 @@ def run_wifi_saturated(
 SCENARIO_SATURATED = "large_scale_saturated"
 
 
+def _supervision_cell_params(
+    shard_supervise: bool,
+    shard_retry_budget: Optional[int],
+    chaos: Optional[str],
+) -> Dict[str, object]:
+    """Non-default supervision knobs as sweep cell params (else empty)."""
+    params: Dict[str, object] = {}
+    if shard_supervise:
+        params["shard_supervise"] = True
+    if shard_retry_budget is not None:
+        params["shard_retry_budget"] = int(shard_retry_budget)
+    if chaos:
+        # Validate eagerly: a typo should fail at spec build time, not in
+        # a worker process half-way through the grid.
+        ChaosPolicy.parse(chaos)
+        params["chaos"] = chaos
+    return params
+
+
 def large_scale_saturated_cell(
     seed: int,
     n_aps: int,
@@ -389,6 +469,9 @@ def large_scale_saturated_cell(
     epochs: int = 15,
     wifi_duration_s: float = 6.0,
     shards: int = 1,
+    shard_supervise: bool = False,
+    shard_retry_budget: Optional[int] = None,
+    chaos: Optional[str] = None,
     checkpoint: Optional[Dict[str, object]] = None,
 ) -> Dict[str, object]:
     """One Figure 9(a)/9(b) grid cell: a single (seed, density, tech) run.
@@ -415,6 +498,7 @@ def large_scale_saturated_cell(
         scenario = build_scenario(seed, n_aps, clients_per_ap)
         run = run_wifi_saturated(scenario, duration_s=wifi_duration_s)
         digest = None
+        supervision = None
     else:
         resume_from = latest_checkpoint(ckpt_dir) if ckpt_dir else None
         if resume_from is not None:
@@ -423,9 +507,13 @@ def large_scale_saturated_cell(
             sat = SaturatedLteRun(
                 tech, seed, n_aps, clients_per_ap, epochs=epochs,
                 shards=shards,
+                shard_supervise=shard_supervise,
+                shard_retry_budget=shard_retry_budget,
+                chaos=chaos,
             )
         run = sat.run(checkpoint_dir=ckpt_dir, checkpoint_every=ckpt_every)
         digest = sat.run_digest()
+        supervision = sat.supervision_stats()
         sat.close()
     throughput = [float(t) for t in run.throughput_bps]
     metrics: Dict[str, object] = {
@@ -436,6 +524,10 @@ def large_scale_saturated_cell(
     }
     if digest is not None:
         metrics["run_digest"] = digest
+    if supervision is not None:
+        metrics["shard_supervision"] = {
+            key: int(value) for key, value in sorted(supervision.items())
+        }
     return metrics
 
 
@@ -452,18 +544,27 @@ def fig9a_sweep_spec(
     epochs: int = 12,
     wifi_duration_s: float = 5.0,
     shards: int = 1,
+    shard_supervise: bool = False,
+    shard_retry_budget: Optional[int] = None,
+    chaos: Optional[str] = None,
 ) -> SweepSpec:
     """The Figure 9(a) grid: density x seed x technology."""
+    base: Dict[str, object] = {
+        "clients_per_ap": clients_per_ap,
+        "epochs": epochs,
+        "wifi_duration_s": wifi_duration_s,
+        "shards": shards,
+    }
+    # Default supervision knobs stay out of the cell params so historical
+    # sweep caches (keyed on the param dict) still hit.
+    base.update(
+        _supervision_cell_params(shard_supervise, shard_retry_budget, chaos)
+    )
     return SweepSpec.from_grid(
         "fig9a",
         SCENARIO_SATURATED,
         grid={"n_aps": list(densities), "seed": list(seeds), "tech": list(techs)},
-        base={
-            "clients_per_ap": clients_per_ap,
-            "epochs": epochs,
-            "wifi_duration_s": wifi_duration_s,
-            "shards": shards,
-        },
+        base=base,
     )
 
 
@@ -475,19 +576,26 @@ def fig9b_sweep_spec(
     epochs: int = 15,
     wifi_duration_s: float = 6.0,
     shards: int = 1,
+    shard_supervise: bool = False,
+    shard_retry_budget: Optional[int] = None,
+    chaos: Optional[str] = None,
 ) -> SweepSpec:
     """The Figure 9(b) grid: seed x technology at the densest setting."""
+    base: Dict[str, object] = {
+        "n_aps": n_aps,
+        "clients_per_ap": clients_per_ap,
+        "epochs": epochs,
+        "wifi_duration_s": wifi_duration_s,
+        "shards": shards,
+    }
+    base.update(
+        _supervision_cell_params(shard_supervise, shard_retry_budget, chaos)
+    )
     return SweepSpec.from_grid(
         "fig9b",
         SCENARIO_SATURATED,
         grid={"seed": list(seeds), "tech": list(techs)},
-        base={
-            "n_aps": n_aps,
-            "clients_per_ap": clients_per_ap,
-            "epochs": epochs,
-            "wifi_duration_s": wifi_duration_s,
-            "shards": shards,
-        },
+        base=base,
     )
 
 
@@ -525,6 +633,9 @@ def run_coverage_vs_density(
     include_wifi: bool = True,
     jobs: int = 0,
     shards: int = 1,
+    shard_supervise: bool = False,
+    shard_retry_budget: Optional[int] = None,
+    chaos: Optional[str] = None,
     **sweep_kwargs,
 ) -> CoverageVsDensity:
     """Sweep AP density and measure coverage for each technology.
@@ -545,6 +656,9 @@ def run_coverage_vs_density(
         epochs=epochs,
         wifi_duration_s=wifi_duration_s,
         shards=shards,
+        shard_supervise=shard_supervise,
+        shard_retry_budget=shard_retry_budget,
+        chaos=chaos,
     )
     cells = _metrics_by_cell(spec, jobs, **sweep_kwargs)
     result.coverage = {
@@ -589,6 +703,9 @@ def run_throughput_cdfs(
     include_oracle: bool = True,
     jobs: int = 0,
     shards: int = 1,
+    shard_supervise: bool = False,
+    shard_retry_budget: Optional[int] = None,
+    chaos: Optional[str] = None,
     **sweep_kwargs,
 ) -> ThroughputCdfs:
     """The densest-scenario throughput comparison, pooled over seeds.
@@ -609,6 +726,9 @@ def run_throughput_cdfs(
         epochs=epochs,
         wifi_duration_s=wifi_duration_s,
         shards=shards,
+        shard_supervise=shard_supervise,
+        shard_retry_budget=shard_retry_budget,
+        chaos=chaos,
     )
     cells = _metrics_by_cell(spec, jobs, **sweep_kwargs)
     pooled: Dict[str, List[float]] = {t: [] for t in techs}

@@ -1848,7 +1848,11 @@ class LteNetworkSimulator:
             (int(cid), int(sub)): int(cqi)
             for cid, sub, cqi in state["max_cqi_state"]
         }
-        self._max_cqi_vec = np.asarray(
+        # ``np.array`` (not ``asarray``): the caller may hand the same
+        # snapshot dict to several shard workers, so the matrix must be
+        # copied -- aliasing it would let one worker's disown-zeroing
+        # bleed into every other worker sharing the snapshot.
+        self._max_cqi_vec = np.array(
             state["max_cqi_vec"], dtype=np.int64
         ).reshape(self._max_cqi_vec.shape)
         # Older snapshots predate mobility/handover state; leave the

@@ -189,6 +189,19 @@ def hash_state(value: Any) -> str:
     return hashlib.sha256(canonical_json(value).encode()).hexdigest()
 
 
+def clone_state(value: Any) -> Any:
+    """Deep, detached copy of a state tree via the canonical encoding.
+
+    ``from_jsonable(to_jsonable(value))`` round-trips exactly the value
+    population a snapshot can hold, so the copy shares no mutable storage
+    with the source -- the property the shard supervisor relies on when it
+    pins a merged checkpoint for later worker respawns while the live
+    simulators keep mutating their state in place.  Tuples come back as
+    lists, matching what a disk round trip would produce.
+    """
+    return from_jsonable(to_jsonable(value))
+
+
 # -- Checkpointable contract --------------------------------------------------
 
 

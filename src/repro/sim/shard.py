@@ -48,14 +48,36 @@ Cross-shard handover is a row migration at the epoch barrier: the old
 owner exports the client's cross-epoch max-CQI row, every replica applies
 the re-attach (disown / adopt on the two owners, topology-only elsewhere),
 and the new owner imports the row.
+
+Fault tolerance (see ``docs/ROBUSTNESS.md``)
+--------------------------------------------
+
+:class:`ShardSupervisor` wraps the barrier with liveness tracking: every
+reply is read against a per-phase deadline derived from recent critical
+path timings, failures are classified (crash / hang / protocol error),
+and a failed worker is respawned from the last merged shard-agnostic
+snapshot plus a bounded journal of the event ops and epoch barriers since
+-- so the recovered run digest stays bit-identical to a fault-free run.
+A per-worker retry budget with exponential backoff bounds the recovery
+cost; exhausting it folds the shard into inline execution (slower, still
+bit-identical) with a structured warning instead of aborting the run.
+:class:`ChaosPolicy` schedules deterministic fault injection (SIGKILL,
+SIGSTOP stalls, truncated replies, latency spikes) off epoch indices for
+the chaos test net and ``make chaos-smoke``.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
+import os
+import signal
+import threading
 import time
 import traceback
-from typing import Any, Callable, Dict, List, Optional, Sequence, Set
+import warnings
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -66,9 +88,23 @@ from repro.lte.network import (
     LteNetworkSimulator,
     SubchannelPolicy,
 )
+from repro.obs import runtime as _obs_runtime
+from repro.obs.record import EventLog
+from repro.sim.checkpoint import clone_state
 from repro.sim.topology import Topology, grid_partition
 
-__all__ = ["EPOCH_STREAMS", "ShardedNetwork", "grid_partition"]
+__all__ = [
+    "CHAOS_KINDS",
+    "ChaosEvent",
+    "ChaosPolicy",
+    "EPOCH_STREAMS",
+    "ShardDegradedWarning",
+    "ShardSupervisor",
+    "ShardedNetwork",
+    "SupervisionConfig",
+    "SupervisionLog",
+    "grid_partition",
+]
 
 # The only RNG streams the epoch loop draws from; they are pushed to the
 # workers at every barrier and synchronized back afterwards.  Driver-side
@@ -97,6 +133,12 @@ class _InlineWorker:
         self._pending: Optional[tuple] = None
         self._partial: Optional[np.ndarray] = None
         self._result: Optional[tuple] = None
+        #: Chaos hook: a "killed" inline worker refuses every op until the
+        #: supervisor rebuilds it, mirroring a SIGKILL'd process worker.
+        self.dead = False
+
+    def simulate_crash(self) -> None:
+        self.dead = True
 
     def apply_move(self, client_id: int, x: float, y: float) -> None:
         self.net.move_client(client_id, x, y)
@@ -151,17 +193,26 @@ class _InlineWorker:
         pass
 
 
+#: Signature used for event ops skipped because the shard was already
+#: poisoned by an earlier failure (the state they would act on is suspect).
+_SKIPPED_SIG = "skipped: op arrived after an earlier event failure"
+
+
 def _worker_main(conn, net_factory: NetFactory, ap_ids: Sequence[int]) -> None:
     """Worker-process loop: build the shard simulator, serve barrier ops.
 
     Event ops (``move`` / ``reattach`` / ``import``) are fire-and-forget so
     the parent can pipeline a whole inter-epoch event batch without a
-    round-trip each; any exception they raise is stashed and reported at
-    the next replying op, which every epoch barrier contains.
+    round-trip each; any exception they raise is deduplicated by signature
+    (repeating identical failures only bump a count) and the structured
+    report is surfaced at the next replying op, which every epoch barrier
+    contains.  Once poisoned, further event ops are skipped -- and counted
+    -- rather than run against suspect state.
     """
     net = net_factory(list(ap_ids))
     pending: Optional[tuple] = None
-    deferred_error: Optional[str] = None
+    # signature -> [count, first full traceback]
+    deferred: Dict[str, List[Any]] = {}
     while True:
         try:
             msg = conn.recv()
@@ -171,18 +222,38 @@ def _worker_main(conn, net_factory: NetFactory, ap_ids: Sequence[int]) -> None:
         if op == "stop":
             conn.close()
             return
-        try:
-            if deferred_error is not None:
-                raise RuntimeError(
-                    f"earlier shard event failed:\n{deferred_error}"
+        if op in ("move", "reattach", "import"):
+            if deferred:
+                entry = deferred.setdefault(_SKIPPED_SIG, [0, "(not run)"])
+                entry[0] += 1
+                continue
+            try:
+                if op == "move":
+                    net.move_client(msg[1], msg[2], msg[3])
+                elif op == "reattach":
+                    net.reattach_client(msg[1], msg[2])
+                else:
+                    net.import_client_row(msg[1], msg[2])
+            except Exception as exc:
+                sig = f"{op}: {type(exc).__name__}: {exc}"
+                entry = deferred.setdefault(sig, [0, traceback.format_exc()])
+                entry[0] += 1
+            continue
+        if deferred:
+            conn.send(
+                (
+                    "error",
+                    {
+                        "deferred_ops": [
+                            {"signature": sig, "count": count, "traceback": tb}
+                            for sig, (count, tb) in deferred.items()
+                        ]
+                    },
                 )
-            if op == "move":
-                net.move_client(msg[1], msg[2], msg[3])
-            elif op == "reattach":
-                net.reattach_client(msg[1], msg[2])
-            elif op == "import":
-                net.import_client_row(msg[1], msg[2])
-            elif op == "export":
+            )
+            continue
+        try:
+            if op == "export":
                 conn.send(("ok", net.export_client_row(msg[1])))
             elif op == "begin":
                 _, epoch_index, allowed, demands_bits, rng_states = msg
@@ -216,16 +287,34 @@ def _worker_main(conn, net_factory: NetFactory, ap_ids: Sequence[int]) -> None:
             else:
                 raise ValueError(f"unknown shard worker op {op!r}")
         except Exception:
-            if op in ("move", "reattach", "import"):
-                deferred_error = traceback.format_exc()
-            else:
-                conn.send(("error", traceback.format_exc()))
+            conn.send(("error", traceback.format_exc()))
+
+
+def _format_worker_error(payload: Any) -> str:
+    """Human-readable text for a worker ``("error", payload)`` reply."""
+    if isinstance(payload, dict) and "deferred_ops" in payload:
+        rows = payload["deferred_ops"]
+        total = sum(row["count"] for row in rows)
+        lines = [
+            f"{total} deferred shard event failure(s), "
+            f"{len(rows)} distinct:"
+        ]
+        for row in rows:
+            lines.append(f"  [x{row['count']}] {row['signature']}")
+        lines.append("first traceback:")
+        lines.append(str(rows[0]["traceback"]))
+        return "\n".join(lines)
+    return str(payload)
 
 
 class _ProcessWorker:
     """Pipe-connected worker process (``fork`` start method)."""
 
     def __init__(self, ctx, net_factory: NetFactory, ap_ids: Sequence[int]) -> None:
+        #: Parent-side hook: called with the raw error payload of every
+        #: ``("error", ...)`` reply, before the exception is raised, so the
+        #: owning net can dedupe/record structured reports (obs layer).
+        self.on_error_report: Optional[Callable[[Any], None]] = None
         parent_conn, child_conn = ctx.Pipe()
         self.proc = ctx.Process(
             target=_worker_main,
@@ -239,8 +328,78 @@ class _ProcessWorker:
     def _recv(self):
         tag, payload = self.conn.recv()
         if tag == "error":
-            raise RuntimeError(f"shard worker failed:\n{payload}")
+            if self.on_error_report is not None:
+                self.on_error_report(payload)
+            raise RuntimeError(
+                f"shard worker failed:\n{_format_worker_error(payload)}"
+            )
         return payload
+
+    # -- Supervised primitives (used only by ShardSupervisor) ---------------
+
+    def is_alive(self) -> bool:
+        return self.proc.is_alive()
+
+    def exitcode(self) -> Optional[int]:
+        return self.proc.exitcode
+
+    def send_safe(self, msg: tuple) -> bool:
+        """Best-effort send; ``False`` when the pipe is already broken."""
+        try:
+            self.conn.send(msg)
+            return True
+        except (BrokenPipeError, OSError):
+            return False
+
+    def try_recv(self, timeout_s: float) -> Tuple[str, Any]:
+        """Timed reply read with liveness polling.
+
+        Returns ``(status, payload)`` where status is the worker's own
+        ``"ok"``/``"error"`` tag, or ``"timeout"`` (deadline passed with
+        the worker still alive -- a hang), ``"eof"`` (pipe closed / worker
+        dead -- a crash), or ``"garbled"`` (the reply failed to decode --
+        a protocol error).
+        """
+        deadline = time.monotonic() + timeout_s
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return ("timeout", None)
+            try:
+                ready = self.conn.poll(min(remaining, 0.05))
+            except (BrokenPipeError, OSError):
+                return ("eof", None)
+            if ready:
+                try:
+                    tag, payload = self.conn.recv()
+                except (EOFError, OSError):
+                    return ("eof", None)
+                except Exception:
+                    return ("garbled", traceback.format_exc(limit=2))
+                return (tag, payload)
+            if not self.proc.is_alive() and not self.conn.poll(0):
+                return ("eof", None)
+
+    def signal_proc(self, sig: int) -> bool:
+        """Deliver a raw signal to the worker process (chaos injection)."""
+        try:
+            os.kill(self.proc.pid, sig)
+            return True
+        except (ProcessLookupError, TypeError, OSError):
+            return False
+
+    def kill(self) -> None:
+        """Hard-stop (SIGKILL) and reap the worker, closing the pipe."""
+        try:
+            self.proc.kill()
+        except Exception:
+            pass
+        self.proc.join(timeout=5.0)
+        try:
+            if not self.conn.closed:
+                self.conn.close()
+        except OSError:
+            pass
 
     def apply_move(self, client_id: int, x: float, y: float) -> None:
         self.conn.send(("move", client_id, x, y))
@@ -286,7 +445,884 @@ class _ProcessWorker:
             self.proc.join(timeout=5.0)
             if self.proc.is_alive():
                 self.proc.terminate()
-        self.conn.close()
+        try:
+            if not self.conn.closed:
+                self.conn.close()
+        except OSError:
+            pass
+
+
+class SupervisionLog(EventLog):
+    """Structured failure/recovery events from the shard supervisor.
+
+    Mirrors into active telemetry under the ``shard.`` namespace, like the
+    PAWS path's ``RobustnessLog`` does under ``robustness.`` (PR 3).
+    """
+
+    scope = "shard"
+
+
+class ShardDegradedWarning(RuntimeWarning):
+    """A shard exhausted its retry budget and was folded into inline
+    execution (slower, still bit-identical) instead of aborting the run."""
+
+
+@dataclass
+class SupervisionConfig:
+    """Tunables for :class:`ShardSupervisor`.
+
+    ``phase_timeout_s`` pins every barrier deadline to a fixed value
+    (tests); when ``None`` the deadline adapts to the fleet: at least
+    ``min_deadline_s``, otherwise ``deadline_factor`` times the slowest
+    recent wall-clock time of the same barrier phase, and a generous
+    ``initial_deadline_s`` before any history exists.  ``retry_budget``
+    counts failures per worker over the run; exceeding it degrades the
+    shard to inline execution.  A merged recovery snapshot is refreshed
+    every ``checkpoint_every`` epochs (and whenever the op journal grows
+    past ``journal_cap``), which bounds replay depth.
+    """
+
+    retry_budget: int = 3
+    checkpoint_every: int = 5
+    journal_cap: int = 4096
+    phase_timeout_s: Optional[float] = None
+    initial_deadline_s: float = 300.0
+    min_deadline_s: float = 5.0
+    deadline_factor: float = 20.0
+    backoff_base_s: float = 0.05
+    backoff_max_s: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.retry_budget < 0:
+            raise ValueError("retry_budget must be >= 0")
+        if self.checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        if self.journal_cap < 1:
+            raise ValueError("journal_cap must be >= 1")
+
+
+#: Fault kinds the chaos harness can inject.
+CHAOS_KINDS = ("kill", "stall", "malformed", "slow")
+
+#: Barrier phase each kind hits unless the event overrides it.
+_CHAOS_DEFAULT_PHASE = {
+    "kill": "commit",
+    "stall": "partial",
+    "malformed": "commit",
+    "slow": "partial",
+}
+
+#: Auto-resume delay for a "slow" spike when none is given: long enough
+#: to register as a latency spike, short enough to stay under any sane
+#: deadline.
+_SLOW_DEFAULT_DELAY_S = 0.2
+
+
+@dataclass(frozen=True)
+class ChaosEvent:
+    """One scheduled fault: ``kind`` hits ``shard`` at ``epoch``.
+
+    ``kill`` SIGKILLs the worker process (inline workers flip their
+    ``dead`` flag), ``stall`` SIGSTOPs it -- indefinitely when ``delay_s``
+    is ``None``, so the barrier deadline must catch it -- ``slow`` is a
+    stall that auto-resumes after ``delay_s`` (a latency spike, no
+    recovery expected), and ``malformed`` truncates the worker's next
+    barrier reply on the parent side, the way a half-written pipe would.
+    ``phase`` ("partial" or "commit") picks the barrier phase; empty
+    selects the kind's default.
+    """
+
+    kind: str
+    epoch: int
+    shard: int
+    delay_s: Optional[float] = None
+    phase: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in CHAOS_KINDS:
+            raise ValueError(
+                f"unknown chaos kind {self.kind!r}; want one of {CHAOS_KINDS}"
+            )
+        if self.epoch < 0 or self.shard < 0:
+            raise ValueError("chaos epoch and shard must be >= 0")
+        if self.phase == "":
+            object.__setattr__(self, "phase", _CHAOS_DEFAULT_PHASE[self.kind])
+        elif self.phase not in ("partial", "commit"):
+            raise ValueError(f"chaos phase must be partial|commit, got {self.phase!r}")
+        if self.kind == "slow" and self.delay_s is None:
+            object.__setattr__(self, "delay_s", _SLOW_DEFAULT_DELAY_S)
+
+
+class ChaosPolicy:
+    """Deterministic fault schedule for the supervised shard barrier.
+
+    Faults are scheduled off epoch indices like PR 3's ``FaultyTransport``
+    schedules transport faults off request counts: explicit
+    :class:`ChaosEvent` entries fire exactly when named, and optional
+    per-kind rates draw from a private ``np.random.default_rng`` keyed by
+    ``(seed, epoch)`` -- stateless per epoch and never touching the
+    simulation streams, so the schedule is reproducible and the sim
+    digest is unaffected by construction.
+    """
+
+    def __init__(
+        self,
+        events: Sequence[ChaosEvent] = (),
+        seed: int = 0,
+        rates: Optional[Dict[str, float]] = None,
+    ) -> None:
+        self.events = tuple(
+            sorted(events, key=lambda e: (e.epoch, e.shard, e.kind))
+        )
+        self.seed = int(seed)
+        self.rates = {kind: float(rate) for kind, rate in (rates or {}).items()}
+        for kind, rate in self.rates.items():
+            if kind not in CHAOS_KINDS:
+                raise ValueError(f"unknown chaos kind {kind!r} in rates")
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"chaos rate for {kind!r} must be in [0, 1]")
+
+    @classmethod
+    def parse(cls, spec: str) -> "ChaosPolicy":
+        """Parse a CLI chaos spec.
+
+        Comma-separated tokens: ``kind@epoch:shard[:delay_s]`` schedules
+        one explicit event, ``seed=N`` seeds the probabilistic draws, and
+        ``kind=rate`` sets a per-epoch-per-shard injection rate.  Example:
+        ``"kill@3:1,stall@5:0:0.3,seed=7,malformed=0.05"``.
+        """
+        events: List[ChaosEvent] = []
+        seed = 0
+        rates: Dict[str, float] = {}
+        for token in spec.split(","):
+            token = token.strip()
+            if not token:
+                continue
+            if "@" in token:
+                kind, _, rest = token.partition("@")
+                parts = rest.split(":")
+                if len(parts) not in (2, 3):
+                    raise ValueError(
+                        f"bad chaos token {token!r}: want kind@epoch:shard[:delay_s]"
+                    )
+                events.append(
+                    ChaosEvent(
+                        kind=kind.strip(),
+                        epoch=int(parts[0]),
+                        shard=int(parts[1]),
+                        delay_s=float(parts[2]) if len(parts) == 3 else None,
+                    )
+                )
+            elif "=" in token:
+                key, _, value = token.partition("=")
+                key = key.strip()
+                if key == "seed":
+                    seed = int(value)
+                elif key in CHAOS_KINDS:
+                    rates[key] = float(value)
+                else:
+                    raise ValueError(
+                        f"unknown chaos key {key!r}: want seed or one of {CHAOS_KINDS}"
+                    )
+            else:
+                raise ValueError(
+                    f"bad chaos token {token!r}: want kind@epoch:shard[:delay_s] "
+                    "or key=value"
+                )
+        return cls(events=events, seed=seed, rates=rates)
+
+    def events_for(self, epoch: int, n_shards: int) -> List[ChaosEvent]:
+        """All faults scheduled for ``epoch`` across ``n_shards`` workers."""
+        out = [
+            event
+            for event in self.events
+            if event.epoch == epoch and event.shard < n_shards
+        ]
+        if self.rates:
+            rng = np.random.default_rng((0x5EED, self.seed, epoch))
+            for kind in CHAOS_KINDS:
+                rate = self.rates.get(kind, 0.0)
+                if rate <= 0.0:
+                    continue
+                draws = rng.random(n_shards)
+                for shard in range(n_shards):
+                    if draws[shard] < rate:
+                        out.append(
+                            ChaosEvent(kind=kind, epoch=epoch, shard=shard)
+                        )
+        return out
+
+
+class _RecoveryError(RuntimeError):
+    """A respawn-and-replay attempt itself failed (retried under budget)."""
+
+
+#: Floor for per-op deadlines during replay/state ops: recovery paths are
+#: off the hot path, so erring generous beats spurious re-classification
+#: on a loaded CI host even when tests pin phase_timeout_s low.
+_RECOVERY_MIN_DEADLINE_S = 30.0
+
+
+def _validate_partial(payload: Any, n_aps: int) -> Optional[str]:
+    """Reply validation for phase 1: per-AP integer PRACH partials."""
+    if not isinstance(payload, np.ndarray):
+        return f"expected ndarray, got {type(payload).__name__}"
+    if payload.shape != (n_aps,):
+        return f"bad shape {payload.shape}, want ({n_aps},)"
+    if not np.issubdtype(payload.dtype, np.integer):
+        return f"non-integer dtype {payload.dtype}"
+    if bool((payload < 0).any()):
+        return "negative PRACH count"
+    return None
+
+
+def _validate_outcome(payload: Any) -> Optional[str]:
+    """Reply validation for phase 2: (result, rng states, stats, cpu_s)."""
+    if not isinstance(payload, tuple) or len(payload) != 4:
+        return (
+            f"expected a 4-tuple outcome, got {type(payload).__name__}"
+            + (f" of length {len(payload)}" if isinstance(payload, tuple) else "")
+        )
+    result, states, stats, compute_s = payload
+    if not isinstance(result, EpochResult):
+        return f"result is {type(result).__name__}, want EpochResult"
+    if not isinstance(states, dict) or set(states) != set(EPOCH_STREAMS):
+        return "RNG stream states missing or wrong stream set"
+    if not isinstance(stats, dict):
+        return f"stats is {type(stats).__name__}, want dict"
+    if not isinstance(compute_s, float):
+        return f"compute_s is {type(compute_s).__name__}, want float"
+    return None
+
+
+def _validate_row(payload: Any) -> Optional[str]:
+    """Reply validation for a cross-shard max-CQI row export."""
+    if not isinstance(payload, list):
+        return f"expected list row, got {type(payload).__name__}"
+    if not all(isinstance(value, int) for value in payload):
+        return "non-integer row entry"
+    return None
+
+
+def _corrupt_payload(payload: Any) -> Any:
+    """Damage a reply the way a truncated/garbled pipe write would."""
+    if isinstance(payload, np.ndarray):
+        return payload[: max(0, payload.shape[0] - 1)].astype(np.float64)
+    if isinstance(payload, tuple):
+        return payload[:-1]
+    return "\x00garbage"
+
+
+class ShardSupervisor:
+    """Heartbeat, recovery, and chaos control for a :class:`ShardedNetwork`.
+
+    The supervisor owns the barrier when attached: replies are read
+    against per-phase deadlines (hangs SIGKILLed and classified), every
+    reply is validated before it is merged, and any failure triggers
+    deterministic recovery -- respawn the worker from the last merged
+    shard-agnostic snapshot, replay the op journal (event ops and epoch
+    barriers recorded since the snapshot, with their exact RNG stream
+    states and PRACH totals), and rejoin the barrier bit-identically.
+    Failures beyond ``retry_budget`` degrade the shard to inline
+    execution with a :class:`ShardDegradedWarning` instead of aborting.
+    """
+
+    def __init__(
+        self,
+        net: "ShardedNetwork",
+        config: Optional[SupervisionConfig] = None,
+        chaos: Optional[ChaosPolicy] = None,
+    ) -> None:
+        self.net = net
+        self.config = config if config is not None else SupervisionConfig()
+        self.chaos = chaos
+        self.log = net.events
+        n = net.n_shards
+        self._failures = [0] * n
+        self.degraded = [False] * n
+        self._malform_next = [False] * n
+        self._replay_outcome: List[Optional[tuple]] = [None] * n
+        self._journal: List[tuple] = []
+        self._epochs_since_snapshot = 0
+        self._recent_phase_s: Dict[str, Any] = {
+            "partial": deque(maxlen=8),
+            "commit": deque(maxlen=8),
+        }
+        self._timers: List[threading.Timer] = []
+        self.stats: Dict[str, int] = {
+            "restarts": 0,
+            "crashes": 0,
+            "hangs": 0,
+            "protocol_errors": 0,
+            "degraded": 0,
+            "snapshots": 0,
+            "replayed_ops": 0,
+            "max_replay_depth": 0,
+            "chaos_injected": 0,
+        }
+        # Baseline snapshot: a worker lost before the first periodic
+        # refresh must still be recoverable.  Workers are freshly built
+        # here, so plain (unguarded) gathers are fine.
+        self._snapshot = clone_state(
+            net._merge_states([worker.state_dict() for worker in net.workers])
+        )
+        self.stats["snapshots"] += 1
+
+    # -- Plumbing -----------------------------------------------------------
+
+    def _now(self) -> float:
+        return self.net._now
+
+    def _deadline(self, phase: str) -> float:
+        cfg = self.config
+        if cfg.phase_timeout_s is not None:
+            return cfg.phase_timeout_s
+        recent = self._recent_phase_s[phase]
+        if not recent:
+            return cfg.initial_deadline_s
+        return max(cfg.min_deadline_s, cfg.deadline_factor * max(recent))
+
+    @staticmethod
+    def _inline_execute(worker: _InlineWorker, msg: tuple) -> Any:
+        """Run one pipe-protocol message against an inline worker."""
+        op = msg[0]
+        if op == "move":
+            return worker.apply_move(msg[1], msg[2], msg[3])
+        if op == "reattach":
+            return worker.apply_reattach(msg[1], msg[2])
+        if op == "import":
+            return worker.import_row(msg[1], msg[2])
+        if op == "export":
+            return worker.export_row(msg[1])
+        if op == "begin":
+            worker.begin_epoch(msg[1], msg[2], msg[3], msg[4])
+            return worker.read_partial()
+        if op == "commit":
+            worker.commit_epoch(msg[1])
+            return worker.read_result()
+        if op == "state":
+            return worker.state_dict()
+        if op == "load":
+            worker.begin_load_state(msg[1])
+            worker.finish_load_state()
+            return None
+        raise ValueError(f"unknown shard worker op {op!r}")
+
+    def _request(self, worker: Any, msg: tuple, timeout_s: float) -> Tuple[str, Any]:
+        """Send one replying op and read its reply, for either worker kind."""
+        if isinstance(worker, _ProcessWorker):
+            if not worker.send_safe(msg):
+                return ("eof", None)
+            return worker.try_recv(timeout_s)
+        if worker.dead:
+            return ("eof", None)
+        try:
+            return ("ok", self._inline_execute(worker, msg))
+        except Exception:
+            return ("error", traceback.format_exc())
+
+    def _send_barrier(self, k: int, msg: tuple) -> bool:
+        """Queue a barrier op; inline workers execute lazily at collect."""
+        worker = self.net.workers[k]
+        if isinstance(worker, _ProcessWorker):
+            return worker.send_safe(msg)
+        return True
+
+    def _classify(
+        self, k: int, status: str, payload: Any, where: str, deadline_s: float
+    ) -> Tuple[str, str]:
+        """Map a failed request status to (failure kind, detail)."""
+        if status == "timeout":
+            return ("hang", f"no reply within {deadline_s:.3g}s ({where})")
+        if status == "eof":
+            worker = self.net.workers[k]
+            code = (
+                worker.exitcode() if isinstance(worker, _ProcessWorker) else None
+            )
+            if code is not None and code < 0:
+                return ("crash", f"worker killed by signal {-code} ({where})")
+            return ("crash", f"worker pipe closed, exitcode {code} ({where})")
+        if status == "garbled":
+            return ("protocol", f"undecodable reply ({where}): {payload}")
+        return (
+            "protocol",
+            f"worker error ({where}):\n{_format_worker_error(payload)}",
+        )
+
+    # -- Recovery -----------------------------------------------------------
+
+    def _recover(
+        self,
+        k: int,
+        kind: str,
+        detail: str,
+        expect_epoch: Optional[int] = None,
+    ) -> None:
+        """Respawn worker ``k`` from snapshot + journal replay (with retries).
+
+        When ``expect_epoch`` names the epoch whose outcome the caller is
+        collecting and the journal already holds that barrier, the
+        replayed outcome is stashed for the caller -- a commit-phase
+        failure needs no re-commit, the replay *is* the epoch.
+        """
+        cfg = self.config
+        counter = {"crash": "crashes", "hang": "hangs", "protocol": "protocol_errors"}
+        self.stats[counter[kind]] += 1
+        self.log.record(self._now(), f"shard{k}", f"worker-{kind}", detail)
+        self._replay_outcome[k] = None
+        self._malform_next[k] = False
+        while True:
+            self._failures[k] += 1
+            worker = self.net.workers[k]
+            if isinstance(worker, _ProcessWorker):
+                worker.kill()
+            degrade = self.degraded[k] or self._failures[k] > cfg.retry_budget
+            if degrade and not self.degraded[k]:
+                self.degraded[k] = True
+                self.stats["degraded"] += 1
+                message = (
+                    f"shard {k} exhausted its retry budget ({cfg.retry_budget}); "
+                    "degrading to inline execution (slower, still bit-identical)"
+                )
+                self.log.record(
+                    self._now(), f"shard{k}", "worker-degraded-inline", message
+                )
+                warnings.warn(message, ShardDegradedWarning, stacklevel=3)
+            if not degrade and self._failures[k] > 1:
+                time.sleep(
+                    min(
+                        cfg.backoff_max_s,
+                        cfg.backoff_base_s * (2 ** (self._failures[k] - 2)),
+                    )
+                )
+            try:
+                replacement = self.net._build_worker(k, inline=degrade)
+                self.net.workers[k] = replacement
+                outcome, outcome_epoch = self._replay(replacement, k)
+            except _RecoveryError as exc:
+                self.log.record(
+                    self._now(), f"shard{k}", "worker-respawn-failed", str(exc)
+                )
+                if degrade:
+                    raise RuntimeError(
+                        f"shard {k} failed even after degrading to inline "
+                        f"execution:\n{exc}"
+                    ) from exc
+                continue
+            break
+        self.stats["restarts"] += 1
+        depth = len(self._journal)
+        self.stats["replayed_ops"] += depth
+        self.stats["max_replay_depth"] = max(self.stats["max_replay_depth"], depth)
+        self.log.record(
+            self._now(),
+            f"shard{k}",
+            "worker-respawn",
+            f"mode={'inline' if degrade else self.net.mode} after {kind}; "
+            f"replayed {depth} journal op(s), attempt {self._failures[k]}",
+        )
+        tel = _obs_runtime.active()
+        if tel is not None:
+            tel.inc("shard.worker_restart")
+            tel.gauge("shard.replay_depth", float(depth))
+        if (
+            expect_epoch is not None
+            and outcome is not None
+            and outcome_epoch == expect_epoch
+        ):
+            self._replay_outcome[k] = outcome
+
+    def _replay(self, worker: Any, k: int) -> Tuple[Optional[tuple], Optional[int]]:
+        """Load the pinned snapshot into ``worker``, re-apply the journal.
+
+        Returns ``(outcome, epoch_index)`` of the last replayed epoch
+        barrier (``(None, None)`` when the journal holds none).  Any
+        anomaly raises :class:`_RecoveryError` so the caller can retry the
+        whole respawn under the budget.
+        """
+        per_op_s = max(self._deadline("commit"), _RECOVERY_MIN_DEADLINE_S)
+
+        def call(msg: tuple, step: str) -> Any:
+            status, payload = self._request(worker, msg, per_op_s)
+            if status != "ok":
+                detail = (
+                    _format_worker_error(payload) if status == "error" else status
+                )
+                raise _RecoveryError(f"replay {step} failed: {detail}")
+            return payload
+
+        def post(msg: tuple, step: str) -> None:
+            if isinstance(worker, _ProcessWorker):
+                if not worker.send_safe(msg):
+                    raise _RecoveryError(f"pipe closed during replay ({step})")
+                return
+            call(msg, step)
+
+        # Hand the worker a detached clone: the pinned snapshot must stay
+        # byte-stable across retries, and an inline worker must never end
+        # up aliasing arrays inside it (or inside a sibling worker).
+        call(("load", clone_state(self._snapshot)), "snapshot load")
+        last: Tuple[Optional[tuple], Optional[int]] = (None, None)
+        for entry in self._journal:
+            op = entry[0]
+            if op == "move":
+                _, cid, x, y = entry
+                post(("move", cid, x, y), "move")
+            elif op == "reattach":
+                _, cid, new_ap_id, row, new_shard = entry
+                post(("reattach", cid, new_ap_id), "reattach")
+                if row is not None and new_shard == k:
+                    post(("import", cid, list(row)), "import")
+            elif op == "epoch":
+                _, epoch_index, allowed, demands_bits, rng_states, total = entry
+                # The partial is discarded: the journaled exact total is
+                # authoritative (it came from the fault-free reduction).
+                call(
+                    ("begin", epoch_index, allowed, demands_bits, rng_states),
+                    f"begin[{epoch_index}]",
+                )
+                outcome = call(("commit", total), f"commit[{epoch_index}]")
+                error = _validate_outcome(outcome)
+                if error is not None:
+                    raise _RecoveryError(
+                        f"replayed epoch {epoch_index} outcome invalid: {error}"
+                    )
+                last = (outcome, epoch_index)
+            else:  # pragma: no cover - journal is written by this class
+                raise _RecoveryError(f"unknown journal entry {op!r}")
+        return last
+
+    # -- Journal + snapshots ------------------------------------------------
+
+    def _append_epoch_entry(
+        self,
+        epoch_index: int,
+        allowed: Dict[int, Set[int]],
+        demands_bits: Dict[int, float],
+        rng_states: Dict[str, Any],
+        total: np.ndarray,
+    ) -> None:
+        self._journal.append(
+            (
+                "epoch",
+                epoch_index,
+                {ap_id: set(subs) for ap_id, subs in allowed.items()},
+                dict(demands_bits),
+                rng_states,
+                np.array(total, copy=True),
+            )
+        )
+
+    def _trim_journal(self) -> None:
+        if len(self._journal) > self.config.journal_cap:
+            self.take_snapshot()
+
+    def take_snapshot(self) -> None:
+        """Refresh the pinned merged snapshot and clear the journal."""
+        states = [self._worker_state(k) for k in range(self.net.n_shards)]
+        self._snapshot = clone_state(self.net._merge_states(states))
+        self._journal = []
+        self._epochs_since_snapshot = 0
+        self.stats["snapshots"] += 1
+        self.log.record(
+            self._now(),
+            "supervisor",
+            "recovery-checkpoint",
+            "merged snapshot refreshed; journal cleared",
+        )
+        tel = _obs_runtime.active()
+        if tel is not None:
+            tel.inc("shard.supervisor_snapshot")
+
+    def _worker_state(self, k: int) -> Dict[str, Any]:
+        deadline_s = max(self._deadline("commit"), _RECOVERY_MIN_DEADLINE_S)
+        while True:
+            status, payload = self._request(
+                self.net.workers[k], ("state",), deadline_s
+            )
+            if status == "ok":
+                if isinstance(payload, dict) and "schedulers" in payload:
+                    return payload
+                kind, detail = "protocol", "invalid state payload"
+            else:
+                kind, detail = self._classify(k, status, payload, "state", deadline_s)
+            self._recover(k, kind, detail)
+
+    # -- Events (journaled, then broadcast) ---------------------------------
+
+    def _post_event(self, k: int, msg: tuple) -> None:
+        """Fire-and-forget event op; failures recover via journal replay."""
+        worker = self.net.workers[k]
+        if isinstance(worker, _ProcessWorker):
+            if worker.send_safe(msg):
+                return
+            # Replay re-applies the journaled op, so recovery is enough.
+            self._recover(k, "crash", f"pipe closed while sending {msg[0]!r}")
+            return
+        status, payload = self._request(worker, msg, 0.0)
+        if status != "ok":
+            kind, detail = self._classify(
+                k, status, payload, f"event {msg[0]!r}", 0.0
+            )
+            self._recover(k, kind, detail)
+
+    def move_client(self, client_id: int, x: float, y: float) -> None:
+        self.net.topology.move_client(client_id, x, y)
+        self._journal.append(("move", client_id, float(x), float(y)))
+        for k in range(self.net.n_shards):
+            self._post_event(k, ("move", client_id, float(x), float(y)))
+        self._trim_journal()
+
+    def _export_row(self, k: int, client_id: int) -> List[int]:
+        deadline_s = max(self._deadline("commit"), _RECOVERY_MIN_DEADLINE_S)
+        while True:
+            status, payload = self._request(
+                self.net.workers[k], ("export", client_id), deadline_s
+            )
+            if status == "ok":
+                error = _validate_row(payload)
+                if error is None:
+                    return payload
+                kind, detail = "protocol", f"invalid exported row: {error}"
+            else:
+                kind, detail = self._classify(
+                    k, status, payload, "export", deadline_s
+                )
+            self._recover(k, kind, detail)
+
+    def reattach_client(self, client_id: int, new_ap_id: int) -> None:
+        net = self.net
+        old_ap_id = net.topology.client(client_id).ap_id
+        if old_ap_id == new_ap_id:
+            return
+        old_shard = net._shard_of_ap[old_ap_id]
+        new_shard = net._shard_of_ap[new_ap_id]
+        row: Optional[List[int]] = None
+        if old_shard != new_shard:
+            row = self._export_row(old_shard, client_id)
+        net.topology.reattach_client(client_id, new_ap_id)
+        self._journal.append(
+            (
+                "reattach",
+                client_id,
+                new_ap_id,
+                list(row) if row is not None else None,
+                new_shard if row is not None else None,
+            )
+        )
+        for k in range(net.n_shards):
+            self._post_event(k, ("reattach", client_id, new_ap_id))
+        if row is not None:
+            self._post_event(new_shard, ("import", client_id, list(row)))
+        self._trim_journal()
+
+    # -- Chaos injection ----------------------------------------------------
+
+    def _inject(self, events: Sequence[ChaosEvent], phase: str) -> None:
+        for event in events:
+            if event.phase != phase:
+                continue
+            k = event.shard
+            worker = self.net.workers[k]
+            self.stats["chaos_injected"] += 1
+            detail = f"epoch {event.epoch} phase {phase}" + (
+                f" delay {event.delay_s}s" if event.delay_s else ""
+            )
+            self.log.record(self._now(), f"shard{k}", f"chaos-{event.kind}", detail)
+            if event.kind == "kill":
+                if isinstance(worker, _ProcessWorker):
+                    worker.signal_proc(signal.SIGKILL)
+                else:
+                    worker.simulate_crash()
+            elif event.kind in ("stall", "slow"):
+                if not isinstance(worker, _ProcessWorker):
+                    self.log.record(
+                        self._now(),
+                        f"shard{k}",
+                        "chaos-skip",
+                        f"{event.kind} needs a process worker (inline mode)",
+                    )
+                    continue
+                if worker.signal_proc(signal.SIGSTOP) and event.delay_s:
+                    timer = threading.Timer(
+                        event.delay_s, worker.signal_proc, args=(signal.SIGCONT,)
+                    )
+                    timer.daemon = True
+                    timer.start()
+                    self._timers.append(timer)
+            elif event.kind == "malformed":
+                self._malform_next[k] = True
+
+    # -- The supervised epoch barrier ---------------------------------------
+
+    def run_epoch(
+        self,
+        epoch_index: int,
+        allowed: Dict[int, Set[int]],
+        demands_bits: Dict[int, float],
+    ) -> EpochResult:
+        net = self.net
+        n = net.n_shards
+        chaos_events = (
+            self.chaos.events_for(epoch_index, n) if self.chaos is not None else []
+        )
+        barrier_t0 = time.monotonic()
+        self._inject(chaos_events, "partial")
+        rng_states = _epoch_stream_states(net.rngs)
+        begin_msg = ("begin", epoch_index, allowed, demands_bits, rng_states)
+        # Phase 1: push decision + epoch RNG states, gather PRACH partials.
+        pending = [self._send_barrier(k, begin_msg) for k in range(n)]
+        deadline_s = self._deadline("partial")
+        phase_t0 = time.monotonic()
+        partials = [
+            self._collect_partial(k, begin_msg, pending, deadline_s)
+            for k in range(n)
+        ]
+        self._recent_phase_s["partial"].append(
+            max(time.monotonic() - phase_t0, 1e-9)
+        )
+        total: Optional[np.ndarray] = None
+        for partial in partials:
+            total = partial if total is None else total + partial
+        # Journal the barrier *before* commit: a worker lost during commit
+        # replays straight through this epoch and its replayed outcome is
+        # the epoch result.
+        self._append_epoch_entry(
+            epoch_index, allowed, demands_bits, rng_states, total
+        )
+        # Phase 2: broadcast the exact global counts, run the epoch slices.
+        self._inject(chaos_events, "commit")
+        commit_msg = ("commit", total)
+        committed = [self._send_barrier(k, commit_msg) for k in range(n)]
+        deadline_s = self._deadline("commit")
+        phase_t0 = time.monotonic()
+        outcomes = [
+            self._collect_outcome(k, commit_msg, committed, deadline_s, epoch_index)
+            for k in range(n)
+        ]
+        self._recent_phase_s["commit"].append(
+            max(time.monotonic() - phase_t0, 1e-9)
+        )
+        merged = net._merge_outcomes(epoch_index, outcomes)
+        tel = _obs_runtime.active()
+        if tel is not None:
+            tel.observe("shard.barrier_wait_s", time.monotonic() - barrier_t0)
+        self._epochs_since_snapshot += 1
+        if self._epochs_since_snapshot >= self.config.checkpoint_every:
+            self.take_snapshot()
+        return merged
+
+    def _collect_partial(
+        self, k: int, begin_msg: tuple, pending: List[bool], deadline_s: float
+    ) -> np.ndarray:
+        n_aps = len(self.net.topology.aps)
+        while True:
+            worker = self.net.workers[k]
+            if not pending[k]:
+                if self._send_barrier(k, begin_msg):
+                    pending[k] = True
+                else:
+                    self._recover(k, "crash", "pipe closed before begin")
+                    continue
+            if isinstance(worker, _ProcessWorker):
+                status, payload = worker.try_recv(deadline_s)
+            else:
+                status, payload = self._request(worker, begin_msg, deadline_s)
+            if status == "ok":
+                if self._malform_next[k]:
+                    self._malform_next[k] = False
+                    payload = _corrupt_payload(payload)
+                error = _validate_partial(payload, n_aps)
+                if error is None:
+                    return payload
+                kind, detail = "protocol", f"invalid PRACH partial: {error}"
+            else:
+                kind, detail = self._classify(k, status, payload, "partial", deadline_s)
+            self._recover(k, kind, detail)
+            pending[k] = False
+
+    def _collect_outcome(
+        self,
+        k: int,
+        commit_msg: tuple,
+        committed: List[bool],
+        deadline_s: float,
+        epoch_index: int,
+    ) -> tuple:
+        while True:
+            if self._replay_outcome[k] is not None:
+                outcome, self._replay_outcome[k] = self._replay_outcome[k], None
+                return outcome
+            worker = self.net.workers[k]
+            if not committed[k]:
+                if self._send_barrier(k, commit_msg):
+                    committed[k] = True
+                else:
+                    self._recover(
+                        k,
+                        "crash",
+                        "pipe closed before commit",
+                        expect_epoch=epoch_index,
+                    )
+                    continue
+            if isinstance(worker, _ProcessWorker):
+                status, payload = worker.try_recv(deadline_s)
+            else:
+                status, payload = self._request(worker, commit_msg, deadline_s)
+            if status == "ok":
+                if self._malform_next[k]:
+                    self._malform_next[k] = False
+                    payload = _corrupt_payload(payload)
+                error = _validate_outcome(payload)
+                if error is None:
+                    return payload
+                kind, detail = "protocol", f"invalid epoch outcome: {error}"
+            else:
+                kind, detail = self._classify(k, status, payload, "commit", deadline_s)
+            self._recover(k, kind, detail, expect_epoch=epoch_index)
+            committed[k] = False
+
+    # -- Checkpoint plumbing (guarded state gather / load) -------------------
+
+    def state_dict(self) -> Dict[str, Any]:
+        return self.net._merge_states(
+            [self._worker_state(k) for k in range(self.net.n_shards)]
+        )
+
+    def load_workers(self, state: Dict[str, Any]) -> None:
+        """Push a merged state to every worker; reset recovery bookkeeping."""
+        self._snapshot = clone_state(state)
+        self._journal = []
+        self._epochs_since_snapshot = 0
+        self._replay_outcome = [None] * self.net.n_shards
+        load_msg = ("load", self._snapshot)
+        deadline_s = max(self._deadline("commit"), _RECOVERY_MIN_DEADLINE_S)
+        pending = [
+            self._send_barrier(k, load_msg) for k in range(self.net.n_shards)
+        ]
+        for k in range(self.net.n_shards):
+            while True:
+                worker = self.net.workers[k]
+                if not pending[k]:
+                    # Recovery loads the (new) snapshot itself.
+                    self._recover(k, "crash", "pipe closed before load")
+                    break
+                if isinstance(worker, _ProcessWorker):
+                    status, payload = worker.try_recv(deadline_s)
+                else:
+                    status, payload = self._request(worker, load_msg, deadline_s)
+                if status == "ok":
+                    break
+                kind, detail = self._classify(k, status, payload, "load", deadline_s)
+                self._recover(k, kind, detail)
+                break
+
+    # -- Lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        for timer in self._timers:
+            timer.cancel()
+        self._timers = []
 
 
 class ShardedNetwork:
@@ -311,6 +1347,11 @@ class ShardedNetwork:
         grid: the shared resource grid (policy wiring reads it).
         mode: ``"process"`` (fork workers), ``"inline"`` (in-process, for
             tests and platforms without fork) or ``"auto"``.
+        supervise: attach a :class:`ShardSupervisor` (fault-tolerant
+            barrier with recovery-by-replay; see ``docs/ROBUSTNESS.md``).
+        supervision: supervisor tunables; implies ``supervise=True``.
+        chaos: a :class:`ChaosPolicy` fault schedule; implies
+            ``supervise=True``.
     """
 
     def __init__(
@@ -321,6 +1362,9 @@ class ShardedNetwork:
         rngs,
         grid,
         mode: str = "auto",
+        supervise: bool = False,
+        supervision: Optional[SupervisionConfig] = None,
+        chaos: Optional[ChaosPolicy] = None,
     ) -> None:
         self.topology = topology
         self.grid = grid
@@ -330,6 +1374,8 @@ class ShardedNetwork:
         flat = [ap_id for shard in plan for ap_id in shard]
         if len(set(flat)) != len(flat):
             raise ValueError("shard plan has overlapping AP assignments")
+        if not all(plan):
+            raise ValueError("shard plan contains an empty (workerless) shard")
         if set(flat) != {ap.ap_id for ap in topology.aps}:
             raise ValueError("shard plan must cover every AP exactly once")
         self.shard_plan = plan
@@ -342,27 +1388,69 @@ class ShardedNetwork:
             c.client_id: i for i, c in enumerate(topology.clients)
         }
         if mode == "auto":
+            # Daemonic processes (sweep-runner workers) may not fork
+            # children, so a sharded cell inside a sweep runs inline.
             mode = (
                 "process"
                 if "fork" in mp.get_all_start_methods()
+                and not mp.current_process().daemon
                 else "inline"
             )
         if mode == "process":
-            ctx = mp.get_context("fork")
-            self.workers: List[Any] = [
-                _ProcessWorker(ctx, net_factory, shard) for shard in plan
-            ]
+            self._ctx = mp.get_context("fork")
         elif mode == "inline":
-            self.workers = [_InlineWorker(net_factory, shard) for shard in plan]
+            self._ctx = None
         else:
             raise ValueError(f"unknown shard mode {mode!r}")
         self.mode = mode
+        self._net_factory = net_factory
+        self.events = SupervisionLog()
+        self._reported_sigs: Set[tuple] = set()
+        self._now = 0.0
+        self.workers: List[Any] = [
+            self._build_worker(k) for k in range(len(plan))
+        ]
         self.last_epoch_stats: Dict[str, int] = {}
         # Per-worker run_epoch CPU seconds for the last barrier (measured
         # with process_time, so sibling workers time-slicing on the same
         # core do not inflate it); max() is the critical-path epoch time
         # a one-worker-per-core host waits on.
         self.last_epoch_compute_s: List[float] = []
+        self.supervisor: Optional[ShardSupervisor] = None
+        if supervise or supervision is not None or chaos is not None:
+            self.supervisor = ShardSupervisor(self, supervision, chaos=chaos)
+
+    def _build_worker(self, shard_index: int, inline: bool = False) -> Any:
+        """Build (or rebuild, for recovery) the worker for one shard."""
+        ap_ids = self.shard_plan[shard_index]
+        if inline or self.mode == "inline":
+            return _InlineWorker(self._net_factory, ap_ids)
+        worker = _ProcessWorker(self._ctx, self._net_factory, ap_ids)
+        worker.on_error_report = (
+            lambda payload, _k=shard_index: self._note_error_report(_k, payload)
+        )
+        return worker
+
+    def _note_error_report(self, shard_index: int, payload: Any) -> None:
+        """Dedupe structured deferred-op reports into single obs events.
+
+        A poisoned worker re-reports the same signatures at every replying
+        op; each ``(shard, signature)`` pair is recorded exactly once,
+        carrying the worker-side repetition count.
+        """
+        if not isinstance(payload, dict) or "deferred_ops" not in payload:
+            return
+        for row in payload["deferred_ops"]:
+            key = (shard_index, row["signature"])
+            if key in self._reported_sigs:
+                continue
+            self._reported_sigs.add(key)
+            self.events.record(
+                self._now,
+                f"shard{shard_index}",
+                "worker-op-error",
+                f"x{row['count']} {row['signature']}",
+            )
 
     @property
     def n_shards(self) -> int:
@@ -374,11 +1462,17 @@ class ShardedNetwork:
     # -- Events (applied between epochs, i.e. at the barrier) ---------------
 
     def move_client(self, client_id: int, x: float, y: float) -> None:
+        if self.supervisor is not None:
+            self.supervisor.move_client(client_id, x, y)
+            return
         self.topology.move_client(client_id, x, y)
         for worker in self.workers:
             worker.apply_move(client_id, x, y)
 
     def reattach_client(self, client_id: int, new_ap_id: int) -> None:
+        if self.supervisor is not None:
+            self.supervisor.reattach_client(client_id, new_ap_id)
+            return
         old_ap_id = self.topology.client(client_id).ap_id
         if old_ap_id == new_ap_id:
             return
@@ -402,6 +1496,9 @@ class ShardedNetwork:
         allowed: Dict[int, Set[int]],
         demands_bits: Dict[int, float],
     ) -> EpochResult:
+        self._now = float(epoch_index)
+        if self.supervisor is not None:
+            return self.supervisor.run_epoch(epoch_index, allowed, demands_bits)
         # Phase 1: push decision + epoch RNG states, gather PRACH partials.
         # The push is normally a no-op (workers advanced in lockstep) but
         # makes a freshly restored parent authoritative for free.
@@ -416,6 +1513,11 @@ class ShardedNetwork:
         for worker in self.workers:
             worker.commit_epoch(total)
         outcomes = [worker.read_result() for worker in self.workers]
+        return self._merge_outcomes(epoch_index, outcomes)
+
+    def _merge_outcomes(
+        self, epoch_index: int, outcomes: Sequence[tuple]
+    ) -> EpochResult:
         # Phase 3: merge.  Key sets are disjoint by ownership, and every
         # AP/client is owned by exactly one shard, so the merged dicts have
         # exactly the unsharded key population.
@@ -475,7 +1577,15 @@ class ShardedNetwork:
         therefore produces the same subsystem hash -- and the same run
         digest -- as the single-process run.
         """
-        worker_states = [worker.state_dict() for worker in self.workers]
+        if self.supervisor is not None:
+            return self.supervisor.state_dict()
+        return self._merge_states(
+            [worker.state_dict() for worker in self.workers]
+        )
+
+    def _merge_states(
+        self, worker_states: Sequence[Dict[str, Any]]
+    ) -> Dict[str, Any]:
         schedulers: Dict[Any, Any] = {}
         cqi_entries: Set[tuple] = set()
         for state in worker_states:
@@ -510,15 +1620,20 @@ class ShardedNetwork:
         # Every worker gets the full merged state: each applies the same
         # topology diffs, loads its owned schedulers (foreign entries are
         # skipped) and the full max-CQI matrix (only owned rows are live).
-        for worker in self.workers:
-            worker.begin_load_state(state)
-        for worker in self.workers:
-            worker.finish_load_state()
+        if self.supervisor is not None:
+            self.supervisor.load_workers(state)
+        else:
+            for worker in self.workers:
+                worker.begin_load_state(state)
+            for worker in self.workers:
+                worker.finish_load_state()
         self.last_epoch_stats = {}
 
     # -- Lifecycle ----------------------------------------------------------
 
     def close(self) -> None:
+        if self.supervisor is not None:
+            self.supervisor.close()
         for worker in self.workers:
             worker.close()
 

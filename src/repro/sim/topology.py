@@ -349,17 +349,28 @@ def _grid_shape(n_shards: int) -> Tuple[int, int]:
 
 
 def grid_partition(topology: Topology, n_shards: int) -> List[List[int]]:
-    """Partition the map into ``n_shards`` rectangular tiles of AP ids.
+    """Partition the map into up to ``n_shards`` rectangular tiles of AP ids.
 
     The square ``area_m x area_m`` map is split into a ``cols x rows``
     grid of equal rectangles (``cols * rows == n_shards``, as square as
     the factorization allows) and each AP is assigned to the tile
     containing its position.  Shards are returned row-major as sorted AP
-    id lists; a tile with no APs yields an empty shard.  Clients are not
-    partitioned here -- a client belongs to the shard owning its serving
-    AP, which is what makes cross-shard handover a row migration rather
-    than a re-partition.
+    id lists.  Degenerate tilings are clamped instead of silently
+    producing workerless shards: asking for more shards than there are
+    APs raises ``ValueError`` (every worker must own at least one AP),
+    and tiles that end up empty because the APs cluster elsewhere are
+    dropped, so the returned plan may be shorter than ``n_shards`` but
+    never contains an empty shard.  Clients are not partitioned here --
+    a client belongs to the shard owning its serving AP, which is what
+    makes cross-shard handover a row migration rather than a
+    re-partition.
     """
+    n_aps = len(topology.aps)
+    if n_shards > n_aps:
+        raise ValueError(
+            f"cannot split {n_aps} APs into {n_shards} shards: every "
+            "shard needs at least one AP to own (lower the shard count)"
+        )
     cols, rows = _grid_shape(n_shards)
     tile_w = topology.area_m / cols
     tile_h = topology.area_m / rows
@@ -368,7 +379,7 @@ def grid_partition(topology: Topology, n_shards: int) -> List[List[int]]:
         col = min(int(ap.x / tile_w), cols - 1)
         row = min(int(ap.y / tile_h), rows - 1)
         shards[row * cols + col].append(ap.ap_id)
-    return [sorted(shard) for shard in shards]
+    return [sorted(shard) for shard in shards if shard]
 
 
 def halo_ap_ids(

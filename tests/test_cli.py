@@ -109,3 +109,58 @@ class TestExecution:
         )
         assert code == 0
         assert "0 computed, 1 reused" in capsys.readouterr().out
+
+
+class TestShardValidation:
+    """Early validation of --shards / supervision / chaos combinations."""
+
+    @staticmethod
+    def _validate(argv):
+        from repro.cli import _validate_shard_args
+
+        _validate_shard_args(build_parser().parse_args(argv))
+
+    def test_zero_shards_rejected(self):
+        with pytest.raises(SystemExit, match="--shards must be >= 1"):
+            self._validate(["fig9a", "--shards", "0"])
+
+    def test_supervision_flags_require_shards(self):
+        with pytest.raises(SystemExit, match="pass --shards N"):
+            self._validate(["fig9a", "--chaos", "kill@2:0"])
+        with pytest.raises(SystemExit, match="pass --shards N"):
+            self._validate(["fig9b", "--shard-supervise"])
+        with pytest.raises(SystemExit, match="pass --shards N"):
+            self._validate(["fig9a", "--shards", "1", "--shard-retry-budget", "2"])
+
+    def test_bad_chaos_spec_rejected(self):
+        with pytest.raises(SystemExit, match="bad --chaos spec"):
+            self._validate(["fig9a", "--shards", "2", "--chaos", "explode@1:0"])
+        with pytest.raises(SystemExit, match="bad --chaos spec"):
+            self._validate(["fig9a", "--shards", "2", "--chaos", "kill@x"])
+
+    def test_negative_retry_budget_rejected(self):
+        with pytest.raises(SystemExit, match="--shard-retry-budget must be >= 0"):
+            self._validate(
+                ["fig9a", "--shards", "2", "--shard-retry-budget", "-1"]
+            )
+
+    def test_oracle_cannot_shard(self):
+        with pytest.raises(SystemExit, match="Oracle"):
+            self._validate(
+                ["sweep", "fig9b", "--shards", "2", "--techs", "Oracle"]
+            )
+
+    def test_valid_supervised_combination_accepted(self):
+        self._validate(
+            [
+                "fig9a", "--shards", "2", "--shard-supervise",
+                "--chaos", "kill@3:1,seed=7,malformed=0.05",
+                "--shard-retry-budget", "2",
+            ]
+        )
+
+    def test_sweep_shard_flags_default_to_none(self):
+        args = build_parser().parse_args(["sweep", "fig9a"])
+        assert args.shard_supervise is None
+        assert args.chaos is None
+        assert args.shard_retry_budget is None

@@ -118,7 +118,10 @@ class TestGridPartition:
         topology = make_topology(make_channel())
         for n in (1, 2, 3, 4, 6):
             plan = grid_partition(topology, n)
-            assert len(plan) == n
+            # Empty tiles are dropped, so the plan may be shorter than
+            # requested -- but never empty-sharded and never over-length.
+            assert 1 <= len(plan) <= n
+            assert all(plan)
             flat = [ap_id for shard in plan for ap_id in shard]
             assert sorted(flat) == sorted(ap.ap_id for ap in topology.aps)
             assert len(set(flat)) == len(flat)
@@ -133,17 +136,28 @@ class TestGridPartition:
         assert plan[2] == [8, 9, 12, 13]
         assert plan[3] == [10, 11, 14, 15]
 
-    def test_empty_tiles_allowed(self):
+    def test_more_shards_than_aps_rejected(self):
         topology = grid_topology(2, 1, spacing_m=100.0)
-        # 16 shards over 4 APs: most tiles are empty, all APs still placed.
-        plan = grid_partition(topology, 16)
+        # 16 shards over 4 APs would leave workerless shards: refuse
+        # loudly instead of building them.
+        with pytest.raises(ValueError, match="cannot split 4 APs into 16"):
+            grid_partition(topology, 16)
+
+    def test_empty_tiles_are_dropped_not_returned(self):
+        # A degenerate line of co-located APs tiles into a grid where
+        # some cells are empty; the plan must omit them entirely.
+        topology = grid_topology(5, 1, spacing_m=100.0)
+        plan = grid_partition(topology, 4)
+        assert all(plan), f"workerless shard in {plan}"
         flat = [ap_id for shard in plan for ap_id in shard]
-        assert sorted(flat) == [0, 1, 2, 3]
+        assert sorted(flat) == sorted(ap.ap_id for ap in topology.aps)
 
     def test_invalid_shard_count_rejected(self):
         topology = grid_topology(2, 1, spacing_m=100.0)
         with pytest.raises(ValueError):
             grid_partition(topology, 0)
+        with pytest.raises(ValueError):
+            grid_partition(topology, -1)
 
     def test_halo_excludes_members_and_grows_with_margin(self):
         topology = grid_topology(4, 1, spacing_m=500.0)
