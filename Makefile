@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test coverage checkpoint-smoke bench bench-full bench-obs bench-incremental bench-incremental-smoke bench-city shard-smoke chaos-smoke sweep-smoke faults-smoke trace-smoke
+.PHONY: test coverage checkpoint-smoke bench bench-full bench-obs bench-incremental bench-incremental-smoke bench-city shard-smoke chaos-smoke sweep-smoke faults-smoke trace-smoke obs-shard-smoke
 
 # Tier-1 test suite (must stay green).
 test:
@@ -101,3 +101,16 @@ shard-smoke:
 # Writes BENCH_chaos_smoke.json (see docs/ROBUSTNESS.md).
 chaos-smoke:
 	$(PYTHON) benchmarks/bench_epoch.py --chaos-smoke
+
+# Cross-shard telemetry gate: a traced supervised 2-shard run with a
+# scheduled worker kill must digest-equal its untraced twin and merge
+# every worker's telemetry (plus supervisor barrier/recovery spans) into
+# one shard-tagged timeline; the merged exports must validate against
+# the trace_event schema, and obs-report must run its barrier/straggler
+# analytics plus a BENCH_obs.json regression diff cleanly
+# (see docs/OBSERVABILITY.md).
+obs-shard-smoke:
+	$(PYTHON) benchmarks/bench_epoch.py --obs-shard-smoke --shard-mode process
+	$(PYTHON) -m repro.obs.validate obs-shard-smoke-trace.json obs-shard-smoke.jsonl
+	$(PYTHON) -m repro.cli obs-report --trace-jsonl obs-shard-smoke.jsonl \
+		--bench BENCH_obs.json BENCH_obs.json --tolerance 1.03

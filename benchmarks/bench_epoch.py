@@ -86,6 +86,9 @@ INCREMENTAL_OUTPUT_PATH = REPO_ROOT / "BENCH_incremental.json"
 CITY_OUTPUT_PATH = REPO_ROOT / "BENCH_city.json"
 SHARD_SMOKE_OUTPUT_PATH = REPO_ROOT / "BENCH_shard_smoke.json"
 CHAOS_SMOKE_OUTPUT_PATH = REPO_ROOT / "BENCH_chaos_smoke.json"
+OBS_SHARD_SMOKE_OUTPUT_PATH = REPO_ROOT / "BENCH_obs_shard_smoke.json"
+OBS_SHARD_TRACE_PATH = REPO_ROOT / "obs-shard-smoke-trace.json"
+OBS_SHARD_JSONL_PATH = REPO_ROOT / "obs-shard-smoke.jsonl"
 
 DEFAULT_SIZES = (10, 50, 200)
 DEFAULT_ACTIVITIES = (0.05, 0.10, 0.25, 1.00)
@@ -896,6 +899,147 @@ def run_chaos_smoke(
     }
 
 
+def run_obs_shard_smoke(
+    n_cells: int = SMOKE_SWEEP_CELLS,
+    n_shards: int = 2,
+    n_epochs: int = 6,
+    cull_loss_db: float = SWEEP_CULL_LOSS_DB,
+    mode: str = "auto",
+) -> Dict:
+    """CI gate for the cross-shard telemetry plane.
+
+    Runs the chaos-smoke scenario (supervised 2-shard run with one
+    scheduled worker kill) twice -- untraced and traced -- and asserts:
+
+    * the traced run's per-epoch digests equal the untraced run's
+      (telemetry is digest-neutral even across a kill + replay);
+    * the merged timeline contains spans shipped from *every* shard
+      worker, supervisor barrier-phase spans, and the respawn/replay
+      recovery spans;
+    * merged per-shard metric totals account for every epoch exactly
+      once despite the journal replay.
+
+    Writes the merged timeline (Chrome trace + JSONL) next to
+    ``BENCH_obs_shard_smoke.json`` for ``repro.obs.validate`` and
+    ``repro.cli obs-report`` to consume (``make obs-shard-smoke``).
+    """
+    from repro.obs import Telemetry, activated
+    from repro.obs.report import barrier_report
+
+    demands, schedule, plan, reattaches, cross_shard = _churn_smoke_scenario(
+        n_cells, n_shards, n_epochs
+    )
+    kill_epoch = max(1, n_epochs // 2)
+    chaos = ChaosPolicy(events=(ChaosEvent("kill", kill_epoch, n_shards - 1),))
+
+    def drive_supervised(tel) -> Tuple[List[str], Dict[str, int], str, float]:
+        net = ShardedNetwork(
+            _bench_topology(n_cells),
+            plan,
+            lambda ap_ids: build_network(
+                n_cells, BACKEND_INCREMENTAL, cull_loss_db, shard_ap_ids=ap_ids
+            ),
+            RngStreams(SEED),
+            ResourceGrid(5e6),
+            mode=mode,
+            supervision=SupervisionConfig(retry_budget=3, checkpoint_every=2),
+            chaos=chaos,
+        )
+        try:
+            t0 = time.perf_counter()
+            digests = _drive_churn(net, demands, schedule, reattaches)
+            wall = time.perf_counter() - t0
+            stats = dict(net.supervisor.stats)
+            worker_mode = net.mode
+        finally:
+            net.close()
+        return digests, stats, worker_mode, wall
+
+    untraced, _, worker_mode, untraced_s = drive_supervised(None)
+    tel = Telemetry(trace=True)
+    with activated(tel):
+        traced, stats, _, traced_s = drive_supervised(tel)
+    if traced != untraced:
+        first = next(
+            i for i, (a, b) in enumerate(zip(traced, untraced)) if a != b
+        )
+        raise SystemExit(
+            f"obs shard smoke: tracing changed the run -- digests diverged "
+            f"at epoch {first + 1}"
+        )
+    if stats["restarts"] < 1:
+        raise SystemExit(
+            f"obs shard smoke: the scheduled kill was not recovered "
+            f"(stats: {stats})"
+        )
+    names = {r.name for r in tel.tracer.records}
+    for required in (
+        "shard.barrier.partial",
+        "shard.barrier.commit",
+        "shard.respawn",
+        "shard.replay",
+    ):
+        if required not in names:
+            raise SystemExit(
+                f"obs shard smoke: merged timeline is missing the "
+                f"{required!r} span"
+            )
+    shards_seen = sorted(
+        {
+            r.args["shard"]
+            for r in tel.tracer.records
+            if isinstance(r.args.get("shard"), int)
+        }
+    )
+    if shards_seen != list(range(n_shards)):
+        raise SystemExit(
+            f"obs shard smoke: expected spans from shards "
+            f"{list(range(n_shards))}, got {shards_seen}"
+        )
+    # Exactly-once accounting: each shard contributed each measured epoch
+    # (plus warm-up) once, no matter how the replay re-executed it.
+    counters = tel.registry.snapshot()["counters"]
+    for k in range(n_shards):
+        epochs_counted = counters.get(f"shard{k}.lte.epochs", 0.0)
+        if epochs_counted != float(n_epochs + 1):
+            raise SystemExit(
+                f"obs shard smoke: shard {k} merged {epochs_counted} epoch "
+                f"ticks, expected {n_epochs + 1} (duplicated or dropped "
+                f"payloads)"
+            )
+    tel.tracer.write_chrome(str(OBS_SHARD_TRACE_PATH))
+    tel.tracer.write_jsonl(str(OBS_SHARD_JSONL_PATH))
+    report = barrier_report([r.to_dict() for r in tel.tracer.records])
+    overhead_frac = traced_s / untraced_s - 1.0 if untraced_s > 0 else 0.0
+    print(
+        f"obs shard smoke: {n_shards} shards ({worker_mode} workers), "
+        f"kill@{kill_epoch} -- digests ok, {len(tel.tracer)} merged trace "
+        f"records from shards {shards_seen} + supervisor; tracing overhead "
+        f"{overhead_frac * 100:+.1f}% ({untraced_s:.2f}s -> {traced_s:.2f}s)"
+    )
+    print(f"merged chrome trace: {OBS_SHARD_TRACE_PATH}")
+    print(f"merged trace jsonl : {OBS_SHARD_JSONL_PATH}")
+    return {
+        "benchmark": "lte-epoch-obs-shard-smoke",
+        "seed": SEED,
+        "cells": n_cells,
+        "clients": n_cells * CLIENTS_PER_AP,
+        "shards": n_shards,
+        "worker_mode": worker_mode,
+        "cull_loss_db": cull_loss_db,
+        "epochs": n_epochs,
+        "cross_shard_handovers": cross_shard,
+        "kill_epoch": kill_epoch,
+        "digest_match": True,
+        "trace_records": len(tel.tracer),
+        "untraced_wall_s": round(untraced_s, 4),
+        "traced_wall_s": round(traced_s, 4),
+        "tracing_overhead_frac": round(overhead_frac, 4),
+        "recovery": {key: int(value) for key, value in sorted(stats.items())},
+        "barrier_report": report,
+    }
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -987,13 +1131,29 @@ def main() -> None:
         ),
     )
     parser.add_argument(
+        "--obs-shard-smoke",
+        action="store_true",
+        help=(
+            "CI gate: a traced supervised 2-shard run with a scheduled "
+            "worker kill must digest-equal its untraced twin and merge "
+            "every worker's telemetry into one shard-tagged timeline; "
+            f"writes {OBS_SHARD_SMOKE_OUTPUT_PATH.name} plus "
+            f"{OBS_SHARD_TRACE_PATH.name} / {OBS_SHARD_JSONL_PATH.name}"
+        ),
+    )
+    parser.add_argument(
         "--output",
         type=pathlib.Path,
         default=None,
         help=f"result file (default {OUTPUT_PATH} / {INCREMENTAL_OUTPUT_PATH})",
     )
     args = parser.parse_args()
-    if args.chaos_smoke:
+    if args.obs_shard_smoke:
+        payload = run_obs_shard_smoke(
+            n_epochs=args.epochs or 6, mode=args.shard_mode
+        )
+        output = args.output or OBS_SHARD_SMOKE_OUTPUT_PATH
+    elif args.chaos_smoke:
         payload = run_chaos_smoke(
             n_epochs=args.epochs or 6, mode=args.shard_mode
         )

@@ -221,6 +221,66 @@ def _cmd_replay_diff(args: argparse.Namespace) -> int:
     return 1 if report.diverged else 0
 
 
+def _cmd_obs_report(args: argparse.Namespace) -> int:
+    from repro.obs.report import (
+        DEFAULT_TOLERANCE,
+        barrier_report,
+        bench_diff,
+        render_bench_diff,
+        render_report,
+    )
+    from repro.obs.trace import load_jsonl
+
+    tolerance = (
+        args.tolerance if args.tolerance is not None else DEFAULT_TOLERANCE
+    )
+    if tolerance <= 0:
+        raise SystemExit(f"error: --tolerance must be positive (got {tolerance})")
+    if not args.obs_trace_jsonl and not args.bench:
+        raise SystemExit(
+            "error: nothing to report; pass --trace-jsonl and/or --bench"
+        )
+    blocks: List[str] = []
+    regressed = 0
+    for path in args.obs_trace_jsonl:
+        try:
+            rows = load_jsonl(path)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"{path}: cannot read trace ({exc})", file=sys.stderr)
+            return 2
+        blocks.append(f"== {path} ==\n" + render_report(barrier_report(rows)))
+    for baseline_path, current_path in args.bench:
+        try:
+            with open(baseline_path) as handle:
+                baseline = json.load(handle)
+            with open(current_path) as handle:
+                current = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"cannot read benchmark artifact: {exc}", file=sys.stderr)
+            return 2
+        diff = bench_diff(baseline, current, tolerance)
+        blocks.append(
+            render_bench_diff(
+                diff,
+                tolerance,
+                title=(
+                    f"{baseline_path} vs {current_path} "
+                    f"(tolerance {tolerance:.3g})"
+                ),
+            )
+        )
+        regressed += sum(1 for row in diff if row["regression"])
+    print("\n\n".join(blocks))
+    if regressed:
+        print(
+            f"obs-report: {regressed} timing regression(s) beyond "
+            f"{tolerance:.3g}x tolerance",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _add_shard_flags(p: argparse.ArgumentParser, optional: bool = False) -> None:
     """Supervision/chaos flags shared by the shard-capable commands.
 
@@ -783,6 +843,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="give up declaring 'no divergence' after this many events",
     )
     p.set_defaults(fn=_cmd_replay_diff)
+
+    p = sub.add_parser(
+        "obs-report",
+        help="barrier/straggler analytics over a merged shard trace, plus "
+             "BENCH_*.json regression diffs (nonzero exit on regression)",
+    )
+    p.add_argument(
+        "--trace-jsonl",
+        dest="obs_trace_jsonl",
+        action="append",
+        default=[],
+        metavar="PATH",
+        help="merged trace JSONL (from a --trace-jsonl run) to analyze; "
+             "repeatable",
+    )
+    p.add_argument(
+        "--bench",
+        nargs=2,
+        action="append",
+        default=[],
+        metavar=("BASELINE", "CURRENT"),
+        help="diff two benchmark JSON artifacts, flagging *_s timing "
+             "leaves that grew beyond tolerance; repeatable",
+    )
+    p.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help="regression tolerance ratio (default 1.05: +5%% wall time)",
+    )
+    p.set_defaults(fn=_cmd_obs_report)
 
     return parser
 

@@ -27,6 +27,7 @@ from repro.baselines.plain_lte import PlainLtePolicy
 from repro.core.interference.manager import CellFiInterferenceManager
 from repro.experiments.common import Scenario, build_scenario
 from repro.experiments.sweep import SweepSpec, run_sweep
+from repro.obs import runtime as _obs_runtime
 from repro.lte.network import (
     BACKEND_INCREMENTAL,
     BACKEND_VECTORIZED,
@@ -276,9 +277,26 @@ class SaturatedLteRun:
         if self._epoch >= self.epochs:
             raise RuntimeError(f"run already finished its {self.epochs} epochs")
         allowed = self.policy.decide(self._epoch, self._observations)
-        result = self.net.run_epoch(
-            self._epoch, allowed, self._demand_fn(self._epoch)
-        )
+        tel = _obs_runtime.active()
+        if tel is not None:
+            # One driver-loop span per epoch on the parent (supervisor)
+            # track, so the merged cross-shard timeline shows policy
+            # decide/epoch boundaries next to the shard worker tracks.
+            # Pin the clock to the epoch boundary first: a preceding
+            # event-driven phase (Wi-Fi CSMA) may have left it ahead of
+            # where run_epoch resets it, and spans must not run backward.
+            tel.set_time(self._epoch * self.net.epoch_s)
+            with tel.span(
+                "exp.epoch", "experiment",
+                args={"tech": self.tech, "epoch": self._epoch},
+            ):
+                result = self.net.run_epoch(
+                    self._epoch, allowed, self._demand_fn(self._epoch)
+                )
+        else:
+            result = self.net.run_epoch(
+                self._epoch, allowed, self._demand_fn(self._epoch)
+            )
         self._observations = result.observations
         self._throughput_epochs.append(dict(result.throughput_bps))
         self._connected_epochs.append(dict(result.connected))

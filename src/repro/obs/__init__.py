@@ -26,7 +26,10 @@ from repro.obs.metrics import (
 )
 from repro.obs.profile import Profiler, callback_site
 from repro.obs.record import EventLog, Record
+from repro.obs.report import barrier_report, bench_diff
 from repro.obs.runtime import activated, active, disable, enable
+from repro.obs.shardmerge import ShardTelemetryMerger, shard_prefix
+from repro.obs.shipping import TelemetryShipper
 from repro.obs.telemetry import Telemetry
 from repro.obs.trace import Tracer, TraceRecord, strip_wall
 
@@ -39,15 +42,20 @@ __all__ = [
     "MetricsRegistry",
     "Profiler",
     "Record",
+    "ShardTelemetryMerger",
     "Telemetry",
+    "TelemetryShipper",
     "TraceRecord",
     "Tracer",
     "activated",
     "active",
+    "barrier_report",
+    "bench_diff",
     "callback_site",
     "disable",
     "enable",
     "merge_snapshots",
     "percentile_from_hist",
+    "shard_prefix",
     "strip_wall",
 ]

@@ -50,6 +50,17 @@ class Profiler:
             if wall_s > stats[2]:
                 stats[2] = wall_s
 
+    def merge(self, site: str, calls: int, total_s: float, max_s: float) -> None:
+        """Fold pre-aggregated stats in (shard workers ship these)."""
+        stats = self._sites.get(site)
+        if stats is None:
+            self._sites[site] = [int(calls), float(total_s), float(max_s)]
+        else:
+            stats[0] += int(calls)
+            stats[1] += float(total_s)
+            if max_s > stats[2]:
+                stats[2] = float(max_s)
+
     def rows(self) -> List[Dict[str, object]]:
         """Per-site stats sorted by total wall time, hottest first."""
         rows = [

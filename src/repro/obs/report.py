@@ -1,0 +1,236 @@
+"""Barrier analytics and benchmark regression diffs over merged telemetry.
+
+Two consumers of the cross-shard telemetry plane (see
+``repro.obs.shardmerge`` and docs/OBSERVABILITY.md):
+
+* :func:`barrier_report` digests a merged trace-JSONL stream into
+  per-phase wall-clock breakdowns, straggler attribution (which shard's
+  ``lte.epoch`` span was the slowest each epoch, and how much of the
+  epoch's total compute sat on that critical path), and
+  recovery-overhead accounting (respawn/replay span walls).
+* :func:`bench_diff` walks two ``BENCH_*.json`` artifacts in parallel
+  and flags timing regressions: every numeric leaf whose key ends in
+  ``_s`` (seconds) is compared as ``current / baseline`` against a
+  tolerance ratio.  ``python -m repro.cli obs-report`` exits nonzero
+  when any comparison regresses, giving CI a trajectory gate.
+
+Everything here consumes plain dicts/rows (no live telemetry needed),
+so reports can be produced offline from artifacts.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.utils.render import format_table
+
+#: Default regression tolerance when neither the CLI nor the baseline
+#: artifact provides one: current timings may grow 5% before failing.
+DEFAULT_TOLERANCE = 1.05
+
+#: Supervisor span names emitted by ``repro.sim.shard.ShardSupervisor``.
+_PHASE_SPANS = {
+    "shard.barrier.partial": "partial",
+    "shard.barrier.commit": "commit",
+}
+
+
+def _wall_s(row: Mapping[str, Any]) -> float:
+    return float(row.get("wall_dur_ns") or 0) / 1e9
+
+
+def barrier_report(rows: Iterable[Mapping[str, Any]]) -> Dict[str, Any]:
+    """Analyze a merged trace-JSONL stream (rows from ``load_jsonl``)."""
+    phases: Dict[str, List[float]] = {}
+    epoch_shard_wall: Dict[int, Dict[int, float]] = {}
+    recovery = {
+        "respawns": 0,
+        "respawn_wall_s": 0.0,
+        "replays": 0,
+        "replay_wall_s": 0.0,
+        "replayed_ops": 0,
+        "salvaged_rows": 0,
+    }
+    for row in rows:
+        name = row.get("name")
+        args = row.get("args") or {}
+        if args.get("salvaged"):
+            recovery["salvaged_rows"] += 1
+        phase = _PHASE_SPANS.get(name)
+        if phase is not None:
+            phases.setdefault(phase, []).append(_wall_s(row))
+        elif name == "shard.respawn":
+            recovery["respawns"] += 1
+            recovery["respawn_wall_s"] += _wall_s(row)
+        elif name == "shard.replay":
+            recovery["replays"] += 1
+            recovery["replay_wall_s"] += _wall_s(row)
+            recovery["replayed_ops"] += int(args.get("ops", 0))
+        elif name == "lte.epoch" and "shard" in args and "epoch" in args:
+            epoch_shard_wall.setdefault(int(args["epoch"]), {})[
+                int(args["shard"])
+            ] = _wall_s(row)
+    phase_stats = {
+        phase: {
+            "count": len(walls),
+            "total_s": sum(walls),
+            "mean_s": sum(walls) / len(walls),
+            "max_s": max(walls),
+        }
+        for phase, walls in sorted(phases.items())
+    }
+    shards: Dict[int, Dict[str, Any]] = {}
+    slowest_counts: Dict[int, int] = {}
+    shares: List[float] = []
+    for epoch in sorted(epoch_shard_wall):
+        walls = epoch_shard_wall[epoch]
+        slowest = max(walls, key=lambda k: (walls[k], k))
+        slowest_counts[slowest] = slowest_counts.get(slowest, 0) + 1
+        total = sum(walls.values())
+        if total > 0:
+            shares.append(walls[slowest] / total)
+        for shard, wall in walls.items():
+            entry = shards.setdefault(
+                shard, {"epochs": 0, "total_s": 0.0, "slowest_epochs": 0}
+            )
+            entry["epochs"] += 1
+            entry["total_s"] += wall
+    for shard, count in slowest_counts.items():
+        shards[shard]["slowest_epochs"] = count
+    return {
+        "epochs": len(epoch_shard_wall),
+        "phases": phase_stats,
+        "shards": {shard: shards[shard] for shard in sorted(shards)},
+        "stragglers": {
+            "slowest_shard_counts": dict(sorted(slowest_counts.items())),
+            "mean_critical_share": sum(shares) / len(shares) if shares else 0.0,
+            "max_critical_share": max(shares) if shares else 0.0,
+        },
+        "recovery": recovery,
+    }
+
+
+def render_report(report: Mapping[str, Any]) -> str:
+    """Human-readable rendering of a :func:`barrier_report` result."""
+    blocks: List[str] = []
+    if report["phases"]:
+        blocks.append(
+            format_table(
+                ["phase", "epochs", "total s", "mean s", "max s"],
+                [
+                    [
+                        phase,
+                        stats["count"],
+                        f"{stats['total_s']:.4f}",
+                        f"{stats['mean_s']:.4f}",
+                        f"{stats['max_s']:.4f}",
+                    ]
+                    for phase, stats in report["phases"].items()
+                ],
+                title="Barrier phases — wall-clock breakdown",
+            )
+        )
+    if report["shards"]:
+        blocks.append(
+            format_table(
+                ["shard", "epochs", "compute s", "slowest (epochs)"],
+                [
+                    [
+                        shard,
+                        stats["epochs"],
+                        f"{stats['total_s']:.4f}",
+                        stats["slowest_epochs"],
+                    ]
+                    for shard, stats in report["shards"].items()
+                ],
+                title=(
+                    "Straggler attribution — critical-path share "
+                    f"mean {report['stragglers']['mean_critical_share']:.2f}, "
+                    f"max {report['stragglers']['max_critical_share']:.2f}"
+                ),
+            )
+        )
+    recovery = report["recovery"]
+    blocks.append(
+        "Recovery overhead: "
+        f"{recovery['respawns']} respawn(s) ({recovery['respawn_wall_s']:.3f}s), "
+        f"{recovery['replays']} replay(s) ({recovery['replay_wall_s']:.3f}s, "
+        f"{recovery['replayed_ops']} op(s)), "
+        f"{recovery['salvaged_rows']} salvaged trace row(s)"
+    )
+    return "\n\n".join(blocks)
+
+
+def bench_diff(
+    baseline: Any,
+    current: Any,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> List[Dict[str, Any]]:
+    """Compare timing leaves of two benchmark artifacts.
+
+    Walks both documents in parallel (dict keys by name, list items by
+    position, labelled by a ``cells``/``name`` key when present) and
+    compares every shared numeric leaf whose key ends with ``_s``.  A
+    row regresses when ``current > baseline * tolerance``.
+    """
+    if tolerance <= 0:
+        raise ValueError(f"tolerance must be positive, got {tolerance!r}")
+    rows: List[Dict[str, Any]] = []
+
+    def walk(base: Any, cur: Any, path: Tuple[str, ...]) -> None:
+        if isinstance(base, Mapping) and isinstance(cur, Mapping):
+            for key in sorted(set(base) & set(cur), key=str):
+                walk(base[key], cur[key], path + (str(key),))
+        elif isinstance(base, list) and isinstance(cur, list):
+            for i, (b, c) in enumerate(zip(base, cur)):
+                label = str(i)
+                if isinstance(b, Mapping):
+                    label = str(b.get("cells", b.get("name", i)))
+                walk(b, c, path + (label,))
+        elif (
+            isinstance(base, (int, float))
+            and isinstance(cur, (int, float))
+            and not isinstance(base, bool)
+            and not isinstance(cur, bool)
+        ):
+            key = path[-1] if path else ""
+            if key.endswith("_s") and base > 0:
+                ratio = cur / base
+                rows.append(
+                    {
+                        "metric": ".".join(path),
+                        "baseline": float(base),
+                        "current": float(cur),
+                        "ratio": ratio,
+                        "regression": ratio > tolerance,
+                    }
+                )
+
+    walk(baseline, current, ())
+    return rows
+
+
+def render_bench_diff(
+    rows: Iterable[Mapping[str, Any]],
+    tolerance: float,
+    title: Optional[str] = None,
+) -> str:
+    """Table of :func:`bench_diff` rows, regressions flagged."""
+    rows = list(rows)
+    if not rows:
+        return "(no shared timing metrics to compare)"
+    return format_table(
+        ["metric", "baseline s", "current s", "ratio", "verdict"],
+        [
+            [
+                row["metric"],
+                f"{row['baseline']:.6g}",
+                f"{row['current']:.6g}",
+                f"{row['ratio']:.3f}",
+                "REGRESSION" if row["regression"] else "ok",
+            ]
+            for row in rows
+        ],
+        title=title
+        or f"Benchmark diff — tolerance ratio {tolerance:.3g}",
+    )

@@ -1,0 +1,176 @@
+"""Merge worker telemetry payloads into one shard-tagged parent timeline.
+
+The counterpart of :mod:`repro.obs.shipping`: the parent feeds each
+worker payload (shipped on the epoch-barrier commit reply, or flushed on
+degrade/close) into :class:`ShardTelemetryMerger`, which folds it into
+the parent's active :class:`~repro.obs.telemetry.Telemetry` under
+``shard<k>.``-prefixed names so one registry / one tracer holds the
+whole fleet:
+
+* **Counters / histograms** add their shipped deltas; **gauges** keep
+  the shipped last-write value.  Per-shard sums of ``shard<k>.<name>``
+  therefore equal the unsharded run's ``<name>`` totals exactly
+  (integer/float adds in fixed shard order).
+* **Trace rows** are appended to the parent tracer with their category
+  prefixed ``shard<k>.`` and args extended with ``shard`` and a
+  ``span_id`` (``s<k>-<seq>``) unique per parent tracer -- the sequence
+  counters are shared across merger instances, so several sharded
+  networks merging into one tracer never collide.  The Chrome exporter
+  maps ``shard``
+  args to per-shard ``pid`` tracks (see ``repro.obs.trace``).
+* **Profile rows** merge into the parent profiler (when one is active)
+  with ``shard<k>.``-prefixed sites.
+
+Exactly-once semantics under supervision: ``epoch`` payloads carry
+their epoch index and are dropped unless the index is *beyond* the
+shard's merged horizon -- a respawned worker replaying its journal
+re-produces payloads for epochs the parent already merged, and those
+duplicates must not double-count (see ``docs/ROBUSTNESS.md``).  A
+``salvage`` merge (recovery-time flush of a dying worker) keeps only
+the trace rows, tagged ``salvaged``: its metrics describe a partially
+executed epoch that journal replay will regenerate in full, so merging
+them would double-count.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Any, Dict, Iterable, Optional
+
+from repro.obs.telemetry import Telemetry
+
+
+def shard_prefix(shard: int) -> str:
+    """Label prefix for one shard's merged metrics/trace categories."""
+    return f"shard{shard}"
+
+
+class ShardTelemetryMerger:
+    """Folds shipped worker payloads into the parent telemetry."""
+
+    #: Span-id sequence counters keyed on the *target tracer*, shared by
+    #: every merger instance: one run may build several ShardedNetworks
+    #: (one per tech in fig9a, say) that all merge into the same parent
+    #: tracer, and span ids must stay unique across all of them.
+    _span_seq_by_tracer: "weakref.WeakKeyDictionary[Any, Dict[int, int]]" = (
+        weakref.WeakKeyDictionary()
+    )
+
+    def __init__(self) -> None:
+        #: Highest epoch index merged per shard (the dedup horizon).
+        self.merged_through: Dict[int, int] = {}
+        self.stats: Dict[str, int] = {
+            "payloads_merged": 0,
+            "spans_merged": 0,
+            "duplicates_dropped": 0,
+            "salvaged_payloads": 0,
+            "edge_mismatches": 0,
+        }
+
+    def reset_horizon(self) -> None:
+        """Forget merged epochs (checkpoint restore rewinds the run)."""
+        self.merged_through.clear()
+
+    def merge(
+        self,
+        shard: int,
+        payload: Any,
+        tel: Optional[Telemetry],
+        salvage: bool = False,
+    ) -> bool:
+        """Fold one worker payload into ``tel``; ``True`` when merged."""
+        if tel is None or not isinstance(payload, dict):
+            return False
+        if payload.get("kind") == "epoch":
+            epoch = int(payload.get("epoch", -1))
+            if epoch <= self.merged_through.get(shard, -1):
+                self.stats["duplicates_dropped"] += 1
+                return False
+            self.merged_through[shard] = epoch
+        if salvage:
+            self.stats["salvaged_payloads"] += 1
+        else:
+            self._merge_metrics(shard, payload.get("metrics") or {}, tel)
+            self._merge_profile(shard, payload.get("profile") or (), tel)
+        self._merge_trace(shard, payload.get("trace") or (), tel, salvage)
+        self.stats["payloads_merged"] += 1
+        return True
+
+    # -- section mergers ----------------------------------------------------
+
+    def _merge_metrics(
+        self, shard: int, metrics: Dict[str, Any], tel: Telemetry
+    ) -> None:
+        prefix = shard_prefix(shard)
+        registry = tel.registry
+        for name, delta in (metrics.get("counters") or {}).items():
+            registry.counter(f"{prefix}.{name}").inc(delta)
+        for name, value in (metrics.get("gauges") or {}).items():
+            registry.gauge(f"{prefix}.{name}").set(value)
+        for name, spec in (metrics.get("histograms") or {}).items():
+            edges = tuple(float(edge) for edge in spec["edges"])
+            hist = registry.histogram(f"{prefix}.{name}", edges)
+            if hist.edges != edges or len(hist.counts) != len(spec["counts"]):
+                # Never happens with fixed-edge histograms; refusing to
+                # rebin beats silently mis-bucketing.
+                self.stats["edge_mismatches"] += 1
+                continue
+            hist.counts = [a + b for a, b in zip(hist.counts, spec["counts"])]
+            hist.total += spec["sum"]
+            hist.count += spec["count"]
+
+    def _merge_trace(
+        self,
+        shard: int,
+        rows: Iterable[Dict[str, Any]],
+        tel: Telemetry,
+        salvage: bool,
+    ) -> None:
+        tracer = tel.tracer
+        if tracer is None:
+            return
+        prefix = shard_prefix(shard)
+        for row in rows:
+            args = dict(row.get("args") or {})
+            args["shard"] = shard
+            if salvage:
+                args["salvaged"] = True
+            cat = f"{prefix}.{row.get('cat', 'span')}"
+            if row.get("ph") == "X":
+                seqs = self._span_seq_by_tracer.setdefault(tracer, {})
+                seq = seqs.get(shard, 0)
+                seqs[shard] = seq + 1
+                args["span_id"] = f"s{shard}-{seq}"
+                tracer.complete(
+                    row["name"],
+                    cat,
+                    row["t"],
+                    row.get("dur", 0.0),
+                    args=args,
+                    wall_ns=row.get("wall_ns", 0),
+                    wall_dur_ns=row.get("wall_dur_ns", 0),
+                )
+                self.stats["spans_merged"] += 1
+            else:
+                tracer.instant(
+                    row["name"],
+                    cat,
+                    row["t"],
+                    args=args,
+                    wall_ns=row.get("wall_ns", 0),
+                )
+
+    def _merge_profile(
+        self, shard: int, rows: Iterable[Dict[str, Any]], tel: Telemetry
+    ) -> None:
+        profiler = tel.profiler
+        if profiler is None:
+            return
+        prefix = shard_prefix(shard)
+        for row in rows:
+            profiler.merge(
+                f"{prefix}.{row['site']}",
+                row.get("calls", 0),
+                row.get("total_s", 0.0),
+                row.get("max_s", 0.0),
+            )

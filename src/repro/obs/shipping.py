@@ -1,0 +1,148 @@
+"""Worker-side telemetry shipping: compact incremental payloads.
+
+A shard worker (see ``repro.sim.shard``) runs its own process-local
+:class:`~repro.obs.telemetry.Telemetry` and must get its buffered data
+back to the parent without a side channel.  :class:`TelemetryShipper`
+wraps the worker's telemetry with *cursors* -- last-shipped counter and
+gauge values, histogram bucket counts, the trace record index, and
+per-site profile baselines -- and :meth:`TelemetryShipper.payload`
+emits only what changed since the previous payload, then advances the
+cursors.  Payloads therefore stay proportional to one epoch's activity
+and can piggyback on the epoch-barrier commit reply.
+
+Payload format (versioned; see docs/OBSERVABILITY.md):
+
+``{"v": 1, "kind": "epoch"|"flush", "epoch": <int, epoch kind only>,
+"metrics": {"counters": {name: delta}, "gauges": {name: value},
+"histograms": {name: {"edges", "counts", "sum", "count"}}},
+"trace": [<jsonl row dicts, wall fields included>],
+"profile": [{"site", "calls", "total_s", "max_s"}]}``
+
+Empty sections are omitted.  Counter/histogram entries are *deltas*
+(the parent adds them); gauges are last-write values.  The registry's
+sim-time series is deliberately **not** shipped: per-shard series would
+need a global merge policy and the parent's own per-epoch ticks already
+capture the merged counters (see ``repro.obs.shardmerge``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.obs.telemetry import Telemetry
+
+#: Payload schema version; bump on incompatible changes.
+PAYLOAD_VERSION = 1
+
+#: Payload kinds: ``epoch`` rides a commit reply and is deduplicated by
+#: epoch index at merge time; ``flush`` drains the remaining buffer on
+#: degrade/close and is merged unconditionally.
+PAYLOAD_KINDS = ("epoch", "flush")
+
+
+class TelemetryShipper:
+    """Incremental exporter for one worker's telemetry buffers."""
+
+    def __init__(self, tel: Telemetry) -> None:
+        self._tel = tel
+        self._counters: Dict[str, float] = {}
+        self._gauges: Dict[str, float] = {}
+        self._hist_counts: Dict[str, List[int]] = {}
+        self._hist_sum: Dict[str, float] = {}
+        self._hist_count: Dict[str, int] = {}
+        self._trace_idx = 0
+        self._profile: Dict[str, List[float]] = {}
+
+    def payload(self, kind: str, epoch: Optional[int] = None) -> Dict[str, Any]:
+        """Everything recorded since the last payload; advances cursors."""
+        if kind not in PAYLOAD_KINDS:
+            raise ValueError(f"unknown payload kind {kind!r}; want {PAYLOAD_KINDS}")
+        out: Dict[str, Any] = {"v": PAYLOAD_VERSION, "kind": kind}
+        if kind == "epoch":
+            if epoch is None:
+                raise ValueError("epoch payloads must carry their epoch index")
+            out["epoch"] = int(epoch)
+        metrics = self._metrics_delta()
+        if metrics:
+            out["metrics"] = metrics
+        trace = self._trace_delta()
+        if trace:
+            out["trace"] = trace
+        profile = self._profile_delta()
+        if profile:
+            out["profile"] = profile
+        return out
+
+    # -- section builders ---------------------------------------------------
+
+    def _metrics_delta(self) -> Dict[str, Any]:
+        registry = self._tel.registry
+        counters: Dict[str, float] = {}
+        for name in sorted(registry._counters):
+            value = registry._counters[name].value
+            delta = value - self._counters.get(name, 0.0)
+            self._counters[name] = value
+            if delta:
+                counters[name] = delta
+        gauges: Dict[str, float] = {}
+        for name in sorted(registry._gauges):
+            value = registry._gauges[name].value
+            if name not in self._gauges or self._gauges[name] != value:
+                gauges[name] = value
+            self._gauges[name] = value
+        histograms: Dict[str, Dict[str, Any]] = {}
+        for name in sorted(registry._histograms):
+            hist = registry._histograms[name]
+            last = self._hist_counts.get(name, [0] * len(hist.counts))
+            delta_counts = [a - b for a, b in zip(hist.counts, last)]
+            delta_sum = hist.total - self._hist_sum.get(name, 0.0)
+            delta_count = hist.count - self._hist_count.get(name, 0)
+            self._hist_counts[name] = list(hist.counts)
+            self._hist_sum[name] = hist.total
+            self._hist_count[name] = hist.count
+            if delta_count:
+                histograms[name] = {
+                    "edges": list(hist.edges),
+                    "counts": delta_counts,
+                    "sum": delta_sum,
+                    "count": delta_count,
+                }
+        out: Dict[str, Any] = {}
+        if counters:
+            out["counters"] = counters
+        if gauges:
+            out["gauges"] = gauges
+        if histograms:
+            out["histograms"] = histograms
+        return out
+
+    def _trace_delta(self) -> List[Dict[str, Any]]:
+        tracer = self._tel.tracer
+        if tracer is None:
+            return []
+        records = tracer.records
+        rows = [record.to_dict() for record in records[self._trace_idx:]]
+        self._trace_idx = len(records)
+        return rows
+
+    def _profile_delta(self) -> List[Dict[str, Any]]:
+        profiler = self._tel.profiler
+        if profiler is None:
+            return []
+        rows: List[Dict[str, Any]] = []
+        for site in sorted(profiler._sites):
+            calls, total_s, max_s = profiler._sites[site]
+            base = self._profile.get(site, [0, 0.0])
+            delta_calls = int(calls - base[0])
+            delta_total = total_s - base[1]
+            self._profile[site] = [calls, total_s]
+            if delta_calls:
+                rows.append(
+                    {
+                        "site": site,
+                        "calls": delta_calls,
+                        "total_s": delta_total,
+                        "max_s": max_s,
+                    }
+                )
+        return rows

@@ -120,36 +120,70 @@ class Tracer:
             lines.append(json.dumps(row, sort_keys=True, separators=(",", ":")))
         return "\n".join(lines) + ("\n" if lines else "")
 
+    @staticmethod
+    def _pid_of(record: TraceRecord) -> int:
+        """Perfetto process id: shard-merged records get their own track.
+
+        Records merged from a shard worker carry ``args["shard"]`` (see
+        ``repro.obs.shardmerge``) and map to pid ``shard + 2``; everything
+        recorded by the parent/supervisor stays on pid 1.
+        """
+        shard = record.args.get("shard")
+        if isinstance(shard, int) and not isinstance(shard, bool):
+            return shard + 2
+        return 1
+
     def chrome_trace(self) -> Dict[str, object]:
         """Chrome ``trace_event`` JSON (open in Perfetto / chrome://tracing).
 
         ``ts`` and ``dur`` are sim-time microseconds so the Perfetto
         timeline reads in simulated seconds; the wall-clock measurement
-        of each span is preserved under ``args.wall_us``.
+        of each span is preserved under ``args.wall_us``.  Shard-merged
+        records become one process track per shard (``process_name``
+        metadata ``shard<k>``); within each process every category keeps
+        its own ``tid`` with a ``thread_name`` metadata record.
         """
-        categories = []
+        pid_cats: Dict[int, List[str]] = {}
         for record in self._records:
-            if record.cat not in categories:
-                categories.append(record.cat)
-        tids = {cat: i + 1 for i, cat in enumerate(sorted(categories))}
-        events: List[Dict[str, object]] = [
-            {
-                "name": "thread_name",
-                "ph": "M",
-                "pid": 1,
-                "tid": tid,
-                "args": {"name": cat},
+            cats = pid_cats.setdefault(self._pid_of(record), [])
+            if record.cat not in cats:
+                cats.append(record.cat)
+        tids: Dict[int, Dict[str, int]] = {}
+        events: List[Dict[str, object]] = []
+        for pid in sorted(pid_cats):
+            if pid != 1:
+                events.append(
+                    {
+                        "name": "process_name",
+                        "ph": "M",
+                        "pid": pid,
+                        "tid": 0,
+                        "args": {"name": f"shard{pid - 2}"},
+                    }
+                )
+            mapping = {
+                cat: i + 1 for i, cat in enumerate(sorted(pid_cats[pid]))
             }
-            for cat, tid in sorted(tids.items(), key=lambda kv: kv[1])
-        ]
+            tids[pid] = mapping
+            events.extend(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"name": cat},
+                }
+                for cat, tid in sorted(mapping.items(), key=lambda kv: kv[1])
+            )
         for record in self._records:
+            pid = self._pid_of(record)
             entry: Dict[str, object] = {
                 "name": record.name,
                 "cat": record.cat,
                 "ph": record.ph,
                 "ts": record.t * 1e6,
-                "pid": 1,
-                "tid": tids[record.cat],
+                "pid": pid,
+                "tid": tids[pid][record.cat],
             }
             args = dict(record.args)
             if record.ph == "X":

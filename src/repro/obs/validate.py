@@ -67,6 +67,31 @@ def validate_trace_event(entry: Dict[str, object], index: int) -> None:
         _fail(f"traceEvents[{index}]: args must be an object")
 
 
+def _check_span_id(
+    seen: Dict[str, int], entry: Dict[str, object], index: int, where: str
+) -> None:
+    """Reject duplicate span ids (shard-merged streams must not overlap).
+
+    ``span_id`` is assigned at merge time by ``repro.obs.shardmerge``
+    (``s<shard>-<seq>``); a collision means two shards' timelines were
+    merged twice or with reused sequence counters.
+    """
+    args = entry.get("args")
+    if not isinstance(args, dict):
+        return
+    span_id = args.get("span_id")
+    if span_id is None:
+        return
+    if not isinstance(span_id, str):
+        _fail(f"{where} {index + 1}: span_id must be a string")
+    if span_id in seen:
+        _fail(
+            f"{where} {index + 1}: span id {span_id!r} already used at "
+            f"{where} {seen[span_id] + 1} — overlapping shard spans"
+        )
+    seen[span_id] = index
+
+
 def validate_chrome_trace(payload: object) -> int:
     """Validate a parsed Chrome trace document; returns the event count."""
     if not isinstance(payload, dict):
@@ -76,8 +101,10 @@ def validate_chrome_trace(payload: object) -> int:
         _fail("traceEvents must be an array")
     if not events:
         _fail("traceEvents is empty — tracing produced no records")
+    span_ids: Dict[str, int] = {}
     for index, entry in enumerate(events):
         validate_trace_event(entry, index)
+        _check_span_id(span_ids, entry, index, "traceEvents")
     _maybe_jsonschema(payload)
     return len(events)
 
@@ -98,6 +125,7 @@ def validate_jsonl_row(row: Dict[str, object], index: int) -> None:
 def validate_jsonl_file(path: pathlib.Path) -> int:
     """Validate a trace JSONL file; returns the row count."""
     count = 0
+    span_ids: Dict[str, int] = {}
     with open(path) as handle:
         for index, line in enumerate(handle):
             line = line.strip()
@@ -108,6 +136,7 @@ def validate_jsonl_file(path: pathlib.Path) -> int:
             except json.JSONDecodeError as exc:
                 _fail(f"line {index + 1}: invalid JSON: {exc}")
             validate_jsonl_row(row, index)
+            _check_span_id(span_ids, row, index, "line")
             count += 1
     if count == 0:
         _fail(f"{path}: no trace rows")

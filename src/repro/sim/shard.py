@@ -76,6 +76,7 @@ import time
 import traceback
 import warnings
 from collections import deque
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
@@ -90,6 +91,9 @@ from repro.lte.network import (
 )
 from repro.obs import runtime as _obs_runtime
 from repro.obs.record import EventLog
+from repro.obs.shardmerge import ShardTelemetryMerger
+from repro.obs.shipping import TelemetryShipper
+from repro.obs.telemetry import Telemetry
 from repro.sim.checkpoint import clone_state
 from repro.sim.topology import Topology, grid_partition
 
@@ -113,6 +117,27 @@ EPOCH_STREAMS = ("rlf", "cqi-detector")
 
 NetFactory = Callable[[Optional[Sequence[int]]], LteNetworkSimulator]
 
+#: Deadline for pulling a dying/closing worker's buffered telemetry.
+#: Short on purpose: a hung worker must not stall recovery, and a
+#: missed flush is only a telemetry loss (counted), never a state loss.
+_TEL_FLUSH_DEADLINE_S = 2.0
+
+
+def _worker_telemetry(tel_cfg: Optional[Dict[str, bool]]):
+    """Build a worker-local (Telemetry, TelemetryShipper) pair, or Nones.
+
+    ``tel_cfg`` is the parent's capture of *what* to record
+    (``{"trace": bool, "profile": bool}``); ``None`` means telemetry is
+    off and the worker must stay on the zero-allocation disabled path so
+    barrier payloads remain byte-identical to an untraced run.
+    """
+    if not tel_cfg:
+        return None, None
+    tel = Telemetry(
+        trace=bool(tel_cfg.get("trace")), profile=bool(tel_cfg.get("profile"))
+    )
+    return tel, TelemetryShipper(tel)
+
 
 def _epoch_stream_states(rngs) -> Dict[str, Any]:
     return {
@@ -126,10 +151,24 @@ def _apply_stream_states(rngs, states: Dict[str, Any]) -> None:
 
 
 class _InlineWorker:
-    """In-process worker: same protocol, no pipes (tests, fallback)."""
+    """In-process worker: same protocol, no pipes (tests, fallback).
 
-    def __init__(self, net_factory: NetFactory, ap_ids: Sequence[int]) -> None:
-        self.net = net_factory(list(ap_ids))
+    With ``tel_cfg`` set, the worker keeps its *own* telemetry instance
+    and activates it around every op, so an inline (or degraded) shard
+    records exactly like a process worker would -- into a shard-local
+    buffer shipped via payloads -- instead of leaking unprefixed metrics
+    into the parent registry.
+    """
+
+    def __init__(
+        self,
+        net_factory: NetFactory,
+        ap_ids: Sequence[int],
+        tel_cfg: Optional[Dict[str, bool]] = None,
+    ) -> None:
+        self._tel, self._shipper = _worker_telemetry(tel_cfg)
+        with self._scope():
+            self.net = net_factory(list(ap_ids))
         self._pending: Optional[tuple] = None
         self._partial: Optional[np.ndarray] = None
         self._result: Optional[tuple] = None
@@ -137,25 +176,36 @@ class _InlineWorker:
         #: supervisor rebuilds it, mirroring a SIGKILL'd process worker.
         self.dead = False
 
+    def _scope(self):
+        """Activate the worker-local telemetry for one op (or no-op)."""
+        if self._tel is None:
+            return nullcontext()
+        return _obs_runtime.activated(self._tel)
+
     def simulate_crash(self) -> None:
         self.dead = True
 
     def apply_move(self, client_id: int, x: float, y: float) -> None:
-        self.net.move_client(client_id, x, y)
+        with self._scope():
+            self.net.move_client(client_id, x, y)
 
     def apply_reattach(self, client_id: int, new_ap_id: int) -> None:
-        self.net.reattach_client(client_id, new_ap_id)
+        with self._scope():
+            self.net.reattach_client(client_id, new_ap_id)
 
     def export_row(self, client_id: int) -> List[int]:
-        return self.net.export_client_row(client_id)
+        with self._scope():
+            return self.net.export_client_row(client_id)
 
     def import_row(self, client_id: int, row: Sequence[int]) -> None:
-        self.net.import_client_row(client_id, row)
+        with self._scope():
+            self.net.import_client_row(client_id, row)
 
     def begin_epoch(self, epoch_index, allowed, demands_bits, rng_states) -> None:
-        _apply_stream_states(self.net.rngs, rng_states)
-        self._pending = (epoch_index, allowed, demands_bits)
-        self._partial = self.net.prach_partial_counts(demands_bits)
+        with self._scope():
+            _apply_stream_states(self.net.rngs, rng_states)
+            self._pending = (epoch_index, allowed, demands_bits)
+            self._partial = self.net.prach_partial_counts(demands_bits)
 
     def read_partial(self) -> np.ndarray:
         partial, self._partial = self._partial, None
@@ -164,27 +214,39 @@ class _InlineWorker:
     def commit_epoch(self, prach_total: np.ndarray) -> None:
         epoch_index, allowed, demands_bits = self._pending
         self._pending = None
-        start = time.process_time()
-        result = self.net.run_epoch(
-            epoch_index, allowed, demands_bits, prach_counts=prach_total
-        )
-        compute_s = time.process_time() - start
-        self._result = (
-            result,
-            _epoch_stream_states(self.net.rngs),
-            dict(self.net.last_epoch_stats),
-            compute_s,
-        )
+        with self._scope():
+            start = time.process_time()
+            result = self.net.run_epoch(
+                epoch_index, allowed, demands_bits, prach_counts=prach_total
+            )
+            compute_s = time.process_time() - start
+            outcome = (
+                result,
+                _epoch_stream_states(self.net.rngs),
+                dict(self.net.last_epoch_stats),
+                compute_s,
+            )
+            if self._shipper is not None:
+                outcome += (self._shipper.payload("epoch", epoch_index),)
+        self._result = outcome
 
     def read_result(self) -> tuple:
         result, self._result = self._result, None
         return result
 
+    def flush_payload(self) -> Optional[Dict[str, Any]]:
+        """Drain buffered telemetry not yet shipped on a commit reply."""
+        if self._shipper is None:
+            return None
+        return self._shipper.payload("flush")
+
     def state_dict(self) -> Dict[str, Any]:
-        return self.net.state_dict()
+        with self._scope():
+            return self.net.state_dict()
 
     def begin_load_state(self, state: Dict[str, Any]) -> None:
-        self.net.load_state(state)
+        with self._scope():
+            self.net.load_state(state)
 
     def finish_load_state(self) -> None:
         pass
@@ -198,7 +260,12 @@ class _InlineWorker:
 _SKIPPED_SIG = "skipped: op arrived after an earlier event failure"
 
 
-def _worker_main(conn, net_factory: NetFactory, ap_ids: Sequence[int]) -> None:
+def _worker_main(
+    conn,
+    net_factory: NetFactory,
+    ap_ids: Sequence[int],
+    tel_cfg: Optional[Dict[str, bool]] = None,
+) -> None:
     """Worker-process loop: build the shard simulator, serve barrier ops.
 
     Event ops (``move`` / ``reattach`` / ``import``) are fire-and-forget so
@@ -208,7 +275,20 @@ def _worker_main(conn, net_factory: NetFactory, ap_ids: Sequence[int]) -> None:
     report is surfaced at the next replying op, which every epoch barrier
     contains.  Once poisoned, further event ops are skipped -- and counted
     -- rather than run against suspect state.
+
+    With ``tel_cfg`` the worker runs its own sim-clock-aware telemetry
+    (``run_epoch`` advances its clock) and piggybacks incremental
+    payloads on every commit reply; the ``tel_flush`` op drains whatever
+    is still buffered (recovery/degrade/close pulls it).
     """
+    # The fork start method clones the parent's activated telemetry into
+    # the child; drop it first so a worker never records into (a copy of)
+    # the parent registry, then activate a worker-local instance when the
+    # parent asked for one.
+    _obs_runtime.disable()
+    tel, shipper = _worker_telemetry(tel_cfg)
+    if tel is not None:
+        _obs_runtime.enable(tel)
     net = net_factory(list(ap_ids))
     pending: Optional[tuple] = None
     # signature -> [count, first full traceback]
@@ -268,15 +348,23 @@ def _worker_main(conn, net_factory: NetFactory, ap_ids: Sequence[int]) -> None:
                     epoch_index, allowed, demands_bits, prach_counts=msg[1]
                 )
                 compute_s = time.process_time() - start
+                outcome = (
+                    result,
+                    _epoch_stream_states(net.rngs),
+                    dict(net.last_epoch_stats),
+                    compute_s,
+                )
+                if shipper is not None:
+                    # Telemetry piggybacks on the commit reply; with
+                    # telemetry off the wire format is byte-identical to
+                    # the untraced run (digest neutrality).
+                    outcome += (shipper.payload("epoch", epoch_index),)
+                conn.send(("ok", outcome))
+            elif op == "tel_flush":
                 conn.send(
                     (
                         "ok",
-                        (
-                            result,
-                            _epoch_stream_states(net.rngs),
-                            dict(net.last_epoch_stats),
-                            compute_s,
-                        ),
+                        shipper.payload("flush") if shipper is not None else None,
                     )
                 )
             elif op == "state":
@@ -310,7 +398,13 @@ def _format_worker_error(payload: Any) -> str:
 class _ProcessWorker:
     """Pipe-connected worker process (``fork`` start method)."""
 
-    def __init__(self, ctx, net_factory: NetFactory, ap_ids: Sequence[int]) -> None:
+    def __init__(
+        self,
+        ctx,
+        net_factory: NetFactory,
+        ap_ids: Sequence[int],
+        tel_cfg: Optional[Dict[str, bool]] = None,
+    ) -> None:
         #: Parent-side hook: called with the raw error payload of every
         #: ``("error", ...)`` reply, before the exception is raised, so the
         #: owning net can dedupe/record structured reports (obs layer).
@@ -318,7 +412,7 @@ class _ProcessWorker:
         parent_conn, child_conn = ctx.Pipe()
         self.proc = ctx.Process(
             target=_worker_main,
-            args=(child_conn, net_factory, ap_ids),
+            args=(child_conn, net_factory, ap_ids, tel_cfg),
             daemon=True,
         )
         self.proc.start()
@@ -676,14 +770,21 @@ def _validate_partial(payload: Any, n_aps: int) -> Optional[str]:
     return None
 
 
-def _validate_outcome(payload: Any) -> Optional[str]:
-    """Reply validation for phase 2: (result, rng states, stats, cpu_s)."""
-    if not isinstance(payload, tuple) or len(payload) != 4:
+def _validate_outcome(payload: Any, expect_payload: bool = False) -> Optional[str]:
+    """Reply validation for phase 2: (result, rng states, stats, cpu_s).
+
+    When the worker runs with telemetry (``expect_payload``) the outcome
+    carries a fifth element -- the shipped telemetry payload dict -- and
+    the arity check is strict in both directions: a 4-tuple from a traced
+    worker (or a 5-tuple from an untraced one) is a protocol error.
+    """
+    want = 5 if expect_payload else 4
+    if not isinstance(payload, tuple) or len(payload) != want:
         return (
-            f"expected a 4-tuple outcome, got {type(payload).__name__}"
+            f"expected a {want}-tuple outcome, got {type(payload).__name__}"
             + (f" of length {len(payload)}" if isinstance(payload, tuple) else "")
         )
-    result, states, stats, compute_s = payload
+    result, states, stats, compute_s = payload[:4]
     if not isinstance(result, EpochResult):
         return f"result is {type(result).__name__}, want EpochResult"
     if not isinstance(states, dict) or set(states) != set(EPOCH_STREAMS):
@@ -692,6 +793,8 @@ def _validate_outcome(payload: Any) -> Optional[str]:
         return f"stats is {type(stats).__name__}, want dict"
     if not isinstance(compute_s, float):
         return f"compute_s is {type(compute_s).__name__}, want float"
+    if expect_payload and not isinstance(payload[4], dict):
+        return f"telemetry payload is {type(payload[4]).__name__}, want dict"
     return None
 
 
@@ -705,11 +808,17 @@ def _validate_row(payload: Any) -> Optional[str]:
 
 
 def _corrupt_payload(payload: Any) -> Any:
-    """Damage a reply the way a truncated/garbled pipe write would."""
+    """Damage a reply the way a truncated/garbled pipe write would.
+
+    Tuples are cut to length 2 rather than just dropping the last element:
+    a traced outcome is a 5-tuple whose last element is the telemetry
+    payload, and truncating only that would yield a perfectly valid
+    4-tuple -- chaos must always produce a detectable protocol error.
+    """
     if isinstance(payload, np.ndarray):
         return payload[: max(0, payload.shape[0] - 1)].astype(np.float64)
     if isinstance(payload, tuple):
-        return payload[:-1]
+        return payload[:2]
     return "\x00garbage"
 
 
@@ -759,6 +868,8 @@ class ShardSupervisor:
             "replayed_ops": 0,
             "max_replay_depth": 0,
             "chaos_injected": 0,
+            "telemetry_salvaged": 0,
+            "telemetry_dropped": 0,
         }
         # Baseline snapshot: a worker lost before the first periodic
         # refresh must still be recoverable.  Workers are freshly built
@@ -806,6 +917,8 @@ class ShardSupervisor:
             worker.begin_load_state(msg[1])
             worker.finish_load_state()
             return None
+        if op == "tel_flush":
+            return worker.flush_payload()
         raise ValueError(f"unknown shard worker op {op!r}")
 
     def _request(self, worker: Any, msg: tuple, timeout_s: float) -> Tuple[str, Any]:
@@ -871,6 +984,12 @@ class ShardSupervisor:
         self.log.record(self._now(), f"shard{k}", f"worker-{kind}", detail)
         self._replay_outcome[k] = None
         self._malform_next[k] = False
+        respawn_wall0 = time.perf_counter_ns()
+        # Salvage the dying worker's buffered telemetry before the kill:
+        # a still-responsive worker (protocol error, degrade) can flush its
+        # trace buffer; a SIGKILLed or hung one cannot, and the loss is
+        # counted instead of silent.
+        self._salvage_telemetry(k)
         while True:
             self._failures[k] += 1
             worker = self.net.workers[k]
@@ -925,12 +1044,56 @@ class ShardSupervisor:
         if tel is not None:
             tel.inc("shard.worker_restart")
             tel.gauge("shard.replay_depth", float(depth))
+            if tel.tracer is not None:
+                tel.tracer.complete(
+                    "shard.respawn",
+                    "supervisor",
+                    tel.now,
+                    0.0,
+                    args={
+                        "of": k,
+                        "kind": kind,
+                        "ops": depth,
+                        "degraded": bool(self.degraded[k]),
+                    },
+                    wall_ns=respawn_wall0,
+                    wall_dur_ns=time.perf_counter_ns() - respawn_wall0,
+                )
         if (
             expect_epoch is not None
             and outcome is not None
             and outcome_epoch == expect_epoch
         ):
             self._replay_outcome[k] = outcome
+
+    def _salvage_telemetry(self, k: int) -> None:
+        """Flush a dying worker's buffered telemetry, or count the loss.
+
+        Salvaged payloads merge trace rows only (tagged ``salvaged``):
+        their metrics describe a partially executed epoch that journal
+        replay regenerates in full, so merging them would double-count.
+        """
+        if self.net._tel_merger is None:
+            return
+        if self.net._flush_worker_telemetry(k, salvage=True):
+            self.stats["telemetry_salvaged"] += 1
+            # Mirrored into the ``shard.telemetry_salvaged`` counter.
+            self.log.record(
+                self._now(),
+                f"shard{k}",
+                "telemetry_salvaged",
+                "buffered worker telemetry flushed before respawn",
+            )
+        else:
+            self.stats["telemetry_dropped"] += 1
+            # EventLog mirrors the kind into the ``shard.telemetry_dropped``
+            # counter (plus a trace instant) for free.
+            self.log.record(
+                self._now(),
+                f"shard{k}",
+                "telemetry_dropped",
+                "buffered worker telemetry lost with the worker",
+            )
 
     def _replay(self, worker: Any, k: int) -> Tuple[Optional[tuple], Optional[int]]:
         """Load the pinned snapshot into ``worker``, re-apply the journal.
@@ -941,6 +1104,7 @@ class ShardSupervisor:
         whole respawn under the budget.
         """
         per_op_s = max(self._deadline("commit"), _RECOVERY_MIN_DEADLINE_S)
+        replay_wall0 = time.perf_counter_ns()
 
         def call(msg: tuple, step: str) -> Any:
             status, payload = self._request(worker, msg, per_op_s)
@@ -982,7 +1146,9 @@ class ShardSupervisor:
                     f"begin[{epoch_index}]",
                 )
                 outcome = call(("commit", total), f"commit[{epoch_index}]")
-                error = _validate_outcome(outcome)
+                error = _validate_outcome(
+                    outcome, self.net._tel_merger is not None
+                )
                 if error is not None:
                     raise _RecoveryError(
                         f"replayed epoch {epoch_index} outcome invalid: {error}"
@@ -990,9 +1156,26 @@ class ShardSupervisor:
                 last = (outcome, epoch_index)
             else:  # pragma: no cover - journal is written by this class
                 raise _RecoveryError(f"unknown journal entry {op!r}")
+        tel = _obs_runtime.active()
+        if tel is not None and tel.tracer is not None:
+            tel.tracer.complete(
+                "shard.replay",
+                "supervisor",
+                tel.now,
+                0.0,
+                args={"of": k, "ops": len(self._journal)},
+                wall_ns=replay_wall0,
+                wall_dur_ns=time.perf_counter_ns() - replay_wall0,
+            )
         return last
 
     # -- Journal + snapshots ------------------------------------------------
+
+    def _note_journal_depth(self) -> None:
+        """Mirror the journal depth into a gauge (recovery-cost signal)."""
+        tel = _obs_runtime.active()
+        if tel is not None:
+            tel.gauge("shard.journal_depth", float(len(self._journal)))
 
     def _append_epoch_entry(
         self,
@@ -1012,6 +1195,7 @@ class ShardSupervisor:
                 np.array(total, copy=True),
             )
         )
+        self._note_journal_depth()
 
     def _trim_journal(self) -> None:
         if len(self._journal) > self.config.journal_cap:
@@ -1033,6 +1217,13 @@ class ShardSupervisor:
         tel = _obs_runtime.active()
         if tel is not None:
             tel.inc("shard.supervisor_snapshot")
+            # Checkpoint-refresh gauges: when the recovery snapshot was
+            # last rebuilt and how many refreshes the run has paid for.
+            tel.gauge("shard.checkpoint_epoch", self._now())
+            tel.gauge(
+                "shard.checkpoint_refreshes", float(self.stats["snapshots"])
+            )
+        self._note_journal_depth()
 
     def _worker_state(self, k: int) -> Dict[str, Any]:
         deadline_s = max(self._deadline("commit"), _RECOVERY_MIN_DEADLINE_S)
@@ -1069,6 +1260,7 @@ class ShardSupervisor:
     def move_client(self, client_id: int, x: float, y: float) -> None:
         self.net.topology.move_client(client_id, x, y)
         self._journal.append(("move", client_id, float(x), float(y)))
+        self._note_journal_depth()
         for k in range(self.net.n_shards):
             self._post_event(k, ("move", client_id, float(x), float(y)))
         self._trim_journal()
@@ -1110,6 +1302,7 @@ class ShardSupervisor:
                 new_shard if row is not None else None,
             )
         )
+        self._note_journal_depth()
         for k in range(net.n_shards):
             self._post_event(k, ("reattach", client_id, new_ap_id))
         if row is not None:
@@ -1166,6 +1359,7 @@ class ShardSupervisor:
         chaos_events = (
             self.chaos.events_for(epoch_index, n) if self.chaos is not None else []
         )
+        tel = _obs_runtime.active()
         barrier_t0 = time.monotonic()
         self._inject(chaos_events, "partial")
         rng_states = _epoch_stream_states(net.rngs)
@@ -1174,10 +1368,19 @@ class ShardSupervisor:
         pending = [self._send_barrier(k, begin_msg) for k in range(n)]
         deadline_s = self._deadline("partial")
         phase_t0 = time.monotonic()
-        partials = [
-            self._collect_partial(k, begin_msg, pending, deadline_s)
-            for k in range(n)
-        ]
+        with (
+            tel.span(
+                "shard.barrier.partial",
+                "supervisor",
+                args={"epoch": epoch_index, "deadline_s": deadline_s},
+            )
+            if tel is not None
+            else nullcontext()
+        ):
+            partials = [
+                self._collect_partial(k, begin_msg, pending, deadline_s)
+                for k in range(n)
+            ]
         self._recent_phase_s["partial"].append(
             max(time.monotonic() - phase_t0, 1e-9)
         )
@@ -1196,20 +1399,35 @@ class ShardSupervisor:
         committed = [self._send_barrier(k, commit_msg) for k in range(n)]
         deadline_s = self._deadline("commit")
         phase_t0 = time.monotonic()
-        outcomes = [
-            self._collect_outcome(k, commit_msg, committed, deadline_s, epoch_index)
-            for k in range(n)
-        ]
+        with (
+            tel.span(
+                "shard.barrier.commit",
+                "supervisor",
+                args={"epoch": epoch_index, "deadline_s": deadline_s},
+            )
+            if tel is not None
+            else nullcontext()
+        ):
+            outcomes = [
+                self._collect_outcome(
+                    k, commit_msg, committed, deadline_s, epoch_index
+                )
+                for k in range(n)
+            ]
         self._recent_phase_s["commit"].append(
             max(time.monotonic() - phase_t0, 1e-9)
         )
         merged = net._merge_outcomes(epoch_index, outcomes)
-        tel = _obs_runtime.active()
         if tel is not None:
             tel.observe("shard.barrier_wait_s", time.monotonic() - barrier_t0)
         self._epochs_since_snapshot += 1
         if self._epochs_since_snapshot >= self.config.checkpoint_every:
             self.take_snapshot()
+        if tel is not None:
+            tel.gauge(
+                "shard.checkpoint_age_epochs",
+                float(self._epochs_since_snapshot),
+            )
         return merged
 
     def _collect_partial(
@@ -1273,7 +1491,9 @@ class ShardSupervisor:
                 if self._malform_next[k]:
                     self._malform_next[k] = False
                     payload = _corrupt_payload(payload)
-                error = _validate_outcome(payload)
+                error = _validate_outcome(
+                    payload, self.net._tel_merger is not None
+                )
                 if error is None:
                     return payload
                 kind, detail = "protocol", f"invalid epoch outcome: {error}"
@@ -1295,6 +1515,11 @@ class ShardSupervisor:
         self._journal = []
         self._epochs_since_snapshot = 0
         self._replay_outcome = [None] * self.net.n_shards
+        self._note_journal_depth()
+        if self.net._tel_merger is not None:
+            # A restore rewinds the run: epochs will be re-run (and their
+            # payloads re-shipped), so the dedup horizon must forget them.
+            self.net._tel_merger.reset_horizon()
         load_msg = ("load", self._snapshot)
         deadline_s = max(self._deadline("commit"), _RECOVERY_MIN_DEADLINE_S)
         pending = [
@@ -1407,6 +1632,23 @@ class ShardedNetwork:
         self.events = SupervisionLog()
         self._reported_sigs: Set[tuple] = set()
         self._now = 0.0
+        #: Sim-seconds per epoch; mirrors the workers' simulators so the
+        #: parent's telemetry clock tracks the same timeline.
+        self.epoch_s = 1.0
+        # Telemetry plane: when the *parent* has telemetry active at build
+        # time, every worker runs its own matching instance and ships
+        # incremental payloads on commit replies; the merger folds them
+        # into the parent registry/tracer under shard<k> labels.  With
+        # telemetry off this stays None and the wire format is untouched.
+        tel = _obs_runtime.active()
+        self._worker_tel_cfg: Optional[Dict[str, bool]] = None
+        self._tel_merger: Optional[ShardTelemetryMerger] = None
+        if tel is not None:
+            self._worker_tel_cfg = {
+                "trace": tel.tracing,
+                "profile": tel.profiler is not None,
+            }
+            self._tel_merger = ShardTelemetryMerger()
         self.workers: List[Any] = [
             self._build_worker(k) for k in range(len(plan))
         ]
@@ -1424,8 +1666,12 @@ class ShardedNetwork:
         """Build (or rebuild, for recovery) the worker for one shard."""
         ap_ids = self.shard_plan[shard_index]
         if inline or self.mode == "inline":
-            return _InlineWorker(self._net_factory, ap_ids)
-        worker = _ProcessWorker(self._ctx, self._net_factory, ap_ids)
+            return _InlineWorker(
+                self._net_factory, ap_ids, tel_cfg=self._worker_tel_cfg
+            )
+        worker = _ProcessWorker(
+            self._ctx, self._net_factory, ap_ids, tel_cfg=self._worker_tel_cfg
+        )
         worker.on_error_report = (
             lambda payload, _k=shard_index: self._note_error_report(_k, payload)
         )
@@ -1497,6 +1743,12 @@ class ShardedNetwork:
         demands_bits: Dict[int, float],
     ) -> EpochResult:
         self._now = float(epoch_index)
+        tel = _obs_runtime.active()
+        if tel is not None:
+            # Workers advance their own clocks inside run_epoch; the parent
+            # mirrors the timeline so supervisor spans and merged metric
+            # ticks line up with the shipped worker records.
+            tel.set_time(epoch_index * self.epoch_s)
         if self.supervisor is not None:
             return self.supervisor.run_epoch(epoch_index, allowed, demands_bits)
         # Phase 1: push decision + epoch RNG states, gather PRACH partials.
@@ -1518,6 +1770,20 @@ class ShardedNetwork:
     def _merge_outcomes(
         self, epoch_index: int, outcomes: Sequence[tuple]
     ) -> EpochResult:
+        # Telemetry rides as a 5th outcome element when workers trace;
+        # fold each shard's payload into the parent (the merger's epoch
+        # horizon drops re-shipped duplicates from journal replay) and
+        # strip it before the sim-semantic merge below.
+        if any(len(outcome) > 4 for outcome in outcomes):
+            tel = _obs_runtime.active()
+            stripped = []
+            for k, outcome in enumerate(outcomes):
+                if len(outcome) > 4:
+                    if self._tel_merger is not None:
+                        self._tel_merger.merge(k, outcome[4], tel)
+                    outcome = outcome[:4]
+                stripped.append(outcome)
+            outcomes = stripped
         # Phase 3: merge.  Key sets are disjoint by ownership, and every
         # AP/client is owned by exactly one shard, so the merged dicts have
         # exactly the unsharded key population.
@@ -1627,13 +1893,58 @@ class ShardedNetwork:
                 worker.begin_load_state(state)
             for worker in self.workers:
                 worker.finish_load_state()
+            if self._tel_merger is not None:
+                self._tel_merger.reset_horizon()
         self.last_epoch_stats = {}
+
+    # -- Telemetry plumbing -------------------------------------------------
+
+    def _flush_worker_telemetry(
+        self, k: int, salvage: bool = False
+    ) -> bool:
+        """Pull and merge worker ``k``'s buffered telemetry.
+
+        Returns ``False`` when the worker could not flush (dead, hung, or
+        replying with something that is not a flush payload -- e.g. a
+        stale barrier reply still queued in the pipe after a timeout).
+        ``salvage`` marks a recovery-time flush: the merger keeps only
+        the trace rows, since journal replay regenerates the metrics.
+        """
+        if self._tel_merger is None:
+            return True
+        tel = _obs_runtime.active()
+        if tel is None:
+            return True
+        worker = self.workers[k]
+        if isinstance(worker, _ProcessWorker):
+            if not worker.is_alive() or not worker.send_safe(("tel_flush",)):
+                return False
+            status, payload = worker.try_recv(_TEL_FLUSH_DEADLINE_S)
+            if status != "ok":
+                return False
+        else:
+            if worker.dead:
+                return False
+            try:
+                payload = worker.flush_payload()
+            except Exception:
+                return False
+        if not isinstance(payload, dict) or payload.get("kind") != "flush":
+            return False
+        return self._tel_merger.merge(k, payload, tel, salvage=salvage)
 
     # -- Lifecycle ----------------------------------------------------------
 
     def close(self) -> None:
         if self.supervisor is not None:
             self.supervisor.close()
+        if self._tel_merger is not None:
+            # Final drain: anything recorded since the last commit reply
+            # (event ops, a begun-but-uncommitted epoch) merges with full
+            # metrics -- no replay follows a close, so nothing can
+            # double-count.
+            for k in range(len(self.workers)):
+                self._flush_worker_telemetry(k)
         for worker in self.workers:
             worker.close()
 

@@ -1,0 +1,215 @@
+"""Barrier analytics + benchmark regression reporting (obs-report).
+
+Exercises :mod:`repro.obs.report` on synthetic merged-timeline rows and
+benchmark artifacts, and the ``python -m repro.cli obs-report``
+subcommand end to end -- including the CI contract that an injected
+timing regression makes it exit nonzero.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.obs.report import (
+    DEFAULT_TOLERANCE,
+    barrier_report,
+    bench_diff,
+    render_bench_diff,
+    render_report,
+)
+
+
+def span(name, wall_s, args=None, cat="supervisor"):
+    return {
+        "name": name,
+        "cat": cat,
+        "ph": "X",
+        "t": 0.0,
+        "dur": 0.0,
+        "args": args or {},
+        "wall_ns": 0,
+        "wall_dur_ns": int(wall_s * 1e9),
+    }
+
+
+def epoch_span(shard, epoch, wall_s):
+    return span(
+        "lte.epoch",
+        wall_s,
+        args={"shard": shard, "epoch": epoch},
+        cat=f"shard{shard}.sim",
+    )
+
+
+def timeline():
+    """Two shards, two epochs; shard 1 always slower; one recovery."""
+    return [
+        span("shard.barrier.partial", 0.01, args={"epoch": 0}),
+        span("shard.barrier.commit", 0.05, args={"epoch": 0}),
+        epoch_span(0, 0, 0.02),
+        epoch_span(1, 0, 0.06),
+        span("shard.barrier.partial", 0.01, args={"epoch": 1}),
+        span("shard.barrier.commit", 0.07, args={"epoch": 1}),
+        epoch_span(0, 1, 0.03),
+        epoch_span(1, 1, 0.09),
+        span("shard.respawn", 0.20, args={"of": 1, "kind": "crash"}),
+        span("shard.replay", 0.15, args={"of": 1, "ops": 13}),
+        span("partial", 0.0, args={"shard": 1, "salvaged": True},
+             cat="shard1.sim"),
+    ]
+
+
+class TestBarrierReport:
+    def test_phase_breakdown(self):
+        report = barrier_report(timeline())
+        assert report["epochs"] == 2
+        commit = report["phases"]["commit"]
+        assert commit["count"] == 2
+        assert commit["total_s"] == pytest.approx(0.12)
+        assert commit["max_s"] == pytest.approx(0.07)
+        assert report["phases"]["partial"]["mean_s"] == pytest.approx(0.01)
+
+    def test_straggler_attribution(self):
+        report = barrier_report(timeline())
+        # Shard 1 is the slowest shard in both epochs.
+        assert report["stragglers"]["slowest_shard_counts"] == {1: 2}
+        assert report["shards"][1]["slowest_epochs"] == 2
+        assert report["shards"][0]["slowest_epochs"] == 0
+        # Epoch 0: 0.06 of 0.08; epoch 1: 0.09 of 0.12.
+        assert report["stragglers"]["mean_critical_share"] == pytest.approx(
+            (0.06 / 0.08 + 0.09 / 0.12) / 2
+        )
+        assert report["stragglers"]["max_critical_share"] == pytest.approx(0.75)
+
+    def test_recovery_accounting(self):
+        recovery = barrier_report(timeline())["recovery"]
+        assert recovery["respawns"] == 1
+        assert recovery["respawn_wall_s"] == pytest.approx(0.20)
+        assert recovery["replays"] == 1
+        assert recovery["replay_wall_s"] == pytest.approx(0.15)
+        assert recovery["replayed_ops"] == 13
+        assert recovery["salvaged_rows"] == 1
+
+    def test_empty_timeline(self):
+        report = barrier_report([])
+        assert report["epochs"] == 0
+        assert report["phases"] == {}
+        assert report["stragglers"]["mean_critical_share"] == 0.0
+
+    def test_render_mentions_stragglers_and_recovery(self):
+        text = render_report(barrier_report(timeline()))
+        assert "Straggler attribution" in text
+        assert "1 respawn(s)" in text
+        assert "13 op(s)" in text
+
+
+BASELINE = {
+    "benchmark": "demo",
+    "epochs": 5,  # not a timing: never compared
+    "results": [
+        {"cells": 10, "wall_s": 1.0, "note": "x"},
+        {"cells": 50, "wall_s": 4.0, "nested": {"per_epoch_s": 0.5}},
+    ],
+}
+
+
+def current(scale_50=1.0):
+    doc = json.loads(json.dumps(BASELINE))
+    doc["results"][1]["wall_s"] *= scale_50
+    return doc
+
+
+class TestBenchDiff:
+    def test_identical_docs_have_no_regressions(self):
+        rows = bench_diff(BASELINE, current())
+        assert rows and not any(row["regression"] for row in rows)
+
+    def test_timing_leaves_only(self):
+        metrics = {row["metric"] for row in bench_diff(BASELINE, current())}
+        assert metrics == {
+            "results.10.wall_s",
+            "results.50.wall_s",
+            "results.50.nested.per_epoch_s",
+        }
+
+    def test_list_items_labelled_by_cells(self):
+        rows = bench_diff(BASELINE, current(2.0))
+        (bad,) = [row for row in rows if row["regression"]]
+        assert bad["metric"] == "results.50.wall_s"
+        assert bad["ratio"] == pytest.approx(2.0)
+
+    def test_growth_within_tolerance_passes(self):
+        rows = bench_diff(BASELINE, current(1.04), tolerance=1.05)
+        assert not any(row["regression"] for row in rows)
+        rows = bench_diff(BASELINE, current(1.06), tolerance=1.05)
+        assert any(row["regression"] for row in rows)
+
+    def test_default_tolerance(self):
+        assert DEFAULT_TOLERANCE == pytest.approx(1.05)
+
+    def test_nonpositive_tolerance_rejected(self):
+        with pytest.raises(ValueError, match="tolerance"):
+            bench_diff(BASELINE, current(), tolerance=0.0)
+
+    def test_render_flags_regressions(self):
+        text = render_bench_diff(bench_diff(BASELINE, current(2.0)), 1.05)
+        assert "REGRESSION" in text
+        assert "results.50.wall_s" in text
+
+    def test_render_empty(self):
+        assert "no shared timing" in render_bench_diff([], 1.05)
+
+
+class TestObsReportCli:
+    def write(self, tmp_path, name, doc):
+        path = tmp_path / name
+        path.write_text(json.dumps(doc))
+        return str(path)
+
+    def test_clean_bench_diff_exits_zero(self, tmp_path, capsys):
+        base = self.write(tmp_path, "base.json", BASELINE)
+        assert cli_main(["obs-report", "--bench", base, base]) == 0
+        out = capsys.readouterr().out
+        assert "tolerance 1.05" in out
+        assert "REGRESSION" not in out
+
+    def test_injected_regression_exits_nonzero(self, tmp_path, capsys):
+        base = self.write(tmp_path, "base.json", BASELINE)
+        bad = self.write(tmp_path, "bad.json", current(2.0))
+        assert cli_main(
+            ["obs-report", "--bench", base, bad, "--tolerance", "1.03"]
+        ) == 1
+        captured = capsys.readouterr()
+        assert "REGRESSION" in captured.out
+        assert "regression(s) beyond 1.03x" in captured.err
+
+    def test_tolerance_gates_the_exit_code(self, tmp_path):
+        base = self.write(tmp_path, "base.json", BASELINE)
+        slight = self.write(tmp_path, "slight.json", current(1.2))
+        assert cli_main(["obs-report", "--bench", base, slight]) == 1
+        assert cli_main(
+            ["obs-report", "--bench", base, slight, "--tolerance", "1.5"]
+        ) == 0
+
+    def test_trace_jsonl_report(self, tmp_path, capsys):
+        path = tmp_path / "merged.jsonl"
+        path.write_text(
+            "".join(json.dumps(row) + "\n" for row in timeline())
+        )
+        assert cli_main(["obs-report", "--trace-jsonl", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "Barrier phases" in out
+        assert "Recovery overhead" in out
+
+    def test_missing_artifact_exits_two(self, tmp_path):
+        missing = str(tmp_path / "nope.json")
+        assert cli_main(["obs-report", "--bench", missing, missing]) == 2
+
+    def test_no_inputs_is_a_usage_error(self):
+        with pytest.raises(SystemExit):
+            cli_main(["obs-report"])
+
+    def test_bad_tolerance_is_a_usage_error(self):
+        with pytest.raises(SystemExit):
+            cli_main(["obs-report", "--tolerance", "-1"])

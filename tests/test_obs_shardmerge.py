@@ -1,0 +1,383 @@
+"""Worker telemetry shipping + parent-side shard merging.
+
+Covers the cross-shard telemetry plane in isolation from the shard
+engine (see docs/OBSERVABILITY.md):
+
+* :class:`repro.obs.shipping.TelemetryShipper` ships *incremental*
+  payloads -- each section holds only what changed since the previous
+  payload, so repeated payloads never double-count;
+* :class:`repro.obs.shardmerge.ShardTelemetryMerger` folds payloads
+  into the parent telemetry under ``shard<k>.`` labels with exactly-once
+  epoch deduplication, globally unique span ids, and salvage semantics
+  (trace-only, tagged);
+* the Chrome exporter maps merged shard records onto per-shard process
+  tracks while unsharded traces stay on the single classic track;
+* ``repro.obs.validate`` accepts shard-merged timelines and rejects
+  overlapping span ids.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import Telemetry
+from repro.obs.shardmerge import ShardTelemetryMerger, shard_prefix
+from repro.obs.shipping import PAYLOAD_VERSION, TelemetryShipper
+from repro.obs.validate import (
+    TraceValidationError,
+    validate_chrome_trace,
+    validate_jsonl_file,
+)
+
+EDGES = (1.0, 10.0)
+
+
+def make_worker_tel(trace=True, profile=False):
+    tel = Telemetry(trace=trace, profile=profile)
+    return tel, TelemetryShipper(tel)
+
+
+class TestShipperPayloads:
+    def test_unknown_kind_rejected(self):
+        _, shipper = make_worker_tel()
+        with pytest.raises(ValueError, match="unknown payload kind"):
+            shipper.payload("bogus")
+
+    def test_epoch_kind_requires_epoch_index(self):
+        _, shipper = make_worker_tel()
+        with pytest.raises(ValueError, match="epoch index"):
+            shipper.payload("epoch")
+
+    def test_empty_payload_has_only_header(self):
+        _, shipper = make_worker_tel()
+        payload = shipper.payload("flush")
+        assert payload == {"v": PAYLOAD_VERSION, "kind": "flush"}
+
+    def test_epoch_payload_carries_epoch(self):
+        _, shipper = make_worker_tel()
+        assert shipper.payload("epoch", 7)["epoch"] == 7
+
+    def test_counter_deltas_not_totals(self):
+        tel, shipper = make_worker_tel()
+        tel.inc("lte.epochs", 3.0)
+        first = shipper.payload("epoch", 0)
+        assert first["metrics"]["counters"] == {"lte.epochs": 3.0}
+        tel.inc("lte.epochs", 2.0)
+        second = shipper.payload("epoch", 1)
+        assert second["metrics"]["counters"] == {"lte.epochs": 2.0}
+        # Nothing new: the counters section disappears entirely.
+        assert "metrics" not in shipper.payload("epoch", 2)
+
+    def test_gauges_ship_on_change_only(self):
+        tel, shipper = make_worker_tel()
+        tel.gauge("queue.depth", 5.0)
+        assert shipper.payload("flush")["metrics"]["gauges"] == {
+            "queue.depth": 5.0
+        }
+        # Unchanged gauge: not re-shipped.
+        tel.gauge("queue.depth", 5.0)
+        assert "metrics" not in shipper.payload("flush")
+        tel.gauge("queue.depth", 2.0)
+        assert shipper.payload("flush")["metrics"]["gauges"] == {
+            "queue.depth": 2.0
+        }
+
+    def test_histogram_ships_bucket_deltas(self):
+        tel, shipper = make_worker_tel()
+        tel.observe("rtt", 0.5, edges=EDGES)
+        tel.observe("rtt", 5.0, edges=EDGES)
+        first = shipper.payload("flush")["metrics"]["histograms"]["rtt"]
+        assert first["edges"] == list(EDGES)
+        assert first["counts"] == [1, 1, 0]
+        assert first["count"] == 2
+        assert first["sum"] == pytest.approx(5.5)
+        tel.observe("rtt", 50.0, edges=EDGES)
+        second = shipper.payload("flush")["metrics"]["histograms"]["rtt"]
+        assert second["counts"] == [0, 0, 1]
+        assert second["count"] == 1
+        assert second["sum"] == pytest.approx(50.0)
+
+    def test_trace_rows_ship_once(self):
+        tel, shipper = make_worker_tel()
+        with tel.span("epoch", "sim"):
+            pass
+        first = shipper.payload("epoch", 0)
+        assert [row["name"] for row in first["trace"]] == ["epoch"]
+        assert "trace" not in shipper.payload("epoch", 1)
+
+    def test_profile_ships_call_deltas(self):
+        tel, shipper = make_worker_tel(trace=False, profile=True)
+        tel.profiler.record("site", 0.25)
+        first = shipper.payload("flush")["profile"]
+        assert first == [
+            {"site": "site", "calls": 1, "total_s": 0.25, "max_s": 0.25}
+        ]
+        tel.profiler.record("site", 0.05)
+        second = shipper.payload("flush")["profile"][0]
+        assert second["calls"] == 1
+        assert second["total_s"] == pytest.approx(0.05)
+        assert second["max_s"] == pytest.approx(0.25)
+
+    def test_payload_is_json_serializable(self):
+        tel, shipper = make_worker_tel()
+        tel.inc("c")
+        tel.gauge("g", 1.5)
+        tel.observe("h", 3.0, edges=EDGES)
+        with tel.span("s", "sim"):
+            pass
+        json.dumps(shipper.payload("epoch", 0))
+
+
+class TestShardMerger:
+    def shipped(self, build):
+        tel, shipper = make_worker_tel()
+        build(tel)
+        return shipper.payload("epoch", 0)
+
+    def test_metrics_merge_under_shard_prefix(self):
+        parent = Telemetry(trace=True)
+        merger = ShardTelemetryMerger()
+        payload = self.shipped(lambda tel: tel.inc("lte.epochs", 4.0))
+        assert merger.merge(1, payload, parent)
+        counters = parent.registry.snapshot()["counters"]
+        assert counters == {f"{shard_prefix(1)}.lte.epochs": 4.0}
+
+    def test_epoch_dedup_is_exactly_once(self):
+        parent = Telemetry(trace=True)
+        merger = ShardTelemetryMerger()
+        payload = self.shipped(lambda tel: tel.inc("lte.epochs"))
+        assert merger.merge(0, payload, parent)
+        # A journal replay re-produces the same epoch payload: dropped.
+        assert not merger.merge(0, dict(payload), parent)
+        assert merger.stats["duplicates_dropped"] == 1
+        assert parent.registry.snapshot()["counters"]["shard0.lte.epochs"] == 1.0
+
+    def test_dedup_is_per_shard(self):
+        parent = Telemetry(trace=True)
+        merger = ShardTelemetryMerger()
+        payload = self.shipped(lambda tel: tel.inc("lte.epochs"))
+        assert merger.merge(0, payload, parent)
+        assert merger.merge(1, dict(payload), parent)
+
+    def test_reset_horizon_allows_remerge_after_restore(self):
+        parent = Telemetry(trace=True)
+        merger = ShardTelemetryMerger()
+        payload = self.shipped(lambda tel: tel.inc("lte.epochs"))
+        assert merger.merge(0, payload, parent)
+        merger.reset_horizon()
+        assert merger.merge(0, dict(payload), parent)
+
+    def test_flush_payloads_bypass_the_horizon(self):
+        parent = Telemetry(trace=True)
+        merger = ShardTelemetryMerger()
+        tel, shipper = make_worker_tel()
+        tel.inc("residue")
+        assert merger.merge(0, shipper.payload("epoch", 5), parent)
+        tel.inc("residue")
+        assert merger.merge(0, shipper.payload("flush"), parent)
+
+    def test_none_telemetry_and_garbage_payloads_refused(self):
+        merger = ShardTelemetryMerger()
+        assert not merger.merge(0, {"v": 1, "kind": "flush"}, None)
+        assert not merger.merge(0, "garbled", Telemetry())
+        assert merger.stats["payloads_merged"] == 0
+
+    def test_span_ids_unique_across_shards(self):
+        parent = Telemetry(trace=True)
+        merger = ShardTelemetryMerger()
+
+        def build(tel):
+            with tel.span("epoch", "sim"):
+                pass
+            with tel.span("epoch", "sim"):
+                pass
+
+        merger.merge(0, self.shipped(build), parent)
+        merger.merge(1, self.shipped(build), parent)
+        span_ids = [
+            r.args["span_id"] for r in parent.tracer.records if r.ph == "X"
+        ]
+        assert span_ids == ["s0-0", "s0-1", "s1-0", "s1-1"]
+        assert merger.stats["spans_merged"] == 4
+
+    def test_span_ids_unique_across_merger_instances(self):
+        # One run can build several sharded networks (one per tech in
+        # fig9a) that all merge into the same parent tracer: each gets
+        # its own merger, but the span sequence must keep advancing.
+        parent = Telemetry(trace=True)
+
+        def build(tel):
+            with tel.span("epoch", "sim"):
+                pass
+
+        ShardTelemetryMerger().merge(0, self.shipped(build), parent)
+        ShardTelemetryMerger().merge(0, self.shipped(build), parent)
+        span_ids = [
+            r.args["span_id"] for r in parent.tracer.records if r.ph == "X"
+        ]
+        assert span_ids == ["s0-0", "s0-1"]
+
+    def test_trace_rows_get_shard_arg_and_cat_prefix(self):
+        parent = Telemetry(trace=True)
+        merger = ShardTelemetryMerger()
+        merger.merge(
+            2,
+            self.shipped(lambda tel: tel.event("boom", cat="sim", t=1.0)),
+            parent,
+        )
+        (record,) = parent.tracer.records
+        assert record.cat == "shard2.sim"
+        assert record.args["shard"] == 2
+        # Instants carry no span_id (only X rows can overlap).
+        assert "span_id" not in record.args
+
+    def test_salvage_keeps_trace_only_and_tags_rows(self):
+        parent = Telemetry(trace=True)
+        merger = ShardTelemetryMerger()
+
+        def build(tel):
+            tel.inc("lte.epochs")
+            with tel.span("partial", "sim"):
+                pass
+
+        assert merger.merge(0, self.shipped(build), parent, salvage=True)
+        # Metrics dropped: journal replay regenerates the epoch in full.
+        assert parent.registry.snapshot()["counters"] == {}
+        (record,) = parent.tracer.records
+        assert record.args["salvaged"] is True
+        assert merger.stats["salvaged_payloads"] == 1
+
+    def test_histograms_accumulate_bucket_deltas(self):
+        parent = Telemetry(trace=True)
+        merger = ShardTelemetryMerger()
+
+        def build(tel):
+            tel.observe("rtt", 0.5, edges=EDGES)
+            tel.observe("rtt", 50.0, edges=EDGES)
+
+        merger.merge(0, self.shipped(build), parent)
+        merger.merge(0, self.shipped(build), parent)  # deduped (same epoch)
+        tel, shipper = make_worker_tel()
+        build(tel)
+        merger.merge(0, shipper.payload("epoch", 1), parent)
+        hist = parent.registry.snapshot()["histograms"]["shard0.rtt"]
+        assert hist["counts"] == [2, 0, 2]
+        assert hist["count"] == 4
+
+    def test_profile_rows_merge_into_parent_profiler(self):
+        parent = Telemetry(profile=True)
+        merger = ShardTelemetryMerger()
+        tel, shipper = make_worker_tel(trace=False, profile=True)
+        tel.profiler.record("site", 0.2)
+        merger.merge(3, shipper.payload("epoch", 0), parent)
+        tel.profiler.record("site", 0.6)
+        merger.merge(3, shipper.payload("epoch", 1), parent)
+        (row,) = parent.profiler.rows()
+        assert row["site"] == "shard3.site"
+        assert row["calls"] == 2
+        assert row["total_s"] == pytest.approx(0.8)
+        assert row["max_us"] == pytest.approx(0.6e6)
+
+    def test_merged_metrics_match_worker_totals(self):
+        """Summed epoch deltas reproduce the worker's own totals."""
+        parent = Telemetry(trace=True)
+        merger = ShardTelemetryMerger()
+        tel, shipper = make_worker_tel()
+        for epoch in range(5):
+            tel.inc("lte.epochs")
+            tel.inc("lte.served_bits", 1000.0 * (epoch + 1))
+            merger.merge(0, shipper.payload("epoch", epoch), parent)
+        counters = parent.registry.snapshot()["counters"]
+        worker_counters = tel.registry.snapshot()["counters"]
+        for name, total in worker_counters.items():
+            assert counters[f"shard0.{name}"] == pytest.approx(total)
+
+
+class TestChromeShardTracks:
+    def merged_tracer(self):
+        parent = Telemetry(trace=True)
+        parent.tracer.complete("shard.barrier.commit", "supervisor", 0.0, 1.0)
+        merger = ShardTelemetryMerger()
+        for shard in (0, 1):
+            tel, shipper = make_worker_tel()
+            with tel.span("epoch", "sim"):
+                pass
+            merger.merge(shard, shipper.payload("epoch", 0), parent)
+        return parent.tracer
+
+    def test_shard_records_get_their_own_pid_tracks(self):
+        doc = self.merged_tracer().chrome_trace()
+        process_names = {
+            e["pid"]: e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e["name"] == "process_name"
+        }
+        assert process_names == {2: "shard0", 3: "shard1"}
+        supervisor = [
+            e
+            for e in doc["traceEvents"]
+            if e["name"] == "shard.barrier.commit"
+        ]
+        assert [e["pid"] for e in supervisor] == [1]
+
+    def test_unsharded_trace_has_no_process_metadata(self):
+        tel = Telemetry(trace=True)
+        with tel.span("epoch", "sim"):
+            pass
+        doc = tel.tracer.chrome_trace()
+        assert all(e["name"] != "process_name" for e in doc["traceEvents"])
+        assert {e["pid"] for e in doc["traceEvents"]} == {1}
+
+    def test_merged_chrome_trace_validates(self):
+        assert validate_chrome_trace(self.merged_tracer().chrome_trace()) > 0
+
+
+class TestValidatorSpanIds:
+    def duplicate_doc(self):
+        return {
+            "traceEvents": [
+                {
+                    "name": "epoch", "cat": "shard0.sim", "ph": "X",
+                    "ts": 0.0, "dur": 1.0, "pid": 2, "tid": 1,
+                    "args": {"shard": 0, "span_id": "s0-0"},
+                },
+                {
+                    "name": "epoch", "cat": "shard1.sim", "ph": "X",
+                    "ts": 0.0, "dur": 1.0, "pid": 3, "tid": 1,
+                    "args": {"shard": 1, "span_id": "s0-0"},
+                },
+            ]
+        }
+
+    def test_overlapping_span_ids_rejected(self):
+        with pytest.raises(TraceValidationError, match="overlapping shard"):
+            validate_chrome_trace(self.duplicate_doc())
+
+    def test_non_string_span_id_rejected(self):
+        doc = self.duplicate_doc()
+        doc["traceEvents"] = doc["traceEvents"][:1]
+        doc["traceEvents"][0]["args"]["span_id"] = 7
+        with pytest.raises(TraceValidationError, match="must be a string"):
+            validate_chrome_trace(doc)
+
+    def test_jsonl_duplicate_span_ids_rejected(self, tmp_path):
+        row = {
+            "name": "epoch", "cat": "shard0.sim", "ph": "X", "t": 0.0,
+            "dur": 1.0, "args": {"shard": 0, "span_id": "s0-0"},
+        }
+        path = tmp_path / "dup.jsonl"
+        path.write_text(json.dumps(row) + "\n" + json.dumps(row) + "\n")
+        with pytest.raises(TraceValidationError, match="overlapping shard"):
+            validate_jsonl_file(path)
+
+    def test_jsonl_shard_tracks_accepted(self, tmp_path):
+        rows = [
+            {
+                "name": "epoch", "cat": f"shard{k}.sim", "ph": "X", "t": 0.0,
+                "dur": 1.0, "args": {"shard": k, "span_id": f"s{k}-0"},
+            }
+            for k in (0, 1)
+        ]
+        path = tmp_path / "ok.jsonl"
+        path.write_text("".join(json.dumps(r) + "\n" for r in rows))
+        assert validate_jsonl_file(path) == 2
