@@ -1,7 +1,15 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test coverage checkpoint-smoke bench bench-full bench-obs bench-incremental bench-incremental-smoke bench-city shard-smoke chaos-smoke sweep-smoke faults-smoke trace-smoke obs-shard-smoke
+.PHONY: test coverage checkpoint-smoke bench bench-full bench-obs bench-incremental bench-incremental-smoke bench-city bench-gainfill bench-gainfill-smoke shard-smoke chaos-smoke sweep-smoke faults-smoke trace-smoke obs-shard-smoke
+
+# CPU-feature mask under which numpy's transcendental inner loops fall
+# back to their libm-calling baseline, which is bit-identical to the
+# math module -- so the exactness probes in repro.phy.vecmath resolve to
+# the vector paths.  The gain-fill benchmarks run under it; correctness
+# never depends on it (unprobed hosts fall back to scalar loops with the
+# same bits).  See docs/SIMULATION.md ("gain-fill kernels").
+LIBM_MODE_FEATURES := AVX512_SPR AVX512_ICL AVX512_CNL AVX512_CLX AVX512_SKX AVX512F AVX512CD AVX512VL AVX512BW AVX512DQ AVX512VNNI AVX512IFMA AVX512VBMI AVX512VBMI2 AVX512BITALG AVX512FP16 AVX512BF16 AVX512VPOPCNTDQ X86_V4 AVX2 FMA3 F16C X86_V3 AVX
 
 # Tier-1 test suite (must stay green).
 test:
@@ -87,6 +95,27 @@ bench-incremental-smoke:
 # shards with cross-arm digest equality enforced; writes BENCH_city.json.
 bench-city:
 	$(PYTHON) benchmarks/bench_epoch.py --city
+
+# Gain-fill kernel benchmark: full cache builds, batched kernels vs the
+# scalar oracle, matrices required to hash identical; the city point
+# (1000 APs x 10000 UEs) carries the >=10x acceptance target.  Writes
+# BENCH_gainfill.json.
+bench-gainfill:
+	NPY_DISABLE_CPU_FEATURES="$(LIBM_MODE_FEATURES)" \
+		$(PYTHON) benchmarks/bench_epoch.py --gain-fill
+
+# CI-sized gain-fill gate: the smoke population with the same
+# batched-vs-scalar digest check, then an obs-report timing diff of the
+# fresh run against the committed BENCH_gainfill_smoke.json.  The 2.0
+# tolerance absorbs host noise at smoke scale while still failing loudly
+# if a kernel silently degrades to its scalar fallback (>=5x slower).
+bench-gainfill-smoke:
+	NPY_DISABLE_CPU_FEATURES="$(LIBM_MODE_FEATURES)" \
+		$(PYTHON) benchmarks/bench_epoch.py --gain-fill --smoke \
+		--output bench-gainfill-current.json
+	$(PYTHON) -m repro.cli obs-report \
+		--bench BENCH_gainfill_smoke.json bench-gainfill-current.json \
+		--tolerance 2.0
 
 # CI-sized shard gate: a 2-shard process-mode run under mobility and
 # cross-shard handover churn must digest-equal the unsharded incremental

@@ -33,6 +33,7 @@ Usage::
     PYTHONPATH=src python benchmarks/bench_epoch.py --activity-sweep   # incremental
     PYTHONPATH=src python benchmarks/bench_epoch.py --city             # shard sweep
     PYTHONPATH=src python benchmarks/bench_epoch.py --shard-smoke      # shard CI gate
+    PYTHONPATH=src python benchmarks/bench_epoch.py --gain-fill        # fill kernels
 """
 
 from __future__ import annotations
@@ -59,8 +60,12 @@ from repro.lte.network import (
     EpochResult,
     LteNetworkSimulator,
 )
+from repro.phy import vecmath
 from repro.phy.propagation import (
+    FILL_BATCHED,
+    FILL_SCALAR,
     CompositeChannel,
+    GainMatrixCache,
     LogNormalShadowing,
     UrbanHataPathLoss,
 )
@@ -89,6 +94,8 @@ CHAOS_SMOKE_OUTPUT_PATH = REPO_ROOT / "BENCH_chaos_smoke.json"
 OBS_SHARD_SMOKE_OUTPUT_PATH = REPO_ROOT / "BENCH_obs_shard_smoke.json"
 OBS_SHARD_TRACE_PATH = REPO_ROOT / "obs-shard-smoke-trace.json"
 OBS_SHARD_JSONL_PATH = REPO_ROOT / "obs-shard-smoke.jsonl"
+GAINFILL_OUTPUT_PATH = REPO_ROOT / "BENCH_gainfill.json"
+GAINFILL_SMOKE_OUTPUT_PATH = REPO_ROOT / "BENCH_gainfill_smoke.json"
 
 DEFAULT_SIZES = (10, 50, 200)
 DEFAULT_ACTIVITIES = (0.05, 0.10, 0.25, 1.00)
@@ -143,6 +150,7 @@ def build_network(
     backend: str,
     cull_loss_db: Optional[float] = None,
     shard_ap_ids: Optional[Sequence[int]] = None,
+    gain_fill: str = FILL_BATCHED,
 ) -> LteNetworkSimulator:
     """A seeded deployment identical across backends (and shard views)."""
     return LteNetworkSimulator(
@@ -152,6 +160,7 @@ def build_network(
         rngs=RngStreams(SEED),
         backend=backend,
         cull_loss_db=cull_loss_db,
+        gain_fill=gain_fill,
         shard_ap_ids=shard_ap_ids,
     )
 
@@ -694,6 +703,131 @@ def _drive_churn(net, demands, schedule, reattaches) -> List[str]:
     return digests
 
 
+#: Gain-fill bench populations: ``(cells, clients_per_ap)``.  The city
+#: point (1000 x 10 = 10000 UEs) is the acceptance target for the >=10x
+#: batched-vs-scalar build speedup.
+GAINFILL_POPULATIONS = ((200, 6), (1000, 10))
+GAINFILL_SMOKE_POPULATIONS = ((50, 6),)
+
+
+def _gainfill_cache(
+    topology: Topology, channel: CompositeChannel, fill_mode: str
+) -> GainMatrixCache:
+    """A cache over the bench deployment, matching the production build.
+
+    No per-AP antennas: the network/shard worker caches radiate
+    isotropically, so this times exactly the build they perform.  The
+    sector-antenna batch path is identity-pinned by the property suite
+    instead; its ``r ** 2`` attenuation stays a scalar loop by the pow
+    bit-identity contract, so a sector arm would measure that contract,
+    not the kernels.
+    """
+    return GainMatrixCache(
+        channel,
+        topology.aps,
+        topology.clients,
+        cull_loss_db=SWEEP_CULL_LOSS_DB,
+        fill_mode=fill_mode,
+    )
+
+
+def run_gainfill_bench(smoke: bool = False) -> Dict:
+    """Benchmark full gain-cache builds: batched kernels vs scalar oracle.
+
+    Two channel arms per population: ``pathloss`` (urban Hata only -- the
+    kernel ceiling) and ``shadowed`` (Hata + log-normal shadowing, the
+    production channel, whose frozen sha256-per-link draw keying bounds
+    the reachable speedup; see docs/SIMULATION.md).  Every arm's batched
+    and scalar matrices must hash identical over their raw float64 bytes
+    -- the bench doubles as a large-scale bit-identity gate, so a kernel
+    regression fails the run rather than shifting golden digests.
+    """
+    populations = GAINFILL_SMOKE_POPULATIONS if smoke else GAINFILL_POPULATIONS
+    arms = (
+        ("pathloss", lambda: CompositeChannel(UrbanHataPathLoss())),
+        ("shadowed", _bench_channel),
+    )
+    # Force the once-per-process exactness probes now so their cost does
+    # not land inside the first timed build (it dwarfs a smoke-sized one).
+    vecmath.vectorized_report()
+    results: List[Dict] = []
+    for n_cells, clients_per_ap in populations:
+        area_m = _city_area_m(n_cells)
+        topology = _city_topology(n_cells, clients_per_ap, area_m)
+        links = len(topology.aps) * len(topology.clients)
+        entry: Dict = {
+            "cells": n_cells,
+            "clients": len(topology.clients),
+            "links": links,
+            "arms": {},
+        }
+        for arm_name, channel_factory in arms:
+            timings: Dict[str, float] = {}
+            digests: Dict[str, str] = {}
+            for fill_mode in (FILL_BATCHED, FILL_SCALAR):
+                cache = _gainfill_cache(
+                    topology, channel_factory(), fill_mode
+                )
+                gc.collect()
+                start = time.perf_counter()
+                matrix = cache.matrix()
+                timings[fill_mode] = time.perf_counter() - start
+                digests[fill_mode] = hashlib.sha256(
+                    np.ascontiguousarray(matrix).tobytes()
+                ).hexdigest()
+            if digests[FILL_BATCHED] != digests[FILL_SCALAR]:
+                raise SystemExit(
+                    f"gain-fill digest mismatch ({arm_name}, {n_cells} "
+                    "cells): the batched kernels diverged from the scalar "
+                    "oracle"
+                )
+            arm = {
+                "batched_s": round(timings[FILL_BATCHED], 4),
+                "scalar_s": round(timings[FILL_SCALAR], 4),
+                "ns_per_link_batched": round(
+                    timings[FILL_BATCHED] / links * 1e9, 1
+                ),
+                "ns_per_link_scalar": round(
+                    timings[FILL_SCALAR] / links * 1e9, 1
+                ),
+                "speedup": round(
+                    timings[FILL_SCALAR] / timings[FILL_BATCHED], 2
+                ),
+                "digest_match": True,
+                "matrix_sha256": digests[FILL_BATCHED],
+            }
+            entry["arms"][arm_name] = arm
+            print(
+                f"{n_cells:5d} cells x {clients_per_ap:2d} UEs  "
+                f"{arm_name:8s}  batched "
+                f"{arm['ns_per_link_batched']:7.1f} ns/link  scalar "
+                f"{arm['ns_per_link_scalar']:7.1f} ns/link  "
+                f"(speedup {arm['speedup']:.1f}x, digests ok)"
+            )
+        results.append(entry)
+    largest = results[-1]
+    return {
+        "benchmark": "lte-gainfill-kernels",
+        "seed": SEED,
+        "smoke": smoke,
+        "cull_loss_db": SWEEP_CULL_LOSS_DB,
+        "vectorized_kernels": vecmath.vectorized_report(),
+        "npy_disable_cpu_features": os.environ.get(
+            "NPY_DISABLE_CPU_FEATURES", ""
+        ),
+        "digest_match": True,
+        "speedup": largest["arms"]["pathloss"]["speedup"],
+        "speedup_shadowed": largest["arms"]["shadowed"]["speedup"],
+        "speedup_note": (
+            "headline speedup is the pathloss arm at the largest "
+            "population (the kernel ceiling); the shadowed arm is bounded "
+            "by the frozen sha256-per-link shadowing draw keying, which "
+            "stays scalar by contract (golden digests depend on it)"
+        ),
+        "results": results,
+    }
+
+
 def run_shard_smoke(
     n_cells: int = SMOKE_SWEEP_CELLS,
     n_shards: int = 2,
@@ -715,7 +849,24 @@ def run_shard_smoke(
     def drive(net) -> List[str]:
         return _drive_churn(net, demands, schedule, reattaches)
 
-    unsharded = drive(build_network(n_cells, BACKEND_INCREMENTAL, cull_loss_db))
+    # Unsharded reference twice: once through the batched gain-fill
+    # kernels (the default every arm below also uses) and once through
+    # the scalar fill oracle.  Their digests must match exactly -- this
+    # is the smoke gate that pins the kernels bit-identical end to end,
+    # not just at the matrix level -- and their prefill seconds record
+    # what the kernels buy on this population.
+    batched_net = build_network(n_cells, BACKEND_INCREMENTAL, cull_loss_db)
+    batched_prefill_s = batched_net.gain_prefill_s
+    unsharded = drive(batched_net)
+    scalar_net = build_network(
+        n_cells, BACKEND_INCREMENTAL, cull_loss_db, gain_fill=FILL_SCALAR
+    )
+    scalar_prefill_s = scalar_net.gain_prefill_s
+    if drive(scalar_net) != unsharded:
+        raise SystemExit(
+            "shard smoke digest mismatch: the batched gain-fill run "
+            "diverged from the scalar fill oracle"
+        )
 
     def build_sharded(**kwargs) -> ShardedNetwork:
         return ShardedNetwork(
@@ -730,15 +881,16 @@ def run_shard_smoke(
             **kwargs,
         )
 
-    def timed_drive(net) -> Tuple[List[str], float, str]:
+    def timed_drive(net) -> Tuple[List[str], float, str, List[Dict]]:
         try:
             t0 = time.perf_counter()
             digests = drive(net)
-            return digests, time.perf_counter() - t0, net.mode
+            stats = net.worker_build_stats()
+            return digests, time.perf_counter() - t0, net.mode, stats
         finally:
             net.close()
 
-    sharded, bare_s, worker_mode = timed_drive(build_sharded())
+    sharded, bare_s, worker_mode, worker_stats = timed_drive(build_sharded())
     if sharded != unsharded:
         first = next(
             i for i, (a, b) in enumerate(zip(sharded, unsharded)) if a != b
@@ -751,7 +903,7 @@ def run_shard_smoke(
     # Supervised arm: same run under the fault-tolerant supervisor (no
     # chaos), recording what heartbeat tracking, journaling and periodic
     # recovery checkpoints cost on top of the bare shard engine.
-    supervised, supervised_s, _ = timed_drive(build_sharded(supervise=True))
+    supervised, supervised_s, _, _ = timed_drive(build_sharded(supervise=True))
     if supervised != unsharded:
         raise SystemExit(
             "shard smoke digest mismatch: the supervised run diverged "
@@ -781,6 +933,22 @@ def run_shard_smoke(
             "digest_match": True,
             "wall_s": round(supervised_s, 4),
             "overhead_frac": round(overhead_frac, 4),
+        },
+        "gain_fill": {
+            "scalar_oracle_digest_match": True,
+            "unsharded_batched_prefill_s": round(batched_prefill_s, 4),
+            "unsharded_scalar_prefill_s": round(scalar_prefill_s, 4),
+            "prefill_speedup": round(
+                scalar_prefill_s / batched_prefill_s, 2
+            )
+            if batched_prefill_s > 0
+            else None,
+            "worker_prefill_s": [
+                round(s["gain_prefill_s"], 4)
+                if s.get("gain_prefill_s") is not None
+                else None
+                for s in worker_stats
+            ],
         },
     }
 
@@ -1131,6 +1299,16 @@ def main() -> None:
         ),
     )
     parser.add_argument(
+        "--gain-fill",
+        action="store_true",
+        help=(
+            "benchmark batched gain-fill kernels against the scalar "
+            "oracle on full cache builds (matrices must hash identical); "
+            f"writes {GAINFILL_OUTPUT_PATH.name} "
+            f"({GAINFILL_SMOKE_OUTPUT_PATH.name} with --smoke)"
+        ),
+    )
+    parser.add_argument(
         "--obs-shard-smoke",
         action="store_true",
         help=(
@@ -1148,7 +1326,14 @@ def main() -> None:
         help=f"result file (default {OUTPUT_PATH} / {INCREMENTAL_OUTPUT_PATH})",
     )
     args = parser.parse_args()
-    if args.obs_shard_smoke:
+    if args.gain_fill:
+        payload = run_gainfill_bench(smoke=args.smoke)
+        # Like the other smokes, the CI-sized run must not clobber the
+        # full-scale performance record.
+        output = args.output or (
+            GAINFILL_SMOKE_OUTPUT_PATH if args.smoke else GAINFILL_OUTPUT_PATH
+        )
+    elif args.obs_shard_smoke:
         payload = run_obs_shard_smoke(
             n_epochs=args.epochs or 6, mode=args.shard_mode
         )

@@ -14,9 +14,20 @@ from abc import ABC, abstractmethod
 
 import numpy as np
 
+from repro.phy import vecmath
+
 
 class Antenna(ABC):
-    """Interface: gain toward a bearing, in dBi."""
+    """Interface: gain toward a bearing, in dBi.
+
+    ``gains_towards`` (the batched form used by the gain-fill kernels)
+    must be *bit-identical* per element to looping :meth:`gain_towards`:
+    the gain cache subtracts it from losses that feed golden-digest
+    regression nets, so an ulp of drift in a batch path would silently
+    fork the physics between fill modes.  The base implementation loops
+    and is therefore identical by construction; overrides are pinned by
+    ``tests/test_phy_gain_batch.py``.
+    """
 
     @abstractmethod
     def gain_dbi(self, bearing_deg: float) -> float:
@@ -30,11 +41,12 @@ class Antenna(ABC):
     def gains_towards(
         self, from_x: float, from_y: float, to_xs, to_ys
     ) -> np.ndarray:
-        """Gains toward many points at once, in dBi.
+        """Gains toward many points at once, in dBi (bit-identical).
 
         The base implementation simply loops :meth:`gain_towards`;
-        subclasses with closed-form patterns override it with a numpy
-        computation for gain-matrix construction.
+        subclasses with closed-form patterns override it with array
+        computation for gain-matrix construction, under the same
+        bit-identity contract.
         """
         return np.array(
             [self.gain_towards(from_x, from_y, x, y) for x, y in zip(to_xs, to_ys)]
@@ -53,6 +65,7 @@ class OmniAntenna(Antenna):
     def gains_towards(
         self, from_x: float, from_y: float, to_xs, to_ys
     ) -> np.ndarray:
+        # Bearing-independent: the constant *is* the scalar result.
         return np.full(len(to_xs), self._gain_dbi)
 
 
@@ -94,13 +107,24 @@ class SectorAntenna(Antenna):
     def gains_towards(
         self, from_x: float, from_y: float, to_xs, to_ys
     ) -> np.ndarray:
-        bearings = np.degrees(
-            np.arctan2(np.asarray(to_ys) - from_y, np.asarray(to_xs) - from_x)
+        bearings = vecmath.vec_bearing_deg(
+            np.asarray(to_ys, dtype=np.float64) - from_y,
+            np.asarray(to_xs, dtype=np.float64) - from_x,
         )
-        offsets = np.mod(bearings - self.boresight_deg, 360.0)
-        offsets = np.where(offsets > 180.0, offsets - 360.0, offsets)
-        attenuation = np.minimum(
-            12.0 * (offsets / self.beamwidth_deg) ** 2, self.front_back_db
+        # _wrap_angle_deg, vectorized: fmod is an exact IEEE remainder and
+        # the +-360 adjustments are exact adds, so this wrap is the scalar
+        # wrap bit-for-bit.
+        wrapped = np.fmod(bearings - self.boresight_deg, 360.0)
+        wrapped = np.where(wrapped > 180.0, wrapped - 360.0, wrapped)
+        wrapped = np.where(wrapped <= -180.0, wrapped + 360.0, wrapped)
+        ratios = wrapped / self.beamwidth_deg
+        # ``r ** 2`` stays a scalar loop: neither np.power(x, 2.0) nor
+        # x*x reproduces CPython's libm pow in the last ulp.
+        fb = self.front_back_db
+        attenuation = np.fromiter(
+            (min(12.0 * r**2, fb) for r in ratios.tolist()),
+            np.float64,
+            count=ratios.size,
         )
         return self.peak_gain_dbi - attenuation
 

@@ -6,9 +6,11 @@ TVWS frequencies in deployment).  :class:`UrbanHataPathLoss` reproduces that
 environment with the classic Okumura-Hata urban formula, which at 36 dBm
 EIRP gives ~1.3 km of usable range -- matching the paper's drive test.
 
-All models expose ``path_loss_db(distance_m)``; composite behaviour
-(model + shadowing + antenna gains) is assembled by
-:class:`CompositeChannel` / :class:`repro.phy.link.LinkBudget`.
+All models expose ``path_loss_db(distance_m)`` plus a batched
+``path_loss_db_batch(distances_m)`` that is bit-identical to the scalar
+call per element (see :mod:`repro.phy.vecmath` for how transcendentals
+stay exact); composite behaviour (model + shadowing + antenna gains) is
+assembled by :class:`CompositeChannel` / :class:`repro.phy.link.LinkBudget`.
 """
 
 from __future__ import annotations
@@ -16,19 +18,45 @@ from __future__ import annotations
 import hashlib
 import math
 from abc import ABC, abstractmethod
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.phy import vecmath
+
 SPEED_OF_LIGHT_M_S = 299_792_458.0
+
+#: Gain-cache fill modes: ``FILL_BATCHED`` routes stale rows through the
+#: vectorized kernels; ``FILL_SCALAR`` keeps the per-link loop.  Both are
+#: bit-identical (the scalar loop is the retained oracle, same discipline
+#: as the epoch backends).
+FILL_BATCHED = "batched"
+FILL_SCALAR = "scalar"
+_FILL_MODES = (FILL_BATCHED, FILL_SCALAR)
+
+#: Rows are filled in chunks of roughly this many links so the ~60 array
+#: temporaries of the hypot/log kernels stay cache-resident (measured
+#: ~3x faster than whole-matrix temporaries at city scale).
+_CHUNK_LINKS = 16384
 
 
 class PathLossModel(ABC):
-    """Interface: mean path loss in dB as a function of ground distance."""
+    """Interface: mean path loss in dB as a function of ground distance.
+
+    Concrete models implement the scalar :meth:`path_loss_db` *and* the
+    batched :meth:`path_loss_db_batch`; the batch must be IEEE-identical
+    to the scalar call per element (``tests/test_phy_gain_batch.py``
+    enforces both the identity and that every registered subclass
+    actually overrides the batch API instead of silently falling back).
+    """
 
     @abstractmethod
     def path_loss_db(self, distance_m: float) -> float:
         """Mean path loss in dB at ``distance_m`` metres (>= 1 m enforced)."""
+
+    @abstractmethod
+    def path_loss_db_batch(self, distances_m: np.ndarray) -> np.ndarray:
+        """Elementwise :meth:`path_loss_db` over an array, bit-identical."""
 
     @staticmethod
     def _clamp_distance(distance_m: float) -> float:
@@ -36,6 +64,14 @@ class PathLossModel(ABC):
             raise ValueError(f"distance must be >= 0, got {distance_m!r}")
         # Below 1 m the far-field formulas diverge; clamp as ns-3 does.
         return max(distance_m, 1.0)
+
+    @staticmethod
+    def _clamp_distances(distances_m: np.ndarray) -> np.ndarray:
+        distances_m = np.asarray(distances_m, dtype=np.float64)
+        if (distances_m < 0.0).any():
+            bad = float(distances_m[distances_m < 0.0].flat[0])
+            raise ValueError(f"distance must be >= 0, got {bad!r}")
+        return np.maximum(distances_m, 1.0)
 
 
 class FreeSpacePathLoss(PathLossModel):
@@ -50,6 +86,15 @@ class FreeSpacePathLoss(PathLossModel):
         distance_m = self._clamp_distance(distance_m)
         wavelength = SPEED_OF_LIGHT_M_S / self.frequency_hz
         return 20.0 * math.log10(4.0 * math.pi * distance_m / wavelength)
+
+    def path_loss_db_batch(self, distances_m: np.ndarray) -> np.ndarray:
+        distances_m = self._clamp_distances(distances_m)
+        wavelength = SPEED_OF_LIGHT_M_S / self.frequency_hz
+        # Same left-to-right association as the scalar expression:
+        # ((4.0 * pi) * d) / wavelength, then 20.0 * log10.
+        return 20.0 * vecmath.vec_log10(
+            4.0 * math.pi * distances_m / wavelength
+        )
 
 
 class LogDistancePathLoss(PathLossModel):
@@ -81,6 +126,21 @@ class LogDistancePathLoss(PathLossModel):
         return reference_loss + 10.0 * self.exponent * math.log10(
             distance_m / self.reference_m
         )
+
+    def path_loss_db_batch(self, distances_m: np.ndarray) -> np.ndarray:
+        distances_m = self._clamp_distances(distances_m)
+        reference_loss = self._free_space.path_loss_db(self.reference_m)
+        out = np.empty_like(distances_m)
+        near = distances_m <= self.reference_m
+        if near.any():
+            out[near] = self._free_space.path_loss_db_batch(distances_m[near])
+        far = ~near
+        if far.any():
+            # (10.0 * exponent) matches the scalar left-to-right product.
+            out[far] = reference_loss + (10.0 * self.exponent) * vecmath.vec_log10(
+                distances_m[far] / self.reference_m
+            )
+        return out
 
 
 class UrbanHataPathLoss(PathLossModel):
@@ -130,6 +190,23 @@ class UrbanHataPathLoss(PathLossModel):
             + (44.9 - 6.55 * log_hb) * math.log10(d_km)
         )
 
+    def path_loss_db_batch(self, distances_m: np.ndarray) -> np.ndarray:
+        distances_m = self._clamp_distances(distances_m)
+        f_mhz = self.frequency_hz / 1e6
+        d_km = np.maximum(distances_m / 1000.0, 0.01)
+        log_f = math.log10(f_mhz)
+        log_hb = math.log10(self.base_height_m)
+        mobile_correction = (1.1 * log_f - 0.7) * self.mobile_height_m - (
+            1.56 * log_f - 0.8
+        )
+        # The scalar return is a left-associated sum whose first four terms
+        # are distance-free; hoisting them into one constant reproduces the
+        # exact partial sum (((69.55 + a) - b) - c) the scalar loop forms,
+        # so the final add against the slope term is the same IEEE op.
+        constant = 69.55 + 26.16 * log_f - 13.82 * log_hb - mobile_correction
+        slope = 44.9 - 6.55 * log_hb
+        return constant + slope * vecmath.vec_log10(d_km)
+
 
 class LogNormalShadowing:
     """Deterministic per-link log-normal shadowing.
@@ -138,6 +215,19 @@ class LogNormalShadowing:
     positions and a seed, so (a) the channel is reciprocal, and (b) repeated
     queries for the same link are consistent within a run -- both properties
     the interference-management algorithms rely on.
+
+    **Key quantization contract.**  The hash key formats each coordinate
+    with ``:.1f``, i.e. positions are quantized to a 0.1 m grid before
+    hashing: endpoints within the same grid cell -- in particular, any
+    two positions of one endpoint less than 0.05 m apart (round-half-even
+    at the cell edge) -- share the *same* shadowing draw, while a step
+    across a cell edge redraws the link.  This is pinned, load-bearing
+    behaviour, not an implementation detail: every golden digest in the
+    regression net depends on the exact key string, and the batched key
+    builder in :meth:`shadowing_db_batch` reproduces it byte-for-byte
+    (``tests/test_phy_gain_batch.py`` keeps both facts honest).  Changing
+    the format (or the canonical endpoint order) silently reshuffles
+    every shadowing draw in every experiment.
 
     Args:
         sigma_db: standard deviation (urban macro: 6-8 dB).
@@ -167,6 +257,78 @@ class LogNormalShadowing:
         gaussian = math.sqrt(-2.0 * math.log(u1)) * math.cos(2.0 * math.pi * u2)
         return self.sigma_db * gaussian
 
+    # -- Batched path ------------------------------------------------------
+
+    @staticmethod
+    def endpoint_tag(x: float, y: float) -> bytes:
+        """The quantized ``{x:.1f},{y:.1f}`` key fragment for one endpoint.
+
+        Exposed so bulk key builders (the gain-fill kernels) can format
+        each *node* once instead of re-formatting both endpoints per
+        link; concatenating tags reproduces the scalar key byte-for-byte
+        because the format is pure ASCII.
+        """
+        return f"{x:.1f},{y:.1f}".encode()
+
+    def _values_from_keys(self, keys: List[bytes]) -> np.ndarray:
+        """sigma * gaussian for pre-built canonical keys, bit-identical.
+
+        The sha256 pass stays a per-key loop (hashing dominates the
+        shadowed fill; see docs/SIMULATION.md), but everything after the
+        digests is array arithmetic: ``u2`` vectorizes exactly (uint64 ->
+        float64 rounding commutes with the exact power-of-two divide),
+        ``u1`` keeps a scalar big-int division per element because
+        ``(n + 1) / (2**64 + 2)`` is correctly rounded only as exact
+        integer division, and the transcendentals go through the probed
+        paths of :mod:`repro.phy.vecmath`.
+        """
+        n = len(keys)
+        if n == 0:
+            return np.empty(0, dtype=np.float64)
+        sha256 = hashlib.sha256
+        buf = b"".join([sha256(key).digest() for key in keys])
+        words = np.frombuffer(buf, dtype="<u8").reshape(n, 4)
+        den = 2**64 + 2
+        u1 = np.fromiter(
+            ((v + 1) / den for v in words[:, 0].tolist()), np.float64, count=n
+        )
+        u2 = words[:, 1].astype(np.float64) / 2.0**64
+        gaussian = np.sqrt(-2.0 * vecmath.vec_log(u1)) * vecmath.vec_cos(
+            2.0 * math.pi * u2
+        )
+        return self.sigma_db * gaussian
+
+    def shadowing_db_batch(
+        self, ax: np.ndarray, ay: np.ndarray, bx: np.ndarray, by: np.ndarray
+    ) -> np.ndarray:
+        """Elementwise :meth:`shadowing_db` over coordinate arrays."""
+        ax = np.asarray(ax, dtype=np.float64)
+        ay = np.asarray(ay, dtype=np.float64)
+        bx = np.asarray(bx, dtype=np.float64)
+        by = np.asarray(by, dtype=np.float64)
+        if self.sigma_db == 0.0:
+            return np.zeros(ax.shape, dtype=np.float64)
+        # Canonical endpoint order, matching the scalar tuple comparison
+        # ((ax, ay) > (bx, by)): a tuple compare falls through to the
+        # second coordinate exactly when the first compares equal (which,
+        # as for 0.0 vs -0.0, is not the same as being identical).
+        swap = (ax > bx) | ((ax == bx) & (ay > by))
+        prefix = f"{self.seed}:".encode()
+        tag = self.endpoint_tag
+        keys = [
+            prefix + tag(qx, qy) + b":" + tag(px, py)
+            if swapped
+            else prefix + tag(px, py) + b":" + tag(qx, qy)
+            for px, py, qx, qy, swapped in zip(
+                ax.ravel().tolist(),
+                ay.ravel().tolist(),
+                bx.ravel().tolist(),
+                by.ravel().tolist(),
+                swap.ravel().tolist(),
+            )
+        ]
+        return self._values_from_keys(keys).reshape(ax.shape)
+
 
 class CompositeChannel:
     """Mean path loss plus optional shadowing, as one callable object.
@@ -193,14 +355,86 @@ class CompositeChannel:
             )
         return loss
 
+    def _ap_side_arrays(self, aps: Sequence) -> tuple:
+        """Memoized per-AP columns: positions and quantized key tags.
+
+        Keyed on the identity of the ``aps`` sequence (the gain cache
+        passes its own stable list, and AP sites never move), so single-
+        row refills after mobility don't re-format 10k tags.  A different
+        sequence object simply replaces the one-entry memo.
+        """
+        cached = getattr(self, "_ap_memo", None)
+        if cached is not None and cached[0] is aps:
+            return cached[1]
+        ap_x = np.fromiter((ap.x for ap in aps), np.float64, count=len(aps))
+        ap_y = np.fromiter((ap.y for ap in aps), np.float64, count=len(aps))
+        tags = None
+        if self.shadowing is not None:
+            tag = self.shadowing.endpoint_tag
+            tags = [tag(ap.x, ap.y) for ap in aps]
+        arrays = (ap_x, ap_y, tags)
+        self._ap_memo = (aps, arrays)
+        return arrays
+
+    def loss_db_rows(self, aps: Sequence, clients: Sequence) -> np.ndarray:
+        """Batched :meth:`loss_db`: a ``(len(clients), len(aps))`` block.
+
+        Bit-identical per element to ``loss_db(ap, client)`` -- distances
+        through :func:`repro.phy.vecmath.vec_hypot`, path loss through the
+        model's batch kernel, shadowing through bulk key construction over
+        per-node tags -- so batched and scalar cache fills interleave
+        freely (the gain-fill oracle discipline; see docs/SIMULATION.md).
+        """
+        n_aps = len(aps)
+        ap_x, ap_y, ap_tags = self._ap_side_arrays(aps)
+        cl_x = np.fromiter(
+            (c.x for c in clients), np.float64, count=len(clients)
+        )
+        cl_y = np.fromiter(
+            (c.y for c in clients), np.float64, count=len(clients)
+        )
+        # loss_db(ap, client) computes hypot(ap.x - c.x, ap.y - c.y).
+        dx = ap_x[np.newaxis, :] - cl_x[:, np.newaxis]
+        dy = ap_y[np.newaxis, :] - cl_y[:, np.newaxis]
+        block = self.path_loss.path_loss_db_batch(vecmath.vec_hypot(dx, dy))
+        if self.shadowing is not None and self.shadowing.sigma_db != 0.0:
+            shadowing = self.shadowing
+            prefix = f"{shadowing.seed}:".encode()
+            tag = shadowing.endpoint_tag
+            # Canonical endpoint order per link: the scalar call compares
+            # (ap.x, ap.y) > (client.x, client.y) tuple-wise.
+            swap = (ap_x[np.newaxis, :] > cl_x[:, np.newaxis]) | (
+                (ap_x[np.newaxis, :] == cl_x[:, np.newaxis])
+                & (ap_y[np.newaxis, :] > cl_y[:, np.newaxis])
+            )
+            keys: List[bytes] = []
+            for i, client in enumerate(clients):
+                ctag = tag(client.x, client.y)
+                # swapped means ap > client: the client tag leads the key.
+                client_first = prefix + ctag + b":"
+                row_swap = swap[i].tolist()
+                keys.extend(
+                    client_first + ap_tag
+                    if swapped
+                    else prefix + ap_tag + b":" + ctag
+                    for ap_tag, swapped in zip(ap_tags, row_swap)
+                )
+            block += shadowing._values_from_keys(keys).reshape(block.shape)
+        return block
+
 
 class GainMatrixCache:
     """Cached pairwise AP <-> client link gains for one deployment.
 
     The epoch simulators query the same (AP, client) losses every epoch;
-    this cache computes each link exactly once -- through the *same* scalar
-    ``channel.loss_db`` call, so cached values are bit-identical to direct
-    queries -- and hands out the full matrix for vectorized kernels.
+    this cache computes each link exactly once and hands out the full
+    matrix for vectorized kernels.  By default stale rows fill in bulk
+    through the batched kernels (``fill_mode="batched"``:
+    :meth:`CompositeChannel.loss_db_rows` plus batched antenna gains),
+    which are bit-identical per link to the scalar ``channel.loss_db``
+    call; ``fill_mode="scalar"`` keeps the original per-link loop as the
+    retained oracle, so either mode's cached values equal direct queries
+    exactly and the two modes may be mixed freely across caches.
 
     Channels are reciprocal (distance and shadowing are symmetric in the
     endpoints, and an AP's antenna gain applies to both link directions),
@@ -222,6 +456,9 @@ class GainMatrixCache:
             exactly zero power (no signal, no interference, no PRACH
             audibility).  ``None`` (the default) disables culling and keeps
             every link live, matching historic behaviour.
+        fill_mode: :data:`FILL_BATCHED` (default) fills stale rows through
+            the vectorized kernels; :data:`FILL_SCALAR` keeps the per-link
+            loop (the bit-identity oracle).
     """
 
     def __init__(
@@ -231,11 +468,17 @@ class GainMatrixCache:
         clients: Sequence,
         ap_antennas: Optional[Dict[int, "object"]] = None,
         cull_loss_db: Optional[float] = None,
+        fill_mode: str = FILL_BATCHED,
     ) -> None:
         if cull_loss_db is not None and not cull_loss_db > 0.0:
             raise ValueError(
                 f"cull_loss_db must be > 0 dB or None, got {cull_loss_db!r}"
             )
+        if fill_mode not in _FILL_MODES:
+            raise ValueError(
+                f"fill_mode must be one of {_FILL_MODES!r}, got {fill_mode!r}"
+            )
+        self.fill_mode = fill_mode
         self.channel = channel
         self._aps = list(aps)
         self._clients = list(clients)
@@ -253,6 +496,7 @@ class GainMatrixCache:
         self._readonly.setflags(write=False)
 
     def _fill_row(self, row: int) -> None:
+        """Scalar reference fill: the bit-identity oracle for one row."""
         client = self._clients[row]
         for col, ap in enumerate(self._aps):
             loss = self.channel.loss_db(ap, client)
@@ -262,11 +506,64 @@ class GainMatrixCache:
             self._loss[row, col] = loss
         self._row_valid[row] = True
 
+    def _fill_rows(self, rows: Sequence[int]) -> None:
+        """Fill many stale rows in one shot (kernels or oracle loop).
+
+        Rows chunk to ~``_CHUNK_LINKS`` links so kernel temporaries stay
+        cache-resident; antenna gains subtract column-wise through the
+        antennas' batched ``gains_towards`` (one IEEE subtract per link,
+        exactly as the scalar loop performs it).
+        """
+        if self.fill_mode == FILL_SCALAR:
+            for row in rows:
+                self._fill_row(int(row))
+            return
+        n_aps = len(self._aps)
+        if n_aps == 0:
+            self._row_valid[list(rows)] = True
+            return
+        step = max(1, _CHUNK_LINKS // n_aps)
+        rows = [int(row) for row in rows]
+        for start in range(0, len(rows), step):
+            chunk = rows[start : start + step]
+            clients = [self._clients[row] for row in chunk]
+            block = self.channel.loss_db_rows(self._aps, clients)
+            if self.ap_antennas:
+                cl_x = np.fromiter(
+                    (c.x for c in clients), np.float64, count=len(clients)
+                )
+                cl_y = np.fromiter(
+                    (c.y for c in clients), np.float64, count=len(clients)
+                )
+                for col, ap in enumerate(self._aps):
+                    antenna = self.ap_antennas.get(ap.ap_id)
+                    if antenna is not None:
+                        block[:, col] -= antenna.gains_towards(
+                            ap.x, ap.y, cl_x, cl_y
+                        )
+            self._loss[chunk] = block
+            self._row_valid[chunk] = True
+
+    def prefill(self, client_ids: Optional[Sequence[int]] = None) -> None:
+        """Eagerly fill stale rows (all, or a client subset) in bulk.
+
+        Unlike :meth:`rows` this returns nothing and copies nothing --
+        it exists so builders (network construction, shard workers) can
+        push the whole population through the batched kernels up front
+        instead of faulting rows in one ``loss_db`` call at a time.
+        """
+        if client_ids is None:
+            stale = np.flatnonzero(~self._row_valid)
+        else:
+            indices = [self.client_index[cid] for cid in client_ids]
+            stale = [row for row in indices if not self._row_valid[row]]
+        self._fill_rows(stale)
+
     def loss_db(self, client_id: int, ap_id: int) -> float:
         """Cached total link loss between a client and an AP, in dB."""
         row = self.client_index[client_id]
         if not self._row_valid[row]:
-            self._fill_row(row)
+            self._fill_rows([row])
         return float(self._loss[row, self.ap_index[ap_id]])
 
     def matrix(self) -> np.ndarray:
@@ -277,8 +574,7 @@ class GainMatrixCache:
         few rows should prefer :meth:`rows`, which leaves the rest of the
         cache lazy.
         """
-        for row in np.flatnonzero(~self._row_valid):
-            self._fill_row(int(row))
+        self._fill_rows(np.flatnonzero(~self._row_valid))
         return self._readonly
 
     def rows(self, client_ids: Sequence[int]) -> np.ndarray:
@@ -300,9 +596,7 @@ class GainMatrixCache:
             subset = np.empty((0, len(self._aps)), dtype=self._loss.dtype)
             subset.setflags(write=False)
             return subset
-        for row in indices:
-            if not self._row_valid[row]:
-                self._fill_row(row)
+        self._fill_rows([row for row in indices if not self._row_valid[row]])
         subset = self._loss[np.asarray(indices, dtype=np.intp)]
         subset.setflags(write=False)
         return subset

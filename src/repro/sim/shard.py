@@ -240,6 +240,10 @@ class _InlineWorker:
             return None
         return self._shipper.payload("flush")
 
+    def build_stats(self) -> Dict[str, Any]:
+        """Cache-build timings from the shard net (see ``gain_prefill_s``)."""
+        return {"gain_prefill_s": getattr(self.net, "gain_prefill_s", None)}
+
     def state_dict(self) -> Dict[str, Any]:
         with self._scope():
             return self.net.state_dict()
@@ -360,6 +364,10 @@ def _worker_main(
                     # the untraced run (digest neutrality).
                     outcome += (shipper.payload("epoch", epoch_index),)
                 conn.send(("ok", outcome))
+            elif op == "build_stats":
+                conn.send(
+                    ("ok", {"gain_prefill_s": getattr(net, "gain_prefill_s", None)})
+                )
             elif op == "tel_flush":
                 conn.send(
                     (
@@ -518,6 +526,10 @@ class _ProcessWorker:
         self.conn.send(("commit", prach_total))
 
     def read_result(self) -> tuple:
+        return self._recv()
+
+    def build_stats(self) -> Dict[str, Any]:
+        self.conn.send(("build_stats",))
         return self._recv()
 
     def state_dict(self) -> Dict[str, Any]:
@@ -1704,6 +1716,17 @@ class ShardedNetwork:
 
     def shard_of_client(self, client_id: int) -> int:
         return self._shard_of_ap[self.topology.client(client_id).ap_id]
+
+    def worker_build_stats(self) -> List[Dict[str, Any]]:
+        """Per-shard cache-build timings, in shard order.
+
+        Each entry currently carries ``gain_prefill_s`` -- the wall-clock
+        seconds the worker's :class:`~repro.phy.propagation.GainMatrixCache`
+        spent bulk-filling its owned rows at build time (the quantity the
+        gain-fill kernels attack; see BENCH_shard_smoke.json).  After a
+        supervised respawn the figure reflects the most recent rebuild.
+        """
+        return [worker.build_stats() for worker in self.workers]
 
     # -- Events (applied between epochs, i.e. at the barrier) ---------------
 
